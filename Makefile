@@ -1,0 +1,27 @@
+# Convenience targets (plain pytest/python underneath; see README).
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figure1 profile clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+figure1:
+	$(PYTHON) -m repro
+
+profile:
+	$(PYTHON) scripts/profile_simulation.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,123 @@
+"""Section 4.1 — the basic dictionary's I/O guarantees across geometries.
+
+Paper claims regenerated here:
+
+* worst-case O(1) I/Os for lookups AND updates with no constraint on B
+  (multi-block buckets when B is tiny);
+* 1-I/O lookups / 2-I/O updates once ``B = Omega(log N)`` and
+  ``v = O(N/B)`` is sized so the Lemma 3 max load stays below B;
+* the ``k = d/2`` satellite variant retrieves ``O(BD / log N)`` satellite
+  data in the same single probe.
+
+Output: ``benchmarks/results/basic_dict.txt``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.basic_dict import BasicDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 20
+
+
+def _drive(d, n, seed=0):
+    rng = random.Random(seed)
+    keys = rng.sample(range(U), n)
+    ins = [d.insert(k, None).total_ios for k in keys]
+    hits = [d.lookup(k).cost.total_ios for k in keys]
+    miss = []
+    while len(miss) < n // 2:
+        probe = rng.randrange(U)
+        if probe not in set(keys):
+            miss.append(d.lookup(probe).cost.total_ios)
+    return ins, hits, miss
+
+
+GEOMETRIES = [
+    # (B, n, degree, extra kwargs) — one-probe regime (B >= log N)...
+    (16, 500, 16, {}),
+    (32, 2000, 16, {}),
+    (64, 4000, 24, {}),
+    # ...and the tiny-B regime: buckets hold Theta(log N) items across
+    # several blocks, lookups stay O(1) I/Os but are no longer one-probe.
+    (4, 1000, 16, {"bucket_capacity": 12, "stripe_size": 16}),
+]
+
+
+def test_basic_dict_geometry_sweep(benchmark, save_table):
+    rows = []
+    for (B, n, degree, extra) in GEOMETRIES:
+        machine = ParallelDiskMachine(degree, B)
+        d = BasicDictionary(
+            machine, universe_size=U, capacity=n, degree=degree, seed=1,
+            **extra,
+        )
+        ins, hits, miss = _drive(d, n)
+        one_probe = d.one_probe
+        rows.append(
+            [
+                B,
+                n,
+                degree,
+                d.buckets.blocks_per_bucket,
+                "yes" if one_probe else "no",
+                max(hits),
+                max(miss),
+                max(ins),
+                d.current_max_load(),
+            ]
+        )
+        bpb = d.buckets.blocks_per_bucket
+        assert max(hits) == bpb       # O(1); ==1 in the one-probe regime
+        assert max(ins) == 2 * bpb    # read + write
+        assert d.current_max_load() <= d.buckets.capacity_items
+    table = render_table(
+        ["B", "n", "d", "blk/bkt", "one-probe", "wc hit", "wc miss",
+         "wc upd", "max load"],
+        rows,
+    )
+    save_table("basic_dict", table)
+    benchmark.pedantic(
+        lambda: _drive(
+            BasicDictionary(
+                ParallelDiskMachine(16, 32),
+                universe_size=U, capacity=500, degree=16, seed=1,
+            ),
+            500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_basic_dict_satellite_bandwidth(benchmark, save_table):
+    """The k = d/2 variant: satellite payload per single-probe lookup."""
+    rows = []
+    for degree, B in ((16, 32), (24, 32), (32, 64)):
+        machine = ParallelDiskMachine(degree, B)
+        k = degree // 2
+        n = 200
+        d = BasicDictionary(
+            machine, universe_size=U, capacity=n, degree=degree,
+            k_fragments=k, seed=2,
+        )
+        # Payload sized at the paper's O(BD / log N) items.
+        payload_items = (B * degree) // (2 * math.ceil(math.log2(n)))
+        payload = "x" * payload_items
+        rng = random.Random(3)
+        keys = rng.sample(range(U), n)
+        for key in keys:
+            d.insert(key, payload)
+        costs = [d.lookup(key).cost.total_ios for key in keys]
+        assert max(costs) == 1  # full payload in one probe
+        assert all(d.lookup(key).value == payload for key in keys[:20])
+        rows.append([degree, B, k, payload_items, max(costs)])
+    table = render_table(
+        ["d", "B", "k=d/2", "payload items", "wc lookup I/Os"], rows
+    )
+    save_table("basic_dict_bandwidth", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

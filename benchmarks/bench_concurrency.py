@@ -1,0 +1,169 @@
+"""Section 1.1's concurrency claims, quantified.
+
+"There is no notion of an index structure or central directory of keys"
+and "no piece of data is ever moved, once inserted... simplifies
+concurrency control mechanisms such as locking."
+
+Three measurements against the B-tree status quo:
+
+1. **write-footprint conflicts**: the probability two concurrent updates
+   must latch a common block;
+2. **hot-spot contention**: how many of a batch of updates write the single
+   hottest block (a B-tree's upper levels act as the central directory the
+   paper's structures don't have);
+3. **reference stability**: the fraction of keys whose physical block
+   changes while unrelated inserts stream in (B-tree splits move records;
+   the dictionary never moves one).
+
+Also reports parallel-instances batching (Section 4): ``c`` inserts in the
+I/Os of one.
+
+Outputs: ``benchmarks/results/concurrency_*.txt``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.concurrency import (
+    conflict_rate,
+    footprints,
+    max_block_contention,
+)
+from repro.analysis.reporting import render_table
+from repro.btree import BTreeDictionary
+from repro.core.basic_dict import BasicDictionary
+from repro.core.multi_instance import MultiInstanceDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 20
+
+
+def _dict_setup(n=600, degree=16, B=8):
+    machine = ParallelDiskMachine(degree, B)
+    d = BasicDictionary(
+        machine, universe_size=U, capacity=2 * n, degree=degree, seed=1
+    )
+    keys = random.Random(1).sample(range(U), n)
+    for k in keys:
+        d.insert(k, None)
+    return machine, d, keys
+
+
+def _btree_setup(n=600, degree=16, B=8):
+    machine = ParallelDiskMachine(degree, B)
+    bt = BTreeDictionary(machine, universe_size=U, capacity=4 * n)
+    keys = random.Random(1).sample(range(U), n)
+    for k in keys:
+        bt.insert(k, None)
+    return machine, bt, keys
+
+
+def test_concurrent_update_conflicts(benchmark, save_table):
+    batch = 64
+    rows = []
+
+    machine, d, keys = _dict_setup()
+    ops = [
+        (lambda k=k: d.insert(k, "new")) for k in keys[:batch]
+    ]
+    prints = footprints(machine, ops)
+    dict_rate = conflict_rate(prints)
+    dict_hot = max_block_contention(prints)
+    rows.append(["S4.1 dictionary", f"{dict_rate:.3f}", dict_hot])
+
+    machine_b, bt, keys_b = _btree_setup()
+    fresh = [k for k in random.Random(7).sample(range(U), 4 * batch)
+             if k not in set(keys_b)][:batch]
+    ops_b = [(lambda k=k: bt.insert(k, None)) for k in fresh]
+    prints_b = footprints(machine_b, ops_b)
+    bt_rate = conflict_rate(prints_b)
+    bt_hot = max_block_contention(prints_b)
+    rows.append(["B-tree", f"{bt_rate:.3f}", bt_hot])
+
+    table = render_table(
+        ["structure", "write-write conflict rate", "hottest block writers"],
+        rows,
+    )
+    save_table("concurrency_conflicts", table)
+    assert dict_rate <= bt_rate + 1e-9
+    assert dict_hot <= bt_hot
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_reference_stability(benchmark, save_table):
+    """Insert churn; check whether previously stored keys' blocks moved."""
+
+    def dict_locations(d, keys):
+        out = {}
+        for k in keys:
+            locs = d.graph.striped_neighbors(k)
+            for loc in locs:
+                for it in d.buckets.peek(loc):
+                    if it[0] == k:
+                        out[k] = loc
+        return out
+
+    def btree_locations(bt, keys):
+        out = {}
+        stack = [bt.root]
+        while stack:
+            node_id = stack.pop()
+            kind, entries = bt._peek_node(node_id)
+            if kind == "L":
+                for (k2, _v) in entries:
+                    out[k2] = node_id
+            else:
+                stack.extend(entries[0::2])
+        return {k: out[k] for k in keys if k in out}
+
+    _, d, keys = _dict_setup(n=400)
+    before_d = dict_locations(d, keys[:200])
+    _, bt, keys_b = _btree_setup(n=400)
+    before_b = btree_locations(bt, keys_b[:200])
+
+    churn = [k for k in random.Random(5).sample(range(U), 1200)][:400]
+    for k in churn:
+        if k not in set(keys):
+            d.insert(k, None)
+        if k not in set(keys_b):
+            bt.insert(k, None)
+
+    after_d = dict_locations(d, keys[:200])
+    after_b = btree_locations(bt, keys_b[:200])
+    moved_d = sum(1 for k in before_d if after_d.get(k) != before_d[k])
+    moved_b = sum(1 for k in before_b if after_b.get(k) != before_b[k])
+
+    table = render_table(
+        ["structure", "tracked keys", "moved after 400 inserts"],
+        [
+            ["S4.1 dictionary", len(before_d), moved_d],
+            ["B-tree", len(before_b), moved_b],
+        ],
+    )
+    save_table("concurrency_stability", table)
+    assert moved_d == 0  # "no piece of data is ever moved, once inserted"
+    assert moved_b > 0  # splits relocate records
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_parallel_instances_batching(benchmark, save_table):
+    """Section 4: c insertions in the parallel I/Os of one insertion."""
+
+    def factory(i):
+        machine = ParallelDiskMachine(16, 32)
+        return BasicDictionary(
+            machine, universe_size=U, capacity=400, degree=16, seed=60 + i
+        )
+
+    rows = []
+    for c in (1, 2, 4, 8):
+        multi = MultiInstanceDictionary(factory, instances=c)
+        cost = multi.insert_batch([(k, None) for k in range(c)])
+        rows.append([c, cost.total_ios, cost.read_ios, cost.write_ios])
+        assert cost.total_ios == 2  # one insert's worth, regardless of c
+    table = render_table(
+        ["batch size c", "batch I/Os", "reads", "writes"], rows
+    )
+    save_table("concurrency_batching", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""Section 5 / Theorem 12 — the semi-explicit expander construction.
+
+Regenerated claims:
+
+* degree ``polylog(u)`` — orders of magnitude below tabulating the
+  universe, and far below Ta-Shma's ``2^{(log log u)^{O(1)}}`` blow-up at
+  these sizes;
+* right part ``O(N d)``;
+* internal memory ``O(N^beta)``-regime advice, traded for explicitness;
+* composed error ``1 - (1 - eps')^k`` (Lemma 10/11), certified by sampling;
+* trivial striping multiplies the right part by exactly ``d`` (the PDM
+  adaptation), while the parallel-disk-head model needs no blow-up.
+
+Output: ``benchmarks/results/expander_semi_explicit.txt``.
+"""
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.expanders.semi_explicit import SemiExplicitExpander
+from repro.expanders.striping import TriviallyStripedExpander
+from repro.expanders.telescope import TelescopeProduct
+from repro.expanders.verify import verify_expansion_sampled
+
+
+def test_semi_explicit_u_sweep(benchmark, save_table):
+    rows = []
+    for log_u in (14, 17, 20):
+        u = 1 << log_u
+        se = SemiExplicitExpander.build(
+            u=u, N=4, eps=0.5, beta=0.5, seed=3, certify_trials=60
+        )
+        report = verify_expansion_sampled(
+            se.expander, 4, se.composed_eps, trials=30, seed=1
+        )
+        rows.append(
+            [
+                f"2^{log_u}",
+                len(se.stages),
+                se.degree,
+                se.right_size,
+                se.memory_words,
+                f"{se.composed_eps:.3f}",
+                "yes" if report.is_expander else "NO",
+            ]
+        )
+        assert report.is_expander
+        # polylog degree: far below any constant root of u.
+        assert se.degree < u ** 0.5
+        # Memory far below tabulating the universe (u * d words).
+        assert se.memory_words < u * se.degree / 10
+    table = render_table(
+        ["u", "stages", "degree", "right size", "memory words",
+         "composed eps", "certified"],
+        rows,
+    )
+    save_table("expander_semi_explicit", table)
+    benchmark.pedantic(
+        lambda: SemiExplicitExpander.build(
+            u=1 << 14, N=4, eps=0.5, beta=0.5, seed=3, certify=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_telescope_error_composition(benchmark, save_table):
+    """Lemma 10: the measured expansion of the composition is consistent
+    with 1 - prod(1 - eps_i)."""
+    se = SemiExplicitExpander.build(
+        u=1 << 18, N=4, eps=0.5, beta=0.5, seed=7, certify_trials=60
+    )
+    stage_eps = [s.eps for s in se.stages]
+    predicted = TelescopeProduct.composed_eps(stage_eps)
+    report = verify_expansion_sampled(
+        se.expander, 4, predicted, trials=40, seed=2
+    )
+    rows = [[f"{e:.3f}" for e in stage_eps] + [f"{predicted:.3f}",
+            f"{report.worst_ratio:.3f}"]]
+    table = render_table(
+        [f"eps_{i}" for i in range(len(stage_eps))]
+        + ["composed", "worst measured ratio"],
+        rows,
+    )
+    save_table("expander_telescope", table)
+    assert report.is_expander
+    assert report.worst_ratio >= 1 - predicted
+    benchmark.pedantic(lambda: se.expander.neighbors(12345), rounds=5,
+                       iterations=1)
+
+
+def test_striping_blowup_is_exactly_d(benchmark, save_table):
+    se = SemiExplicitExpander.build(
+        u=1 << 16, N=4, eps=0.5, beta=0.5, seed=9, certify=False
+    )
+    striped = TriviallyStripedExpander(se.expander)
+    table = render_table(
+        ["model", "right size", "space factor"],
+        [
+            ["parallel disk head (no striping)", se.right_size, 1],
+            ["parallel disk (trivially striped)", striped.right_size,
+             striped.space_blowup],
+        ],
+    )
+    save_table("expander_striping", table)
+    assert striped.right_size == se.right_size * se.degree
+    benchmark.pedantic(lambda: striped.striped_neighbors(1), rounds=5,
+                       iterations=1)

@@ -1,0 +1,83 @@
+"""The sort(n) substrate — external mergesort I/Os vs the textbook bound.
+
+Theorem 6 prices its construction in units of ``sort(nd)``; this benchmark
+validates the unit: measured mergesort I/Os track
+``Theta((n / DB) log_{M/B}(n / B))`` across n, D and M sweeps and stay
+below the closed-form bound of :mod:`repro.extsort.analysis`.
+
+Output: ``benchmarks/results/extsort.txt``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.extsort import (
+    ExternalRecordArray,
+    external_merge_sort,
+    sort_ios_bound,
+)
+from repro.pdm.machine import ParallelDiskMachine
+
+
+def _sort_run(n, disks, block_items, mem_blocks, seed=0):
+    machine = ParallelDiskMachine(disks, block_items)
+    arr = ExternalRecordArray(machine, record_bits=64)
+    rng = random.Random(seed)
+    arr.extend(rng.randrange(1 << 40) for _ in range(n))
+    mem = mem_blocks * arr.records_per_block
+    out, report = external_merge_sort(machine, arr, memory_records=mem)
+    bound = sort_ios_bound(n, arr.records_per_block, disks, mem)
+    return report, bound
+
+
+def test_extsort_n_sweep(benchmark, save_table):
+    rows = []
+    for n in (1_000, 4_000, 16_000):
+        report, bound = _sort_run(n, disks=8, block_items=16, mem_blocks=32)
+        rows.append(
+            [n, report.runs_formed, report.merge_passes,
+             report.cost.total_ios, bound]
+        )
+        assert report.cost.total_ios <= bound
+    table = render_table(
+        ["n", "runs", "merge passes", "measured I/Os", "bound"], rows
+    )
+    save_table("extsort_n", table)
+    benchmark.pedantic(
+        lambda: _sort_run(2_000, 8, 16, 32), rounds=1, iterations=1
+    )
+
+
+def test_extsort_parallelism_speedup(benchmark, save_table):
+    """Doubling D should roughly halve the I/O rounds (striping works)."""
+    rows = []
+    ios = {}
+    for disks in (2, 4, 8, 16):
+        report, _ = _sort_run(8_000, disks, 16, mem_blocks=32)
+        ios[disks] = report.cost.total_ios
+        rows.append([disks, report.cost.total_ios])
+    table = render_table(["disks", "sort I/Os"], rows)
+    save_table("extsort_disks", table)
+    assert ios[16] < ios[2] / 4  # at least 4x from 8x the disks
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_extsort_memory_tradeoff(benchmark, save_table):
+    """More internal memory -> larger fan-in -> fewer passes."""
+    rows = []
+    passes = {}
+    for mem_blocks in (16, 64, 512):
+        report, _ = _sort_run(30_000, 8, 16, mem_blocks)
+        passes[mem_blocks] = report.merge_passes
+        rows.append(
+            [mem_blocks, report.fan_in, report.merge_passes,
+             report.cost.total_ios]
+        )
+    table = render_table(
+        ["memory (blocks)", "fan-in", "merge passes", "I/Os"], rows
+    )
+    save_table("extsort_memory", table)
+    assert passes[512] <= passes[16]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""Large-scale run — the paper's hardware context, simulated.
+
+Section 1 cites the Hitachi TagmaStore USP1100 ("up to 1152 disks, storing
+up to 32 petabytes") as the kind of array the results target.  This
+benchmark runs the structures at the biggest geometry the simulator
+comfortably holds in a test run — a 64-bit key universe, ``D = d = 128``
+disks (the paper's ``2 ceil(log2 u)`` for ``u = 2^64``), tens of thousands
+of keys — and checks the guarantees are scale-invariant:
+
+* §4.1: lookups exactly 1 I/O, updates exactly 2, at n = 50k;
+* §4.3: misses 1, hits ``1+ɛ``, inserts ``2+ɛ``, worst cases constant;
+* utilization: striped probes keep the full array busy.
+
+Output: ``benchmarks/results/large_scale.txt``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U64 = 1 << 64
+DEGREE = 128  # 2 * log2(2^64)
+
+
+def test_large_scale_basic(benchmark, save_table):
+    n = 50_000
+    machine = ParallelDiskMachine(DEGREE, 64)
+    d = BasicDictionary(
+        machine, universe_size=U64, capacity=n, degree=DEGREE, seed=1
+    )
+    rng = random.Random(1)
+    keys = [rng.randrange(U64) for _ in range(n)]
+    worst_ins = 0
+    for k in keys:
+        worst_ins = max(worst_ins, d.insert(k, None).total_ios)
+    sample = rng.sample(keys, 2000)
+    # Read utilization of the probe phase alone: striped lookups should
+    # keep every disk busy every round (writes touch one block by design).
+    probe_snap = machine.stats.snapshot()
+    worst_lkp = max(d.lookup(k).cost.total_ios for k in sample)
+    miss_worst = max(
+        d.lookup(rng.randrange(U64)).cost.total_ios for _ in range(500)
+    )
+    probe_stats = machine.stats.since(probe_snap)
+    util = probe_stats.blocks_read / (probe_stats.read_ios * machine.D)
+    rows = [
+        ["universe", "2^64"],
+        ["disks = degree", DEGREE],
+        ["keys stored", len(d)],
+        ["worst insert I/Os", worst_ins],
+        ["worst hit I/Os", worst_lkp],
+        ["worst miss I/Os", miss_worst],
+        ["max bucket load", d.current_max_load()],
+        ["probe read utilization", f"{util:.3f}"],
+    ]
+    table = render_table(["metric", "value"], rows)
+    save_table("large_scale", table)
+    assert worst_ins == 2 and worst_lkp == 1 and miss_worst == 1
+    assert util > 0.9  # striping keeps nearly every disk busy every round
+    benchmark.pedantic(lambda: d.lookup(keys[0]), rounds=5, iterations=1)
+
+
+def test_large_scale_dynamic(benchmark, save_table):
+    n = 8_000
+    machine = ParallelDiskMachine(2 * DEGREE, 64)
+    d = DynamicDictionary(
+        machine, universe_size=U64, capacity=n, sigma=64, degree=DEGREE,
+        seed=2,
+    )
+    rng = random.Random(2)
+    ref = {}
+    while len(ref) < n:
+        k = rng.randrange(U64)
+        v = rng.randrange(1 << 64)
+        d.insert(k, v)
+        ref[k] = v
+    sample = rng.sample(list(ref), 1500)
+    hits = [d.lookup(k).cost.total_ios for k in sample]
+    misses = [
+        d.lookup(rng.randrange(U64)).cost.total_ios for _ in range(400)
+    ]
+    rows = [
+        ["keys stored", n],
+        ["avg hit I/Os", f"{sum(hits) / len(hits):.4f}"],
+        ["worst hit I/Os", max(hits)],
+        ["avg miss I/Os", f"{sum(misses) / len(misses):.4f}"],
+        ["avg insert I/Os", f"{d.stats.avg_insert_ios:.4f}"],
+        ["levels", d.num_levels],
+    ]
+    table = render_table(["metric", "value"], rows)
+    save_table("large_scale_dynamic", table)
+    assert max(misses) == 1
+    assert sum(hits) / len(hits) <= 1.1
+    assert d.stats.avg_insert_ios <= 2.1
+    benchmark.pedantic(lambda: d.lookup(sample[0]), rounds=5, iterations=1)

@@ -1,0 +1,92 @@
+"""Lemma 3 — deterministic load balancing: max load vs the bound.
+
+Paper claim: greedy d-choice over a (d, eps, delta)-expander yields maximum
+load at most ``kn/((1-delta)v) + log_{(1-eps)d/k} v``.  The sweep varies
+n (light -> heavily loaded), k, and d; for every cell the measured maximum
+must sit below the bound — and, per the balanced-allocations literature the
+paper derandomizes, far below the 1-choice maximum.
+
+Output table: ``benchmarks/results/lemma3_load.txt``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.load_balancer import DChoiceLoadBalancer, lemma3_bound
+from repro.expanders.random_graph import SeededRandomExpander
+
+U = 1 << 20
+
+
+def _run_cell(n, d, stripe, k, seed=0):
+    graph = SeededRandomExpander(
+        left_size=U, degree=d, stripe_size=stripe, seed=seed
+    )
+    balancer = DChoiceLoadBalancer(graph, k=k)
+    xs = random.Random(seed).sample(range(U), n)
+    report = balancer.place_all(xs)
+    bound = lemma3_bound(
+        n=n, v=graph.right_size, k=k, d=d, eps=1 / 12, delta=0.5
+    )
+    return report, bound
+
+
+SWEEP = [
+    # (n, d, stripe, k) — light, moderate, heavy, multi-item, high degree
+    (1_000, 12, 512, 1),
+    (5_000, 12, 512, 1),
+    (20_000, 12, 512, 1),
+    (60_000, 12, 512, 1),
+    (10_000, 16, 256, 4),
+    (10_000, 32, 256, 1),
+]
+
+
+def test_lemma3_sweep(benchmark, save_table):
+    rows = []
+    for (n, d, stripe, k) in SWEEP:
+        report, bound = _run_cell(n, d, stripe, k)
+        rows.append(
+            [
+                n,
+                d,
+                d * stripe,
+                k,
+                f"{report.avg_load:.2f}",
+                report.max_load,
+                f"{bound:.2f}",
+                "OK" if report.max_load <= bound else "VIOLATED",
+            ]
+        )
+        assert report.max_load <= bound
+    table = render_table(
+        ["n", "d", "v", "k", "avg load", "max load", "Lemma3 bound", "check"],
+        rows,
+    )
+    save_table("lemma3_load", table)
+    # Time one representative cell.
+    benchmark.pedantic(
+        lambda: _run_cell(5_000, 12, 512, 1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["sweep"] = [list(map(str, r)) for r in rows]
+
+
+def test_lemma3_heavily_loaded_additive_gap(benchmark, save_table):
+    """Berenbrink et al.'s heavily loaded case, derandomized: the gap
+    max - average stays O(log v) as n grows with v fixed."""
+    rows = []
+    gaps = []
+    for n in (2_000, 8_000, 32_000, 128_000):
+        report, _ = _run_cell(n, 12, 128, 1, seed=3)
+        gap = report.max_load - report.avg_load
+        gaps.append(gap)
+        rows.append([n, f"{report.avg_load:.2f}", report.max_load, f"{gap:.2f}"])
+    table = render_table(["n", "avg", "max", "gap"], rows)
+    save_table("lemma3_heavy", table)
+    # The gap must not grow with the load (additive, not multiplicative).
+    assert max(gaps) <= gaps[0] + 4
+    benchmark.pedantic(
+        lambda: _run_cell(8_000, 12, 128, 1, seed=3), rounds=1, iterations=1
+    )

@@ -1,0 +1,132 @@
+"""Scaling curves — the "figure" view of Figure 1.
+
+Two series the paper's argument rests on:
+
+1. **I/O vs n**: the B-tree's lookup cost grows as ``Theta(log_BD n)``
+   while every dictionary row stays flat at ~1 — the asymptotic separation
+   of Section 1 plotted as measured points;
+2. **I/O vs D (randomness-for-parallelism)**: at fixed universe size, the
+   deterministic structures need ``D = Omega(log u)`` disks to exist at all
+   (the expander degree); hashing works at any D.  The sweep shows the
+   trade the title announces: spend parallelism, drop randomness.
+
+Outputs: ``benchmarks/results/scaling_*.txt``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.btree import BTreeDictionary
+from repro.core.basic_dict import BasicDictionary
+from repro.core.interface import CapacityExceeded
+from repro.hashing import StripedHashTable
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 22
+
+
+def test_scaling_io_vs_n(benchmark, save_table):
+    rows = []
+    dict_curve = []
+    btree_curve = []
+    for n in (500, 4_000, 32_000, 130_000):
+        probes = random.Random(n).sample(range(U), 300)
+
+        machine_b = ParallelDiskMachine(8, 4)
+        btree = BTreeDictionary(machine_b, universe_size=U, capacity=n)
+        machine_d = ParallelDiskMachine(8, 4)
+        d = BasicDictionary(
+            machine_d, universe_size=U, capacity=n, degree=8,
+            bucket_capacity=12, seed=1,
+        )
+        keys = random.Random(n + 1).sample(range(U), n)
+        for k in keys:
+            btree.insert(k, None)
+            d.insert(k, None)
+        sample = random.Random(2).sample(keys, 300)
+        btree_ios = sum(
+            btree.lookup(k).cost.total_ios for k in sample
+        ) / 300
+        dict_ios = sum(d.lookup(k).cost.total_ios for k in sample) / 300
+        dict_curve.append(dict_ios)
+        btree_curve.append(btree_ios)
+        rows.append([n, f"{btree_ios:.2f}", f"{dict_ios:.2f}"])
+    table = render_table(
+        ["n", "B-tree lookup I/Os", "S4.1 lookup I/Os"], rows
+    )
+    save_table("scaling_n", table)
+    # B-tree grows with n; the dictionary does not.
+    assert btree_curve[-1] > btree_curve[0]
+    assert max(dict_curve) == min(dict_curve)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_scaling_io_vs_disks(benchmark, save_table):
+    """The randomness/parallelism trade: how each family uses more disks."""
+    n = 2000
+    rows = []
+    for D in (2, 4, 8, 16, 32):
+        keys = random.Random(3).sample(range(U), n)
+
+        # Hashing: works at any D; more disks -> bigger superblocks.
+        machine_h = ParallelDiskMachine(D, 8)
+        table_h = StripedHashTable(
+            machine_h, universe_size=U, capacity=n, seed=3
+        )
+        for k in keys:
+            table_h.insert(k, None)
+        h_ios = sum(
+            table_h.lookup(k).cost.total_ios for k in keys[:200]
+        ) / 200
+
+        # Deterministic: needs degree <= D; small D forces a small degree
+        # whose load balancing needs deep (multi-block) buckets or fails.
+        try:
+            machine_d = ParallelDiskMachine(D, 8)
+            d = BasicDictionary(
+                machine_d, universe_size=U, capacity=n, degree=D,
+                seed=3,
+            )
+            for k in keys:
+                d.insert(k, None)
+            det = (
+                f"{sum(d.lookup(k).cost.total_ios for k in keys[:200]) / 200:.2f}"
+            )
+        except CapacityExceeded:
+            det = "infeasible"
+        rows.append([D, f"{h_ios:.2f}", det])
+    table = render_table(
+        ["disks D", "hashing lookup I/Os", "S4.1 lookup I/Os"], rows
+    )
+    save_table("scaling_disks", table)
+    # At D >= ~log u the deterministic structure matches hashing.
+    assert rows[-1][2] != "infeasible"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_pointer_indirection_bandwidth(benchmark, save_table):
+    """Section 1.1's pointer trick: any dictionary serves B*D-item payloads
+    at its native cost + exactly one extra I/O."""
+    from repro.core.pointer_store import PointerStore
+
+    degree, B = 16, 32
+    index = BasicDictionary(
+        ParallelDiskMachine(degree, B), universe_size=U, capacity=64,
+        degree=degree, seed=5,
+    )
+    store = PointerStore(
+        index, ParallelDiskMachine(degree, B), capacity=64
+    )
+    payload = list(range(store.payload_capacity_items))
+    for k in range(32):
+        store.insert(k, payload)
+    costs = [store.lookup(k).cost.total_ios for k in range(32)]
+    table = render_table(
+        ["payload items", "lookup I/Os (index + payload)", "wc"],
+        [[len(payload), f"{sum(costs) / len(costs):.2f}", max(costs)]],
+    )
+    save_table("scaling_pointer", table)
+    assert max(costs) == 2  # 1 index probe + 1 payload fetch
+    benchmark.pedantic(lambda: store.lookup(1), rounds=5, iterations=1)

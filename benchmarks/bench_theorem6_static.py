@@ -1,0 +1,189 @@
+"""Theorem 6 — the one-probe static dictionary.
+
+Regenerated claims:
+
+* lookups take exactly **one parallel I/O** in both cases, hit or miss;
+* construction via external sorting costs ``O(sort(nd))`` — the measured
+  I/Os divided by one sort(nd) bound stay a small constant as n grows;
+* space: case (a) ``O(n (log u + sigma))`` bits, case (b)
+  ``O(n log u log n + n sigma)`` bits — per-key bit counts reported;
+* bandwidth: the record size sigma can grow toward ``Theta(BD)`` while
+  lookups remain one probe.
+
+Outputs: ``benchmarks/results/theorem6_*.txt``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.core.static_dict import StaticDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 20
+
+
+def _items(n, sigma, seed=0):
+    rng = random.Random(seed)
+    out = {}
+    while len(out) < n:
+        out[rng.randrange(U)] = rng.randrange(1 << sigma)
+    return out
+
+
+def test_theorem6_one_probe_lookups(benchmark, save_table):
+    rows = []
+    for case in ("a", "b"):
+        for n in (200, 800):
+            sigma = 48
+            degree = 16
+            disks = degree * (2 if case == "a" else 1)
+            machine = ParallelDiskMachine(disks, 32)
+            items = _items(n, sigma, seed=n)
+            d = StaticDictionary.build(
+                machine, items, universe_size=U, sigma=sigma, case=case,
+                degree=degree, seed=n,
+            )
+            hit = [d.lookup(k).cost.total_ios for k in items]
+            rng = random.Random(9)
+            miss = []
+            while len(miss) < 200:
+                probe = rng.randrange(U)
+                if probe not in items:
+                    miss.append(d.lookup(probe).cost.total_ios)
+            per_key_bits = d.space_bits / n
+            rows.append(
+                [case, n, max(hit), max(miss), d.report.rounds,
+                 f"{per_key_bits:.0f}"]
+            )
+            assert max(hit) == 1 and max(miss) == 1
+    table = render_table(
+        ["case", "n", "wc hit I/O", "wc miss I/O", "rounds", "bits/key"],
+        rows,
+    )
+    save_table("theorem6_lookup", table)
+    benchmark.pedantic(
+        lambda: StaticDictionary.build(
+            ParallelDiskMachine(16, 32),
+            _items(200, 48),
+            universe_size=U, sigma=48, case="b", degree=16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_theorem6_construction_is_o_sort_nd(benchmark, save_table):
+    """Construction I/Os / sort(nd) must stay O(1) as n quadruples."""
+    rows = []
+    ratios = []
+    for n in (128, 512, 2048):
+        machine = ParallelDiskMachine(16, 32)
+        items = _items(n, 16, seed=n)
+        d = StaticDictionary.build(
+            machine, items, universe_size=U, sigma=16, case="b",
+            degree=16, seed=n, construction="extsort",
+        )
+        rep = d.external_report
+        ratios.append(rep.ios_per_sort_bound)
+        rows.append(
+            [n, rep.total_ios, rep.sort_nd_bound,
+             f"{rep.ios_per_sort_bound:.2f}", rep.rounds]
+        )
+    table = render_table(
+        ["n", "construction I/Os", "sort(nd) bound", "ratio", "rounds"],
+        rows,
+    )
+    save_table("theorem6_construction", table)
+    # O(sort(nd)): the ratio must not grow with n (allow mild wobble).
+    assert max(ratios) <= 2.5 * min(ratios)
+    assert max(ratios) <= 16
+    benchmark.pedantic(
+        lambda: StaticDictionary.build(
+            ParallelDiskMachine(16, 32),
+            _items(128, 16, seed=1),
+            universe_size=U, sigma=16, case="b", degree=16,
+            construction="extsort",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_construction_cost_comparison(benchmark, save_table):
+    """All construction paths side by side: per-key inserts, batched bulk
+    builds, and the Theorem 6 external-sort procedure."""
+    from repro.core.basic_dict import BasicDictionary
+    from repro.core.dynamic_dict import DynamicDictionary
+
+    n = 600
+    items = _items(n, 32, seed=9)
+    rows = []
+
+    m1 = ParallelDiskMachine(16, 32)
+    incr = BasicDictionary(
+        m1, universe_size=U, capacity=n, degree=16, seed=9
+    )
+    snap = m1.stats.snapshot()
+    for k, v in items.items():
+        incr.insert(k, v)
+    rows.append(["S4.1 per-key inserts", m1.stats.since(snap).total_ios])
+
+    m2 = ParallelDiskMachine(16, 32)
+    bulk = BasicDictionary(
+        m2, universe_size=U, capacity=n, degree=16, seed=9
+    )
+    rows.append(["S4.1 bulk_build", bulk.bulk_build(items).total_ios])
+
+    m3 = ParallelDiskMachine(32, 32)
+    dyn = DynamicDictionary(
+        m3, universe_size=U, capacity=n, sigma=32, degree=16, seed=9
+    )
+    rows.append(["S4.3 bulk_load", dyn.bulk_load(items).total_ios])
+
+    m4 = ParallelDiskMachine(16, 32)
+    ext = StaticDictionary.build(
+        m4, items, universe_size=U, sigma=32, case="b", degree=16,
+        seed=9, construction="extsort",
+    )
+    rows.append(
+        ["S4.2 extsort (Theorem 6)", ext.external_report.total_ios]
+    )
+
+    table = render_table(["construction path", "total parallel I/Os"], rows)
+    save_table("theorem6_construction_paths", table)
+    costs = {name: ios for name, ios in rows}
+    assert costs["S4.1 bulk_build"] < costs["S4.1 per-key inserts"]
+    assert costs["S4.3 bulk_load"] < 2 * n
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_theorem6_bandwidth_sweep(benchmark, save_table):
+    """sigma growing toward Theta(BD) bits while lookups stay one probe."""
+    degree, B = 16, 64
+    item_bits = 64
+    bd_bits = degree * B * item_bits  # full striped-block capacity
+    rows = []
+    for frac, sigma in (
+        ("BD/64", bd_bits // 64),
+        ("BD/16", bd_bits // 16),
+        ("BD/4", bd_bits // 4),
+    ):
+        machine = ParallelDiskMachine(2 * degree, B)
+        items = _items(60, sigma, seed=sigma)
+        d = StaticDictionary.build(
+            machine, items, universe_size=U, sigma=sigma, case="a",
+            degree=degree, seed=3,
+        )
+        costs = [d.lookup(k).cost.total_ios for k in items]
+        ok = all(d.lookup(k).value == v for k, v in list(items.items())[:10])
+        rows.append([frac, sigma, max(costs), "yes" if ok else "NO"])
+        assert max(costs) == 1 and ok
+    table = render_table(
+        ["sigma as frac of BD", "sigma bits", "wc lookup I/Os", "roundtrip"],
+        rows,
+    )
+    save_table("theorem6_bandwidth", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

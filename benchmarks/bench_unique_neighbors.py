@@ -1,0 +1,99 @@
+"""Lemmas 4 and 5 — unique-neighbor quantities, measured vs bounds.
+
+* Lemma 4: ``|Phi(S)| >= (1 - 2 eps) d |S|``;
+* Lemma 5: ``|S'| >= (1 - 2 eps / lambda) |S|`` for
+  ``S' = {x : |Γ(x) ∩ Phi(S)| >= (1 - lambda) d}``;
+* the construction corollary (eps = 1/12, lambda = 1/3): at least half of
+  every set is assignable per round.
+
+``eps`` is measured per set (the actual expansion deficit of that S on the
+seeded graph), so the check is exact, not asymptotic.
+
+Output: ``benchmarks/results/lemma45_unique.txt``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import render_table
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.expanders.verify import (
+    neighbor_set,
+    unique_neighbor_set,
+    well_assignable_subset,
+)
+
+U = 1 << 20
+
+
+def _cell(n, d, stripe, seed):
+    g = SeededRandomExpander(
+        left_size=U, degree=d, stripe_size=stripe, seed=seed
+    )
+    S = random.Random(seed).sample(range(U), n)
+    gamma = len(neighbor_set(g, S))
+    phi = len(unique_neighbor_set(g, S))
+    eps = max(1e-9, 1 - gamma / (d * n))
+    lemma4 = (1 - 2 * eps) * d * n
+    s_prime = len(well_assignable_subset(g, S, 1 / 3))
+    lemma5 = (1 - 2 * eps / (1 / 3)) * n
+    return gamma, phi, eps, lemma4, s_prime, lemma5
+
+
+def test_lemma45_sweep(benchmark, save_table):
+    rows = []
+    for n, d, stripe in (
+        (100, 16, 2048),
+        (500, 16, 2048),
+        (2000, 16, 2048),
+        (500, 24, 2048),
+        (500, 16, 512),   # tighter array -> bigger eps
+    ):
+        gamma, phi, eps, lemma4, s_prime, lemma5 = _cell(n, d, stripe, n + d)
+        rows.append(
+            [
+                n, d, d * stripe,
+                f"{eps:.4f}",
+                phi, f"{lemma4:.0f}",
+                s_prime, f"{max(0.0, lemma5):.0f}",
+            ]
+        )
+        assert phi >= lemma4 - 1e-6
+        assert s_prime >= lemma5 - 1e-6
+    table = render_table(
+        ["n", "d", "v", "eps(meas)", "|Phi(S)|", "Lemma4 bound",
+         "|S'|", "Lemma5 bound"],
+        rows,
+    )
+    save_table("lemma45_unique", table)
+    benchmark.pedantic(
+        lambda: _cell(500, 16, 2048, 1), rounds=1, iterations=1
+    )
+
+
+def test_half_assignable_per_round(benchmark, save_table):
+    """The Theorem 6 recursion engine: with the paper's parameters, each
+    round assigns at least half of what remains — measured across rounds."""
+    g = SeededRandomExpander(
+        left_size=U, degree=16, stripe_size=4 * 600, seed=5
+    )
+    remaining = random.Random(5).sample(range(U), 600)
+    rows = []
+    rnd = 0
+    while remaining and rnd < 10:
+        s_prime = set(well_assignable_subset(g, remaining, 1 / 3))
+        rows.append([rnd, len(remaining), len(s_prime)])
+        assert len(s_prime) >= len(remaining) * 0.5
+        remaining = [x for x in remaining if x not in s_prime]
+        rnd += 1
+    assert not remaining
+    table = render_table(["round", "remaining", "assignable"], rows)
+    save_table("lemma5_rounds", table)
+    benchmark.pedantic(
+        lambda: well_assignable_subset(
+            g, random.Random(1).sample(range(U), 300), 1 / 3
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's quantitative artefacts
+(Figure 1 or a lemma/theorem bound).  Wall-clock timing comes from
+pytest-benchmark; the scientifically meaningful output — parallel-I/O
+counts versus the paper's bounds — is attached as ``extra_info`` and also
+written as a plain-text table under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Write a rendered table under benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        # Also echo to the captured stdout for `pytest -s` users.
+        print(f"\n[{name}]\n{text}")
+
+    return _save

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Why determinism: an adversary against hashing vs against the expander.
+
+Section 1.1: hashing dictionaries "may use n/B^{O(1)} I/Os for a single
+operation in the worst case"; the deterministic structures "give very good
+guarantees on the worst case performance of any operation".
+
+Both attacks, side by side:
+
+* against a hash table, we feed keys that collide under its (known) hash
+  function — probe chains grow with every colliding superblock;
+* against the deterministic dictionary, we mount the strongest analogous
+  attack: greedily choose keys whose expander neighborhoods overlap the
+  most.  Lemma 3's bound quantifies over every subset of the universe, so
+  the attack achieves... nothing.
+
+Run:  python examples/adversarial_demo.py
+"""
+
+import random
+
+from repro.core import BasicDictionary, lemma3_bound
+from repro.hashing import StripedHashTable
+from repro.pdm import ParallelDiskMachine
+from repro.workloads import adversarial_keys_for_hash
+
+U = 1 << 18
+
+
+def attack_hashing() -> None:
+    print("=== attack 1: engineered collisions vs striped hashing ===")
+    machine = ParallelDiskMachine(4, 4)
+    table = StripedHashTable(machine, universe_size=U, capacity=3000, seed=3)
+    superblock = table.table.capacity_items
+    bad = adversarial_keys_for_hash(table.hash, U, superblock * 5)
+    worst = 0
+    for i, key in enumerate(bad):
+        cost = table.insert(key, None).total_ios
+        worst = max(worst, cost)
+        if (i + 1) % superblock == 0:
+            lookup = table.lookup(key).cost.total_ios
+            print(
+                f"  {i + 1:4d} colliding keys: lookup of the last one = "
+                f"{lookup} I/Os, worst insert so far = {worst}"
+            )
+    print("  cost grows linearly in colliders / BD — the hashing worst case\n")
+
+
+def attack_deterministic() -> None:
+    print("=== attack 2: max-overlap key selection vs the expander ===")
+    degree = 12
+    machine = ParallelDiskMachine(degree, 32)
+    d = BasicDictionary(
+        machine, universe_size=U, capacity=800, degree=degree,
+        stripe_size=48, seed=4,
+    )
+    # Greedy adversary: always pick the candidate adding the FEWEST new
+    # buckets (maximal overlap with what is already loaded).
+    rng = random.Random(4)
+    candidates = rng.sample(range(U), 3000)
+    covered = set()
+    chosen = []
+    while len(chosen) < 500:
+        best = min(
+            candidates[:300],
+            key=lambda k: len(set(d.graph.neighbors(k)) - covered),
+        )
+        chosen.append(best)
+        covered.update(d.graph.neighbors(best))
+        candidates.remove(best)
+    worst_insert = max(d.insert(k, None).total_ios for k in chosen)
+    worst_lookup = max(d.lookup(k).cost.total_ios for k in chosen)
+    bound = lemma3_bound(
+        n=500, v=d.num_buckets, k=1, d=degree, eps=1 / 12, delta=0.5
+    )
+    print(f"  500 adversarially-overlapping keys inserted")
+    print(f"  worst insert : {worst_insert} I/Os   (guarantee: 2)")
+    print(f"  worst lookup : {worst_lookup} I/Os   (guarantee: 1)")
+    print(f"  max load     : {d.current_max_load()}  (Lemma 3 bound "
+          f"{bound:.1f})")
+    print(
+        "  the bound holds for EVERY subset of the universe — there is\n"
+        "  nothing for an adversary to learn or exploit."
+    )
+
+
+def main() -> None:
+    attack_hashing()
+    attack_deterministic()
+
+
+if __name__ == "__main__":
+    main()

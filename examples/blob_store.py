@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""A blob store: fat records via pointer indirection (Section 1.1).
+
+"One can always use the dictionary to retrieve a pointer to satellite
+information of size BD, which can then be retrieved in an extra I/O."
+
+This example builds a small document store on that principle: a
+deterministic §4.1 dictionary maps document ids to payload pointers, and a
+payload area of striped superblocks holds the documents themselves — each
+up to a full ``B x D`` items, fetched in exactly one extra parallel I/O.
+Updates rewrite the document in place (the pointer never changes — stable
+references, easy caching), and deletions recycle payload superblocks.
+
+Run:  python examples/blob_store.py
+"""
+
+import random
+
+from repro.core import BasicDictionary, PointerStore
+from repro.pdm import ParallelDiskMachine
+
+UNIVERSE = 1 << 24
+DISKS, BLOCK = 16, 32
+
+
+def make_document(doc_id: int, words: int) -> list:
+    rng = random.Random(doc_id)
+    vocab = ["disk", "model", "parallel", "expander", "deterministic",
+             "dictionary", "lookup", "block", "stripe", "bucket"]
+    return [vocab[rng.randrange(len(vocab))] for _ in range(words)]
+
+
+def main() -> None:
+    index = BasicDictionary(
+        ParallelDiskMachine(DISKS, BLOCK),
+        universe_size=UNIVERSE,
+        capacity=256,
+        degree=DISKS,
+        seed=11,
+    )
+    store = PointerStore(
+        index, ParallelDiskMachine(DISKS, BLOCK), capacity=256
+    )
+    print(
+        f"blob store: payload superblocks of "
+        f"{store.payload_capacity_items} items ({DISKS} disks x {BLOCK})"
+    )
+
+    # Ingest documents of wildly varying size.
+    rng = random.Random(0)
+    docs = {}
+    for doc_id in rng.sample(range(UNIVERSE), 200):
+        words = rng.randrange(1, store.payload_capacity_items)
+        doc = make_document(doc_id, words)
+        store.insert(doc_id, doc)
+        docs[doc_id] = doc
+
+    # Random reads: index probe + payload fetch = 2 parallel I/Os, always.
+    costs = []
+    for doc_id in rng.sample(list(docs), 100):
+        result = store.lookup(doc_id)
+        assert result.value == docs[doc_id]
+        costs.append(result.cost.total_ios)
+    print(f"100 random document reads: {min(costs)}..{max(costs)} I/Os each")
+
+    # In-place update: the pointer (and hence any cached reference) stays.
+    victim = next(iter(docs))
+    pointer_before = store.lookup_pointer(victim).value
+    store.insert(victim, ["rewritten"])
+    assert store.lookup_pointer(victim).value == pointer_before
+    print("document rewritten in place: pointer unchanged "
+          f"(superblock {pointer_before})")
+
+    # Delete and reuse.
+    freed = store.lookup_pointer(victim).value
+    store.delete(victim)
+    new_id = max(docs) + 1 if max(docs) + 1 < UNIVERSE else 0
+    store.insert(new_id, ["recycled"])
+    print(
+        f"deleted doc {victim}; new doc {new_id} reuses superblock "
+        f"{store.lookup_pointer(new_id).value} (freed: {freed})"
+    )
+
+
+if __name__ == "__main__":
+    main()

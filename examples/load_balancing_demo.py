@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Deterministic load balancing (Section 3, Lemma 3), visualised in text.
+
+The greedy d-choice scheme over a fixed expander places kn items into v
+buckets with maximum load at most
+
+    kn / ((1 - delta) v)  +  log_{(1 - eps) d / k} v
+
+— average plus an additive logarithm, for EVERY input, with no randomness at
+placement time.  This demo compares three allocation strategies on the same
+bucket array:
+
+* 1-choice (each item to a fixed pseudo-random bucket),
+* the paper's greedy d-choice over an expander,
+* and the Lemma 3 bound,
+
+then shows the load histogram.
+
+Run:  python examples/load_balancing_demo.py
+"""
+
+import random
+from collections import Counter
+
+from repro.core import DChoiceLoadBalancer, lemma3_bound
+from repro.expanders import SeededRandomExpander
+
+UNIVERSE = 1 << 20
+D = 16
+STRIPE = 512
+N = 20_000
+
+
+def one_choice_max_load(xs, v, seed):
+    rng_free_hash = SeededRandomExpander(
+        left_size=UNIVERSE, degree=1, stripe_size=v, seed=seed
+    )
+    loads = Counter(rng_free_hash.neighbors(x)[0] for x in xs)
+    return max(loads.values())
+
+
+def main() -> None:
+    graph = SeededRandomExpander(
+        left_size=UNIVERSE, degree=D, stripe_size=STRIPE, seed=9
+    )
+    xs = random.Random(0).sample(range(UNIVERSE), N)
+
+    balancer = DChoiceLoadBalancer(graph, k=1)
+    report = balancer.place_all(xs)
+    bound = lemma3_bound(
+        n=N, v=graph.right_size, k=1, d=D, eps=1 / 12, delta=0.5
+    )
+    naive = one_choice_max_load(xs, graph.right_size, seed=77)
+
+    print(f"{N} items into v = {graph.right_size} buckets (d = {D})")
+    print(f"  average load          : {report.avg_load:.2f}")
+    print(f"  1-choice max load     : {naive}")
+    print(f"  d-choice max load     : {report.max_load}")
+    print(f"  Lemma 3 bound         : {bound:.2f}")
+    assert report.max_load <= bound
+
+    print("\nload histogram (d-choice):")
+    hist = balancer.load_histogram()
+    peak = max(hist.values())
+    for load in sorted(hist):
+        bar = "#" * max(1, round(40 * hist[load] / peak))
+        print(f"  load {load:3d}: {hist[load]:6d} {bar}")
+
+    print(
+        "\nThe heavy-loaded-case shape of Berenbrink et al. [3], made "
+        "deterministic:\nall buckets sit within a few units of the average."
+    )
+
+
+if __name__ == "__main__":
+    main()

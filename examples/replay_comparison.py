@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Every structure, one workload: an apples-to-apples replay.
+
+Generates a single mixed insert/delete/lookup trace and drives all seven
+dictionary implementations through it with the shared replay driver
+(verifying every answer against a model), then prints the Figure-1-style
+per-operation I/O summary measured on *this* trace.
+
+Run:  python examples/replay_comparison.py
+"""
+
+from repro.btree import BTreeDictionary
+from repro.core import (
+    BasicDictionary,
+    DynamicDictionary,
+    RecursiveLoadBalancedDictionary,
+)
+from repro.hashing import (
+    CuckooDictionary,
+    DGMPDictionary,
+    FolkloreDictionary,
+    StripedHashTable,
+)
+from repro.pdm import ParallelDiskMachine
+from repro.workloads import Workload, replay
+
+U = 1 << 20
+CAPACITY = 500
+SIGMA = 24
+
+
+def build_all():
+    degree = 16
+    yield "S4.1 basic (det.)", BasicDictionary(
+        ParallelDiskMachine(degree, 32), universe_size=U,
+        capacity=CAPACITY, degree=degree, seed=1,
+    )
+    yield "S4.3 dynamic (det.)", DynamicDictionary(
+        ParallelDiskMachine(2 * degree, 32), universe_size=U,
+        capacity=CAPACITY, sigma=SIGMA, degree=degree, seed=1,
+    )
+    yield "S6 recursive (det.)", RecursiveLoadBalancedDictionary(
+        ParallelDiskMachine(3 * degree, 32), universe_size=U,
+        capacity=CAPACITY, sigma=SIGMA, degree=degree, levels=2, seed=1,
+    )
+    yield "hashing striped", StripedHashTable(
+        ParallelDiskMachine(degree, 32), universe_size=U,
+        capacity=CAPACITY, seed=1,
+    )
+    yield "cuckoo [13]", CuckooDictionary(
+        ParallelDiskMachine(degree, 32), universe_size=U,
+        capacity=CAPACITY, seed=1,
+    )
+    yield "[7] DGMP", DGMPDictionary(
+        ParallelDiskMachine(degree, 32), universe_size=U,
+        capacity=CAPACITY, seed=1,
+    )
+    yield "[7]+trick", FolkloreDictionary(
+        ParallelDiskMachine(degree, 32), universe_size=U,
+        capacity=CAPACITY, seed=1,
+    )
+    yield "B-tree (baseline)", BTreeDictionary(
+        ParallelDiskMachine(degree, 32), universe_size=U,
+        capacity=4 * CAPACITY,
+    )
+
+
+def main() -> None:
+    workload = Workload.generate(
+        universe_size=U,
+        operations=3000,
+        capacity=CAPACITY,
+        value_bits=SIGMA,
+        seed=7,
+    )
+    print(f"replaying {len(workload)} operations on every structure\n")
+    header = (
+        f"{'structure':22}{'hit avg':>9}{'hit wc':>8}{'miss avg':>10}"
+        f"{'ins avg':>9}{'ins wc':>8}{'del avg':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, structure in build_all():
+        summary = replay(structure, workload)
+        print(
+            f"{name:22}"
+            f"{summary.avg('hit'):9.3f}{summary.worst('hit'):8d}"
+            f"{summary.avg('miss'):10.3f}"
+            f"{summary.avg('insert'):9.3f}{summary.worst('insert'):8d}"
+            f"{summary.avg('delete'):9.3f}"
+        )
+    print(
+        "\nSame trace, same verification, same machine geometry per group —"
+        "\nthe deterministic rows match the randomized averages and beat"
+        "\ntheir worst cases (see cuckoo's insert column).  At this small"
+        "\ntrace the B-tree still fits in a root node; its height shows up"
+        "\nat scale (see benchmarks/results/scaling_n.txt: 3 -> 5 I/Os)."
+    )
+
+
+if __name__ == "__main__":
+    main()

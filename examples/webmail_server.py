@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Webmail server scenario (Section 1.2): skewed random access, real-time
+guarantees, and why determinism matters.
+
+Web servers "retrieve small quantities of information at a time, typically
+fitting within a block, but from a very large data set, in a highly random
+fashion (depending on the desires of an arbitrary set of users)".  Crucially
+the paper argues the file system "often needs to offer a real-time
+guarantee... which essentially prohibits randomized solutions, as well as
+amortized bounds".
+
+This example drives a Zipf-skewed request mix (reads + mailbox updates)
+through the deterministic Section 4.3 dictionary and through cuckoo hashing,
+then compares not the averages (both are fine) but the *tail*: the worst
+single operation each user ever experiences.
+
+Run:  python examples/webmail_server.py
+"""
+
+import random
+
+from repro.core import DynamicDictionary
+from repro.hashing import CuckooDictionary
+from repro.pdm import ParallelDiskMachine
+from repro.workloads import uniform_keys, zipf_accesses
+
+UNIVERSE = 1 << 22
+MAILBOXES = 1200
+REQUESTS = 4000
+SIGMA = 96  # a mailbox summary record
+
+
+def percentile(values, q):
+    values = sorted(values)
+    return values[min(len(values) - 1, int(q * len(values)))]
+
+
+def run(dictionary, inserts, requests, *, is_dynamic):
+    op_costs = []
+    stored = {}
+    for key in inserts:
+        value = key % (1 << SIGMA) if is_dynamic else ("mail", key)
+        op_costs.append(dictionary.insert(key, value).total_ios)
+        stored[key] = value
+    rng = random.Random(5)
+    for key in requests:
+        if rng.random() < 0.8:  # read mailbox
+            result = dictionary.lookup(key)
+            assert result.found
+            op_costs.append(result.cost.total_ios)
+        else:  # new message: update the record
+            value = (
+                rng.randrange(1 << SIGMA)
+                if is_dynamic
+                else ("mail", rng.randrange(1 << 30))
+            )
+            op_costs.append(dictionary.insert(key, value).total_ios)
+    return op_costs
+
+
+def main() -> None:
+    mailboxes = uniform_keys(UNIVERSE, MAILBOXES, seed=1)
+    requests = zipf_accesses(mailboxes, REQUESTS, s=1.2, seed=2)
+
+    det = DynamicDictionary(
+        ParallelDiskMachine(48, 32),
+        universe_size=UNIVERSE,
+        capacity=MAILBOXES,
+        sigma=SIGMA,
+        degree=24,
+        seed=3,
+    )
+    det_costs = run(det, mailboxes, requests, is_dynamic=True)
+
+    cuckoo = CuckooDictionary(
+        ParallelDiskMachine(48, 32),
+        universe_size=UNIVERSE,
+        capacity=MAILBOXES,
+        load_slack=2.1,  # a realistic memory budget
+        seed=3,
+    )
+    cuckoo_costs = run(cuckoo, mailboxes, requests, is_dynamic=False)
+
+    print(f"{REQUESTS} Zipf-skewed requests over {MAILBOXES} mailboxes\n")
+    header = f"{'':24}{'avg':>8}{'p99':>8}{'worst':>8}"
+    print(header)
+    for name, costs in (
+        ("deterministic S4.3", det_costs),
+        ("cuckoo hashing [13]", cuckoo_costs),
+    ):
+        print(
+            f"{name:24}{sum(costs) / len(costs):8.3f}"
+            f"{percentile(costs, 0.99):8d}{max(costs):8d}"
+        )
+    print(
+        "\nAverages are comparable — the deterministic structure wins on the"
+        "\ntail, which is exactly the real-time-guarantee argument of the"
+        "\npaper: no eviction walks, no rehashes, no amortization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot paths (per the optimization-workflow guide:
+no optimization without measuring).
+
+Runs a representative §4.3 workload under cProfile and prints the top
+functions by cumulative time.  Use it before touching anything for speed —
+historically the profile is dominated by expander neighbor evaluation and
+block bookkeeping, both already O(1) per probe.
+
+    python scripts/profile_simulation.py [ops]
+"""
+
+import cProfile
+import pstats
+import random
+import sys
+
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 20
+
+
+def workload(ops: int) -> None:
+    machine = ParallelDiskMachine(32, 32)
+    d = DynamicDictionary(
+        machine, universe_size=U, capacity=ops, sigma=48, degree=16, seed=1
+    )
+    rng = random.Random(1)
+    keys = []
+    for _ in range(ops):
+        k = rng.randrange(U)
+        d.insert(k, rng.randrange(1 << 48))
+        keys.append(k)
+    for k in keys:
+        d.lookup(k)
+    for _ in range(ops // 2):
+        d.lookup(rng.randrange(U))
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload(ops)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print(f"== top functions for {ops} inserts + {ops * 1.5:.0f} lookups ==")
+    stats.print_stats(18)
+
+
+if __name__ == "__main__":
+    main()

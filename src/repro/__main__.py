@@ -1,0 +1,55 @@
+"""Command-line entry point: regenerate the paper's Figure 1.
+
+    python -m repro [--n N] [--degree D] [--block B] [--lookups L] [--seed S]
+
+Prints the comparison table of linear-space constant-time dictionaries —
+paper bounds next to I/O counts measured on the simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.figure1 import figure1_text, run_figure1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate Figure 1 of 'Deterministic load balancing and "
+            "dictionaries in the parallel disk model' (SPAA 2006)."
+        ),
+    )
+    parser.add_argument("--n", type=int, default=512, help="keys stored")
+    parser.add_argument(
+        "--degree", type=int, default=20, help="expander degree d (= disks)"
+    )
+    parser.add_argument(
+        "--block", type=int, default=32, help="block capacity B in items"
+    )
+    parser.add_argument(
+        "--lookups", type=int, default=1000, help="lookup mix size"
+    )
+    parser.add_argument("--sigma", type=int, default=48, help="record bits")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-btree", action="store_true", help="omit the B-tree context row"
+    )
+    args = parser.parse_args(argv)
+
+    rows = run_figure1(
+        n=args.n,
+        degree=args.degree,
+        block_items=args.block,
+        lookups=args.lookups,
+        sigma=args.sigma,
+        seed=args.seed,
+        include_btree=not args.no_btree,
+    )
+    print(figure1_text(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

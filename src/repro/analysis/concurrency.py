@@ -1,0 +1,83 @@
+"""Concurrency-friendliness analysis (Section 1.1's claims).
+
+The paper highlights three properties that make its dictionaries "suitable
+for an environment with many concurrent lookups and updates":
+
+1. no index structure / central directory — operations go straight to the
+   relevant blocks;
+2. fixed capacity + no deletions => no piece of data ever moves once
+   inserted (stable references);
+3. small, disjoint write footprints simplify locking.
+
+This module quantifies (3) and supports measuring (1)–(2): using the
+machine tracer it captures each operation's read/write *footprint* (the
+block set a lock manager would have to latch) and computes pairwise
+conflict rates between concurrent operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Set, Tuple
+
+from repro.pdm.trace import TraceRecorder, attach, detach
+
+Addr = Tuple[int, int]
+
+
+def footprint_of(machine, operation: Callable[[], object]) -> Tuple[
+    Set[Addr], Set[Addr]
+]:
+    """Run ``operation`` under tracing; return (read set, write set)."""
+    recorder = attach(machine)
+    try:
+        operation()
+    finally:
+        detach(machine)
+    return recorder.read_footprint(), recorder.write_footprint()
+
+
+def footprints(
+    machine, operations: Sequence[Callable[[], object]]
+) -> List[Tuple[Set[Addr], Set[Addr]]]:
+    return [footprint_of(machine, op) for op in operations]
+
+
+def conflict_rate(
+    prints: Sequence[Tuple[Set[Addr], Set[Addr]]],
+    *,
+    mode: str = "write-write",
+) -> float:
+    """Fraction of operation pairs whose footprints conflict.
+
+    ``mode``: ``"write-write"`` (two writers latch the same block) or
+    ``"read-write"`` (a reader would block behind a writer too).
+    """
+    if mode not in ("write-write", "read-write"):
+        raise ValueError(f"unknown mode {mode!r}")
+    n = len(prints)
+    if n < 2:
+        return 0.0
+    conflicts = 0
+    pairs = 0
+    for i in range(n):
+        ri, wi = prints[i]
+        for j in range(i + 1, n):
+            rj, wj = prints[j]
+            pairs += 1
+            if wi & wj:
+                conflicts += 1
+            elif mode == "read-write" and ((wi & rj) or (wj & ri)):
+                conflicts += 1
+    return conflicts / pairs
+
+
+def max_block_contention(
+    prints: Sequence[Tuple[Set[Addr], Set[Addr]]]
+) -> int:
+    """The hottest block: how many of the traced operations write it.
+    A central directory (e.g. a B-tree root) shows up here immediately."""
+    counts: dict = {}
+    for _reads, writes in prints:
+        for addr in writes:
+            counts[addr] = counts.get(addr, 0) + 1
+    return max(counts.values()) if counts else 0

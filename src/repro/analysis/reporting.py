@@ -1,0 +1,28 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Align columns; floats are shown with three decimals."""
+
+    def fmt(cell: Any) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+
+    def line(cells: Sequence[str]) -> str:
+        return sep.join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,37 @@
+"""Bit vectors and codecs.
+
+Theorem 6(a) of the paper packs, into each field of the retrieval array,
+*unary-coded relative pointers* followed by a 0-bit separator and then raw
+record data ("the fraction of an array field dedicated to pointer data will
+vary among fields").  Reproducing the space bound honestly requires doing
+this at the bit level; this package supplies the machinery:
+
+* :class:`~repro.bits.bitvector.BitVector` — an immutable bit string.
+* :class:`~repro.bits.bitvector.BitReader` — sequential parsing.
+* :mod:`~repro.bits.unary` — the unary code for pointer deltas.
+* :mod:`~repro.bits.fields` — the field-chain codec: splitting a record
+  across the fields assigned to a key, and reassembling it from the head
+  pointer.
+"""
+
+from repro.bits.bitvector import BitVector, BitReader
+from repro.bits.unary import encode_unary, decode_unary
+from repro.bits.fields import (
+    ChainCapacityError,
+    chain_capacity_bits,
+    encode_chain,
+    decode_chain,
+    required_field_bits,
+)
+
+__all__ = [
+    "BitVector",
+    "BitReader",
+    "encode_unary",
+    "decode_unary",
+    "ChainCapacityError",
+    "chain_capacity_bits",
+    "encode_chain",
+    "decode_chain",
+    "required_field_bits",
+]

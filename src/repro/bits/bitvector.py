@@ -1,0 +1,166 @@
+"""Immutable bit strings with explicit length, plus a sequential reader.
+
+Bits are indexed 0 (most significant / first) to ``len - 1`` (last), i.e. a
+:class:`BitVector` reads left to right like the paper's field diagrams.
+Internally the bits live in a Python ``int`` — arbitrary precision, compact,
+and fast to slice with shifts and masks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class BitVector:
+    """An immutable sequence of bits."""
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, bits: Iterable[int] | str = ()):
+        value = 0
+        length = 0
+        for b in bits:
+            if isinstance(b, str):
+                if b not in "01":
+                    raise ValueError(f"invalid bit character {b!r}")
+                bit = b == "1"
+            else:
+                if b not in (0, 1, False, True):
+                    raise ValueError(f"invalid bit value {b!r}")
+                bit = bool(b)
+            value = (value << 1) | bit
+            length += 1
+        self._value = value
+        self._length = length
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def _raw(cls, value: int, length: int) -> "BitVector":
+        out = object.__new__(cls)
+        out._value = value
+        out._length = length
+        return out
+
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "BitVector":
+        """Big-endian fixed-width encoding of a non-negative integer."""
+        if value < 0:
+            raise ValueError(f"cannot encode negative value {value}")
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        if value >> length:
+            raise ValueError(f"value {value} does not fit in {length} bits")
+        return cls._raw(value, length)
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        return cls._raw(0, length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        return cls._raw((1 << length) - 1, length)
+
+    # -- accessors -------------------------------------------------------------
+
+    def to_int(self) -> int:
+        """The big-endian integer value of the bit string."""
+        return self._value
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step != 1:
+                raise ValueError("BitVector slices must have step 1")
+            if stop <= start:
+                return BitVector._raw(0, 0)
+            width = stop - start
+            shift = self._length - stop
+            return BitVector._raw((self._value >> shift) & ((1 << width) - 1), width)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit index {index} out of range")
+        return (self._value >> (self._length - 1 - index)) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield (self._value >> (self._length - 1 - i)) & 1
+
+    def __add__(self, other: "BitVector") -> "BitVector":
+        """Concatenation."""
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return BitVector._raw(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    def pad_to(self, length: int) -> "BitVector":
+        """Right-pad with zeros up to ``length`` bits."""
+        if length < self._length:
+            raise ValueError(
+                f"cannot pad a {self._length}-bit vector down to {length} bits"
+            )
+        return BitVector._raw(self._value << (length - self._length), length)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BitVector)
+            and self._value == other._value
+            and self._length == other._length
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __repr__(self) -> str:
+        return f"BitVector('{self.to01()}')"
+
+    def to01(self) -> str:
+        return format(self._value, f"0{self._length}b") if self._length else ""
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitVector`."""
+
+    __slots__ = ("_bits", "pos")
+
+    def __init__(self, bits: BitVector):
+        self._bits = bits
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self.pos
+
+    def read_bit(self) -> int:
+        if self.pos >= len(self._bits):
+            raise EOFError("read past end of bit vector")
+        bit = self._bits[self.pos]
+        self.pos += 1
+        return bit
+
+    def read(self, n: int) -> BitVector:
+        if n < 0:
+            raise ValueError(f"cannot read a negative count ({n})")
+        if self.pos + n > len(self._bits):
+            raise EOFError(
+                f"requested {n} bits but only {self.remaining} remain"
+            )
+        out = self._bits[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def read_int(self, n: int) -> int:
+        return self.read(n).to_int()
+
+    def read_rest(self) -> BitVector:
+        return self.read(self.remaining)

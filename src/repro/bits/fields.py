@@ -1,0 +1,148 @@
+"""The field-chain codec of Theorem 6(a).
+
+A key ``x`` is assigned ``m = ceil(2d/3)`` of its ``d`` neighbors (stripe
+indices ``i_1 < i_2 < ... < i_m``).  Its record of ``sigma`` bits is spread
+over the corresponding fields of the retrieval array ``A`` as a linked list:
+
+* the field at stripe ``i_t`` starts with the unary code of the *relative
+  pointer* ``i_{t+1} - i_t`` (at least 1), then a 0-bit separator is implied
+  by the unary code itself, then record data;
+* the tail field (stripe ``i_m``) starts directly with a 0-bit;
+* record data fills whatever space each field has left, in list order.
+
+The membership sub-dictionary stores the *head pointer* ``i_1`` (``lg d``
+bits) next to the key; decoding walks the chain from there, needing only the
+``d`` fields fetched by the single parallel I/O.
+
+Space sanity (paper): the pointer overhead is ``sum(deltas) + m`` bits
+``<= (d - 1) + m < 2d`` bits per key; with fields of
+``ceil(3*sigma/(2d)) + 4`` bits the total capacity covers ``sigma`` plus the
+overhead.  :func:`required_field_bits` computes the exact minimum for given
+parameters so tests can check the paper's ``+4`` slack suffices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.bits.bitvector import BitReader, BitVector
+from repro.bits.unary import decode_unary, encode_unary
+
+
+class ChainCapacityError(Exception):
+    """The assigned fields cannot hold the record plus pointer overhead."""
+
+
+def chain_capacity_bits(stripe_indices: Sequence[int], field_bits: int) -> int:
+    """Data capacity (in bits) of a chain over the given stripes.
+
+    Each field loses its unary pointer: ``delta + 1`` bits for interior
+    fields, 1 bit for the tail.
+    """
+    indices = list(stripe_indices)
+    if not indices:
+        return 0
+    overhead = 0
+    for prev, nxt in zip(indices, indices[1:]):
+        if nxt <= prev:
+            raise ValueError("stripe indices must be strictly increasing")
+        overhead += (nxt - prev) + 1
+    overhead += 1  # tail separator bit
+    return len(indices) * field_bits - overhead
+
+
+def required_field_bits(sigma: int, m: int, max_span: int) -> int:
+    """Minimum uniform field width so that *any* chain of ``m`` strictly
+    increasing stripes within ``max_span`` stripes (``max_span <= d``) can
+    hold ``sigma`` record bits.
+
+    Two constraints: aggregate capacity (worst-case pointer overhead is
+    ``(max_span - 1) + m`` bits), and — since a field must contain its own
+    unary header — the per-field floor ``max_delta + 2`` where the largest
+    single delta is ``max_span - m + 1`` (one big gap, the rest adjacent).
+    The paper's ``3 sigma / (2d) + 4`` form assumes the large-``sigma``
+    regime where the aggregate term dominates.
+    """
+    if m <= 0:
+        raise ValueError(f"need at least one field, got m={m}")
+    overhead = (max_span - 1) + m
+    aggregate = math.ceil((sigma + overhead) / m)
+    per_field_floor = (max_span - m + 1) + 1
+    return max(aggregate, per_field_floor)
+
+
+def encode_chain(
+    record: BitVector, stripe_indices: Sequence[int], field_bits: int
+) -> Dict[int, BitVector]:
+    """Encode ``record`` across the chain; returns stripe -> field contents.
+
+    Every returned field is exactly ``field_bits`` long (zero-padded), so it
+    can be stored verbatim into a :class:`~repro.pdm.striping.StripedFieldArray`
+    of that width.
+    """
+    indices = list(stripe_indices)
+    if not indices:
+        raise ValueError("a chain needs at least one field")
+    if chain_capacity_bits(indices, field_bits) < len(record):
+        raise ChainCapacityError(
+            f"{len(indices)} fields of {field_bits} bits over stripes "
+            f"{indices} hold {chain_capacity_bits(indices, field_bits)} data "
+            f"bits; record needs {len(record)}"
+        )
+    fields: Dict[int, BitVector] = {}
+    pos = 0
+    for t, stripe in enumerate(indices):
+        if t + 1 < len(indices):
+            header = encode_unary(indices[t + 1] - stripe)
+        else:
+            header = encode_unary(0)  # tail: just the 0-bit
+        room = field_bits - len(header)
+        take = min(room, len(record) - pos)
+        chunk = record[pos : pos + take]
+        pos += take
+        fields[stripe] = (header + chunk).pad_to(field_bits)
+    return fields
+
+
+def decode_chain(
+    fields_by_stripe: Dict[int, BitVector],
+    head: int,
+    field_bits: int,
+    sigma: int,
+    max_stripe: int,
+) -> BitVector:
+    """Walk the chain starting at stripe ``head`` and reassemble the record.
+
+    ``fields_by_stripe`` holds the (at least) visited fields, e.g. all ``d``
+    fields returned by the one parallel I/O.  Raises ``KeyError`` if the walk
+    leaves the provided fields and ``ChainCapacityError`` if fewer than
+    ``sigma`` data bits are recovered.
+    """
+    chunks: List[BitVector] = []
+    stripe = head
+    while True:
+        if stripe >= max_stripe:
+            raise ChainCapacityError(
+                f"chain walked to stripe {stripe}, past the last stripe "
+                f"{max_stripe - 1}"
+            )
+        field = fields_by_stripe[stripe]
+        if field is None or len(field) != field_bits:
+            raise ChainCapacityError(
+                f"field at stripe {stripe} is missing or malformed"
+            )
+        reader = BitReader(field)
+        delta = decode_unary(reader)
+        chunks.append(reader.read_rest())
+        if delta == 0:
+            break
+        stripe += delta
+    record = BitVector()
+    for chunk in chunks:
+        record = record + chunk
+    if len(record) < sigma:
+        raise ChainCapacityError(
+            f"chain yielded {len(record)} data bits; record needs {sigma}"
+        )
+    return record[:sigma]

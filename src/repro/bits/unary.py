@@ -1,0 +1,27 @@
+"""The unary code.
+
+A non-negative integer ``n`` is written as ``n`` 1-bits followed by a
+terminating 0-bit.  The paper uses it for the relative pointers of Theorem
+6(a): stored deltas are at least 1 (neighbor indices strictly increase along
+the chain), so a parsed value of 0 — a field that "just starts with a 0-bit"
+— unambiguously marks the tail of the chain.
+"""
+
+from __future__ import annotations
+
+from repro.bits.bitvector import BitReader, BitVector
+
+
+def encode_unary(n: int) -> BitVector:
+    """``n`` ones followed by a zero; total length ``n + 1`` bits."""
+    if n < 0:
+        raise ValueError(f"cannot unary-encode negative value {n}")
+    return BitVector.ones(n) + BitVector.zeros(1)
+
+
+def decode_unary(reader: BitReader) -> int:
+    """Consume one unary codeword from ``reader`` and return its value."""
+    n = 0
+    while reader.read_bit():
+        n += 1
+    return n

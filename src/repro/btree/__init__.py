@@ -1,0 +1,13 @@
+"""The B-tree baseline (Section 1.2 motivation).
+
+File systems implement associative retrieval through B-tree variants; a
+random block access follows pointers down a tree of fan-out ``B`` (``BD``
+with striping), so "in most settings it takes 3 disk accesses before the
+contents of the block is available".  The paper's dictionaries do it in 1.
+:class:`~repro.btree.btree.BTreeDictionary` measures that gap on the same
+simulator.
+"""
+
+from repro.btree.btree import BTreeDictionary
+
+__all__ = ["BTreeDictionary"]

@@ -1,0 +1,230 @@
+"""A B-tree on the parallel disk model, striped to fan-out ``Theta(BD)``.
+
+Every node is one *superblock* (one block on each disk), so visiting a node
+is one parallel I/O and the fan-out is ``Theta(BD)`` — the best a
+comparison-based index can do with striping.  Query cost is the height,
+``Theta(log_{BD} n)``, against which the paper's O(1)/1-I/O dictionaries are
+benchmarked (Section 1.2's "3 disk accesses vs 1").
+
+A classic insert-with-preemptive-split B-tree; deletions use lazy removal
+from leaves (sufficient for the dictionary workloads benchmarked here).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.interface import Dictionary, LookupResult
+from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.machine import AbstractDiskMachine
+
+# Node payload layout: item 0 is the header tuple ("L"|"I", n_keys); for a
+# leaf the rest are (key, value) pairs; for an internal node, alternating
+# child ids and separator keys: [c0, k0, c1, k1, ..., c_m].
+_LEAF = "L"
+_INTERNAL = "I"
+
+
+class BTreeDictionary(Dictionary):
+    """Striped B-tree with superblock nodes."""
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        universe_size: int,
+        capacity: int,
+        disk_offset: int = 0,
+        max_nodes: Optional[int] = None,
+        fanout: Optional[int] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.machine = machine
+        self.universe_size = universe_size
+        self.capacity = capacity
+        width = machine.num_disks - disk_offset
+        superblock_items = width * machine.block_items
+        # Usable entries per node (minus the header slot).
+        natural = superblock_items - 1
+        self.max_leaf_items = natural if fanout is None else min(fanout, natural)
+        # Internal nodes hold m children + (m-1) separators in `natural`
+        # slots: m <= (natural + 1) // 2.
+        self.max_children = max(3, (natural + 1) // 2)
+        if self.max_leaf_items < 2:
+            raise ValueError("blocks too small for a B-tree node")
+        if max_nodes is None:
+            max_nodes = 16 + 4 * math.ceil(capacity / self.max_leaf_items) * 2
+        self.nodes = SuperblockArray(
+            machine, num_superblocks=max_nodes, disk_offset=disk_offset
+        )
+        self._next_node = 0
+        self.root = self._new_node(_LEAF, [])
+        self.size = 0
+
+    # -- node plumbing -----------------------------------------------------------
+
+    def _new_node(self, kind: str, entries: List[Any]) -> int:
+        node_id = self._next_node
+        self._next_node += 1
+        if node_id >= self.nodes.num_superblocks:
+            raise OverflowError(
+                "node arena exhausted; construct with a larger max_nodes"
+            )
+        self._write_node(node_id, kind, entries)
+        return node_id
+
+    def _write_node(self, node_id: int, kind: str, entries: List[Any]) -> None:
+        self.nodes.write({node_id: [(kind, len(entries))] + entries})
+
+    def _read_node(self, node_id: int) -> Tuple[str, List[Any]]:
+        items = self.nodes.read([node_id])[node_id]
+        kind, _count = items[0]
+        return kind, items[1:]
+
+    # -- search -------------------------------------------------------------------
+
+    def lookup(self, key: int) -> LookupResult:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            node_id = self.root
+            while True:
+                kind, entries = self._read_node(node_id)
+                if kind == _LEAF:
+                    value = None
+                    found = False
+                    for (k2, v) in entries:
+                        if k2 == key:
+                            found, value = True, v
+                            break
+                    break
+                node_id = self._descend(entries, key)
+        return LookupResult(found, value, m.cost)
+
+    @staticmethod
+    def _descend(entries: List[Any], key: int) -> int:
+        # entries = [c0, k0, c1, k1, ..., c_m]; child i covers keys < k_i.
+        child = entries[0]
+        for i in range(1, len(entries), 2):
+            if key < entries[i]:
+                break
+            child = entries[i + 1]
+        return child
+
+    def height(self) -> int:
+        """Tree height in nodes (equals the lookup I/O count)."""
+        h = 1
+        node_id = self.root
+        while True:
+            kind, entries = self._peek_node(node_id)
+            if kind == _LEAF:
+                return h
+            node_id = entries[0]
+            h += 1
+
+    def _peek_node(self, node_id: int) -> Tuple[str, List[Any]]:
+        items = self.nodes.peek(node_id)
+        kind, _count = items[0]
+        return kind, items[1:]
+
+    # -- insertion ----------------------------------------------------------------
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            split = self._insert_into(self.root, key, value)
+            if split is not None:
+                sep, right_id = split
+                self.root = self._new_node(
+                    _INTERNAL, [self.root, sep, right_id]
+                )
+        return m.cost
+
+    def _insert_into(
+        self, node_id: int, key: int, value: Any
+    ) -> Optional[Tuple[int, int]]:
+        """Recursive insert; returns ``(separator, new_right_id)`` when this
+        node split."""
+        kind, entries = self._read_node(node_id)
+        if kind == _LEAF:
+            idx = next(
+                (i for i, (k2, _v) in enumerate(entries) if k2 == key), None
+            )
+            if idx is not None:
+                entries[idx] = (key, value)
+                self._write_node(node_id, _LEAF, entries)
+                return None
+            entries.append((key, value))
+            entries.sort(key=lambda kv: kv[0])
+            self.size += 1
+            if len(entries) <= self.max_leaf_items:
+                self._write_node(node_id, _LEAF, entries)
+                return None
+            mid = len(entries) // 2
+            right = entries[mid:]
+            left = entries[:mid]
+            self._write_node(node_id, _LEAF, left)
+            right_id = self._new_node(_LEAF, right)
+            return (right[0][0], right_id)
+
+        child = self._descend(entries, key)
+        split = self._insert_into(child, key, value)
+        if split is None:
+            return None
+        sep, right_id = split
+        # Child ids live at even positions; separators (keys) at odd ones.
+        # A plain .index() could match a separator numerically equal to the
+        # child's node id, so search the child slots only.
+        pos = next(
+            i for i in range(0, len(entries), 2) if entries[i] == child
+        )
+        entries[pos + 1 : pos + 1] = [sep, right_id]
+        children = (len(entries) + 1) // 2
+        if children <= self.max_children:
+            self._write_node(node_id, _INTERNAL, entries)
+            return None
+        # Split the internal node around its middle separator.
+        mid_child = children // 2
+        sep_idx = 2 * mid_child - 1
+        promoted = entries[sep_idx]
+        left = entries[:sep_idx]
+        right = entries[sep_idx + 1 :]
+        self._write_node(node_id, _INTERNAL, left)
+        right_id2 = self._new_node(_INTERNAL, right)
+        return (promoted, right_id2)
+
+    # -- deletion -----------------------------------------------------------------------
+
+    def delete(self, key: int) -> OpCost:
+        """Lazy deletion: remove from the leaf, no rebalancing (heights only
+        ever shrink on rebuild; fine for benchmark workloads)."""
+        self._check_key(key)
+        with measure(self.machine) as m:
+            node_id = self.root
+            while True:
+                kind, entries = self._read_node(node_id)
+                if kind == _LEAF:
+                    kept = [(k2, v) for (k2, v) in entries if k2 != key]
+                    if len(kept) != len(entries):
+                        self._write_node(node_id, _LEAF, kept)
+                        self.size -= 1
+                    break
+                node_id = self._descend(entries, key)
+        return m.cost
+
+    # -- audits ---------------------------------------------------------------------------
+
+    def stored_keys(self) -> Iterator[int]:
+        stack = [self.root]
+        while stack:
+            kind, entries = self._peek_node(stack.pop())
+            if kind == _LEAF:
+                for (k2, _v) in entries:
+                    yield k2
+            else:
+                stack.extend(entries[0::2])
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,66 @@
+"""The paper's contribution: deterministic load balancing and dictionaries.
+
+* :mod:`~repro.core.load_balancer` — the Section 3 greedy ``d``-choice
+  scheme with the Lemma 3 max-load bound.
+* :mod:`~repro.core.basic_dict` — §4.1: O(1) worst-case dictionary,
+  one-probe lookups for ``B = Omega(log N)``, satellite ``k = d/2`` variant.
+* :mod:`~repro.core.static_dict` — §4.2 / Theorem 6: one-probe static
+  dictionary, cases (a) and (b), unique-neighbor assignment.
+* :mod:`~repro.core.static_construction` — the Theorem 6 construction run
+  through external sorting (cost ``O(sort(nd))``).
+* :mod:`~repro.core.dynamic_dict` — §4.3 / Theorem 7: full bandwidth at
+  ``1 + ɛ`` average lookup I/Os.
+* :mod:`~repro.core.rebuilding` — global rebuilding for unbounded size and
+  deletions.
+* :mod:`~repro.core.facade` — ``ParallelDiskDictionary`` with sane defaults.
+"""
+
+from repro.core.interface import (
+    CapacityExceeded,
+    Dictionary,
+    LookupResult,
+)
+from repro.core.load_balancer import (
+    DChoiceLoadBalancer,
+    PlacementReport,
+    lemma3_bound,
+)
+from repro.core.basic_dict import BasicDictionary
+from repro.core.static_dict import (
+    AssignmentResult,
+    StaticBuildReport,
+    StaticDictionary,
+    assign_unique_neighbors,
+    fields_needed,
+)
+from repro.core.dynamic_dict import DynamicDictionary, OperationStats
+from repro.core.rebuilding import RebuildingDictionary, RebuildStats
+from repro.core.facade import ParallelDiskDictionary
+from repro.core.multi_instance import MultiInstanceDictionary
+from repro.core.recursive_dict import RecursiveLoadBalancedDictionary
+from repro.core.head_model_dict import HeadModelDictionary
+from repro.core.pointer_store import PointerStore
+
+__all__ = [
+    "CapacityExceeded",
+    "Dictionary",
+    "LookupResult",
+    "DChoiceLoadBalancer",
+    "PlacementReport",
+    "lemma3_bound",
+    "BasicDictionary",
+    "AssignmentResult",
+    "StaticBuildReport",
+    "StaticDictionary",
+    "assign_unique_neighbors",
+    "fields_needed",
+    "DynamicDictionary",
+    "OperationStats",
+    "RebuildingDictionary",
+    "RebuildStats",
+    "ParallelDiskDictionary",
+    "MultiInstanceDictionary",
+    "RecursiveLoadBalancedDictionary",
+    "HeadModelDictionary",
+    "PointerStore",
+]

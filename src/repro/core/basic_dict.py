@@ -1,0 +1,352 @@
+"""The Section 4.1 dictionary: deterministic load balancing over buckets.
+
+Structure: a striped expander ``G`` with ``v = d * stripe_size`` buckets and
+the Lemma 3 greedy scheme with ``k = 1`` (or ``k = d/2`` for the satellite
+variant).  The bucket array is split across ``D = d`` disks according to the
+stripes of ``G``:
+
+* **lookup**: read the ``d`` buckets of ``Γ(x)`` — one block per disk, i.e.
+  **one parallel I/O** (``blocks_per_bucket`` I/Os when ``B`` is too small
+  for one-probe, the paper's atomic-heap regime);
+* **insert**: the lookup probe already fetched all candidate loads, so the
+  greedy choice is free; writing the chosen bucket(s) is one more parallel
+  I/O — **2 I/Os total**, the best possible (a block must be read before it
+  is written);
+* **delete**: read + write back, 2 I/Os (the paper routes deletions through
+  global rebuilding only to reclaim space; removing an item in place is
+  already safe here).
+
+With ``k = k_fragments > 1`` a value is split into ``k`` fragments placed by
+the same greedy rule (``v = k N * slack`` buckets), and the single lookup
+I/O returns all fragments — satellite bandwidth ``O(B D / log N)`` per probe
+(Section 4.1 "with satellite information").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.expanders.base import StripedExpander
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.machine import AbstractDiskMachine
+from repro.pdm.striping import StripedItemBuckets
+
+
+def _split_value(value: Any, k: int) -> List[Any]:
+    """Split a sliceable value into ``k`` near-equal fragments."""
+    if k == 1:
+        return [value]
+    try:
+        length = len(value)
+    except TypeError:
+        raise TypeError(
+            f"k_fragments={k} needs sliceable values (str/bytes/list), "
+            f"got {type(value).__name__}"
+        ) from None
+    step = -(-length // k) if length else 0
+    out = []
+    for t in range(k):
+        out.append(value[t * step : (t + 1) * step])
+    return out
+
+
+def _join_fragments(fragments: Sequence[Any]) -> Any:
+    """Invert :func:`_split_value`."""
+    if len(fragments) == 1:
+        return fragments[0]
+    first = fragments[0]
+    if isinstance(first, str):
+        return "".join(fragments)
+    if isinstance(first, bytes):
+        return b"".join(fragments)
+    out = list(first)
+    for frag in fragments[1:]:
+        out.extend(frag)
+    return type(first)(out) if not isinstance(first, list) else out
+
+
+class BasicDictionary(Dictionary):
+    """Deterministic dynamic dictionary with O(1) worst-case I/Os (§4.1)."""
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        universe_size: int,
+        capacity: int,
+        degree: Optional[int] = None,
+        stripe_size: Optional[int] = None,
+        k_fragments: int = 1,
+        bucket_capacity: Optional[int] = None,
+        load_slack: float = 2.0,
+        disk_offset: int = 0,
+        seed: int = 0,
+        graph: Optional[StripedExpander] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if universe_size <= 0:
+            raise ValueError(
+                f"universe size must be positive, got {universe_size}"
+            )
+        self.machine = machine
+        self.universe_size = universe_size
+        self.capacity = capacity
+        self.k = k_fragments
+        if graph is not None:
+            degree = graph.degree
+            stripe_size = graph.stripe_size
+        if degree is None:
+            degree = machine.num_disks - disk_offset
+        if degree <= self.k:
+            raise ValueError(
+                f"Lemma 3 requires d > k; got d={degree}, k={self.k}"
+            )
+        bucket_cap = (
+            machine.block_items if bucket_capacity is None else bucket_capacity
+        )
+        if stripe_size is None:
+            # v buckets sized so the average load k*N/v is at most
+            # bucket_cap / load_slack, leaving Lemma 3's additive log term
+            # as headroom before a bucket overflows its block(s).
+            target_v = max(
+                degree, math.ceil(load_slack * self.k * capacity / bucket_cap)
+            )
+            stripe_size = max(1, -(-target_v // degree))
+        if graph is None:
+            graph = SeededRandomExpander(
+                left_size=universe_size,
+                degree=degree,
+                stripe_size=stripe_size,
+                seed=seed,
+            )
+        self.graph = graph
+        self.buckets = StripedItemBuckets(
+            machine,
+            stripes=degree,
+            stripe_size=stripe_size,
+            capacity_items=bucket_cap,
+            disk_offset=disk_offset,
+        )
+        self.size = 0
+        self._max_load_seen = 0
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        return self.graph.degree
+
+    @property
+    def num_buckets(self) -> int:
+        return self.graph.right_size
+
+    @property
+    def one_probe(self) -> bool:
+        """True when a lookup is a single parallel I/O (bucket = 1 block)."""
+        return self.buckets.blocks_per_bucket == 1
+
+    @property
+    def max_load_seen(self) -> int:
+        return self._max_load_seen
+
+    # -- operations -------------------------------------------------------------
+
+    def lookup(self, key: int) -> LookupResult:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            locs = self.graph.striped_neighbors(key)
+            contents = self.buckets.read_buckets(locs)
+            fragments: List[Tuple[int, Any]] = []
+            for loc in locs:
+                for (k2, t, frag) in contents[loc]:
+                    if k2 == key:
+                        fragments.append((t, frag))
+        if not fragments:
+            return LookupResult(False, None, m.cost)
+        fragments.sort()
+        value = _join_fragments([frag for _, frag in fragments])
+        return LookupResult(True, value, m.cost)
+
+    def lookup_batch(self, keys: Sequence[int]) -> Tuple[Dict[int, LookupResult], OpCost]:
+        """Answer many lookups in one batched probe.
+
+        All requested buckets go to the machine as a single batch; the PDM
+        prices it at the max per-disk multiplicity, so ``q`` *distinct*
+        keys cost about ``q`` rounds — but repeated/overlapping keys
+        deduplicate to shared blocks and cost less (a skewed read stream,
+        the Section 1.2 webmail pattern, gains the most).  Per-key results
+        carry the whole batch's cost; the returned ``OpCost`` is the batch
+        total.
+        """
+        keys = list(keys)
+        for key in keys:
+            self._check_key(key)
+        with measure(self.machine) as m:
+            all_locs = {}
+            for key in dict.fromkeys(keys):
+                all_locs[key] = self.graph.striped_neighbors(key)
+            wanted = {loc for locs in all_locs.values() for loc in locs}
+            contents = self.buckets.read_buckets(wanted)
+        out: Dict[int, LookupResult] = {}
+        for key, locs in all_locs.items():
+            fragments = [
+                (t, frag)
+                for loc in locs
+                for (k2, t, frag) in contents[loc]
+                if k2 == key
+            ]
+            if fragments:
+                fragments.sort()
+                value = _join_fragments([f for _, f in fragments])
+                out[key] = LookupResult(True, value, m.cost)
+            else:
+                out[key] = LookupResult(False, None, m.cost)
+        return out, m.cost
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        found, _, cost = self.upsert(key, value)
+        return cost
+
+    def upsert(self, key: int, value: Any = None) -> Tuple[bool, Any, OpCost]:
+        """Insert or replace; returns ``(was_present, old_value, cost)``."""
+        self._check_key(key)
+        with measure(self.machine) as m:
+            locs = self.graph.striped_neighbors(key)
+            contents = self.buckets.read_buckets(locs)
+
+            old_fragments: List[Tuple[int, Any]] = []
+            dirty: Dict[Tuple[int, int], List[Any]] = {}
+            for loc in locs:
+                items = contents[loc]
+                kept = [it for it in items if it[0] != key]
+                if len(kept) != len(items):
+                    old_fragments.extend(
+                        (t, frag) for (k2, t, frag) in items if k2 == key
+                    )
+                    contents[loc] = kept
+                    dirty[loc] = kept
+            was_present = bool(old_fragments)
+
+            if not was_present and self.size >= self.capacity:
+                raise CapacityExceeded(
+                    f"dictionary at capacity N={self.capacity}"
+                )
+
+            # Greedy d-choice placement using the loads the probe fetched.
+            fragments = _split_value(value, self.k)
+            loads = {loc: len(contents[loc]) for loc in locs}
+            for t, frag in enumerate(fragments):
+                target = min(locs, key=lambda loc: (loads[loc], loc))
+                contents[target] = contents[target] + [(key, t, frag)]
+                loads[target] += 1
+                dirty[target] = contents[target]
+                if loads[target] > self._max_load_seen:
+                    self._max_load_seen = loads[target]
+
+            for loc, items in dirty.items():
+                if len(items) > self.buckets.capacity_items:
+                    raise CapacityExceeded(
+                        f"bucket {loc} overflows its {self.buckets.capacity_items}"
+                        f"-item capacity; the load-balancing guarantee needs a "
+                        f"larger bucket array (stripe_size) or larger blocks"
+                    )
+            self.buckets.write_buckets(dirty)
+        if not was_present:
+            self.size += 1
+            old_value = None
+        else:
+            old_fragments.sort()
+            old_value = _join_fragments([f for _, f in old_fragments])
+        return was_present, old_value, m.cost
+
+    def delete(self, key: int) -> OpCost:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            locs = self.graph.striped_neighbors(key)
+            contents = self.buckets.read_buckets(locs)
+            dirty = {}
+            removed = False
+            for loc in locs:
+                items = contents[loc]
+                kept = [it for it in items if it[0] != key]
+                if len(kept) != len(items):
+                    dirty[loc] = kept
+                    removed = True
+            if dirty:
+                self.buckets.write_buckets(dirty)
+        if removed:
+            self.size -= 1
+        return m.cost
+
+    # -- bulk construction -------------------------------------------------------
+
+    def bulk_build(self, items: Dict[int, Any]) -> OpCost:
+        """Load a key -> value map into an EMPTY dictionary with batched
+        writes.
+
+        Placement is the identical greedy rule run in host memory (the
+        load balancer is pure combinatorics; the paper's construction
+        sections likewise compute assignments before touching disk), then
+        every touched bucket is written in one batch: the cost is
+        ``~buckets/D`` parallel I/Os instead of ``2n`` — the bulk analogue
+        of Theorem 6's "construction proportional to sorting" theme.
+        """
+        if self.size:
+            raise ValueError("bulk_build requires an empty dictionary")
+        if len(items) > self.capacity:
+            raise CapacityExceeded(
+                f"{len(items)} items exceed capacity N={self.capacity}"
+            )
+        contents: Dict[Tuple[int, int], List[Any]] = {}
+        with measure(self.machine) as m:
+            for key in sorted(items):
+                self._check_key(key)
+                locs = self.graph.striped_neighbors(key)
+                fragments = _split_value(items[key], self.k)
+                loads = {
+                    loc: len(contents.get(loc, ())) for loc in locs
+                }
+                for t, frag in enumerate(fragments):
+                    target = min(locs, key=lambda loc: (loads[loc], loc))
+                    contents.setdefault(target, []).append((key, t, frag))
+                    loads[target] += 1
+                    if loads[target] > self._max_load_seen:
+                        self._max_load_seen = loads[target]
+            for loc, bucket in contents.items():
+                if len(bucket) > self.buckets.capacity_items:
+                    raise CapacityExceeded(
+                        f"bucket {loc} would hold {len(bucket)} items; "
+                        f"capacity is {self.buckets.capacity_items}"
+                    )
+            self.buckets.write_buckets(contents)
+        self.size = len(items)
+        return m.cost
+
+    # -- audits --------------------------------------------------------------------
+
+    def stored_keys(self) -> Iterator[int]:
+        """All keys currently stored (audit scan; no I/O charged — rebuild
+        schedulers charge real I/O through lookup/insert per migrated key)."""
+        seen = set()
+        for loc in self.buckets.loads():
+            for (k2, _t, _frag) in self.buckets.peek(loc):
+                if k2 not in seen:
+                    seen.add(k2)
+                    yield k2
+
+    def current_max_load(self) -> int:
+        loads = self.buckets.loads()
+        return max(loads.values()) if loads else 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BasicDictionary(n={self.size}/{self.capacity}, d={self.degree}, "
+            f"v={self.num_buckets}, k={self.k})"
+        )

@@ -1,0 +1,166 @@
+"""User-facing facade: pick a mode, get a dictionary with sane defaults.
+
+``ParallelDiskDictionary`` owns its machine(s) and wires together the
+paper's constructions:
+
+* ``mode="basic"`` — §4.1: O(1) worst-case lookups and updates, one-probe
+  lookups when ``B = Omega(log N)`` (which the default geometry ensures);
+* ``mode="full-bandwidth"`` — §4.3: ``sigma``-bit satellite records,
+  unsuccessful searches in 1 I/O, successful in ``1 + ɛ`` average;
+* ``unbounded=True`` — wraps the chosen structure in global rebuilding so
+  the capacity grows as needed (each generation gets a fresh machine, the
+  paper's constant-factor extra disks).
+
+For the static one-probe structure use
+:meth:`repro.core.static_dict.StaticDictionary.build` directly — it needs
+the full key set up front.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.interface import Dictionary, LookupResult
+from repro.core.rebuilding import RebuildingDictionary
+from repro.pdm.iostats import IOStats, OpCost
+from repro.pdm.machine import ParallelDiskMachine
+
+
+class ParallelDiskDictionary(Dictionary):
+    """Convenience wrapper with paper-faithful defaults."""
+
+    MODES = ("basic", "full-bandwidth", "one-probe-recursive", "head-model")
+
+    def __init__(
+        self,
+        *,
+        universe_size: int,
+        capacity: int = 1024,
+        mode: str = "basic",
+        sigma: int = 64,
+        block_items: int = 64,
+        degree: Optional[int] = None,
+        unbounded: bool = False,
+        seed: int = 0,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(
+                f"mode must be one of {self.MODES}, got {mode!r}"
+            )
+        self.universe_size = universe_size
+        self.mode = mode
+        self.seed = seed
+        # The paper's D = Omega(log u): default degree 2*ceil(log2 u),
+        # at least 8.
+        if degree is None:
+            degree = max(8, 2 * math.ceil(math.log2(max(universe_size, 2))))
+        self.degree = degree
+        self.block_items = block_items
+        self.sigma = sigma
+        self._machines = []
+
+        def make(cap: int, generation: int) -> Dictionary:
+            inner_seed = seed + 1000 * generation
+            if mode == "basic":
+                machine = ParallelDiskMachine(degree, block_items)
+                self._machines.append(machine)
+                return BasicDictionary(
+                    machine,
+                    universe_size=universe_size,
+                    capacity=cap,
+                    degree=degree,
+                    seed=inner_seed,
+                )
+            if mode == "full-bandwidth":
+                machine = ParallelDiskMachine(2 * degree, block_items)
+                self._machines.append(machine)
+                return DynamicDictionary(
+                    machine,
+                    universe_size=universe_size,
+                    capacity=cap,
+                    sigma=sigma,
+                    degree=degree,
+                    seed=inner_seed,
+                )
+            if mode == "one-probe-recursive":
+                from repro.core.recursive_dict import (
+                    RecursiveLoadBalancedDictionary,
+                )
+
+                levels = 2
+                machine = ParallelDiskMachine(
+                    (levels + 1) * degree, block_items
+                )
+                self._machines.append(machine)
+                return RecursiveLoadBalancedDictionary(
+                    machine,
+                    universe_size=universe_size,
+                    capacity=cap,
+                    sigma=sigma,
+                    degree=degree,
+                    levels=levels,
+                    seed=inner_seed,
+                )
+            # mode == "head-model"
+            from repro.core.head_model_dict import HeadModelDictionary
+            from repro.pdm.machine import ParallelDiskHeadMachine
+
+            machine = ParallelDiskHeadMachine(degree, block_items)
+            self._machines.append(machine)
+            return HeadModelDictionary(
+                machine,
+                universe_size=universe_size,
+                capacity=cap,
+                degree=degree,
+                seed=inner_seed,
+            )
+
+        if unbounded:
+            self._inner: Dictionary = RebuildingDictionary(
+                make, initial_capacity=capacity
+            )
+        else:
+            self._inner = make(capacity, 0)
+
+    # -- delegation -------------------------------------------------------------
+
+    def lookup(self, key: int) -> LookupResult:
+        return self._inner.lookup(key)
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        return self._inner.insert(key, value)
+
+    def delete(self, key: int) -> OpCost:
+        return self._inner.delete(key)
+
+    def stored_keys(self):
+        return self._inner.stored_keys()  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return len(self._inner)  # type: ignore[arg-type]
+
+    # -- accounting ---------------------------------------------------------------
+
+    def io_stats(self) -> IOStats:
+        """Aggregate cumulative I/O over every machine ever created."""
+        total = IOStats()
+        for machine in self._machines:
+            s = machine.stats
+            total.read_ios += s.read_ios
+            total.write_ios += s.write_ios
+            total.blocks_read += s.blocks_read
+            total.blocks_written += s.blocks_written
+        return total
+
+    @property
+    def num_disks(self) -> int:
+        return sum(m.num_disks for m in self._machines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParallelDiskDictionary(mode={self.mode!r}, n={len(self)}, "
+            f"d={self.degree}, disks={self.num_disks})"
+        )

@@ -1,0 +1,98 @@
+"""Common dictionary interface and result types.
+
+All dictionaries in this library (the paper's constructions and the
+randomized baselines) expose the same surface so the Figure 1 benchmark can
+drive them interchangeably:
+
+* ``lookup(key) -> LookupResult`` — membership plus satellite data plus the
+  parallel-I/O cost of this very operation;
+* ``insert(key, value) -> OpCost`` — upsert semantics;
+* ``delete(key) -> OpCost`` — where supported.
+
+Keys are integers from the universe ``[0, universe_size)``; the type of
+``value`` depends on the structure (arbitrary objects for bucket stores,
+``sigma``-bit integers for the bit-packed retrieval structures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.pdm.iostats import OpCost
+
+
+class CapacityExceeded(Exception):
+    """The structure's declared capacity ``N`` (or a bucket/level bound that
+    the paper's lemmas keep safe at proper parameters) would be violated."""
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one lookup."""
+
+    found: bool
+    value: Any
+    cost: OpCost
+
+    def __bool__(self) -> bool:
+        return self.found
+
+
+class Dictionary:
+    """Abstract dictionary in the parallel disk model."""
+
+    #: size of the key universe U.
+    universe_size: int
+
+    def lookup(self, key: int) -> LookupResult:
+        raise NotImplementedError
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        raise NotImplementedError
+
+    def delete(self, key: int) -> OpCost:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support deletions directly; "
+            f"wrap it in a RebuildingDictionary"
+        )
+
+    def contains(self, key: int) -> bool:
+        return self.lookup(key).found
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    # -- dict-like conveniences (each performs real, charged I/O) ------------
+
+    def __getitem__(self, key: int) -> Any:
+        result = self.lookup(key)
+        if not result.found:
+            raise KeyError(key)
+        return result.value
+
+    def __setitem__(self, key: int, value: Any) -> None:
+        self.insert(key, value)
+
+    def __delitem__(self, key: int) -> None:
+        if not self.lookup(key).found:
+            raise KeyError(key)
+        self.delete(key)
+
+    def get(self, key: int, default: Any = None) -> Any:
+        result = self.lookup(key)
+        return result.value if result.found else default
+
+    def items(self):
+        """Iterate ``(key, value)`` pairs.  Keys come from the audit scan;
+        each value is fetched with a real (charged) lookup."""
+        for key in self.stored_keys():  # type: ignore[attr-defined]
+            yield key, self.lookup(key).value
+
+    def _check_key(self, key: int) -> None:
+        if not isinstance(key, int):
+            raise TypeError(f"keys are integers, got {type(key).__name__}")
+        if not 0 <= key < self.universe_size:
+            raise KeyError(
+                f"key {key} outside universe [0, {self.universe_size})"
+            )

@@ -1,0 +1,124 @@
+"""Parameter advisor: from requirements to a concrete configuration.
+
+Given the quantities a user actually knows — universe size, expected keys,
+record size, block capacity — suggest a machine geometry and structure
+parameters, with the paper's predicted per-operation costs attached
+(:mod:`repro.analysis.bounds`).  The facade uses simpler defaults; this is
+the "capacity planning" front door for users sizing a deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis import bounds
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """A concrete configuration plus its predicted behaviour."""
+
+    mode: str
+    disks: int
+    degree: int
+    block_items: int
+    sigma: Optional[int]
+    predicted_lookup_avg: float
+    predicted_lookup_worst: float
+    predicted_update_avg: float
+    space_blocks_estimate: int
+    notes: str
+
+    def summary(self) -> str:
+        lines = [
+            f"mode={self.mode}  D={self.disks} disks  d={self.degree}  "
+            f"B={self.block_items} items",
+            f"predicted lookup: avg {self.predicted_lookup_avg:.3f}, "
+            f"worst {self.predicted_lookup_worst:.0f} parallel I/Os",
+            f"predicted update: avg {self.predicted_update_avg:.3f}",
+            f"estimated footprint: ~{self.space_blocks_estimate} blocks",
+        ]
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def suggest(
+    *,
+    universe_size: int,
+    capacity: int,
+    block_items: int = 64,
+    sigma: Optional[int] = None,
+    item_bits: int = 64,
+    level_ratio: float = 0.25,
+) -> Suggestion:
+    """Pick a structure for the given requirements.
+
+    * no satellite data (``sigma=None``) or records fitting one item →
+      the §4.1 dictionary on ``d`` disks: 1/2 I/Os worst case;
+    * records up to a modest multiple of the block → §4.3 on ``2d`` disks:
+      1 + ɛ average, full bandwidth;
+    * records beyond ``B*D`` bits in-line → §4.1 + pointer indirection
+      (lookup + 1).
+    """
+    if universe_size <= 1 or capacity <= 0:
+        raise ValueError("universe_size > 1 and capacity > 0 required")
+    degree = max(8, 2 * math.ceil(math.log2(universe_size)))
+    block_bits = block_items * item_bits
+
+    if sigma is None or sigma <= item_bits:
+        buckets = max(degree, math.ceil(2 * capacity / block_items))
+        return Suggestion(
+            mode="basic",
+            disks=degree,
+            degree=degree,
+            block_items=block_items,
+            sigma=sigma,
+            predicted_lookup_avg=1.0,
+            predicted_lookup_worst=1.0,
+            predicted_update_avg=2.0,
+            space_blocks_estimate=buckets,
+            notes="S4.1: worst-case constants, one-probe lookups.",
+        )
+
+    inline_limit = degree * block_bits // 4  # comfortable S4.3 territory
+    if sigma <= inline_limit:
+        avg = bounds.theorem7_avg_reads(level_ratio)
+        levels = bounds.theorem7_num_levels(capacity, level_ratio / 6)
+        field_bits = bounds.theorem6_case_a_field_bits(sigma, degree)
+        fields = 4 * capacity * degree  # slack-4 arrays, level 1 dominates
+        blocks = math.ceil(fields * field_bits / block_bits * 1.4)
+        return Suggestion(
+            mode="full-bandwidth",
+            disks=2 * degree,
+            degree=degree,
+            block_items=block_items,
+            sigma=sigma,
+            predicted_lookup_avg=avg,
+            predicted_lookup_worst=1 + levels,
+            predicted_update_avg=1 + avg,
+            space_blocks_estimate=blocks,
+            notes=(
+                f"S4.3: {levels} levels, misses always 1 I/O, records "
+                f"in-line."
+            ),
+        )
+
+    payload_blocks = capacity * degree  # one superblock per record
+    return Suggestion(
+        mode="pointer-store",
+        disks=2 * degree,
+        degree=degree,
+        block_items=block_items,
+        sigma=sigma,
+        predicted_lookup_avg=2.0,
+        predicted_lookup_worst=2.0,
+        predicted_update_avg=3.0,
+        space_blocks_estimate=payload_blocks,
+        notes=(
+            "records exceed in-line bandwidth: S4.1 index + pointer "
+            "indirection (Section 1.1), payload fetched in one extra I/O."
+        ),
+    )

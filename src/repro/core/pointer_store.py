@@ -1,0 +1,120 @@
+"""Pointer-indirected satellite storage (Section 1.1).
+
+"Note that one can always use the dictionary to retrieve a pointer to
+satellite information of size ``BD``, which can then be retrieved in an
+extra I/O."
+
+:class:`PointerStore` pairs any dictionary with a payload area of striped
+superblocks: the dictionary maps ``key -> superblock id`` (a single item,
+so it rides the dictionary's native bandwidth), and the payload — up to a
+full ``B * D`` items — is fetched with one additional parallel I/O.  This
+is how a structure with modest in-line bandwidth (e.g. the §4.1 dictionary)
+serves arbitrarily fat records at ``lookup + 1`` I/Os.
+
+Freed superblocks are recycled through a free list kept in internal memory
+(charged), so deletions reclaim payload space.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.machine import AbstractDiskMachine
+
+
+class PointerStore(Dictionary):
+    """A dictionary of fat records: index structure + payload superblocks."""
+
+    def __init__(
+        self,
+        index: Dictionary,
+        payload_machine: AbstractDiskMachine,
+        *,
+        capacity: int,
+        disk_offset: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.index = index
+        self.universe_size = index.universe_size
+        self.payload_machine = payload_machine
+        self.payloads = SuperblockArray(
+            payload_machine,
+            num_superblocks=capacity,
+            disk_offset=disk_offset,
+        )
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        payload_machine.memory.charge(capacity)  # the free list
+        self.capacity = capacity
+
+    @property
+    def payload_capacity_items(self) -> int:
+        """Items one payload superblock holds: the full ``B * D``."""
+        return self.payloads.capacity_items
+
+    # -- operations ---------------------------------------------------------------
+
+    def insert(self, key: int, value: Sequence[Any] = ()) -> OpCost:
+        """Store ``value`` (a sequence of up to ``B*D`` items) under ``key``.
+
+        Cost: the index upsert plus one payload write; an update reuses the
+        key's existing superblock (no data movement, stable pointer).
+        """
+        value = list(value)
+        if len(value) > self.payload_capacity_items:
+            raise ValueError(
+                f"payload of {len(value)} items exceeds the superblock "
+                f"capacity of {self.payload_capacity_items}"
+            )
+        existing = self.index.lookup(key)
+        if existing.found:
+            slot = existing.value
+            with measure(self.payload_machine) as w:
+                self.payloads.write({slot: value})
+            return existing.cost + w.cost
+        if not self._free:
+            raise CapacityExceeded(
+                f"payload area full ({self.capacity} superblocks)"
+            )
+        slot = self._free.pop()
+        with measure(self.payload_machine) as w:
+            self.payloads.write({slot: value})
+        index_cost = self.index.insert(key, slot)
+        # The index insert and the payload write hit disjoint machines.
+        return existing.cost + OpCost.parallel(index_cost, w.cost)
+
+    def lookup(self, key: int) -> LookupResult:
+        """The paper's two-hop fetch: pointer in the index's native cost,
+        payload in one extra parallel I/O."""
+        pointer = self.index.lookup(key)
+        if not pointer.found:
+            return LookupResult(False, None, pointer.cost)
+        with measure(self.payload_machine) as m:
+            items = self.payloads.read([pointer.value])[pointer.value]
+        return LookupResult(True, items, pointer.cost + m.cost)
+
+    def lookup_pointer(self, key: int) -> LookupResult:
+        """Just the pointer (the index's native bandwidth/cost)."""
+        return self.index.lookup(key)
+
+    def delete(self, key: int) -> OpCost:
+        pointer = self.index.lookup(key)
+        if not pointer.found:
+            return pointer.cost
+        slot = pointer.value
+        with measure(self.payload_machine) as w:
+            self.payloads.write({slot: []})
+        self._free.append(slot)
+        del_cost = self.index.delete(key)
+        return pointer.cost + OpCost.parallel(del_cost, w.cost)
+
+    # -- audits --------------------------------------------------------------------
+
+    def stored_keys(self) -> Iterator[int]:
+        return self.index.stored_keys()  # type: ignore[attr-defined]
+
+    def __len__(self) -> int:
+        return len(self.index)  # type: ignore[arg-type]

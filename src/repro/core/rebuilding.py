@@ -1,0 +1,188 @@
+"""Global rebuilding: unbounded size and deletions (Section 4 preamble).
+
+The dictionary problem is a *decomposable search problem*, so the standard
+worst-case global rebuilding technique of Overmars and van Leeuwen [12]
+applies.  The paper's observations, all realised here:
+
+* two structures are active at any time — the draining old one and the
+  filling new one — and they are **queried in parallel** (they live on their
+  own machines/disk groups, so the per-operation cost combines with ``max``;
+  this is the constant-factor increase in the number of disks);
+* deleted elements can be removed/marked without influencing search time of
+  other elements (our structures support in-place removal);
+* a constant number of items is migrated per update, so no operation ever
+  pays more than a constant factor over the base structure — worst-case, not
+  amortized, bounds.
+
+The wrapper is generic over any capacity-bounded :class:`Dictionary` factory
+(Basic or Dynamic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.pdm.iostats import OpCost
+
+#: builds a fresh structure of the requested capacity (generation counts
+#: seed the structure differently so graphs stay independent across rebuilds).
+DictionaryFactory = Callable[[int, int], Dictionary]
+
+
+@dataclass
+class RebuildStats:
+    rebuilds_started: int = 0
+    rebuilds_finished: int = 0
+    items_migrated: int = 0
+
+
+class RebuildingDictionary(Dictionary):
+    """Fully dynamic dictionary without a size bound, via global rebuilding.
+
+    A rebuild into a structure of capacity ``growth * live`` starts when the
+    active structure fills; each subsequent update migrates ``move_per_op``
+    items, finishing well before the new structure fills in turn (for that,
+    ``move_per_op >= 2`` suffices with ``growth = 2``).
+    """
+
+    def __init__(
+        self,
+        factory: DictionaryFactory,
+        *,
+        initial_capacity: int = 64,
+        growth: float = 2.0,
+        move_per_op: int = 4,
+    ):
+        if initial_capacity <= 0:
+            raise ValueError(
+                f"initial capacity must be positive, got {initial_capacity}"
+            )
+        if growth <= 1:
+            raise ValueError(f"growth must exceed 1, got {growth}")
+        if move_per_op < 2:
+            raise ValueError(
+                f"move_per_op must be at least 2 to outrun inserts, got "
+                f"{move_per_op}"
+            )
+        self.factory = factory
+        self.growth = growth
+        self.move_per_op = move_per_op
+        self.generation = 0
+        self.active: Dictionary = factory(initial_capacity, self.generation)
+        self.universe_size = self.active.universe_size
+        self.building: Optional[Dictionary] = None
+        self._migration: Optional[Iterator[int]] = None
+        self.stats = RebuildStats()
+
+    # -- internals -----------------------------------------------------------
+
+    @property
+    def _capacity(self) -> int:
+        return self.active.capacity  # type: ignore[attr-defined]
+
+    def _live_size(self) -> int:
+        n = len(self.active)  # type: ignore[arg-type]
+        if self.building is not None:
+            n += len(self.building)  # type: ignore[arg-type]
+        return n
+
+    def _start_rebuild(self) -> None:
+        self.generation += 1
+        new_capacity = max(
+            self.active.capacity * 2,  # type: ignore[attr-defined]
+            math.ceil(self.growth * max(self._live_size(), 1)),
+        )
+        self.building = self.factory(new_capacity, self.generation)
+        self._migration = self.active.stored_keys()  # type: ignore[attr-defined]
+        self.stats.rebuilds_started += 1
+
+    def _migrate_some(self) -> OpCost:
+        """Move up to ``move_per_op`` items old -> new, charging real I/O
+        (a lookup on the old structure plus an insert into the new)."""
+        cost = OpCost.zero()
+        if self.building is None or self._migration is None:
+            return cost
+        moved = 0
+        while moved < self.move_per_op:
+            key = next(self._migration, None)
+            if key is None:
+                break
+            result = self.active.lookup(key)
+            if result.found:
+                ins = self.building.insert(key, result.value)
+                dele = self.active.delete(key)
+                cost = cost + result.cost + OpCost.parallel(ins, dele)
+                self.stats.items_migrated += 1
+                moved += 1
+        if moved < self.move_per_op:
+            # Old structure drained: promote.
+            self.active = self.building
+            self.building = None
+            self._migration = None
+            self.stats.rebuilds_finished += 1
+        return cost
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, key: int) -> LookupResult:
+        # Both structures live on their own machines: parallel probe.
+        primary = self.active.lookup(key)
+        if self.building is None:
+            return primary
+        secondary = self.building.lookup(key)
+        cost = OpCost.parallel(primary.cost, secondary.cost)
+        hit = secondary if secondary.found else primary
+        return LookupResult(hit.found, hit.value, cost)
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        cost = OpCost.zero()
+        if self.building is None:
+            at_capacity = (
+                len(self.active) >= self.active.capacity  # type: ignore[attr-defined]
+            )
+            if at_capacity:
+                self._start_rebuild()
+        if self.building is not None:
+            # New keys go to the building structure; an update of a key that
+            # still sits in the old one must not leave a stale copy there.
+            old = self.active.lookup(key)
+            cost = cost + old.cost
+            if old.found:
+                cost = cost + self.active.delete(key)
+            cost = cost + self.building.insert(key, value)
+            cost = cost + self._migrate_some()
+        else:
+            cost = cost + self.active.insert(key, value)
+        return cost
+
+    def delete(self, key: int) -> OpCost:
+        cost = self.active.delete(key)
+        if self.building is not None:
+            cost = OpCost.parallel(cost, self.building.delete(key))
+            cost = cost + self._migrate_some()
+        return cost
+
+    # -- audits -----------------------------------------------------------------------
+
+    def stored_keys(self) -> Iterator[int]:
+        seen = set()
+        for source in (self.building, self.active):
+            if source is None:
+                continue
+            for key in source.stored_keys():  # type: ignore[attr-defined]
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def __len__(self) -> int:
+        return self._live_size()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "rebuilding" if self.building is not None else "steady"
+        return (
+            f"RebuildingDictionary(n={self._live_size()}, gen="
+            f"{self.generation}, {state})"
+        )

@@ -1,0 +1,428 @@
+"""The almost-optimal one-probe static dictionary (Section 4.2, Theorem 6).
+
+A striped ``(n, eps)``-expander with ``v = O(n d)`` right vertices indexes an
+array ``A`` of fields.  Construction assigns every key ``ceil(2d/3)`` of its
+neighbors via *unique neighbor* nodes (Lemmas 4–5): at least half the keys
+have that many unique neighbors, they get assigned, and the procedure
+recurses on the rest — geometrically fewer each round.
+
+Two layouts, by block size (Theorem 6):
+
+* **Case (b)** (small blocks): every field holds a ``lg n``-bit identifier
+  plus a ``3 sigma / (2d)``-bit record fragment.  A lookup reads the ``d``
+  fields of ``Γ(x)`` in one parallel I/O and looks for an identifier on a
+  strict majority of fields; since no two keys share more than ``eps d``
+  neighbors, a majority identifier can only belong to ``x`` itself — no key
+  comparison needed.  Space ``O(n log u log n + n sigma)`` bits.
+* **Case (a)** (``B = Omega(log n)``): two sub-dictionaries on ``2d`` disks,
+  queried in parallel.  A §4.1 membership dictionary stores each key with a
+  ``lg d``-bit *head pointer*; the retrieval array stores unary-coded
+  relative pointers chaining the assigned fields (see :mod:`repro.bits`),
+  with all remaining field space holding record data.  Space
+  ``O(n (log u + sigma))`` bits — optimal up to a constant.
+
+Lookups take **one parallel I/O** in both cases.  The structure is static:
+:meth:`insert` raises (Section 4.3 dynamizes it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bits import (
+    BitVector,
+    decode_chain,
+    encode_chain,
+    required_field_bits,
+)
+from repro.core.basic_dict import BasicDictionary
+from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.expanders.base import StripedExpander
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.machine import AbstractDiskMachine
+from repro.pdm.striping import StripedFieldArray
+
+#: the fraction of a key's neighbors that get assigned: ceil(2d/3).
+def fields_needed(degree: int) -> int:
+    return -(-2 * degree // 3)
+
+
+@dataclass
+class AssignmentResult:
+    """Output of the unique-neighbor assignment recursion."""
+
+    assignment: Dict[int, Tuple[int, ...]]  # key -> assigned stripes (sorted)
+    rounds: int
+    round_sizes: List[int]
+    overflow: List[int]  # keys that could not be assigned (should be empty)
+
+
+def assign_unique_neighbors(
+    graph: StripedExpander,
+    keys: Sequence[int],
+    *,
+    m_need: Optional[int] = None,
+    max_rounds: int = 64,
+) -> AssignmentResult:
+    """The recursive assignment of Theorem 6's construction (in-memory form;
+    :mod:`repro.core.static_construction` reproduces it through external
+    sorting with identical output).
+
+    Each round computes ``Φ(S)`` for the still-unassigned ``S``; keys owning
+    at least ``m_need`` unique neighbors take their first ``m_need`` (in
+    stripe order), and the rest recurse.  Rounds never conflict: a field
+    unique to ``x`` within ``S`` is not a neighbor of any other key of ``S``,
+    so later rounds (subsets of ``S``) cannot touch it.
+    """
+    if m_need is None:
+        m_need = fields_needed(graph.degree)
+    remaining = list(dict.fromkeys(keys))
+    assignment: Dict[int, Tuple[int, ...]] = {}
+    round_sizes: List[int] = []
+    rounds = 0
+    while remaining and rounds < max_rounds:
+        owner: Dict[int, Optional[int]] = {}
+        for x in remaining:
+            for y in set(graph.neighbors(x)):
+                owner[y] = x if y not in owner else None
+        assigned_now: List[int] = []
+        still: List[int] = []
+        for x in remaining:
+            uniq_stripes = [
+                i
+                for (i, j) in graph.striped_neighbors(x)
+                if owner.get(i * graph.stripe_size + j) == x
+            ]
+            if len(uniq_stripes) >= m_need:
+                assignment[x] = tuple(sorted(uniq_stripes)[:m_need])
+                assigned_now.append(x)
+            else:
+                still.append(x)
+        if not assigned_now:
+            break
+        round_sizes.append(len(assigned_now))
+        remaining = still
+        rounds += 1
+    return AssignmentResult(
+        assignment=assignment,
+        rounds=rounds,
+        round_sizes=round_sizes,
+        overflow=remaining,
+    )
+
+
+@dataclass
+class StaticBuildReport:
+    """Construction statistics (compared against sort(nd) in benchmarks)."""
+
+    n: int
+    case: str
+    rounds: int
+    cost: OpCost
+    membership_cost: OpCost
+    space_bits: int
+    overflow: int
+
+
+class StaticDictionary(Dictionary):
+    """One-probe static dictionary (build via :meth:`build`)."""
+
+    def __init__(self):  # pragma: no cover - guidance only
+        raise TypeError("use StaticDictionary.build(...)")
+
+    @classmethod
+    def build(
+        cls,
+        machine: AbstractDiskMachine,
+        items: Mapping[int, int],
+        *,
+        universe_size: int,
+        sigma: int,
+        case: str = "a",
+        degree: Optional[int] = None,
+        stripe_slack: float = 4.0,
+        seed: int = 0,
+        disk_offset: int = 0,
+        graph: Optional[StripedExpander] = None,
+        strict: bool = True,
+        construction: str = "fast",
+    ) -> "StaticDictionary":
+        """Construct the dictionary for a fixed key -> value map.
+
+        ``sigma`` is the satellite size in bits; values are integers in
+        ``[0, 2^sigma)``.  ``case`` is ``'a'`` or ``'b'`` per Theorem 6.
+        ``strict`` controls whether unassignable keys (possible only when
+        the graph's expansion is inadequate for the parameters) raise or are
+        reported in the build report.  ``construction='extsort'`` runs the
+        assignment through the paper's external-sorting procedure
+        (:mod:`repro.core.static_construction`) so its ``O(sort(nd))`` I/O
+        cost is measured; ``'fast'`` computes the identical assignment in
+        host memory and charges only the field/membership writes.
+        """
+        self = object.__new__(cls)
+        if case not in ("a", "b"):
+            raise ValueError(f"case must be 'a' or 'b', got {case!r}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        n = len(items)
+        if n == 0:
+            raise ValueError("cannot build a static dictionary over no keys")
+        self.universe_size = universe_size
+        self.sigma = sigma
+        self.case = case
+        self.machine = machine
+        self.n = n
+
+        groups = 2 if case == "a" else 1
+        if graph is not None:
+            degree = graph.degree
+        if degree is None:
+            degree = (machine.num_disks - disk_offset) // groups
+        if degree < 4:
+            raise ValueError(
+                f"need degree >= 4 (paper: d > 12 for eps = 1/12), got {degree}"
+            )
+        if disk_offset + groups * degree > machine.num_disks:
+            raise ValueError(
+                f"case ({case}) needs {groups * degree} disks from offset "
+                f"{disk_offset}; machine has {machine.num_disks}"
+            )
+        self.degree = degree
+        self.m_need = fields_needed(degree)
+        stripe_size = (
+            graph.stripe_size if graph is not None
+            else max(1, math.ceil(stripe_slack * n))
+        )
+        if graph is None:
+            graph = SeededRandomExpander(
+                left_size=universe_size,
+                degree=degree,
+                stripe_size=stripe_size,
+                seed=seed,
+            )
+        self.graph = graph
+
+        keys_sorted = sorted(items)
+        for key in keys_sorted:
+            self._check_key(key)
+        for key, value in items.items():
+            if not 0 <= value < (1 << max(sigma, 1)):
+                raise ValueError(
+                    f"value {value} of key {key} does not fit in sigma="
+                    f"{sigma} bits"
+                )
+
+        snap = machine.stats.snapshot()
+        self.external_report = None
+        if construction == "extsort":
+            from repro.core.static_construction import external_assignment
+
+            assignment, ext_report = external_assignment(
+                machine, graph, keys_sorted, m_need=self.m_need
+            )
+            result = AssignmentResult(
+                assignment=assignment,
+                rounds=ext_report.rounds,
+                round_sizes=ext_report.round_sizes,
+                overflow=ext_report.overflow,
+            )
+            self.external_report = ext_report
+        elif construction == "fast":
+            result = assign_unique_neighbors(
+                graph, keys_sorted, m_need=self.m_need
+            )
+        else:
+            raise ValueError(
+                f"construction must be 'fast' or 'extsort', got {construction!r}"
+            )
+        if result.overflow and strict:
+            raise CapacityExceeded(
+                f"{len(result.overflow)} keys could not be assigned "
+                f"{self.m_need} unique neighbors; enlarge stripe_slack or "
+                f"the degree"
+            )
+        self.assignment = result.assignment
+
+        self.ident_bits = max(1, math.ceil(math.log2(max(n, 2))))
+        self._ident = {key: rank for rank, key in enumerate(keys_sorted)}
+
+        membership_cost = OpCost.zero()
+        if case == "b":
+            self.membership = None
+            frag_bits = math.ceil(sigma / self.m_need) if sigma else 0
+            self.field_bits = self.ident_bits + max(frag_bits, 0)
+            self.array = StripedFieldArray(
+                machine,
+                stripes=degree,
+                stripe_size=stripe_size,
+                field_bits=self.field_bits,
+                disk_offset=disk_offset,
+            )
+            self._fill_case_b(items)
+        else:
+            self.membership = BasicDictionary(
+                machine,
+                universe_size=universe_size,
+                capacity=n,
+                degree=degree,
+                disk_offset=disk_offset,
+                seed=seed + 1,
+            )
+            if sigma > 0:
+                self.field_bits = max(
+                    math.ceil(3 * sigma / (2 * degree)) + 4,
+                    required_field_bits(sigma, self.m_need, degree),
+                )
+                self.array = StripedFieldArray(
+                    machine,
+                    stripes=degree,
+                    stripe_size=stripe_size,
+                    field_bits=self.field_bits,
+                    disk_offset=disk_offset + degree,
+                )
+            else:
+                self.field_bits = 0
+                self.array = None
+            mem_snap = machine.stats.snapshot()
+            self._fill_case_a(items)
+            membership_cost = machine.stats.since(mem_snap)
+
+        self.report = StaticBuildReport(
+            n=n,
+            case=case,
+            rounds=result.rounds,
+            cost=machine.stats.since(snap),
+            membership_cost=membership_cost,
+            space_bits=self.space_bits,
+            overflow=len(result.overflow),
+        )
+        return self
+
+    # -- construction fills ---------------------------------------------------
+
+    def _record_bits(self, value: int) -> BitVector:
+        return BitVector.from_int(value, self.sigma)
+
+    def _fill_case_b(self, items: Mapping[int, int]) -> None:
+        frag_w = math.ceil(self.sigma / self.m_need) if self.sigma else 0
+        writes: Dict[Tuple[int, int], Tuple[int, BitVector]] = {}
+        stripe_index = self._stripe_index_map()
+        for key, stripes in self.assignment.items():
+            record = self._record_bits(items[key])
+            ident = self._ident[key]
+            for t, stripe in enumerate(stripes):
+                frag = (
+                    record[t * frag_w : (t + 1) * frag_w]
+                    if frag_w
+                    else BitVector()
+                )
+                writes[(stripe, stripe_index[key][stripe])] = (ident, frag)
+        self.array.write_fields(writes)
+
+    def _fill_case_a(self, items: Mapping[int, int]) -> None:
+        stripe_index = self._stripe_index_map()
+        writes: Dict[Tuple[int, int], BitVector] = {}
+        heads: Dict[int, int] = {}
+        for key, stripes in self.assignment.items():
+            heads[key] = stripes[0]
+            if self.array is not None:
+                record = self._record_bits(items[key])
+                encoded = encode_chain(record, list(stripes), self.field_bits)
+                for stripe, contents in encoded.items():
+                    writes[(stripe, stripe_index[key][stripe])] = contents
+        # Static construction: fill the membership dictionary with batched
+        # writes rather than n individual 2-I/O inserts.
+        self.membership.bulk_build(heads)
+        if self.array is not None:
+            self.array.write_fields(writes)
+
+    def _stripe_index_map(self) -> Dict[int, Dict[int, int]]:
+        """key -> {stripe -> index within stripe} over its neighbors."""
+        out: Dict[int, Dict[int, int]] = {}
+        for key in self.assignment:
+            out[key] = {i: j for (i, j) in self.graph.striped_neighbors(key)}
+        return out
+
+    # -- operations -----------------------------------------------------------------
+
+    def lookup(self, key: int) -> LookupResult:
+        self._check_key(key)
+        if self.case == "b":
+            return self._lookup_case_b(key)
+        return self._lookup_case_a(key)
+
+    def _lookup_case_b(self, key: int) -> LookupResult:
+        with measure(self.machine) as m:
+            locs = self.graph.striped_neighbors(key)
+            fields = self.array.read_fields(locs)
+            counts: Dict[int, int] = {}
+            for loc in locs:
+                val = fields[loc]
+                if val is not None:
+                    ident = val[0]
+                    counts[ident] = counts.get(ident, 0) + 1
+        majority = None
+        for ident, cnt in counts.items():
+            if cnt > self.degree / 2:
+                majority = ident
+                break
+        if majority is None:
+            return LookupResult(False, None, m.cost)
+        frags = [
+            (stripe, fields[(stripe, j)][1])
+            for (stripe, j) in locs
+            if fields[(stripe, j)] is not None
+            and fields[(stripe, j)][0] == majority
+        ]
+        frags.sort()
+        record = BitVector()
+        for _, frag in frags:
+            record = record + frag
+        value = record[: self.sigma].to_int() if self.sigma else None
+        return LookupResult(True, value, m.cost)
+
+    def _lookup_case_a(self, key: int) -> LookupResult:
+        # The two sub-dictionaries live on disjoint disk groups and are
+        # probed simultaneously: combine costs with `parallel`.
+        mem_result = self.membership.lookup(key)
+        if self.array is None:
+            return mem_result
+        with measure(self.machine) as m:
+            locs = self.graph.striped_neighbors(key)
+            fields = self.array.read_fields(locs)
+        cost = OpCost.parallel(mem_result.cost, m.cost)
+        if not mem_result.found:
+            return LookupResult(False, None, cost)
+        head = mem_result.value
+        by_stripe = {stripe: fields[(stripe, j)] for (stripe, j) in locs}
+        record = decode_chain(
+            by_stripe, head, self.field_bits, self.sigma, self.degree
+        )
+        return LookupResult(True, record.to_int(), cost)
+
+    def insert(self, key: int, value: int = None) -> OpCost:
+        raise NotImplementedError(
+            "StaticDictionary is static; use DynamicDictionary (Section 4.3) "
+            "or rebuild"
+        )
+
+    # -- audits -------------------------------------------------------------------------
+
+    @property
+    def space_bits(self) -> int:
+        """Declared external space of the structure."""
+        bits = 0
+        if self.array is not None:
+            bits += self.array.total_bits
+        if self.membership is not None:
+            b = self.membership.buckets
+            bits += (
+                b.num_buckets * b.blocks_per_bucket * self.machine.block_bits
+            )
+        return bits
+
+    def __len__(self) -> int:
+        return self.n

@@ -1,0 +1,85 @@
+"""Unbalanced bipartite expander graphs.
+
+All dictionaries of the paper consume an expander only through its neighbor
+function ``F(x, i)``; everything else (construction, verification, striping)
+lives here.
+
+* :mod:`~repro.expanders.base` — interfaces and the parameter records of
+  Definitions 1 and 2.
+* :mod:`~repro.expanders.random_graph` — seeded pseudo-random striped
+  left-regular graphs.  The paper assumes access to a fixed optimal expander
+  "for free" (such graphs exist, e.g. random ones, whp); fixing a seed fixes
+  a graph, and the dictionaries then run fully deterministically on it.
+* :mod:`~repro.expanders.existence` — probabilistic-method bounds used to
+  pick parameters for which a random graph is an expander whp.
+* :mod:`~repro.expanders.verify` — expansion checking: exact subset
+  enumeration for tiny graphs, sampling otherwise, plus the unique-neighbor
+  quantities of Lemmas 4 and 5 that the dictionary proofs actually consume.
+* :mod:`~repro.expanders.explicit` — Theorem 9 stand-in: preprocessing
+  search for certified small base expanders, stored as internal-memory
+  tables with space accounting.
+* :mod:`~repro.expanders.telescope` — the telescope product (Lemma 10) and
+  its recursion (Lemma 11).
+* :mod:`~repro.expanders.semi_explicit` — the Theorem 12 construction for
+  ``u = poly(N)``.
+* :mod:`~repro.expanders.striping` — the trivial striping transform (copy
+  the right side per disk; factor-``d`` space, Section 5 closing remark).
+"""
+
+from repro.expanders.base import (
+    Expander,
+    StripedExpander,
+    ExpanderParams,
+    NEpsParams,
+)
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.expanders.existence import (
+    log2_comb,
+    expansion_failure_log2_prob,
+    recommended_degree,
+    recommended_params,
+)
+from repro.expanders.verify import (
+    neighbor_set,
+    unique_neighbor_set,
+    well_assignable_subset,
+    lemma4_bound,
+    lemma5_bound,
+    verify_expansion_exact,
+    verify_expansion_sampled,
+    max_pairwise_overlap,
+)
+from repro.expanders.audit import ExpansionAudit, expansion_audit
+from repro.expanders.explicit import TabulatedExpander, find_base_expander
+from repro.expanders.guv import GUVExpander
+from repro.expanders.telescope import TelescopeProduct
+from repro.expanders.semi_explicit import SemiExplicitExpander
+from repro.expanders.striping import TriviallyStripedExpander
+
+__all__ = [
+    "Expander",
+    "StripedExpander",
+    "ExpanderParams",
+    "NEpsParams",
+    "SeededRandomExpander",
+    "log2_comb",
+    "expansion_failure_log2_prob",
+    "recommended_degree",
+    "recommended_params",
+    "neighbor_set",
+    "unique_neighbor_set",
+    "well_assignable_subset",
+    "lemma4_bound",
+    "lemma5_bound",
+    "verify_expansion_exact",
+    "verify_expansion_sampled",
+    "max_pairwise_overlap",
+    "ExpansionAudit",
+    "expansion_audit",
+    "TabulatedExpander",
+    "find_base_expander",
+    "GUVExpander",
+    "TelescopeProduct",
+    "SemiExplicitExpander",
+    "TriviallyStripedExpander",
+]

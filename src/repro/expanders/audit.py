@@ -1,0 +1,116 @@
+"""One-call expansion audits.
+
+Benchmarks and notebooks keep re-deriving the same quartet of measured
+quantities for a concrete (graph, key set) pair; :func:`expansion_audit`
+computes them all at once:
+
+* ``gamma`` — ``|Γ(S)|`` and the implied measured ``eps``;
+* ``phi`` — ``|Φ(S)|`` with the Lemma 4 bound at the measured eps;
+* the Lemma 5 assignable fractions for a sweep of ``lambda`` values;
+* the pairwise-overlap maximum that Theorem 6(b)'s majority decoding
+  relies on (optional — quadratic in ``|S|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.expanders.base import Expander
+from repro.expanders.verify import (
+    lemma4_bound,
+    lemma5_bound,
+    max_pairwise_overlap,
+    neighbor_set,
+    unique_neighbor_set,
+    well_assignable_subset,
+)
+
+
+@dataclass(frozen=True)
+class ExpansionAudit:
+    """Every measured expansion quantity for one (graph, S) pair."""
+
+    n: int
+    degree: int
+    right_size: int
+    gamma: int
+    phi: int
+    eps_measured: float
+    lemma4_bound: float
+    #: lambda -> (|S'| measured, Lemma 5 bound)
+    assignable: Dict[float, Tuple[int, float]] = field(default_factory=dict)
+    max_overlap: Optional[int] = None
+
+    @property
+    def lemma4_holds(self) -> bool:
+        return self.phi >= self.lemma4_bound - 1e-9
+
+    @property
+    def lemma5_holds(self) -> bool:
+        return all(
+            measured >= bound - 1e-9
+            for measured, bound in self.assignable.values()
+        )
+
+    @property
+    def majority_margin(self) -> Optional[float]:
+        """How far pairwise overlaps sit below the d/2 majority threshold
+        (None when overlap was not computed)."""
+        if self.max_overlap is None:
+            return None
+        return self.degree / 2 - self.max_overlap
+
+    def summary(self) -> str:
+        lines = [
+            f"n={self.n} d={self.degree} v={self.right_size}",
+            f"gamma=|Γ(S)|={self.gamma}  eps_meas={self.eps_measured:.4f}",
+            f"phi=|Φ(S)|={self.phi}  lemma4>={self.lemma4_bound:.1f} "
+            f"({'OK' if self.lemma4_holds else 'VIOLATED'})",
+        ]
+        for lam, (measured, bound) in sorted(self.assignable.items()):
+            lines.append(
+                f"lambda={lam:.3f}: |S'|={measured}  lemma5>={bound:.1f} "
+                f"({'OK' if measured >= bound - 1e-9 else 'VIOLATED'})"
+            )
+        if self.max_overlap is not None:
+            lines.append(
+                f"max pairwise overlap={self.max_overlap} "
+                f"(majority margin {self.majority_margin:.1f})"
+            )
+        return "\n".join(lines)
+
+
+def expansion_audit(
+    graph: Expander,
+    S: Sequence[int],
+    *,
+    lambdas: Sequence[float] = (1 / 3,),
+    with_overlap: bool = False,
+) -> ExpansionAudit:
+    """Measure Γ, Φ, eps, and the Lemma 4/5 quantities for ``S``."""
+    S = list(dict.fromkeys(S))
+    n = len(S)
+    if n == 0:
+        raise ValueError("cannot audit an empty set")
+    d = graph.degree
+    gamma = len(neighbor_set(graph, S))
+    phi = len(unique_neighbor_set(graph, S))
+    eps = max(0.0, 1 - gamma / (d * n))
+    assignable = {}
+    for lam in lambdas:
+        measured = len(well_assignable_subset(graph, S, lam))
+        bound = lemma5_bound(n, eps, lam) if eps > 0 else float(n)
+        assignable[lam] = (measured, max(0.0, bound))
+    overlap = max_pairwise_overlap(graph, S) if with_overlap else None
+    return ExpansionAudit(
+        n=n,
+        degree=d,
+        right_size=graph.right_size,
+        gamma=gamma,
+        phi=phi,
+        eps_measured=eps,
+        lemma4_bound=max(0.0, lemma4_bound(d, eps, n)),
+        assignable=assignable,
+        max_overlap=overlap,
+    )

@@ -1,0 +1,202 @@
+"""Probabilistic-method parameter selection.
+
+The paper (Section 2) cites the standard counting argument: ``(d, eps,
+delta)``-expanders with ``d = O(log(u / v))`` exist for any positive
+constants ``eps, delta``, and ``(N, eps)``-expanders exist with
+``v = Theta(N d)``.  These are the calculations behind that sentence,
+exposed so that dictionaries can pick degrees/array sizes for which a seeded
+random graph fails to expand with probability ``2^-40`` or less — i.e. for
+which a fixed seed is, for every practical purpose, a fixed good expander.
+
+The union bound: a uniformly random striped left-``d``-regular graph fails
+to be an ``(N, eps)``-expander with probability at most::
+
+    sum_{s=2}^{N}  C(u, s) * C(v, t_s) * (t_s / v)^(d*s)
+
+where ``t_s = ceil((1 - eps) d s) - 1`` is the largest deficient neighbor
+count for a set of size ``s`` (all ``d*s`` edge endpoints must land inside
+some ``t_s``-subset of ``V``).  We compute everything in log2 space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def log2_comb(n: int, k: int) -> float:
+    """``log2(C(n, k))`` computed stably via lgamma."""
+    if k < 0 or k > n:
+        return float("-inf")
+    if k == 0 or k == n:
+        return 0.0
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(2)
+
+
+def _log2_add(a: float, b: float) -> float:
+    """``log2(2^a + 2^b)`` without overflow."""
+    if a == float("-inf"):
+        return b
+    if b == float("-inf"):
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log2(1 + 2 ** (lo - hi))
+
+
+def expansion_failure_log2_prob(
+    u: int, v: int, d: int, N: int, eps: float
+) -> float:
+    """``log2`` of the union-bound probability that a uniformly random
+    left-``d``-regular graph ``[u] -> [v]`` is *not* an ``(N, eps)``-expander.
+
+    The bound counts *redundant edges*: if a set ``S`` of size ``s`` has at
+    most ``ds - k`` distinct neighbors, then some ``k`` of its ``ds`` edges
+    end inside the image of the other ``ds - k`` edges; union over the
+    ``C(ds, k)`` choices, each with probability at most ``(ds / v)^k`` by
+    edge independence.  With ``k = floor(eps d s) + 1`` (the smallest
+    deficiency violating Definition 2)::
+
+        P <= sum_s  C(u, s) * C(ds, k_s) * (ds / v)^{k_s}
+
+    Consequences worth knowing (visible in the numbers this returns): a
+    certified guarantee needs ``v >~ (e / eps) * d * N`` **and**
+    ``eps * d >~ log2(u e / N)`` — i.e. the paper's ``d = O(log u)`` and
+    ``v = Theta(N d)`` carry constants that scale like ``1 / eps``.
+
+    Returns ``-inf`` when the bound is 0 (no deficient set is possible).
+    """
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must lie in (0, 1), got {eps}")
+    if N <= 0 or u <= 0 or v <= 0 or d <= 0:
+        raise ValueError("u, v, d, N must be positive")
+    total = float("-inf")
+    for s in range(2, min(N, u) + 1):
+        if math.ceil((1 - eps) * d * s) > v:
+            # Definition 2 would demand more neighbors than |V| has; no
+            # graph can satisfy it, so the "failure" is certain.
+            return 0.0
+        k = math.floor(eps * d * s) + 1
+        if k > d * s:
+            continue  # cannot lose more edges than exist
+        term = log2_comb(u, s) + log2_comb(d * s, k) + k * math.log2(d * s / v)
+        total = _log2_add(total, term)
+    return total
+
+
+def recommended_degree(
+    u: int, v: int, N: int, eps: float, *, target_log2_prob: float = -40.0
+) -> int:
+    """Smallest degree ``d`` for which the union bound is below the target.
+
+    This realises the ``d = O(log u)`` of the paper's theorems with the
+    constant made concrete for finite sizes.
+    """
+    for d in range(max(2, math.ceil(1 / eps)), 4096):
+        if expansion_failure_log2_prob(u, v, d, N, eps) <= target_log2_prob:
+            return d
+    raise ValueError(
+        f"no degree up to 4096 achieves failure prob 2^{target_log2_prob} "
+        f"for u={u}, v={v}, N={N}, eps={eps}"
+    )
+
+
+@dataclass(frozen=True)
+class RecommendedParams:
+    """A (degree, stripe_size) pair plus its certified failure bound."""
+
+    degree: int
+    stripe_size: int
+    eps: float
+    failure_log2_prob: float
+
+    @property
+    def right_size(self) -> int:
+        return self.degree * self.stripe_size
+
+
+def recommended_params(
+    u: int,
+    N: int,
+    eps: float,
+    *,
+    slack: float | None = None,
+    target_log2_prob: float = -40.0,
+    min_degree: int = 2,
+    max_degree: int = 512,
+) -> RecommendedParams:
+    """Pick ``(d, stripe_size)`` for an ``(N, eps)``-expander with
+    ``v = slack * N * d`` — the paper's ``v = Theta(N d)``, where the Theta
+    constant necessarily scales like ``1/eps``.
+
+    Why: a set of size ``N`` has ``dN`` edge endpoints; even a perfectly
+    random graph keeps ``(1 - eps)`` of them distinct only when
+    ``dN / v <~ 2 eps`` (birthday bound), i.e. ``v >~ dN / (2 eps)``.  With
+    ``slack=None`` the search starts at ``1/eps`` per-``Nd`` slack and grows
+    it geometrically until the union bound clears the target.
+    """
+    if N <= 0:
+        raise ValueError(f"N must be positive, got {N}")
+    base_slack = slack if slack is not None else 1.0 / eps
+    cur_slack = base_slack
+    for _ in range(24):
+        d = max(min_degree, math.ceil(1 / eps) + 1, 3)
+        while d <= max_degree:
+            stripe_size = max(1, math.ceil(cur_slack * N))
+            v = d * stripe_size
+            log2p = expansion_failure_log2_prob(u, v, d, N, eps)
+            if log2p <= target_log2_prob:
+                return RecommendedParams(
+                    degree=d,
+                    stripe_size=stripe_size,
+                    eps=eps,
+                    failure_log2_prob=log2p,
+                )
+            d += 1
+        if slack is not None:
+            break  # caller pinned the slack; do not silently change it
+        cur_slack *= 1.5
+    raise ValueError(
+        f"no parameters found for u={u}, N={N}, eps={eps}, slack={slack}"
+    )
+
+
+def practical_params(
+    u: int,
+    N: int,
+    eps: float,
+    *,
+    slack: float | None = None,
+    min_degree: int = 2,
+) -> RecommendedParams:
+    """Expectation-grade parameters for running on a concrete seeded graph.
+
+    :func:`recommended_params` certifies the *adversarial* guarantee (every
+    subset of ``U`` expands), which forces ``eps * d >= log2(u e / N)`` —
+    degrees in the hundreds at realistic sizes.  Dictionaries operating on a
+    *fixed* key set drawn without reference to the graph behave according to
+    the expectation calculation instead: with ``v = slack * d * N`` the
+    expected fraction of distinct neighbors of an ``N``-set is
+    ``(v / dN)(1 - e^{-dN/v})``, which exceeds ``1 - eps`` as soon as
+    ``dN / v <= 2 eps`` (second-order Taylor), i.e. ``slack >= 1/(2 eps)``.
+    We default to ``slack = 1/eps`` (double the birthday floor) and
+    ``d = 2 ceil(log2 u)`` — the paper's ``D = Omega(log u)`` with a
+    concrete constant — so measured unique-neighbor fractions clear the
+    Lemma 4/5 thresholds with margin.  Benchmarks confirm this empirically;
+    the certified story lives in :func:`recommended_params`.
+    """
+    if N <= 0:
+        raise ValueError(f"N must be positive, got {N}")
+    if not 0 < eps < 1:
+        raise ValueError(f"eps must lie in (0, 1), got {eps}")
+    slack = (1.0 / eps) if slack is None else slack
+    d = max(min_degree, 2 * math.ceil(math.log2(max(u, 2))), math.ceil(1 / eps) + 1)
+    stripe_size = max(1, math.ceil(slack * N))
+    v = d * stripe_size
+    return RecommendedParams(
+        degree=d,
+        stripe_size=stripe_size,
+        eps=eps,
+        failure_log2_prob=expansion_failure_log2_prob(u, v, d, N, eps),
+    )

@@ -1,0 +1,45 @@
+"""Trivial striping of a non-striped expander (Section 5, closing remark).
+
+Explicit constructions (including the telescope product) do not yield
+*striped* expanders, which the parallel disk model needs so that one probe
+touches one block per disk.  The paper's fix: "we may stripe an expander
+``F : U x [d] -> V`` in a trivial manner by making a copy ``V_i`` of the
+right side for each disk ``i``.  In order to find the neighbor of ``x`` we
+calculate ``F(x, i)`` and return the corresponding vertex in ``V_i``.  This
+incurs a factor ``d`` increase in the size of the right part, and hence a
+factor ``d`` larger external memory space usage."
+
+Expansion carries over: distinct neighbors stay distinct (each stripe is a
+faithful copy), and vertices that collided across different edge indices
+become distinct, so ``|Γ_striped(S)| >= |Γ(S)|`` for every ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.expanders.base import Expander, StripedExpander
+
+
+class TriviallyStripedExpander(StripedExpander):
+    """Striping-by-copying adapter around any :class:`Expander`."""
+
+    def __init__(self, inner: Expander):
+        self.inner = inner
+        self.left_size = inner.left_size
+        self.degree = inner.degree
+        self.stripe_size = inner.right_size
+        self.right_size = inner.degree * inner.right_size
+
+    def striped_neighbors(self, x: int) -> Tuple[Tuple[int, int], ...]:
+        self._check_left(x)
+        return tuple(enumerate(self.inner.neighbors(x)))
+
+    @property
+    def space_blowup(self) -> int:
+        """Factor increase of the right part: exactly ``d``."""
+        return self.degree
+
+    @property
+    def memory_words(self) -> int:
+        return getattr(self.inner, "memory_words", 0)

@@ -1,0 +1,213 @@
+"""Expansion verification and the unique-neighbor quantities of Section 4.2.
+
+The dictionary proofs never use expansion directly; they use derived
+quantities:
+
+* ``Γ(S)`` — the neighbor set (Definition 1/2);
+* ``Φ(S)`` — the *unique neighbor* nodes: right vertices adjacent to exactly
+  one element of ``S`` (Lemma 4: ``|Φ(S)| >= (1 - 2 eps) d |S|``);
+* ``S'`` — the keys owning at least ``(1 - lambda) d`` unique neighbors
+  (Lemma 5: ``|S'| >= (1 - 2 eps / lambda) |S|``).
+
+This module computes all three exactly for concrete graphs and sets, plus
+exact (subset-enumerating) and sampled expansion certification, so tests and
+benchmarks can compare the lemma bounds against measured values on the
+seeded graphs the dictionaries actually run on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.expanders.base import Expander
+
+
+def neighbor_set(graph: Expander, S: Iterable[int]) -> Set[int]:
+    """``Γ(S)`` as a set of flat right-vertex ids."""
+    out: Set[int] = set()
+    for x in S:
+        out.update(graph.neighbors(x))
+    return out
+
+
+def unique_neighbor_set(graph: Expander, S: Iterable[int]) -> Set[int]:
+    """``Φ(S)``: right vertices with exactly one neighbor in ``S``.
+
+    A vertex reached twice *by the same key* (a multi-edge) still counts as
+    unique to that key — uniqueness is about ownership, which is what the
+    assignment procedure of Theorem 6 needs.
+    """
+    owner_count: Counter = Counter()
+    for x in S:
+        for y in set(graph.neighbors(x)):
+            owner_count[y] += 1
+    return {y for y, c in owner_count.items() if c == 1}
+
+
+def unique_neighbors_of(
+    graph: Expander, x: int, phi: Set[int]
+) -> Tuple[int, ...]:
+    """The members of ``Γ(x)`` that lie in ``Φ(S)`` (given precomputed Φ)."""
+    return tuple(y for y in dict.fromkeys(graph.neighbors(x)) if y in phi)
+
+
+def well_assignable_subset(
+    graph: Expander, S: Sequence[int], lam: float
+) -> List[int]:
+    """Lemma 5's ``S' = { x in S : |Γ(x) ∩ Φ(S)| >= (1 - lam) d }``."""
+    phi = unique_neighbor_set(graph, S)
+    threshold = (1 - lam) * graph.degree
+    out = []
+    for x in S:
+        count = sum(1 for y in set(graph.neighbors(x)) if y in phi)
+        if count >= threshold:
+            out.append(x)
+    return out
+
+
+def lemma4_bound(d: int, eps: float, n: int) -> float:
+    """Lemma 4: ``|Φ(S)| >= (1 - 2 eps) d n``."""
+    return (1 - 2 * eps) * d * n
+
+
+def lemma5_bound(n: int, eps: float, lam: float) -> float:
+    """Lemma 5: ``|S'| >= (1 - 2 eps / lam) n``."""
+    return (1 - 2 * eps / lam) * n
+
+
+@dataclass(frozen=True)
+class ExpansionReport:
+    """Result of an expansion check."""
+
+    is_expander: bool
+    worst_set: Tuple[int, ...]
+    worst_ratio: float  # |Γ(S)| / (d |S|) for the worst set examined
+    sets_checked: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.is_expander
+
+
+def verify_expansion_exact(
+    graph: Expander, N: int, eps: float, *, max_sets: int = 2_000_000
+) -> ExpansionReport:
+    """Exhaustively check Definition 2 over all subsets of size ``<= N``.
+
+    Only feasible for tiny graphs; raises if the subset count exceeds
+    ``max_sets`` (use :func:`verify_expansion_sampled` instead).
+    """
+    u, d = graph.left_size, graph.degree
+    total = sum(math.comb(u, s) for s in range(1, min(N, u) + 1))
+    if total > max_sets:
+        raise ValueError(
+            f"{total} subsets to check exceeds max_sets={max_sets}; "
+            f"use verify_expansion_sampled"
+        )
+    worst_ratio = float("inf")
+    worst_set: Tuple[int, ...] = ()
+    checked = 0
+    ok = True
+    for s in range(1, min(N, u) + 1):
+        need = math.ceil((1 - eps) * d * s)
+        for S in itertools.combinations(range(u), s):
+            checked += 1
+            got = len(neighbor_set(graph, S))
+            ratio = got / (d * s)
+            if ratio < worst_ratio:
+                worst_ratio = ratio
+                worst_set = S
+            if got < need:
+                ok = False
+    return ExpansionReport(ok, worst_set, worst_ratio, checked)
+
+
+def verify_expansion_sampled(
+    graph: Expander,
+    N: int,
+    eps: float,
+    *,
+    trials: int = 2000,
+    seed: int = 0,
+) -> ExpansionReport:
+    """Monte-Carlo spot check of Definition 2: random subsets of random sizes
+    up to ``N``.  A failure is conclusive; a pass is evidence (the existence
+    bounds of :mod:`repro.expanders.existence` carry the actual guarantee).
+    """
+    u, d = graph.left_size, graph.degree
+    rng = random.Random(seed)
+    worst_ratio = float("inf")
+    worst_set: Tuple[int, ...] = ()
+    ok = True
+    for _ in range(trials):
+        s = rng.randint(1, min(N, u))
+        S = tuple(rng.sample(range(u), s))
+        got = len(neighbor_set(graph, S))
+        need = math.ceil((1 - eps) * d * s)
+        ratio = got / (d * s)
+        if ratio < worst_ratio:
+            worst_ratio = ratio
+            worst_set = S
+        if got < need:
+            ok = False
+    return ExpansionReport(ok, worst_set, worst_ratio, trials)
+
+
+def verify_definition1_sampled(
+    graph: Expander,
+    params,
+    *,
+    trials: int = 1000,
+    max_set_size: int | None = None,
+    seed: int = 0,
+) -> ExpansionReport:
+    """Monte-Carlo check of **Definition 1**: every sampled ``S`` has at
+    least ``min((1-eps) d |S|, (1-delta) v)`` neighbors.
+
+    This is the form Lemma 3's load-balancing proof consumes (the
+    ``(1-delta) v`` branch is what caps the bucket count ``B(mu)``).
+    ``params`` is an :class:`~repro.expanders.base.ExpanderParams`.
+    """
+    import random as _random
+
+    u, d, v = graph.left_size, graph.degree, graph.right_size
+    rng = _random.Random(seed)
+    cap = min(u, max_set_size) if max_set_size else u
+    worst_ratio = float("inf")
+    worst_set: Tuple[int, ...] = ()
+    ok = True
+    for _ in range(trials):
+        s = rng.randint(1, cap)
+        S = rng.sample(range(u), s)
+        got = len(neighbor_set(graph, S))
+        need = params.guaranteed_neighbors(s, v)
+        ratio = got / need if need else float("inf")
+        if ratio < worst_ratio:
+            worst_ratio = ratio
+            worst_set = tuple(S)
+        if got < need:
+            ok = False
+    return ExpansionReport(ok, worst_set, worst_ratio, trials)
+
+
+def max_pairwise_overlap(graph: Expander, S: Sequence[int]) -> int:
+    """``max |Γ(x) ∩ Γ(y)|`` over distinct ``x, y`` in ``S``.
+
+    Theorem 6(b)'s majority decoding relies on "no two keys from U can have
+    more than eps*d common neighbors"; this measures the quantity for a
+    concrete set so tests can check the decoding margin.
+    """
+    neigh = {x: set(graph.neighbors(x)) for x in S}
+    best = 0
+    items = list(S)
+    for idx, x in enumerate(items):
+        nx = neigh[x]
+        for y in items[idx + 1 :]:
+            common = len(nx & neigh[y])
+            if common > best:
+                best = common
+    return best

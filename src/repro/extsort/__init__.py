@@ -1,0 +1,27 @@
+"""External-memory sorting on the parallel disk model.
+
+Theorem 6's construction runs "in time proportional to the time it takes to
+sort ``nd`` records"; this package provides that substrate:
+
+* :class:`~repro.extsort.array.ExternalRecordArray` — a striped sequence of
+  fixed-size records on the machine's disks, with sequential scans and
+  appends charged at ``ceil(blocks / D)`` parallel I/Os per round.
+* :func:`~repro.extsort.mergesort.external_merge_sort` — run formation plus
+  multiway merging with honest buffer accounting (one block per input run
+  and one output block must fit in internal memory).
+* :mod:`~repro.extsort.analysis` — the textbook I/O bounds
+  ``sort(n) = Theta((n / DB) log_{M/B}(n / B))`` for comparison in tests and
+  benchmarks.
+"""
+
+from repro.extsort.array import ExternalRecordArray
+from repro.extsort.mergesort import external_merge_sort, SortReport
+from repro.extsort.analysis import scan_ios, sort_ios_bound
+
+__all__ = [
+    "ExternalRecordArray",
+    "external_merge_sort",
+    "SortReport",
+    "scan_ios",
+    "sort_ios_bound",
+]

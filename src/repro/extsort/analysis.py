@@ -1,0 +1,49 @@
+"""Closed-form I/O bounds for scans and sorts on the PDM.
+
+Used by tests and benchmarks to compare measured costs against the textbook
+formulas (Aggarwal–Vitter / Vitter–Shriver):
+
+* ``scan(n) = ceil(n / (D * B_rec))`` parallel I/Os,
+* ``sort(n) = Theta((n / (D * B_rec)) * log_{M/B}(n / B_rec))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def scan_ios(n_records: int, records_per_block: int, num_disks: int) -> int:
+    """Parallel I/Os to stream ``n_records`` once (one direction)."""
+    if n_records < 0 or records_per_block <= 0 or num_disks <= 0:
+        raise ValueError("arguments must be positive (records may be 0)")
+    blocks = math.ceil(n_records / records_per_block)
+    return math.ceil(blocks / num_disks)
+
+
+def merge_passes(
+    n_records: int, memory_records: int, fan_in: int
+) -> int:
+    """Number of merge passes after run formation."""
+    if n_records <= memory_records:
+        return 0
+    runs = math.ceil(n_records / memory_records)
+    return max(1, math.ceil(math.log(runs, fan_in)))
+
+
+def sort_ios_bound(
+    n_records: int,
+    records_per_block: int,
+    num_disks: int,
+    memory_records: int,
+    *,
+    fan_in: int | None = None,
+) -> int:
+    """Upper bound on mergesort I/Os: ``2 * scan`` per pass, with
+    ``1 + merge_passes`` passes (run formation reads and writes once)."""
+    if fan_in is None:
+        fan_in = max(2, memory_records // (num_disks * records_per_block) - 1)
+    passes = 1 + merge_passes(n_records, memory_records, fan_in)
+    one_way = scan_ios(n_records, records_per_block, num_disks)
+    # Each pass reads and writes the data; short final blocks can add one
+    # round per pass on each side.
+    return passes * (2 * one_way + 2)

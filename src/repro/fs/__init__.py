@@ -1,0 +1,13 @@
+"""A deterministic file system on the dictionary (Section 1.2).
+
+"Note that this implementation gives random access to any position in a
+file" — the paper's motivating application, packaged: file names map
+through :class:`~repro.workloads.names.NameCodec` into the dictionary
+universe (no inode translation step), each (name, block) key holds one
+file block, and every operation reports its parallel-I/O cost with the
+dictionary's worst-case guarantees behind it.
+"""
+
+from repro.fs.filesystem import DeterministicFileSystem, FileStat
+
+__all__ = ["DeterministicFileSystem", "FileStat"]

@@ -1,0 +1,180 @@
+"""The deterministic file system.
+
+Layout (two dictionaries, as Section 1.2 sketches):
+
+* a **name table**: key = encoded file name (block 0 of the codec's block
+  space reserved for metadata), value = the file's current length in
+  blocks — this is what replaces the inode-translation walk;
+* a **block store**: key = encoded (name, 1 + block number), value = the
+  block's contents.
+
+Both live in paper dictionaries (the §4.1 structure via the facade, with
+global rebuilding so the file system grows unboundedly), so:
+
+* reading any block of any file = name-table hit is not even needed when
+  the position is known — **one parallel I/O**, worst case;
+* writing a block = 2 parallel I/Os, worst case;
+* all operations deterministic; no operation has a bad tail.
+
+A directory listing is the one operation this design is *not* built for
+(there is deliberately no central directory — Section 1.1); ``list_names``
+is provided as an audit scan and documented as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.facade import ParallelDiskDictionary
+from repro.pdm.iostats import IOStats, OpCost
+from repro.workloads.names import NameCodec
+
+
+@dataclass(frozen=True)
+class FileStat:
+    name: str
+    num_blocks: int
+
+
+class FileNotFound(KeyError):
+    """The named file does not exist."""
+
+
+class DeterministicFileSystem:
+    """Random-access file storage with worst-case I/O guarantees."""
+
+    def __init__(
+        self,
+        *,
+        max_name_bytes: int = 16,
+        max_blocks_per_file: int = 1 << 12,
+        expected_blocks: int = 1024,
+        block_items: int = 64,
+        seed: int = 0,
+    ):
+        # Slot 0 of each file's block space holds its metadata; data blocks
+        # live at slots 1 .. max_blocks_per_file.
+        self.codec = NameCodec(
+            max_name_bytes=max_name_bytes,
+            max_blocks=max_blocks_per_file + 1,
+        )
+        self.max_blocks_per_file = max_blocks_per_file
+        self.store = ParallelDiskDictionary(
+            universe_size=self.codec.universe_size,
+            capacity=max(64, expected_blocks),
+            mode="basic",
+            block_items=block_items,
+            unbounded=True,
+            seed=seed,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _meta_key(self, name: str) -> int:
+        return self.codec.key(name, 0)
+
+    def _block_key(self, name: str, block: int) -> int:
+        if not 0 <= block < self.max_blocks_per_file:
+            raise ValueError(
+                f"block {block} out of range [0, {self.max_blocks_per_file})"
+            )
+        return self.codec.key(name, block + 1)
+
+    def _require(self, name: str) -> Tuple[int, OpCost]:
+        result = self.store.lookup(self._meta_key(name))
+        if not result.found:
+            raise FileNotFound(name)
+        return result.value, result.cost
+
+    # -- operations -----------------------------------------------------------------
+
+    def create(self, name: str) -> OpCost:
+        """Create an empty file; idempotent on existing files."""
+        existing = self.store.lookup(self._meta_key(name))
+        if existing.found:
+            return existing.cost
+        return existing.cost + self.store.insert(self._meta_key(name), 0)
+
+    def exists(self, name: str) -> bool:
+        return self.store.lookup(self._meta_key(name)).found
+
+    def stat(self, name: str) -> FileStat:
+        num_blocks, _cost = self._require(name)
+        return FileStat(name=name, num_blocks=num_blocks)
+
+    def write_block(self, name: str, block: int, data: Any) -> OpCost:
+        """Write (or overwrite) one block; extends the file length if the
+        block lies past the current end.  Worst case: a constant number of
+        parallel I/Os (metadata + block, each a 2-I/O dictionary update)."""
+        length, cost = self._require(name)
+        cost = cost + self.store.insert(self._block_key(name, block), data)
+        if block >= length:
+            cost = cost + self.store.insert(self._meta_key(name), block + 1)
+        return cost
+
+    def append_block(self, name: str, data: Any) -> Tuple[int, OpCost]:
+        """Append one block; returns (block number, cost)."""
+        length, cost = self._require(name)
+        if length >= self.max_blocks_per_file:
+            raise ValueError(
+                f"{name!r} is at the {self.max_blocks_per_file}-block limit"
+            )
+        cost = cost + self.store.insert(self._block_key(name, length), data)
+        cost = cost + self.store.insert(self._meta_key(name), length + 1)
+        return length, cost
+
+    def read_block(self, name: str, block: int) -> Tuple[Any, OpCost]:
+        """Random access to any position of any file — the paper's 1-I/O
+        headline (no name-table hop needed: the (name, block) key goes
+        straight to the data)."""
+        result = self.store.lookup(self._block_key(name, block))
+        if not result.found:
+            # Distinguish "no file" from "hole/short file" for the caller.
+            self._require(name)
+            raise IndexError(f"{name!r} has no block {block}")
+        return result.value, result.cost
+
+    def read_file(self, name: str) -> Tuple[List[Any], OpCost]:
+        """Sequential scan of a whole file (one lookup per block; caching
+        across blocks is the B-tree's consolation prize, not ours to need)."""
+        length, cost = self._require(name)
+        blocks = []
+        for block in range(length):
+            data, c = self.read_block(name, block)
+            blocks.append(data)
+            cost = cost + c
+        return blocks, cost
+
+    def delete(self, name: str) -> OpCost:
+        """Remove the file and all its blocks."""
+        length, cost = self._require(name)
+        for block in range(length):
+            cost = cost + self.store.delete(self._block_key(name, block))
+        cost = cost + self.store.delete(self._meta_key(name))
+        return cost
+
+    def truncate(self, name: str, num_blocks: int) -> OpCost:
+        """Shrink (or no-op) to ``num_blocks`` blocks."""
+        length, cost = self._require(name)
+        for block in range(num_blocks, length):
+            cost = cost + self.store.delete(self._block_key(name, block))
+        if num_blocks < length:
+            cost = cost + self.store.insert(self._meta_key(name), num_blocks)
+        return cost
+
+    # -- audits ---------------------------------------------------------------------
+
+    def list_names(self) -> Iterator[str]:
+        """Audit scan over stored keys (there is no directory structure —
+        by design; see Section 1.1).  Not an I/O-accounted operation."""
+        for key in self.store.stored_keys():
+            name, slot = self.codec.split(key)
+            if slot == 0:
+                yield name
+
+    def total_blocks(self) -> int:
+        return sum(self.stat(name).num_blocks for name in self.list_names())
+
+    def io_stats(self) -> IOStats:
+        return self.store.io_stats()

@@ -1,0 +1,37 @@
+"""Randomized hashing baselines (the comparison rows of Figure 1).
+
+All implemented on the same PDM simulator and the same
+:class:`~repro.core.interface.Dictionary` interface as the paper's
+deterministic structures, so the Figure 1 benchmark drives everything
+uniformly:
+
+* :mod:`~repro.hashing.families` — ``O(log n)``-wise independent polynomial
+  hash functions over a prime field (the "explicit, efficiently
+  implementable" functions whose descriptions fit in internal memory).
+* :mod:`~repro.hashing.striped_table` — hashing with striping: the disks
+  treated as one disk with block size ``BD``; with ``BD = Omega(log n)`` a
+  linear-space table has no overflowing superblocks whp (Figure 1 row
+  "Hashing, no overflow"; worst case still ``n / B^O(1)`` I/Os).
+* :mod:`~repro.hashing.cuckoo` — cuckoo hashing [13]: lookups in one
+  parallel I/O with bandwidth ``BD/2``, amortized expected constant updates.
+* :mod:`~repro.hashing.dgmp` — the dictionary of Dietzfelbinger et al. [7]:
+  O(1) I/Os per operation with high probability (rebuild on the rare
+  failure).
+* :mod:`~repro.hashing.folklore` — the "[7] + trick" construction: a
+  collision-marked primary table backed by [7], pushing the *average* cost
+  to ``1 + ɛ`` lookups / ``2 + ɛ`` updates with bandwidth ``Theta(BD)``.
+"""
+
+from repro.hashing.families import PolynomialHashFamily
+from repro.hashing.striped_table import StripedHashTable
+from repro.hashing.cuckoo import CuckooDictionary
+from repro.hashing.dgmp import DGMPDictionary
+from repro.hashing.folklore import FolkloreDictionary
+
+__all__ = [
+    "PolynomialHashFamily",
+    "StripedHashTable",
+    "CuckooDictionary",
+    "DGMPDictionary",
+    "FolkloreDictionary",
+]

@@ -1,0 +1,144 @@
+"""The dictionary of Dietzfelbinger, Gil, Matias and Pippenger [7]
+(Figure 1 row "[7]"): O(1) I/Os per operation *with high probability*.
+
+"Polynomial hash functions are reliable": with an ``O(log n)``-wise
+independent polynomial function over a table of superblocks, no bucket
+overflows whp; the (polynomially unlikely) failure is repaired by drawing a
+fresh function and rebuilding — the event whose cost the deterministic
+structures eliminate.  Lookups read exactly the hashed superblock (1 I/O);
+updates read then write it (2 I/Os); the rebuild counter and its I/O cost
+are exposed so benchmarks can report the "whp" asterisk quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.hashing.families import PolynomialHashFamily
+from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.machine import AbstractDiskMachine
+
+
+class DGMPDictionary(Dictionary):
+    """Bucketed hashing with rebuild-on-overflow."""
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        universe_size: int,
+        capacity: int,
+        load_slack: float = 2.0,
+        independence: Optional[int] = None,
+        seed: int = 0,
+        disk_offset: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.machine = machine
+        self.universe_size = universe_size
+        self.capacity = capacity
+        self.seed = seed
+        width = machine.num_disks - disk_offset
+        superblock_items = width * machine.block_items
+        num_superblocks = max(
+            2, math.ceil(load_slack * capacity / superblock_items)
+        )
+        self.table = SuperblockArray(
+            machine,
+            num_superblocks=num_superblocks,
+            disk_offset=disk_offset,
+        )
+        if independence is None:
+            independence = max(2, math.ceil(math.log2(max(capacity, 2))))
+        self.independence = independence
+        self.hash = PolynomialHashFamily(
+            universe_size=universe_size,
+            range_size=num_superblocks,
+            independence=independence,
+            seed=seed,
+        )
+        machine.memory.charge(self.hash.description_words)
+        self.size = 0
+        self.rebuilds = 0
+        self.rebuild_cost = OpCost.zero()
+
+    def lookup(self, key: int) -> LookupResult:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            j = self.hash(key)
+            items = self.table.read([j])[j]
+        for (k2, v) in items:
+            if k2 == key:
+                return LookupResult(True, v, m.cost)
+        return LookupResult(False, None, m.cost)
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            self._insert_inner(key, value, allow_rebuild=True)
+        return m.cost
+
+    def _insert_inner(
+        self, key: int, value: Any, *, allow_rebuild: bool
+    ) -> None:
+        j = self.hash(key)
+        items = self.table.read([j])[j]
+        idx = next((i for i, (k2, _v) in enumerate(items) if k2 == key), None)
+        if idx is not None:
+            items[idx] = (key, value)
+            self.table.write({j: items})
+            return
+        if self.size >= self.capacity:
+            raise CapacityExceeded(f"table at capacity N={self.capacity}")
+        if len(items) >= self.table.capacity_items:
+            if not allow_rebuild:
+                raise CapacityExceeded(
+                    "bucket overflow persists across rebuilds"
+                )
+            self._rebuild(pending=(key, value))
+            return
+        items.append((key, value))
+        self.table.write({j: items})
+        self.size += 1
+
+    def _rebuild(self, pending: Optional[tuple] = None) -> None:
+        """Draw a fresh hash function and reinsert everything (whp never
+        needed; counted when it is)."""
+        self.rebuilds += 1
+        snap = self.machine.stats.snapshot()
+        items = []
+        for j in range(self.table.num_superblocks):
+            occupants = self.table.read([j])[j]
+            items.extend(occupants)
+            if occupants:
+                self.table.write({j: []})
+        if pending is not None:
+            items.append(pending)
+        self.hash = self.hash.rehashed(self.rebuilds)
+        self.size = 0
+        for (k2, v) in items:
+            self._insert_inner(k2, v, allow_rebuild=self.rebuilds < 32)
+        self.rebuild_cost = self.rebuild_cost + self.machine.stats.since(snap)
+
+    def delete(self, key: int) -> OpCost:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            j = self.hash(key)
+            items = self.table.read([j])[j]
+            kept = [(k2, v) for (k2, v) in items if k2 != key]
+            if len(kept) != len(items):
+                self.table.write({j: kept})
+                self.size -= 1
+        return m.cost
+
+    def stored_keys(self):
+        for j in range(self.table.num_superblocks):
+            for (k2, _v) in self.table.peek(j):
+                yield k2
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,162 @@
+"""The folklore "[7] + trick" dictionary (Figure 1 row "[7] + trick").
+
+From Section 1.1: "Keep a hash table storing all keys that do not collide
+with another key (in that hash table), and mark all locations for which
+there is a collision.  The remaining keys are stored using the algorithm of
+[7].  The fraction of searches and updates that need to go to the dictionary
+of [7] can be made arbitrarily small by choosing the hash table size with a
+suitably large constant on the linear term."
+
+Primary table: one key per superblock-cell (full ``Theta(BD)`` bandwidth);
+collided cells carry a permanent mark.  A lookup reads the primary cell
+(1 I/O) and only follows to the secondary [7] dictionary when the cell is
+marked — giving ``1 + ɛ`` average lookups / ``2 + ɛ`` average updates whp,
+with ``ɛ ~ 1 / load_slack``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.hashing.dgmp import DGMPDictionary
+from repro.hashing.families import PolynomialHashFamily
+from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.machine import AbstractDiskMachine
+
+_MARK = "<collision>"
+
+
+class FolkloreDictionary(Dictionary):
+    """Primary 1-key-per-cell table with a [7] dictionary behind it."""
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        universe_size: int,
+        capacity: int,
+        load_slack: float = 8.0,
+        independence: Optional[int] = None,
+        seed: int = 0,
+        disk_offset: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.machine = machine
+        self.universe_size = universe_size
+        self.capacity = capacity
+        cells = max(2, math.ceil(load_slack * capacity))
+        self.primary = SuperblockArray(
+            machine, num_superblocks=cells, disk_offset=disk_offset
+        )
+        if independence is None:
+            independence = max(2, math.ceil(math.log2(max(capacity, 2))))
+        self.hash = PolynomialHashFamily(
+            universe_size=universe_size,
+            range_size=cells,
+            independence=independence,
+            seed=seed,
+        )
+        machine.memory.charge(self.hash.description_words)
+        # The secondary stores the colliding minority; give it full capacity
+        # so adversarial inputs degrade gracefully rather than fail.
+        self.secondary = DGMPDictionary(
+            machine,
+            universe_size=universe_size,
+            capacity=capacity,
+            seed=seed + 1,
+            disk_offset=disk_offset,
+        )
+        self.size = 0
+        self.secondary_lookups = 0
+        self.primary_lookups = 0
+
+    def lookup(self, key: int) -> LookupResult:
+        self._check_key(key)
+        self.primary_lookups += 1
+        with measure(self.machine) as m:
+            j = self.hash(key)
+            cell = self.primary.read([j])[j]
+        if cell and cell[0][0] == _MARK:
+            self.secondary_lookups += 1
+            result = self.secondary.lookup(key)
+            return LookupResult(
+                result.found, result.value, m.cost + result.cost
+            )
+        for (k2, v) in cell:
+            if k2 == key:
+                return LookupResult(True, v, m.cost)
+        return LookupResult(False, None, m.cost)
+
+    def insert(self, key: int, value: Any = None) -> OpCost:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            j = self.hash(key)
+            cell = self.primary.read([j])[j]
+            if cell and cell[0][0] == _MARK:
+                # Marked cell: the key belongs to the secondary.
+                found = self.secondary.contains(key)
+                if not found and self.size >= self.capacity:
+                    raise CapacityExceeded(
+                        f"dictionary at capacity N={self.capacity}"
+                    )
+                self.secondary.insert(key, value)
+                if not found:
+                    self.size += 1
+            elif not cell:
+                if self.size >= self.capacity:
+                    raise CapacityExceeded(
+                        f"dictionary at capacity N={self.capacity}"
+                    )
+                self.primary.write({j: [(key, value)]})
+                self.size += 1
+            else:
+                resident_key, resident_value = cell[0]
+                if resident_key == key:
+                    self.primary.write({j: [(key, value)]})
+                else:
+                    # First collision on this cell: mark it and demote both
+                    # keys to the secondary dictionary.
+                    if self.size >= self.capacity:
+                        raise CapacityExceeded(
+                            f"dictionary at capacity N={self.capacity}"
+                        )
+                    self.primary.write({j: [(_MARK, None)]})
+                    self.secondary.insert(resident_key, resident_value)
+                    self.secondary.insert(key, value)
+                    self.size += 1
+        return m.cost
+
+    def delete(self, key: int) -> OpCost:
+        self._check_key(key)
+        with measure(self.machine) as m:
+            j = self.hash(key)
+            cell = self.primary.read([j])[j]
+            if cell and cell[0][0] == _MARK:
+                if self.secondary.contains(key):
+                    self.secondary.delete(key)
+                    self.size -= 1
+            elif cell and cell[0][0] == key:
+                self.primary.write({j: []})
+                self.size -= 1
+        return m.cost
+
+    def stored_keys(self):
+        for j in range(self.primary.num_superblocks):
+            for (k2, _v) in self.primary.peek(j):
+                if k2 != _MARK:
+                    yield k2
+        yield from self.secondary.stored_keys()
+
+    @property
+    def secondary_fraction(self) -> float:
+        """Measured fraction of lookups that fell through to [7] — the ɛ."""
+        if not self.primary_lookups:
+            return 0.0
+        return self.secondary_lookups / self.primary_lookups
+
+    def __len__(self) -> int:
+        return self.size

@@ -1,0 +1,57 @@
+"""Parallel disk model (PDM) simulator.
+
+The parallel disk model of Vitter and Shriver [19] has ``D`` storage devices,
+each an array of blocks with capacity for ``B`` data items.  One *parallel
+I/O* retrieves (or writes) at most one block from (or to) **each** of the
+``D`` devices.  The performance of an algorithm is the number of parallel
+I/Os it performs.
+
+This package provides:
+
+* :class:`~repro.pdm.machine.ParallelDiskMachine` — the PDM proper.  A batch
+  of block requests touching several blocks on the *same* disk is serialised
+  into multiple rounds; the charged cost is the maximum per-disk multiplicity.
+* :class:`~repro.pdm.machine.ParallelDiskHeadMachine` — the strictly stronger
+  parallel disk *head* model of Aggarwal and Vitter [1] (one disk with ``D``
+  independent heads): any ``D`` blocks can be touched per I/O, so a batch of
+  ``m`` blocks costs ``ceil(m / D)`` rounds.  Section 5 of the paper needs
+  this model when the expander at hand is not striped.
+* :class:`~repro.pdm.iostats.IOStats` / :class:`~repro.pdm.iostats.OpCost` —
+  I/O accounting with snapshots, per-operation deltas and parallel-phase
+  combination (sub-dictionaries living on disjoint disk groups execute their
+  probes simultaneously, so their costs combine with ``max``, not ``+``).
+* :class:`~repro.pdm.memory.InternalMemory` — word-granular accounting of
+  internal memory (the paper assumes capacity for ``O(log n)`` keys, and
+  Section 5 trades ``O(N^beta)`` words of internal memory for explicitness).
+* :class:`~repro.pdm.striping.StripedFieldArray` — an array of sub-block
+  *fields* laid out in ``d`` stripes, one stripe per disk, so that reading
+  one field per stripe is a single parallel I/O.  This is the storage layout
+  beneath every dictionary in Section 4.
+"""
+
+from repro.pdm.block import Block, BlockOverflowError
+from repro.pdm.disk import Disk
+from repro.pdm.iostats import IOStats, OpCost, measure
+from repro.pdm.machine import (
+    AbstractDiskMachine,
+    ParallelDiskMachine,
+    ParallelDiskHeadMachine,
+)
+from repro.pdm.memory import InternalMemory, InternalMemoryExceeded
+from repro.pdm.striping import StripedFieldArray, StripedItemBuckets
+
+__all__ = [
+    "Block",
+    "BlockOverflowError",
+    "Disk",
+    "IOStats",
+    "OpCost",
+    "measure",
+    "AbstractDiskMachine",
+    "ParallelDiskMachine",
+    "ParallelDiskHeadMachine",
+    "InternalMemory",
+    "InternalMemoryExceeded",
+    "StripedFieldArray",
+    "StripedItemBuckets",
+]

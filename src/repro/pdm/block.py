@@ -1,0 +1,60 @@
+"""Disk blocks.
+
+A block has a fixed bit capacity (``B`` items of ``item_bits`` bits each in
+the classical formulation).  Payloads are arbitrary Python objects; the
+*structure* that owns the block declares how many bits its payload occupies,
+and the block enforces the capacity.  This keeps the simulator honest about
+the space claims of Theorem 6 without forcing every data structure through a
+bit-serialisation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class BlockOverflowError(Exception):
+    """Raised when a payload is declared larger than the block capacity."""
+
+
+class Block:
+    """One disk block: a payload plus bit-granular capacity accounting."""
+
+    __slots__ = ("capacity_bits", "payload", "used_bits")
+
+    def __init__(self, capacity_bits: int):
+        if capacity_bits <= 0:
+            raise ValueError(f"block capacity must be positive, got {capacity_bits}")
+        self.capacity_bits = capacity_bits
+        self.payload: Any = None
+        self.used_bits = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.payload is None and self.used_bits == 0
+
+    @property
+    def free_bits(self) -> int:
+        return self.capacity_bits - self.used_bits
+
+    def store(self, payload: Any, used_bits: int) -> None:
+        """Replace the block contents, declaring the payload size in bits."""
+        if used_bits < 0:
+            raise ValueError(f"used_bits must be non-negative, got {used_bits}")
+        if used_bits > self.capacity_bits:
+            raise BlockOverflowError(
+                f"payload of {used_bits} bits exceeds block capacity of "
+                f"{self.capacity_bits} bits"
+            )
+        self.payload = payload
+        self.used_bits = used_bits
+
+    def clear(self) -> None:
+        self.payload = None
+        self.used_bits = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(used={self.used_bits}/{self.capacity_bits} bits, "
+            f"payload={self.payload!r})"
+        )

@@ -1,0 +1,54 @@
+"""A single disk: a growable array of blocks.
+
+Disks auto-extend on first touch of a block index, which keeps allocation out
+of the algorithms' way (the paper's structures address a fixed-size array of
+fields/buckets computed at initialisation; growth only happens once, lazily).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pdm.block import Block
+
+
+class Disk:
+    """One storage device: a sparse, growable array of fixed-size blocks."""
+
+    __slots__ = ("disk_id", "block_bits", "_blocks", "high_water")
+
+    def __init__(self, disk_id: int, block_bits: int):
+        self.disk_id = disk_id
+        self.block_bits = block_bits
+        # Sparse map: untouched blocks cost no host memory.  ``high_water``
+        # is one past the largest block index ever touched.
+        self._blocks: Dict[int, Block] = {}
+        self.high_water = 0
+
+    def block(self, index: int) -> Block:
+        """Return (creating if necessary) the block at ``index``."""
+        if index < 0:
+            raise IndexError(f"negative block index {index}")
+        blk = self._blocks.get(index)
+        if blk is None:
+            blk = Block(self.block_bits)
+            self._blocks[index] = blk
+            if index + 1 > self.high_water:
+                self.high_water = index + 1
+        return blk
+
+    @property
+    def touched_blocks(self) -> int:
+        """Number of blocks ever materialised on this disk."""
+        return len(self._blocks)
+
+    @property
+    def used_bits(self) -> int:
+        """Total bits of payload currently stored on this disk."""
+        return sum(b.used_bits for b in self._blocks.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Disk(id={self.disk_id}, touched={self.touched_blocks}, "
+            f"high_water={self.high_water})"
+        )

@@ -1,0 +1,163 @@
+"""I/O accounting for the parallel disk model.
+
+Every machine owns an :class:`IOStats` counter.  Structures measure the cost
+of a single operation by taking a snapshot before and subtracting after
+(:func:`measure` packages this as a context manager yielding an
+:class:`OpCost`).
+
+Composite dictionaries (Theorem 6(a), Theorem 7) run two sub-dictionaries on
+*disjoint* groups of disks and query them simultaneously; the parallel I/O
+cost of such an operation is the **maximum**, not the sum, of the two
+sub-costs.  :meth:`OpCost.parallel` implements that combination (element-wise
+``max`` on I/O rounds — a safe upper bound on the true interleaved schedule —
+and ``+`` on block counters, which count data volume rather than rounds).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class IOStats:
+    """Cumulative I/O counters of one machine.
+
+    ``read_ios`` / ``write_ios`` count *parallel I/O rounds* — the quantity
+    the paper's theorems bound.  ``blocks_read`` / ``blocks_written`` count
+    individual blocks moved (data volume); in the PDM one round moves at most
+    ``D`` blocks.
+    """
+
+    read_ios: int = 0
+    write_ios: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Total parallel I/O rounds (reads plus writes)."""
+        return self.read_ios + self.write_ios
+
+    def utilization(self, num_disks: int) -> float:
+        """Fraction of the array's bandwidth actually used:
+        ``blocks moved / (rounds * D)``.  Striped access patterns approach
+        1.0; un-striped ones collapse toward ``1/D`` — the quantitative
+        version of why Section 2 requires striped expanders."""
+        rounds = self.total_ios
+        if rounds == 0:
+            return 0.0
+        return (self.blocks_read + self.blocks_written) / (rounds * num_disks)
+
+    def snapshot(self) -> "IOStats":
+        """Return an immutable copy of the current counters."""
+        return IOStats(
+            self.read_ios, self.write_ios, self.blocks_read, self.blocks_written
+        )
+
+    def since(self, snap: "IOStats") -> "OpCost":
+        """Cost accumulated since ``snap`` was taken."""
+        return OpCost(
+            read_ios=self.read_ios - snap.read_ios,
+            write_ios=self.write_ios - snap.write_ios,
+            blocks_read=self.blocks_read - snap.blocks_read,
+            blocks_written=self.blocks_written - snap.blocks_written,
+        )
+
+    def add(self, cost: "OpCost") -> None:
+        """Fold an :class:`OpCost` back into the cumulative counters."""
+        self.read_ios += cost.read_ios
+        self.write_ios += cost.write_ios
+        self.blocks_read += cost.blocks_read
+        self.blocks_written += cost.blocks_written
+
+    def reset(self) -> None:
+        self.read_ios = 0
+        self.write_ios = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """The parallel-I/O cost of a single (possibly composite) operation."""
+
+    read_ios: int = 0
+    write_ios: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        return self.read_ios + self.write_ios
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        """Sequential composition: phases that must happen one after another."""
+        return OpCost(
+            self.read_ios + other.read_ios,
+            self.write_ios + other.write_ios,
+            self.blocks_read + other.blocks_read,
+            self.blocks_written + other.blocks_written,
+        )
+
+    @staticmethod
+    def parallel(*costs: "OpCost") -> "OpCost":
+        """Parallel composition: phases executed simultaneously on disjoint
+        disk groups.  Rounds combine with ``max`` (conservative upper bound),
+        block volumes with ``+``."""
+        if not costs:
+            return OpCost()
+        return OpCost(
+            read_ios=max(c.read_ios for c in costs),
+            write_ios=max(c.write_ios for c in costs),
+            blocks_read=sum(c.blocks_read for c in costs),
+            blocks_written=sum(c.blocks_written for c in costs),
+        )
+
+    @staticmethod
+    def zero() -> "OpCost":
+        return OpCost()
+
+
+@dataclass
+class _CostBox:
+    """Mutable holder filled in when a :func:`measure` block exits."""
+
+    cost: OpCost = field(default_factory=OpCost)
+
+    @property
+    def total_ios(self) -> int:
+        return self.cost.total_ios
+
+    @property
+    def read_ios(self) -> int:
+        return self.cost.read_ios
+
+    @property
+    def write_ios(self) -> int:
+        return self.cost.write_ios
+
+
+@contextmanager
+def measure(*machines) -> Iterator[_CostBox]:
+    """Measure the I/O cost incurred on ``machines`` inside the block.
+
+    Costs across machines combine *sequentially* (``+``) by default because a
+    single thread of control drives them; use :meth:`OpCost.parallel`
+    explicitly when modelling simultaneous sub-structure probes.
+
+    >>> with measure(machine) as m:
+    ...     machine.read_blocks(addrs)
+    >>> m.total_ios
+    1
+    """
+    snaps = [m.stats.snapshot() for m in machines]
+    box = _CostBox()
+    try:
+        yield box
+    finally:
+        total = OpCost()
+        for machine, snap in zip(machines, snaps):
+            total = total + machine.stats.since(snap)
+        box.cost = total

@@ -1,0 +1,64 @@
+"""Internal-memory accounting.
+
+The paper's hash-function and expander discussions hinge on what fits in
+internal memory: a hash function description must fit (Section 1.1), and the
+semi-explicit expanders of Section 5 spend ``O(N^beta)`` words of internal
+memory to buy explicitness.  :class:`InternalMemory` tracks word-granular
+charges with peak-usage reporting and an optional hard capacity.
+"""
+
+from __future__ import annotations
+
+
+class InternalMemoryExceeded(Exception):
+    """Raised when a charge would exceed the configured capacity."""
+
+
+class InternalMemory:
+    """Word-granular internal memory accountant.
+
+    ``capacity_words=None`` means unbounded (usage still tracked, so tests
+    and benchmarks can assert the paper's space bounds after the fact).
+    """
+
+    __slots__ = ("capacity_words", "used_words", "peak_words")
+
+    def __init__(self, capacity_words: int | None = None):
+        if capacity_words is not None and capacity_words <= 0:
+            raise ValueError(
+                f"memory capacity must be positive, got {capacity_words}"
+            )
+        self.capacity_words = capacity_words
+        self.used_words = 0
+        self.peak_words = 0
+
+    def charge(self, words: int) -> None:
+        """Allocate ``words`` words of internal memory."""
+        if words < 0:
+            raise ValueError(f"cannot charge a negative amount ({words})")
+        new_used = self.used_words + words
+        if self.capacity_words is not None and new_used > self.capacity_words:
+            raise InternalMemoryExceeded(
+                f"charge of {words} words would use {new_used} of "
+                f"{self.capacity_words} available"
+            )
+        self.used_words = new_used
+        if new_used > self.peak_words:
+            self.peak_words = new_used
+
+    def release(self, words: int) -> None:
+        """Free ``words`` words previously charged."""
+        if words < 0:
+            raise ValueError(f"cannot release a negative amount ({words})")
+        if words > self.used_words:
+            raise ValueError(
+                f"releasing {words} words but only {self.used_words} are in use"
+            )
+        self.used_words -= words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity_words is None else str(self.capacity_words)
+        return (
+            f"InternalMemory(used={self.used_words}, peak={self.peak_words}, "
+            f"capacity={cap})"
+        )

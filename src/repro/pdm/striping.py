@@ -1,0 +1,306 @@
+"""Striped storage layouts.
+
+Every dictionary in Section 4 stores its right-hand-side array (of *fields*
+or of *buckets*) split across ``d`` disks according to the stripes of a
+striped expander: stripe ``s`` lives entirely on disk ``disk_offset + s``,
+so fetching one field/bucket from each stripe is a single parallel I/O.
+
+Two layouts:
+
+* :class:`StripedFieldArray` — sub-block fields of a fixed bit width, packed
+  ``block_bits // field_bits`` to a block (Theorem 6's array ``A``).
+* :class:`StripedItemBuckets` — one bucket per block, holding up to ``B``
+  items (the Section 4.1 load-balanced bucket dictionary).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.pdm.machine import AbstractDiskMachine
+
+FieldLoc = Tuple[int, int]  # (stripe, index within stripe)
+
+
+class StripedFieldArray:
+    """An array of ``d * stripe_size`` fields of ``field_bits`` bits each,
+    laid out in ``d`` stripes with stripe ``s`` on disk ``disk_offset + s``.
+
+    Fields are addressed by ``(stripe, index)`` — exactly the form a striped
+    expander's neighbor function returns.  A batch touching at most one
+    *block* per stripe costs one parallel I/O; since consecutive indices of a
+    stripe share blocks, even several fields of one stripe may still be one
+    block.
+    """
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        stripes: int,
+        stripe_size: int,
+        field_bits: int,
+        disk_offset: int = 0,
+    ):
+        if stripes <= 0:
+            raise ValueError(f"need at least one stripe, got {stripes}")
+        if stripe_size <= 0:
+            raise ValueError(f"stripe size must be positive, got {stripe_size}")
+        if field_bits <= 0:
+            raise ValueError(f"field width must be positive, got {field_bits}")
+        if disk_offset < 0 or disk_offset + stripes > machine.num_disks:
+            raise ValueError(
+                f"stripes [{disk_offset}, {disk_offset + stripes}) do not fit "
+                f"on a machine with {machine.num_disks} disks"
+            )
+        if field_bits > machine.block_bits:
+            raise ValueError(
+                f"a {field_bits}-bit field does not fit in a "
+                f"{machine.block_bits}-bit block"
+            )
+        self.machine = machine
+        self.stripes = stripes
+        self.stripe_size = stripe_size
+        self.field_bits = field_bits
+        self.disk_offset = disk_offset
+        self.fields_per_block = machine.block_bits // field_bits
+        self.blocks_per_stripe = -(-stripe_size // self.fields_per_block)
+        # Claim a disjoint block range on each stripe's disk.
+        self._base = [
+            machine.allocate(disk_offset + s, self.blocks_per_stripe)
+            for s in range(stripes)
+        ]
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def num_fields(self) -> int:
+        return self.stripes * self.stripe_size
+
+    def _check_loc(self, loc: FieldLoc) -> None:
+        stripe, index = loc
+        if not 0 <= stripe < self.stripes:
+            raise IndexError(f"stripe {stripe} out of range [0, {self.stripes})")
+        if not 0 <= index < self.stripe_size:
+            raise IndexError(
+                f"field index {index} out of range [0, {self.stripe_size})"
+            )
+
+    def _block_addr(self, loc: FieldLoc) -> Tuple[Tuple[int, int], int]:
+        """Map a field location to ``((disk, block), slot)``."""
+        stripe, index = loc
+        block_index = self._base[stripe] + index // self.fields_per_block
+        slot = index % self.fields_per_block
+        return (self.disk_offset + stripe, block_index), slot
+
+    # -- I/O ------------------------------------------------------------------
+
+    def read_fields(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, Any]:
+        """Fetch the given fields; ``None`` denotes an empty field.
+
+        Cost: one batched read on the underlying machine (1 parallel I/O when
+        at most one block per stripe is involved).
+        """
+        locs = [tuple(l) for l in locs]
+        for loc in locs:
+            self._check_loc(loc)
+        addr_of = {loc: self._block_addr(loc) for loc in locs}
+        blocks = self.machine.read_blocks(addr for addr, _ in addr_of.values())
+        out: Dict[FieldLoc, Any] = {}
+        for loc, (addr, slot) in addr_of.items():
+            payload = blocks[addr].payload
+            out[loc] = None if payload is None else payload[slot]
+        return out
+
+    def write_fields(self, assignments: Mapping[FieldLoc, Any]) -> None:
+        """Store values into fields (``None`` clears a field).
+
+        Cost: one batched write.  The model's read-before-write is *not*
+        charged here — callers read the blocks as part of their own probe
+        (that is how the paper reaches "2 I/Os, the best possible" updates).
+        """
+        by_block: Dict[Tuple[int, int], List[Tuple[int, Any]]] = {}
+        for loc, value in assignments.items():
+            self._check_loc(loc)
+            addr, slot = self._block_addr(loc)
+            by_block.setdefault(addr, []).append((slot, value))
+        writes = []
+        for addr, slot_values in by_block.items():
+            block = self.machine.block_at(addr)
+            payload: List[Any]
+            if block.payload is None:
+                payload = [None] * self.fields_per_block
+            else:
+                payload = list(block.payload)
+            for slot, value in slot_values:
+                payload[slot] = value
+            used = sum(1 for v in payload if v is not None) * self.field_bits
+            writes.append((addr, payload, used))
+        self.machine.write_blocks(writes)
+
+    # -- audits (no I/O charged) ----------------------------------------------
+
+    def peek(self, loc: FieldLoc) -> Any:
+        """Read a field without charging I/O (tests/verification only)."""
+        self._check_loc(loc)
+        addr, slot = self._block_addr(loc)
+        payload = self.machine.block_at(addr).payload
+        return None if payload is None else payload[slot]
+
+    def occupied_fields(self) -> int:
+        """Number of non-empty fields (audit; no I/O charged)."""
+        count = 0
+        for stripe in range(self.stripes):
+            disk = self.machine.disks[self.disk_offset + stripe]
+            base = self._base[stripe]
+            for block_index in range(base, base + self.blocks_per_stripe):
+                payload = disk.block(block_index).payload
+                if payload is not None:
+                    count += sum(1 for v in payload if v is not None)
+        return count
+
+    @property
+    def total_bits(self) -> int:
+        """Declared external space of the array (all stripes, all blocks)."""
+        return self.stripes * self.blocks_per_stripe * self.machine.block_bits
+
+
+class StripedItemBuckets:
+    """``d * stripe_size`` buckets holding up to ``capacity_items`` items
+    apiece.
+
+    This is the storage beneath the Section 4.1 dictionary.  With
+    ``B = Omega(log N)`` the Lemma 3 load bound keeps every bucket inside
+    one block and a probe of one bucket per stripe is one parallel I/O; for
+    smaller ``B`` a bucket spans ``blocks_per_bucket`` consecutive blocks of
+    the same disk (the "O(1) blocks, contents stored in a trivial way" case,
+    where lookups remain O(1) I/Os but not one-probe).
+    """
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        stripes: int,
+        stripe_size: int,
+        capacity_items: Optional[int] = None,
+        item_bits: Optional[int] = None,
+        disk_offset: int = 0,
+    ):
+        if stripes <= 0:
+            raise ValueError(f"need at least one stripe, got {stripes}")
+        if stripe_size <= 0:
+            raise ValueError(f"stripe size must be positive, got {stripe_size}")
+        if disk_offset < 0 or disk_offset + stripes > machine.num_disks:
+            raise ValueError(
+                f"stripes [{disk_offset}, {disk_offset + stripes}) do not fit "
+                f"on a machine with {machine.num_disks} disks"
+            )
+        self.machine = machine
+        self.stripes = stripes
+        self.stripe_size = stripe_size
+        self.item_bits = machine.item_bits if item_bits is None else item_bits
+        max_items = machine.block_bits // self.item_bits
+        self.capacity_items = max_items if capacity_items is None else capacity_items
+        if self.capacity_items <= 0:
+            raise ValueError("bucket capacity must be positive")
+        self.items_per_block = max_items
+        if self.items_per_block <= 0:
+            raise ValueError(
+                f"an item of {self.item_bits} bits does not fit in a "
+                f"{machine.block_bits}-bit block"
+            )
+        self.blocks_per_bucket = -(-self.capacity_items // self.items_per_block)
+        self.disk_offset = disk_offset
+        # Claim a disjoint block range on each stripe's disk.
+        self._base = [
+            machine.allocate(
+                disk_offset + s, stripe_size * self.blocks_per_bucket
+            )
+            for s in range(stripes)
+        ]
+
+    @property
+    def num_buckets(self) -> int:
+        return self.stripes * self.stripe_size
+
+    def _check_loc(self, loc: FieldLoc) -> None:
+        stripe, index = loc
+        if not 0 <= stripe < self.stripes:
+            raise IndexError(f"stripe {stripe} out of range [0, {self.stripes})")
+        if not 0 <= index < self.stripe_size:
+            raise IndexError(
+                f"bucket index {index} out of range [0, {self.stripe_size})"
+            )
+
+    def _addrs(self, loc: FieldLoc) -> List[Tuple[int, int]]:
+        """All block addresses of one bucket (consecutive on its disk)."""
+        stripe, index = loc
+        first = self._base[stripe] + index * self.blocks_per_bucket
+        disk = self.disk_offset + stripe
+        return [(disk, first + t) for t in range(self.blocks_per_bucket)]
+
+    def read_buckets(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, List[Any]]:
+        """Fetch bucket contents as item lists (empty list if untouched).
+
+        Multi-block buckets live on one disk, so reading a bucket costs
+        ``blocks_per_bucket`` rounds — O(1) lookups but not one-probe,
+        exactly the paper's small-``B`` trade-off.
+        """
+        locs = [tuple(l) for l in locs]
+        for loc in locs:
+            self._check_loc(loc)
+        all_addrs = []
+        for loc in locs:
+            all_addrs.extend(self._addrs(loc))
+        blocks = self.machine.read_blocks(all_addrs)
+        out: Dict[FieldLoc, List[Any]] = {}
+        for loc in locs:
+            items: List[Any] = []
+            for addr in self._addrs(loc):
+                payload = blocks[addr].payload
+                if payload:
+                    items.extend(payload)
+            out[loc] = items
+        return out
+
+    def write_buckets(self, assignments: Mapping[FieldLoc, Sequence[Any]]) -> None:
+        """Replace bucket contents.  Raises if a bucket would exceed its
+        item capacity — the Lemma 3 load bound is what prevents this in the
+        paper, and we want violations loud."""
+        writes = []
+        for loc, items in assignments.items():
+            self._check_loc(loc)
+            items = list(items)
+            if len(items) > self.capacity_items:
+                raise OverflowError(
+                    f"bucket {loc} would hold {len(items)} items; capacity is "
+                    f"{self.capacity_items}"
+                )
+            addrs = self._addrs(loc)
+            for t, addr in enumerate(addrs):
+                part = items[
+                    t * self.items_per_block : (t + 1) * self.items_per_block
+                ]
+                writes.append((addr, part, len(part) * self.item_bits))
+        self.machine.write_blocks(writes)
+
+    def peek(self, loc: FieldLoc) -> List[Any]:
+        """Read a bucket without charging I/O (tests/verification only)."""
+        self._check_loc(loc)
+        items: List[Any] = []
+        for addr in self._addrs(loc):
+            payload = self.machine.block_at(addr).payload
+            if payload:
+                items.extend(payload)
+        return items
+
+    def loads(self) -> Dict[FieldLoc, int]:
+        """Audit: current load of every touched bucket (no I/O charged)."""
+        out: Dict[FieldLoc, int] = {}
+        for stripe in range(self.stripes):
+            for index in range(self.stripe_size):
+                n = len(self.peek((stripe, index)))
+                if n:
+                    out[(stripe, index)] = n
+        return out

@@ -1,0 +1,73 @@
+"""Optional I/O tracing.
+
+A :class:`TraceRecorder` attached to a machine logs every read/write batch
+(addresses, rounds charged, direction).  Used by the concurrency analysis
+(write-footprint disjointness — Section 1.1's "simplifies concurrency
+control mechanisms such as locking") and available for debugging I/O
+schedules.
+
+Tracing is off unless a recorder is attached; the hot path pays one `None`
+check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+Addr = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One batched I/O."""
+
+    kind: str  # "read" | "write"
+    addrs: Tuple[Addr, ...]
+    rounds: int
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects from an attached machine."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, addrs, rounds: int) -> None:
+        self.events.append(TraceEvent(kind, tuple(addrs), rounds))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- analyses -------------------------------------------------------------
+
+    def blocks_touched(self, kind: str | None = None) -> Set[Addr]:
+        out: Set[Addr] = set()
+        for ev in self.events:
+            if kind is None or ev.kind == kind:
+                out.update(ev.addrs)
+        return out
+
+    def write_footprint(self) -> Set[Addr]:
+        """All blocks written during the trace — the lock set a pessimistic
+        concurrency-control scheme would need for the traced operation."""
+        return self.blocks_touched("write")
+
+    def read_footprint(self) -> Set[Addr]:
+        return self.blocks_touched("read")
+
+    @property
+    def rounds(self) -> int:
+        return sum(ev.rounds for ev in self.events)
+
+
+def attach(machine) -> TraceRecorder:
+    """Attach a fresh recorder to ``machine`` (replacing any existing one)
+    and return it."""
+    recorder = TraceRecorder()
+    machine.tracer = recorder
+    return recorder
+
+
+def detach(machine) -> None:
+    machine.tracer = None

@@ -1,0 +1,39 @@
+"""Workload generators for tests and benchmarks.
+
+* :mod:`~repro.workloads.keys` — key-set generators: uniform, clustered,
+  and hash-adversarial (keys engineered to collide under a given hash
+  function, for the worst-case rows of Figure 1).
+* :mod:`~repro.workloads.access` — access-pattern generators: uniform,
+  Zipf, hit/miss mixes.
+* :mod:`~repro.workloads.filesystem` — the paper's motivating application:
+  a file system keyed by (file, block number), with random-access and
+  webmail-style request streams.
+"""
+
+from repro.workloads.keys import (
+    uniform_keys,
+    clustered_keys,
+    adversarial_keys_for_hash,
+)
+from repro.workloads.access import (
+    uniform_accesses,
+    zipf_accesses,
+    hit_miss_mix,
+)
+from repro.workloads.filesystem import FileSystemWorkload
+from repro.workloads.names import NameCodec
+from repro.workloads.replay import ReplaySummary, Workload, replay
+
+__all__ = [
+    "NameCodec",
+    "ReplaySummary",
+    "Workload",
+    "replay",
+    "uniform_keys",
+    "clustered_keys",
+    "adversarial_keys_for_hash",
+    "uniform_accesses",
+    "zipf_accesses",
+    "hit_miss_mix",
+    "FileSystemWorkload",
+]

@@ -1,0 +1,63 @@
+"""Access-pattern generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+import numpy as np
+
+
+def uniform_accesses(
+    keys: Sequence[int], count: int, *, seed: int = 0
+) -> List[int]:
+    """``count`` lookups drawn uniformly from ``keys`` (with repetition)."""
+    rng = random.Random(seed)
+    keys = list(keys)
+    return [keys[rng.randrange(len(keys))] for _ in range(count)]
+
+
+def zipf_accesses(
+    keys: Sequence[int], count: int, *, s: float = 1.1, seed: int = 0
+) -> List[int]:
+    """``count`` lookups with Zipf(s) popularity over ``keys`` — the
+    "arbitrary set of users, highly random fashion" webmail/http pattern of
+    Section 1.2 typically shows such skew."""
+    keys = list(keys)
+    n = len(keys)
+    rng = np.random.default_rng(seed)
+    # Normalised truncated zipf over ranks 1..n.
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
+    weights /= weights.sum()
+    idx = rng.choice(n, size=count, p=weights)
+    return [keys[i] for i in idx]
+
+
+def hit_miss_mix(
+    present: Sequence[int],
+    universe_size: int,
+    count: int,
+    *,
+    hit_fraction: float = 0.5,
+    seed: int = 0,
+) -> List[int]:
+    """A lookup stream mixing present keys and (almost surely) absent ones.
+
+    Absent probes are uniform universe draws excluded from ``present``.
+    """
+    if not 0 <= hit_fraction <= 1:
+        raise ValueError(f"hit_fraction must be in [0, 1], got {hit_fraction}")
+    rng = random.Random(seed)
+    present = list(present)
+    present_set = set(present)
+    out: List[int] = []
+    for _ in range(count):
+        if present and rng.random() < hit_fraction:
+            out.append(present[rng.randrange(len(present))])
+        else:
+            while True:
+                probe = rng.randrange(universe_size)
+                if probe not in present_set:
+                    out.append(probe)
+                    break
+    return out

@@ -1,0 +1,93 @@
+"""File-system workload: the paper's motivating application (Section 1.2).
+
+"Let keys consist of a file name and a block number, and associate them with
+the contents of the given block number of the given file" — a dictionary
+then *is* the basic functionality of a file system, with random access to
+any position in any file in one lookup.
+
+:class:`FileSystemWorkload` models a population of files with skewed sizes
+and produces the two request streams Section 1.2 contrasts:
+
+* random block reads across the whole file set (webmail/http-server style),
+  where hash-style dictionaries shine;
+* sequential scans of single files, where B-trees are fine anyway (caching
+  absorbs the overhead) — included so benchmarks tell an honest story.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    file_id: int
+    num_blocks: int
+
+
+class FileSystemWorkload:
+    """A synthetic file population keyed into a flat integer universe."""
+
+    def __init__(
+        self,
+        *,
+        num_files: int,
+        max_blocks_per_file: int = 256,
+        size_skew: float = 1.2,
+        seed: int = 0,
+    ):
+        if num_files <= 0:
+            raise ValueError(f"need at least one file, got {num_files}")
+        if max_blocks_per_file <= 0:
+            raise ValueError("files need at least one block")
+        self.num_files = num_files
+        self.max_blocks_per_file = max_blocks_per_file
+        rng = random.Random(seed)
+        self.files: List[FileSpec] = []
+        for fid in range(num_files):
+            # Pareto-ish size skew: most files small, a few large.
+            r = rng.random()
+            blocks = max(1, int(max_blocks_per_file * (r ** size_skew)))
+            self.files.append(FileSpec(fid, blocks))
+
+    @property
+    def universe_size(self) -> int:
+        """Keys are ``file_id * max_blocks_per_file + block``."""
+        return self.num_files * self.max_blocks_per_file
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(f.num_blocks for f in self.files)
+
+    def key_for(self, file_id: int, block: int) -> int:
+        if not 0 <= file_id < self.num_files:
+            raise ValueError(f"file {file_id} out of range")
+        if not 0 <= block < self.max_blocks_per_file:
+            raise ValueError(f"block {block} out of range")
+        return file_id * self.max_blocks_per_file + block
+
+    def split_key(self, key: int) -> Tuple[int, int]:
+        return divmod(key, self.max_blocks_per_file)
+
+    def all_keys(self) -> Iterator[int]:
+        """Every (file, block) key that exists."""
+        for spec in self.files:
+            for block in range(spec.num_blocks):
+                yield self.key_for(spec.file_id, block)
+
+    def random_reads(self, count: int, *, seed: int = 0) -> List[int]:
+        """Uniformly random block reads over existing blocks (the pattern
+        that motivates a 1-I/O dictionary over a 3-I/O B-tree)."""
+        rng = random.Random(seed)
+        out = []
+        for _ in range(count):
+            spec = self.files[rng.randrange(self.num_files)]
+            out.append(self.key_for(spec.file_id, rng.randrange(spec.num_blocks)))
+        return out
+
+    def sequential_scan(self, file_id: int) -> List[int]:
+        """All blocks of one file in order."""
+        spec = self.files[file_id]
+        return [self.key_for(file_id, b) for b in range(spec.num_blocks)]

@@ -1,0 +1,72 @@
+"""Key-set generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+
+def uniform_keys(universe_size: int, n: int, *, seed: int = 0) -> List[int]:
+    """``n`` distinct keys drawn uniformly from ``[0, universe_size)``."""
+    if n > universe_size:
+        raise ValueError(
+            f"cannot draw {n} distinct keys from a universe of "
+            f"{universe_size}"
+        )
+    rng = random.Random(seed)
+    return rng.sample(range(universe_size), n)
+
+
+def clustered_keys(
+    universe_size: int,
+    n: int,
+    *,
+    clusters: int = 8,
+    seed: int = 0,
+) -> List[int]:
+    """``n`` keys packed into ``clusters`` consecutive runs — the
+    sequential-file-id pattern real file systems produce, and a classic
+    stress for structures that secretly rely on input randomness."""
+    if n > universe_size:
+        raise ValueError("more keys than universe")
+    rng = random.Random(seed)
+    per = -(-n // clusters)
+    out: List[int] = []
+    taken = set()
+    while len(out) < n:
+        start = rng.randrange(max(1, universe_size - per))
+        for k in range(start, min(start + per, universe_size)):
+            if k not in taken:
+                taken.add(k)
+                out.append(k)
+                if len(out) == n:
+                    break
+    return out
+
+
+def adversarial_keys_for_hash(
+    hash_fn: Callable[[int], int],
+    universe_size: int,
+    n: int,
+    *,
+    target: int | None = None,
+    scan_limit: int = 2_000_000,
+) -> List[int]:
+    """``n`` keys that all hash to one value under ``hash_fn`` — the
+    adversarial input on which randomized tables degrade to their worst
+    case (and against which the deterministic structures are immune, having
+    no hidden random choices for an adversary to learn).
+
+    Brute-force scan of the universe; raises if the scan limit is hit first.
+    """
+    if target is None:
+        target = hash_fn(0)
+    out: List[int] = []
+    for key in range(min(universe_size, scan_limit)):
+        if hash_fn(key) == target:
+            out.append(key)
+            if len(out) == n:
+                return out
+    raise ValueError(
+        f"found only {len(out)} of {n} colliding keys within the scan limit"
+    )

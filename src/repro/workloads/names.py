@@ -1,0 +1,69 @@
+"""File-name keys (Section 1.2).
+
+"Using a hash table can eliminate the overhead of translating the file
+name into an inode... since the name can be easily hashed as well."  The
+deterministic dictionaries need integer keys from a bounded universe; this
+module provides the injective encoding: a name of at most ``max_len``
+bytes (plus a block number) becomes one integer, so *(name, block)* keys go
+straight into any dictionary — no inode table, no separate translation
+step, exactly the point the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class NameCodec:
+    """Injective (name, block) <-> integer key codec."""
+
+    def __init__(self, *, max_name_bytes: int = 16, max_blocks: int = 1 << 20):
+        if max_name_bytes <= 0:
+            raise ValueError("max_name_bytes must be positive")
+        if max_blocks <= 0:
+            raise ValueError("max_blocks must be positive")
+        self.max_name_bytes = max_name_bytes
+        self.max_blocks = max_blocks
+        # Length-prefixed big-endian bytes: injective for all lengths.
+        self._name_space = 0
+        for length in range(max_name_bytes + 1):
+            self._name_space += 256**length
+
+    @property
+    def universe_size(self) -> int:
+        """Size of the flat key universe (all names x all block numbers)."""
+        return self._name_space * self.max_blocks
+
+    def encode_name(self, name: str) -> int:
+        raw = name.encode("utf-8")
+        if len(raw) > self.max_name_bytes:
+            raise ValueError(
+                f"name {name!r} is {len(raw)} bytes; limit is "
+                f"{self.max_name_bytes}"
+            )
+        # Rank = (number of strictly shorter strings) + value within length.
+        rank = sum(256**length for length in range(len(raw)))
+        return rank + int.from_bytes(raw, "big")
+
+    def decode_name(self, name_id: int) -> str:
+        if not 0 <= name_id < self._name_space:
+            raise ValueError(f"name id {name_id} out of range")
+        remaining = name_id
+        for length in range(self.max_name_bytes + 1):
+            count = 256**length
+            if remaining < count:
+                raw = remaining.to_bytes(length, "big") if length else b""
+                return raw.decode("utf-8")
+            remaining -= count
+        raise AssertionError("unreachable")
+
+    def key(self, name: str, block: int = 0) -> int:
+        if not 0 <= block < self.max_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.max_blocks})"
+            )
+        return self.encode_name(name) * self.max_blocks + block
+
+    def split(self, key: int) -> Tuple[str, int]:
+        name_id, block = divmod(key, self.max_blocks)
+        return self.decode_name(name_id), block

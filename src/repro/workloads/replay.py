@@ -1,0 +1,144 @@
+"""Workload bundles and a shared replay driver.
+
+A :class:`Workload` is a reproducible sequence of dictionary operations;
+:func:`replay` drives any :class:`~repro.core.interface.Dictionary` through
+it, verifies the answers against a model, and summarises the per-operation
+I/O distribution — the shared harness behind several benchmarks and a
+convenient user tool for comparing structures on *their* traces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.core.interface import Dictionary
+
+Op = Tuple[str, int, Optional[int]]  # (kind, key, value-or-None)
+
+
+@dataclass
+class ReplaySummary:
+    """Per-kind I/O statistics of one replay."""
+
+    operations: int = 0
+    errors: int = 0
+    ios_by_kind: Dict[str, List[int]] = field(default_factory=dict)
+
+    def record(self, kind: str, ios: int) -> None:
+        self.operations += 1
+        self.ios_by_kind.setdefault(kind, []).append(ios)
+
+    def avg(self, kind: str) -> float:
+        costs = self.ios_by_kind.get(kind, [])
+        return sum(costs) / len(costs) if costs else 0.0
+
+    def worst(self, kind: str) -> int:
+        costs = self.ios_by_kind.get(kind, [])
+        return max(costs) if costs else 0
+
+    @property
+    def total_ios(self) -> int:
+        return sum(sum(v) for v in self.ios_by_kind.values())
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, seeded operation sequence over a universe."""
+
+    name: str
+    universe_size: int
+    ops: Tuple[Op, ...]
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        name: str = "mixed",
+        universe_size: int,
+        operations: int,
+        capacity: int,
+        value_bits: int = 32,
+        insert_fraction: float = 0.4,
+        delete_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> "Workload":
+        """A mixed insert/delete/lookup stream that never exceeds
+        ``capacity`` live keys (safe for capacity-bounded structures)."""
+        if not 0 <= insert_fraction + delete_fraction <= 1:
+            raise ValueError("fractions must sum to at most 1")
+        rng = random.Random(seed)
+        live: List[int] = []
+        live_set = set()
+        ops: List[Op] = []
+        for _ in range(operations):
+            r = rng.random()
+            if r < insert_fraction and len(live) < capacity:
+                key = rng.randrange(universe_size)
+                value = rng.randrange(1 << value_bits)
+                ops.append(("insert", key, value))
+                if key not in live_set:
+                    live_set.add(key)
+                    live.append(key)
+            elif r < insert_fraction + delete_fraction and live:
+                idx = rng.randrange(len(live))
+                key = live[idx]
+                live[idx] = live[-1]
+                live.pop()
+                live_set.discard(key)
+                ops.append(("delete", key, None))
+            else:
+                if live and rng.random() < 0.7:
+                    key = live[rng.randrange(len(live))]
+                else:
+                    key = rng.randrange(universe_size)
+                ops.append(("lookup", key, None))
+        return cls(name=name, universe_size=universe_size, ops=tuple(ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def replay(
+    dictionary: Dictionary,
+    workload: Workload,
+    *,
+    verify: bool = True,
+) -> ReplaySummary:
+    """Drive ``dictionary`` through ``workload``.
+
+    With ``verify=True`` every lookup is checked against a Python dict
+    model; a mismatch raises immediately (the replay is also a conformance
+    test).
+    """
+    if dictionary.universe_size < workload.universe_size:
+        raise ValueError(
+            "dictionary universe smaller than the workload's"
+        )
+    model: Dict[int, Optional[int]] = {}
+    summary = ReplaySummary()
+    for kind, key, value in workload.ops:
+        if kind == "insert":
+            cost = dictionary.insert(key, value)
+            model[key] = value
+            summary.record("insert", cost.total_ios)
+        elif kind == "delete":
+            cost = dictionary.delete(key)
+            model.pop(key, None)
+            summary.record("delete", cost.total_ios)
+        else:
+            result = dictionary.lookup(key)
+            if verify:
+                expected = key in model
+                if result.found != expected or (
+                    expected and result.value != model[key]
+                ):
+                    raise AssertionError(
+                        f"replay mismatch on {kind} {key}: dictionary says "
+                        f"{result.found}/{result.value!r}, model says "
+                        f"{expected}/{model.get(key)!r}"
+                    )
+            kind_name = "hit" if result.found else "miss"
+            summary.record(kind_name, result.cost.total_ios)
+    return summary

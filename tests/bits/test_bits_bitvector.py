@@ -1,0 +1,149 @@
+"""Unit and property tests for BitVector / BitReader."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bits.bitvector import BitReader, BitVector
+
+bits_lists = st.lists(st.integers(0, 1), max_size=64)
+
+
+class TestConstruction:
+    def test_from_string(self):
+        v = BitVector("1011")
+        assert len(v) == 4
+        assert v.to01() == "1011"
+
+    def test_from_iterable(self):
+        assert BitVector([1, 0, 1]).to01() == "101"
+
+    def test_empty(self):
+        v = BitVector()
+        assert len(v) == 0
+        assert v.to01() == ""
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            BitVector("10x")
+
+    def test_invalid_bit_value(self):
+        with pytest.raises(ValueError):
+            BitVector([2])
+
+    def test_from_int(self):
+        assert BitVector.from_int(5, 4).to01() == "0101"
+
+    def test_from_int_overflow(self):
+        with pytest.raises(ValueError):
+            BitVector.from_int(16, 4)
+
+    def test_from_int_negative(self):
+        with pytest.raises(ValueError):
+            BitVector.from_int(-1, 4)
+
+    def test_zeros_ones(self):
+        assert BitVector.zeros(3).to01() == "000"
+        assert BitVector.ones(3).to01() == "111"
+
+
+class TestAccess:
+    def test_indexing_is_msb_first(self):
+        v = BitVector("100")
+        assert v[0] == 1 and v[1] == 0 and v[2] == 0
+
+    def test_negative_index(self):
+        assert BitVector("101")[-1] == 1
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector("1")[1]
+
+    def test_slice(self):
+        assert BitVector("110101")[2:5].to01() == "010"
+
+    def test_slice_beyond_end_clamps(self):
+        assert BitVector("11")[0:10].to01() == "11"
+
+    def test_empty_slice(self):
+        assert len(BitVector("11")[1:1]) == 0
+
+    def test_step_slices_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector("1010")[::2]
+
+    def test_iteration(self):
+        assert list(BitVector("1101")) == [1, 1, 0, 1]
+
+
+class TestOperations:
+    def test_concatenation(self):
+        assert (BitVector("10") + BitVector("01")).to01() == "1001"
+
+    def test_pad_to(self):
+        assert BitVector("11").pad_to(5).to01() == "11000"
+
+    def test_pad_shorter_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector("111").pad_to(2)
+
+    def test_equality_includes_length(self):
+        assert BitVector("01") != BitVector("1")
+        assert BitVector("01") == BitVector([0, 1])
+
+    def test_hashable(self):
+        assert len({BitVector("1"), BitVector("1"), BitVector("0")}) == 2
+
+
+@given(bits_lists)
+def test_roundtrip_through_string(bits):
+    v = BitVector(bits)
+    assert BitVector(v.to01()) == v
+
+
+@given(st.integers(0, 2**63 - 1))
+def test_int_roundtrip(value):
+    assert BitVector.from_int(value, 64).to_int() == value
+
+
+@given(bits_lists, bits_lists)
+def test_concat_lengths_and_content(a, b):
+    v = BitVector(a) + BitVector(b)
+    assert len(v) == len(a) + len(b)
+    assert list(v) == a + b
+
+
+@given(bits_lists, st.data())
+def test_slice_matches_list_semantics(bits, data):
+    v = BitVector(bits)
+    start = data.draw(st.integers(0, len(bits)))
+    stop = data.draw(st.integers(start, len(bits)))
+    assert list(v[start:stop]) == bits[start:stop]
+
+
+class TestBitReader:
+    def test_sequential_reads(self):
+        r = BitReader(BitVector("110100"))
+        assert r.read_bit() == 1
+        assert r.read(3).to01() == "101"
+        assert r.read_rest().to01() == "00"
+        assert r.remaining == 0
+
+    def test_read_int(self):
+        r = BitReader(BitVector("0101"))
+        assert r.read_int(4) == 5
+
+    def test_read_past_end(self):
+        r = BitReader(BitVector("1"))
+        with pytest.raises(EOFError):
+            r.read(2)
+
+    def test_read_bit_past_end(self):
+        r = BitReader(BitVector())
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_negative_read_rejected(self):
+        r = BitReader(BitVector("1"))
+        with pytest.raises(ValueError):
+            r.read(-1)

@@ -1,0 +1,148 @@
+"""Unit and property tests for the unary code and the field-chain codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.bitvector import BitReader, BitVector
+from repro.bits.fields import (
+    ChainCapacityError,
+    chain_capacity_bits,
+    decode_chain,
+    encode_chain,
+    required_field_bits,
+)
+from repro.bits.unary import decode_unary, encode_unary
+
+
+class TestUnary:
+    def test_zero_is_single_zero_bit(self):
+        assert encode_unary(0).to01() == "0"
+
+    def test_three(self):
+        assert encode_unary(3).to01() == "1110"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_unary(-1)
+
+    @given(st.integers(0, 200))
+    def test_roundtrip(self, n):
+        assert decode_unary(BitReader(encode_unary(n))) == n
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=10))
+    def test_stream_of_codewords(self, values):
+        stream = BitVector()
+        for v in values:
+            stream = stream + encode_unary(v)
+        reader = BitReader(stream)
+        assert [decode_unary(reader) for _ in values] == values
+
+
+class TestChainCapacity:
+    def test_single_field(self):
+        # One field: only the tail's 0-bit is overhead.
+        assert chain_capacity_bits([3], 10) == 9
+
+    def test_two_adjacent_fields(self):
+        # Delta 1 costs 2 bits (one 1, one 0), tail costs 1.
+        assert chain_capacity_bits([3, 4], 10) == 20 - 2 - 1
+
+    def test_gap_costs_more(self):
+        assert chain_capacity_bits([0, 5], 10) < chain_capacity_bits(
+            [0, 1], 10
+        )
+
+    def test_non_increasing_rejected(self):
+        with pytest.raises(ValueError):
+            chain_capacity_bits([4, 4], 10)
+
+    def test_empty_chain(self):
+        assert chain_capacity_bits([], 10) == 0
+
+
+class TestRequiredFieldBits:
+    def test_covers_paper_formula_for_large_sigma(self):
+        """For sigma >> d the paper's ceil(3 sigma / 2d) + 4 dominates."""
+        d, sigma = 30, 4000
+        m = -(-2 * d // 3)
+        assert required_field_bits(sigma, m, d) <= -(-3 * sigma // (2 * d)) + 4
+
+    def test_per_field_floor_for_tiny_sigma(self):
+        # The largest unary header must fit in one field.
+        d, m = 30, 20
+        assert required_field_bits(1, m, d) >= (d - m + 1) + 1
+
+    def test_zero_fields_rejected(self):
+        with pytest.raises(ValueError):
+            required_field_bits(10, 0, 5)
+
+
+chains = st.integers(4, 24).flatmap(
+    lambda d: st.tuples(
+        st.just(d),
+        st.lists(
+            st.integers(0, d - 1), unique=True, min_size=1, max_size=d
+        ).map(sorted),
+    )
+)
+
+
+class TestChainCodec:
+    def test_simple_roundtrip(self):
+        record = BitVector.from_int(0b1011_0011_1101, 12)
+        fields = encode_chain(record, [0, 2, 3], 8)
+        assert set(fields) == {0, 2, 3}
+        assert all(len(f) == 8 for f in fields.values())
+        out = decode_chain(fields, 0, 8, 12, 8)
+        assert out == record
+
+    def test_capacity_error(self):
+        with pytest.raises(ChainCapacityError):
+            encode_chain(BitVector.ones(100), [0, 1], 8)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            encode_chain(BitVector("1"), [], 8)
+
+    def test_decode_missing_field_fails(self):
+        record = BitVector.from_int(5, 4)
+        fields = encode_chain(record, [0, 2], 8)
+        del fields[2]
+        with pytest.raises((KeyError, ChainCapacityError)):
+            decode_chain(fields, 0, 8, 4, 8)
+
+    def test_decode_walk_beyond_stripes_fails(self):
+        # A corrupted header pointing past the last stripe must be caught.
+        fields = {0: BitVector("11110000")}  # delta 4 from stripe 0
+        with pytest.raises((KeyError, ChainCapacityError)):
+            decode_chain(fields, 0, 8, 4, 3)
+
+    def test_decoding_ignores_unrelated_fields(self):
+        """Fields of other keys sitting between chain hops are skipped."""
+        record = BitVector.from_int(0b10110, 5)
+        fields = encode_chain(record, [1, 4], 8)
+        fields[2] = BitVector.ones(8)  # unrelated garbage
+        fields[3] = BitVector.zeros(8)
+        assert decode_chain(fields, 1, 8, 5, 8) == record
+
+    @settings(max_examples=80, deadline=None)
+    @given(chains, st.data())
+    def test_roundtrip_property(self, chain, data):
+        d, stripes = chain
+        m = len(stripes)
+        field_bits = required_field_bits(
+            data.draw(st.integers(0, 64)), m, d
+        )
+        capacity = chain_capacity_bits(stripes, field_bits)
+        sigma = data.draw(st.integers(0, capacity))
+        record = BitVector(
+            data.draw(
+                st.lists(
+                    st.integers(0, 1), min_size=sigma, max_size=sigma
+                )
+            )
+        )
+        fields = encode_chain(record, stripes, field_bits)
+        out = decode_chain(fields, stripes[0], field_bits, sigma, d)
+        assert out == record

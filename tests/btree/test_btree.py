@@ -1,0 +1,108 @@
+"""Tests for the striped B-tree baseline."""
+
+import random
+
+import pytest
+
+from repro.btree import BTreeDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 20
+
+
+def make(disks=4, block=4, capacity=2000, **kw):
+    machine = ParallelDiskMachine(disks, block, item_bits=64)
+    return BTreeDictionary(
+        machine, universe_size=U, capacity=capacity, **kw
+    )
+
+
+class TestCorrectness:
+    def test_roundtrip(self):
+        bt = make()
+        rng = random.Random(0)
+        ref = {}
+        while len(ref) < 1500:
+            k, v = rng.randrange(U), rng.randrange(100)
+            bt.insert(k, v)
+            ref[k] = v
+        assert all(bt.lookup(k).value == v for k, v in ref.items())
+        assert len(bt) == 1500
+
+    def test_sorted_insertion_order(self):
+        bt = make()
+        for k in range(1000):
+            bt.insert(k, k)
+        assert all(bt.lookup(k).value == k for k in range(0, 1000, 37))
+
+    def test_reverse_insertion_order(self):
+        bt = make()
+        for k in reversed(range(1000)):
+            bt.insert(k, k)
+        assert all(bt.lookup(k).found for k in range(0, 1000, 37))
+
+    def test_misses(self):
+        bt = make()
+        for k in range(0, 2000, 2):
+            bt.insert(k, None)
+        assert all(not bt.lookup(k).found for k in range(1, 200, 2))
+
+    def test_overwrite(self):
+        bt = make()
+        bt.insert(5, "a")
+        bt.insert(5, "b")
+        assert bt.lookup(5).value == "b"
+        assert len(bt) == 1
+
+    def test_delete(self):
+        bt = make()
+        for k in range(500):
+            bt.insert(k, k)
+        for k in range(0, 500, 5):
+            bt.delete(k)
+        assert len(bt) == 400
+        assert not bt.lookup(0).found
+        assert bt.lookup(1).value == 1
+
+    def test_stored_keys(self):
+        bt = make()
+        keys = set(random.Random(1).sample(range(U), 200))
+        for k in keys:
+            bt.insert(k, None)
+        assert set(bt.stored_keys()) == keys
+
+
+class TestIOShape:
+    def test_lookup_cost_equals_height(self):
+        bt = make()
+        for k in range(1500):
+            bt.insert(k, None)
+        h = bt.height()
+        assert h >= 3  # enough data to form a real tree at this fan-out
+        assert bt.lookup(700).cost.total_ios == h
+
+    def test_height_is_logarithmic(self):
+        import math
+
+        bt = make(capacity=4000)
+        for k in range(4000):
+            bt.insert(k, None)
+        # Height <= log_{ceil(children/2)} of leaves + 1-ish; generous cap:
+        assert bt.height() <= 2 * math.log(4000, bt.max_children // 2) + 2
+
+    def test_wide_superblocks_flatten_tree(self):
+        """The striping benefit: BD fan-out shrinks the height — but never
+        to 1 I/O for large n, which is the paper's whole point."""
+        narrow = make(disks=4, block=4, capacity=3000)
+        wide = make(disks=16, block=32, capacity=3000)
+        for k in range(3000):
+            narrow.insert(k, None)
+            wide.insert(k, None)
+        assert wide.height() < narrow.height()
+        assert wide.height() >= 2
+
+    def test_node_arena_exhaustion_is_loud(self):
+        bt = make(capacity=50, max_nodes=2)
+        with pytest.raises(OverflowError):
+            for k in range(500):
+                bt.insert(k, None)

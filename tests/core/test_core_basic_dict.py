@@ -1,0 +1,273 @@
+"""Tests for the Section 4.1 dictionary."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic_dict import (
+    BasicDictionary,
+    _join_fragments,
+    _split_value,
+)
+from repro.core.interface import CapacityExceeded
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+def make(machine=None, *, capacity=500, degree=16, k=1, **kw):
+    if machine is None:
+        machine = ParallelDiskMachine(degree, 32, item_bits=64)
+    return BasicDictionary(
+        machine,
+        universe_size=U,
+        capacity=capacity,
+        degree=degree,
+        k_fragments=k,
+        seed=11,
+        **kw,
+    )
+
+
+class TestFragments:
+    def test_split_join_str(self):
+        parts = _split_value("hello world!", 4)
+        assert len(parts) == 4
+        assert _join_fragments(parts) == "hello world!"
+
+    def test_split_join_bytes(self):
+        parts = _split_value(b"abcdef", 3)
+        assert _join_fragments(parts) == b"abcdef"
+
+    def test_split_join_list(self):
+        parts = _split_value([1, 2, 3, 4, 5], 2)
+        assert _join_fragments(parts) == [1, 2, 3, 4, 5]
+
+    def test_k_one_passthrough(self):
+        assert _split_value(12345, 1) == [12345]
+        assert _join_fragments([12345]) == 12345
+
+    def test_unsliceable_with_k_rejected(self):
+        with pytest.raises(TypeError):
+            _split_value(12345, 3)
+
+
+class TestBasicOperations:
+    def test_insert_lookup(self):
+        d = make()
+        d.insert(42, "forty-two")
+        result = d.lookup(42)
+        assert result.found and result.value == "forty-two"
+
+    def test_missing_key(self):
+        d = make()
+        assert not d.lookup(7).found
+
+    def test_overwrite(self):
+        d = make()
+        d.insert(1, "a")
+        d.insert(1, "b")
+        assert d.lookup(1).value == "b"
+        assert len(d) == 1
+
+    def test_upsert_reports_old_value(self):
+        d = make()
+        d.insert(1, "a")
+        was_present, old, _ = d.upsert(1, "b")
+        assert was_present and old == "a"
+
+    def test_delete(self):
+        d = make()
+        d.insert(5, "x")
+        d.delete(5)
+        assert not d.lookup(5).found
+        assert len(d) == 0
+
+    def test_delete_missing_is_noop(self):
+        d = make()
+        cost = d.delete(5)
+        assert cost.read_ios == 1 and cost.write_ios == 0
+
+    def test_contains_protocol(self):
+        d = make()
+        d.insert(9, None)
+        assert 9 in d
+        assert 10 not in d
+
+    def test_key_validation(self):
+        d = make()
+        with pytest.raises(KeyError):
+            d.lookup(U)
+        with pytest.raises(TypeError):
+            d.lookup("x")
+
+    def test_capacity_enforced(self):
+        d = make(capacity=3)
+        for k in range(3):
+            d.insert(k, None)
+        with pytest.raises(CapacityExceeded):
+            d.insert(99, None)
+        # ... but overwriting existing keys is still allowed.
+        d.insert(0, "new")
+
+
+class TestIOCosts:
+    """The Figure 1 row: O(1) worst case; 1 I/O lookups, 2 I/O updates."""
+
+    def test_lookup_is_one_io(self):
+        d = make()
+        for k in range(100):
+            d.insert(k, k)
+        for k in list(range(100)) + list(range(1000, 1100)):
+            cost = d.lookup(k).cost
+            assert cost.read_ios == 1
+            assert cost.write_ios == 0
+
+    def test_insert_is_two_ios(self):
+        d = make()
+        for k in range(200):
+            cost = d.insert(k, k)
+            assert cost.read_ios == 1
+            assert cost.write_ios == 1
+
+    def test_delete_is_two_ios(self):
+        d = make()
+        d.insert(3, "x")
+        cost = d.delete(3)
+        assert cost.total_ios == 2
+
+    def test_one_probe_flag(self):
+        d = make()
+        assert d.one_probe
+
+    def test_small_blocks_multi_block_buckets(self):
+        """B below log N: buckets span O(1) blocks; lookups are O(1) but
+        not one-probe (the paper's atomic-heap regime)."""
+        machine = ParallelDiskMachine(16, 4, item_bits=64)  # tiny blocks
+        d = BasicDictionary(
+            machine,
+            universe_size=U,
+            capacity=400,
+            degree=16,
+            bucket_capacity=12,  # 3 blocks per bucket
+            stripe_size=12,
+            seed=1,
+        )
+        assert not d.one_probe
+        for k in range(300):
+            d.insert(k, None)
+        cost = d.lookup(5).cost
+        assert cost.read_ios == d.buckets.blocks_per_bucket  # O(1), constant
+        assert all(d.lookup(k).found for k in range(300))
+
+
+class TestLoadBalancing:
+    def test_max_load_stays_within_blocks(self):
+        d = make(capacity=1000)
+        keys = random.Random(0).sample(range(U), 1000)
+        for k in keys:
+            d.insert(k, None)
+        assert d.current_max_load() <= d.buckets.capacity_items
+        assert d.max_load_seen == d.current_max_load()
+
+    def test_load_spread_beats_single_choice(self):
+        """d-choice placement: max load well below the single-choice
+        balls-in-bins maximum."""
+        d = make(capacity=2000)
+        for k in random.Random(1).sample(range(U), 2000):
+            d.insert(k, None)
+        avg = 2000 / d.num_buckets
+        assert d.current_max_load() <= avg + 5
+
+
+class TestSatelliteVariant:
+    def test_fragments_roundtrip(self):
+        machine = ParallelDiskMachine(16, 32)
+        d = BasicDictionary(
+            machine,
+            universe_size=U,
+            capacity=200,
+            degree=16,
+            k_fragments=8,
+            seed=3,
+        )
+        payload = "x" * 64
+        d.insert(10, payload)
+        result = d.lookup(10)
+        assert result.found and result.value == payload
+        assert result.cost.read_ios == 1  # all fragments in one probe
+
+    def test_many_keys_with_fragments(self):
+        machine = ParallelDiskMachine(16, 32)
+        d = BasicDictionary(
+            machine,
+            universe_size=U,
+            capacity=150,
+            degree=16,
+            k_fragments=8,
+            seed=3,
+        )
+        ref = {}
+        rng = random.Random(5)
+        for _ in range(150):
+            k = rng.randrange(U)
+            v = bytes(rng.randrange(256) for _ in range(24))
+            d.insert(k, v)
+            ref[k] = v
+        assert all(d.lookup(k).value == v for k, v in ref.items())
+
+    def test_update_replaces_all_fragments(self):
+        machine = ParallelDiskMachine(16, 32)
+        d = BasicDictionary(
+            machine, universe_size=U, capacity=50, degree=16,
+            k_fragments=4, seed=3,
+        )
+        d.insert(1, "aaaabbbb")
+        d.insert(1, "ccccdddd")
+        assert d.lookup(1).value == "ccccdddd"
+        assert len(d) == 1
+
+
+class TestAudits:
+    def test_stored_keys(self):
+        d = make()
+        keys = {3, 17, 99}
+        for k in keys:
+            d.insert(k, None)
+        assert set(d.stored_keys()) == keys
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "lookup"]),
+            st.integers(0, 99),
+            st.integers(0, 1000),
+        ),
+        max_size=60,
+    )
+)
+def test_matches_dict_reference_model(ops):
+    """Property: any op sequence behaves exactly like a Python dict."""
+    machine = ParallelDiskMachine(12, 16, item_bits=64)
+    d = BasicDictionary(
+        machine, universe_size=U, capacity=200, degree=12, seed=2
+    )
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            d.insert(key, value)
+            model[key] = value
+        elif op == "delete":
+            d.delete(key)
+            model.pop(key, None)
+        else:
+            result = d.lookup(key)
+            assert result.found == (key in model)
+            if result.found:
+                assert result.value == model[key]
+    assert len(d) == len(model)
+    assert set(d.stored_keys()) == set(model)

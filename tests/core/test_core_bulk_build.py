@@ -1,0 +1,152 @@
+"""Tests for bulk construction of the dynamic structures."""
+
+import random
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.interface import CapacityExceeded
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+def make_basic(capacity=500, degree=16):
+    machine = ParallelDiskMachine(degree, 32)
+    return BasicDictionary(
+        machine, universe_size=U, capacity=capacity, degree=degree, seed=7
+    )
+
+
+def make_dynamic(capacity=400, sigma=32, degree=16):
+    machine = ParallelDiskMachine(2 * degree, 32)
+    return DynamicDictionary(
+        machine, universe_size=U, capacity=capacity, sigma=sigma,
+        degree=degree, seed=7,
+    )
+
+
+def items_for(n, sigma=32, seed=0):
+    rng = random.Random(seed)
+    out = {}
+    while len(out) < n:
+        out[rng.randrange(U)] = rng.randrange(1 << sigma)
+    return out
+
+
+class TestBasicBulkBuild:
+    def test_contents_match_incremental(self):
+        items = items_for(300)
+        bulk = make_basic()
+        bulk.bulk_build(items)
+        assert all(bulk.lookup(k).value == v for k, v in items.items())
+        assert len(bulk) == 300
+
+    def test_cheaper_than_incremental(self):
+        items = items_for(400)
+        bulk = make_basic()
+        cost = bulk.bulk_build(items)
+        # Incremental: 2 I/Os per key = 800. Bulk: one batched write.
+        assert cost.total_ios < 800 / 4
+
+    def test_identical_placement_to_sorted_inserts(self):
+        """Bulk placement equals inserting the same keys in sorted order —
+        the greedy rule is the same code path conceptually."""
+        items = items_for(200)
+        bulk = make_basic()
+        bulk.bulk_build(items)
+        incr = make_basic()
+        for k in sorted(items):
+            incr.insert(k, items[k])
+        assert bulk.buckets.loads() == incr.buckets.loads()
+
+    def test_requires_empty(self):
+        d = make_basic()
+        d.insert(1, None)
+        with pytest.raises(ValueError):
+            d.bulk_build({2: None})
+
+    def test_capacity_check(self):
+        d = make_basic(capacity=10)
+        with pytest.raises(CapacityExceeded):
+            d.bulk_build(items_for(11))
+
+    def test_load_bound_still_enforced(self):
+        machine = ParallelDiskMachine(8, 4)
+        d = BasicDictionary(
+            machine, universe_size=U, capacity=10_000, degree=8,
+            stripe_size=1, seed=1,
+        )
+        with pytest.raises(CapacityExceeded):
+            d.bulk_build(items_for(500))
+
+    def test_updates_after_bulk(self):
+        items = items_for(100)
+        d = make_basic()
+        d.bulk_build(items)
+        key = next(iter(items))
+        d.insert(key, 999)
+        assert d.lookup(key).value == 999
+        assert len(d) == 100
+        d.delete(key)
+        assert len(d) == 99
+
+
+class TestDynamicBulkLoad:
+    def test_roundtrip(self):
+        items = items_for(300)
+        d = make_dynamic()
+        d.bulk_load(items)
+        assert len(d) == 300
+        assert all(d.lookup(k).value == v for k, v in items.items())
+
+    def test_everything_lands_on_level_one(self):
+        items = items_for(300, seed=3)
+        d = make_dynamic()
+        d.bulk_load(items)
+        occ = d.level_occupancy()
+        assert occ[0] > 0
+        # The unique-neighbor assignment targets level 1 exclusively
+        # (overflow would spill deeper; with sane slack there is none).
+        assert sum(occ[1:]) == 0
+
+    def test_lookups_after_bulk_are_one_io(self):
+        items = items_for(200, seed=4)
+        d = make_dynamic()
+        d.bulk_load(items)
+        costs = [d.lookup(k).cost.total_ios for k in items]
+        assert max(costs) == 1  # all at level 1: speculative read wins
+
+    def test_cheaper_than_incremental(self):
+        items = items_for(300, seed=5)
+        bulk = make_dynamic()
+        cost = bulk.bulk_load(items)
+        # Incremental: >= 2 I/Os per key.
+        assert cost.total_ios < 2 * 300 / 4
+
+    def test_updates_and_deletes_after_bulk(self):
+        items = items_for(150, seed=6)
+        d = make_dynamic()
+        d.bulk_load(items)
+        key = next(iter(items))
+        d.insert(key, 123)
+        assert d.lookup(key).value == 123
+        d.delete(key)
+        assert not d.lookup(key).found
+        assert len(d) == 149
+        # And new inserts still work.
+        fresh = next(k for k in range(U) if k not in items)
+        d.insert(fresh, 7)
+        assert d.lookup(fresh).value == 7
+
+    def test_requires_empty(self):
+        d = make_dynamic()
+        d.insert(1, 1)
+        with pytest.raises(ValueError):
+            d.bulk_load({2: 2})
+
+    def test_capacity_check(self):
+        d = make_dynamic(capacity=10)
+        with pytest.raises(CapacityExceeded):
+            d.bulk_load(items_for(11))

@@ -1,0 +1,197 @@
+"""Tests for the Theorem 7 dynamic dictionary (Section 4.3)."""
+
+import random
+
+import pytest
+
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.interface import CapacityExceeded
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+def make(capacity=400, sigma=32, degree=16, seed=7, **kw):
+    machine = ParallelDiskMachine(2 * degree, 32, item_bits=64)
+    return DynamicDictionary(
+        machine,
+        universe_size=U,
+        capacity=capacity,
+        sigma=sigma,
+        degree=degree,
+        seed=seed,
+        **kw,
+    )
+
+
+def fill(d, n, seed=0):
+    rng = random.Random(seed)
+    ref = {}
+    while len(ref) < n:
+        k = rng.randrange(U)
+        v = rng.randrange(1 << d.sigma)
+        d.insert(k, v)
+        ref[k] = v
+    return ref
+
+
+class TestBasics:
+    def test_insert_lookup_roundtrip(self):
+        d = make()
+        ref = fill(d, 400)
+        for k, v in ref.items():
+            result = d.lookup(k)
+            assert result.found and result.value == v
+
+    def test_missing_keys(self):
+        d = make()
+        fill(d, 100)
+        rng = random.Random(42)
+        for _ in range(100):
+            probe = rng.randrange(U)
+            if probe not in set(d.stored_keys()):
+                assert not d.lookup(probe).found
+
+    def test_update_in_place(self):
+        d = make()
+        d.insert(5, 100)
+        d.insert(5, 200)
+        assert d.lookup(5).value == 200
+        assert len(d) == 1
+
+    def test_update_clears_old_chain(self):
+        d = make(capacity=50)
+        d.insert(5, 100)
+        occupied_before = sum(d.level_occupancy())
+        d.insert(5, 200)
+        assert sum(d.level_occupancy()) == occupied_before
+
+    def test_delete(self):
+        d = make()
+        ref = fill(d, 100)
+        victim = next(iter(ref))
+        d.delete(victim)
+        assert not d.lookup(victim).found
+        assert len(d) == 99
+
+    def test_delete_frees_fields(self):
+        d = make(capacity=50)
+        d.insert(1, 11)
+        before = sum(d.level_occupancy())
+        d.insert(2, 22)
+        d.delete(2)
+        assert sum(d.level_occupancy()) == before
+
+    def test_delete_missing_noop(self):
+        d = make()
+        cost = d.delete(3)
+        assert cost.write_ios == 0
+
+    def test_value_validation(self):
+        d = make(sigma=8)
+        with pytest.raises(ValueError):
+            d.insert(1, 256)
+        with pytest.raises(ValueError):
+            d.insert(1, None)
+
+    def test_sigma_zero_rejected(self):
+        with pytest.raises(ValueError):
+            make(sigma=0)
+
+    def test_capacity_enforced(self):
+        d = make(capacity=10)
+        fill(d, 10)
+        with pytest.raises(CapacityExceeded):
+            d.insert(U - 1, 1)
+
+
+class TestTheorem7Costs:
+    """unsuccessful 1 I/O; successful 1+eps avg; updates 2+eps avg."""
+
+    def test_unsuccessful_search_is_one_io(self):
+        d = make()
+        ref = fill(d, 400)
+        rng = random.Random(3)
+        for _ in range(200):
+            probe = rng.randrange(U)
+            if probe in ref:
+                continue
+            result = d.lookup(probe)
+            assert not result.found
+            assert result.cost.total_ios == 1
+
+    def test_successful_search_average(self):
+        d = make()
+        ref = fill(d, 400)
+        costs = [d.lookup(k).cost.total_ios for k in ref]
+        avg = sum(costs) / len(costs)
+        assert avg <= 1.25  # 1 + eps with eps well under 1/4
+
+    def test_insert_average(self):
+        d = make()
+        fill(d, 400)
+        assert d.stats.avg_insert_ios <= 2.25
+
+    def test_worst_case_is_logarithmic_not_linear(self):
+        d = make()
+        ref = fill(d, 400)
+        worst = max(d.lookup(k).cost.total_ios for k in ref)
+        assert worst <= 2 + d.num_levels  # O(log n), nowhere near n
+
+    def test_level_histogram_geometric(self):
+        d = make()
+        fill(d, 400)
+        hist = d.stats.level_histogram
+        assert hist.get(0, 0) >= 0.7 * 400  # most keys at level 1
+        assert sum(hist.values()) == d.stats.inserts
+
+
+class TestLevels:
+    def test_level_sizes_shrink_geometrically(self):
+        d = make(capacity=1000)
+        sizes = [arr.stripe_size for arr in d.levels]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b <= max(a * d.ratio + 1, d.levels[-1].stripe_size)
+
+    def test_each_level_has_distinct_expander(self):
+        d = make()
+        x = 12345
+        neighbor_sets = [g.striped_neighbors(x) for g in d.level_graphs]
+        assert len({tuple(ns) for ns in neighbor_sets}) > 1
+
+    def test_first_fit_fills_level_one_first(self):
+        d = make(capacity=100)
+        fill(d, 50)
+        occ = d.level_occupancy()
+        assert occ[0] > 0
+        assert sum(occ[1:]) <= occ[0]
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            make(ratio=1.5)
+
+
+class TestInterleavedWorkload:
+    def test_mixed_ops_match_reference(self):
+        d = make(capacity=300)
+        rng = random.Random(8)
+        model = {}
+        for step in range(900):
+            op = rng.random()
+            key = rng.randrange(U)
+            if op < 0.55 and len(model) < 300:
+                value = rng.randrange(1 << 32)
+                d.insert(key, value)
+                model[key] = value
+            elif op < 0.75 and model:
+                victim = rng.choice(list(model))
+                d.delete(victim)
+                del model[victim]
+            else:
+                result = d.lookup(key)
+                assert result.found == (key in model)
+                if result.found:
+                    assert result.value == model[key]
+        assert len(d) == len(model)
+        for k, v in model.items():
+            assert d.lookup(k).value == v

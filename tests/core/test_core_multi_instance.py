@@ -1,0 +1,131 @@
+"""Tests for the parallel-instances wrapper (Section 4 observations)."""
+
+import random
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.multi_instance import MultiInstanceDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+
+def factory(i):
+    machine = ParallelDiskMachine(16, 32, item_bits=64)
+    return BasicDictionary(
+        machine, universe_size=U, capacity=200, degree=16, seed=50 + i
+    )
+
+
+def make(c=4):
+    return MultiInstanceDictionary(factory, instances=c)
+
+
+class TestBatchInsert:
+    def test_batch_costs_one_insert(self):
+        """The headline: c insertions in the parallel I/Os of ONE insert."""
+        d = make(4)
+        cost = d.insert_batch([(1, "a"), (2, "b"), (3, "c"), (4, "d")])
+        assert cost.read_ios == 1
+        assert cost.write_ios == 1
+        assert len(d) == 4
+
+    def test_batch_contents_retrievable(self):
+        d = make(4)
+        d.insert_batch([(k, k * 10) for k in range(4)])
+        for k in range(4):
+            assert d.lookup(k).value == k * 10
+
+    def test_oversized_batch_rejected(self):
+        d = make(2)
+        with pytest.raises(ValueError):
+            d.insert_batch([(1, None), (2, None), (3, None)])
+
+    def test_duplicate_keys_in_batch_rejected(self):
+        d = make(3)
+        with pytest.raises(ValueError):
+            d.insert_batch([(1, "a"), (1, "b")])
+
+    def test_stale_key_in_batch_rejected(self):
+        d = make(3)
+        d.insert(5, "x")
+        with pytest.raises(ValueError):
+            d.insert_batch([(5, "y")])
+
+    def test_load_spreads_across_instances(self):
+        d = make(4)
+        for base in range(0, 200, 4):
+            d.insert_batch([(base + j, None) for j in range(4)])
+        sizes = [len(inst) for inst in d.instances]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestLookupAndUpsert:
+    def test_lookup_cost_matches_single_instance(self):
+        d = make(4)
+        d.insert_batch([(k, k) for k in range(4)])
+        cost = d.lookup(2).cost
+        assert cost.read_ios == 1  # parallel over instances
+
+    def test_miss(self):
+        d = make(3)
+        assert not d.lookup(99).found
+
+    def test_upsert_routes_to_owner(self):
+        d = make(3)
+        d.insert(7, "old")
+        d.insert(7, "new")
+        assert d.lookup(7).value == "new"
+        assert len(d) == 1
+        copies = sum(1 for inst in d.instances if inst.contains(7))
+        assert copies == 1
+
+    def test_delete_fans_out(self):
+        d = make(3)
+        d.insert_batch([(k, None) for k in range(3)])
+        cost = d.delete(1)
+        assert cost.read_ios == 1  # parallel
+        assert not d.lookup(1).found
+        assert len(d) == 2
+
+    def test_reinsert_after_delete_allowed_in_batch(self):
+        d = make(2)
+        d.insert(1, "a")
+        d.delete(1)
+        d.insert_batch([(1, "b")])
+        assert d.lookup(1).value == "b"
+
+
+class TestModelConformance:
+    def test_mixed_workload(self):
+        d = make(4)
+        model = {}
+        rng = random.Random(0)
+        for _ in range(80):
+            op = rng.random()
+            if op < 0.5:
+                batch = []
+                for _ in range(rng.randint(1, 4)):
+                    k = rng.randrange(500)
+                    if k not in model and all(k != b[0] for b in batch):
+                        batch.append((k, rng.randrange(100)))
+                if batch:
+                    d.insert_batch(batch)
+                    model.update(dict(batch))
+            elif op < 0.75 and model:
+                k = rng.choice(list(model))
+                d.delete(k)
+                del model[k]
+            else:
+                k = rng.randrange(500)
+                result = d.lookup(k)
+                assert result.found == (k in model)
+                if result.found:
+                    assert result.value == model[k]
+        assert len(d) == len(model)
+        assert set(d.stored_keys()) == set(model)
+
+    def test_instance_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiInstanceDictionary(factory, instances=0)

@@ -1,0 +1,98 @@
+"""Tests for pointer-indirected satellite storage."""
+
+import random
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.interface import CapacityExceeded
+from repro.core.pointer_store import PointerStore
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+
+def make(capacity=64, degree=16, B=32):
+    index = BasicDictionary(
+        ParallelDiskMachine(degree, B),
+        universe_size=U,
+        capacity=capacity,
+        degree=degree,
+        seed=9,
+    )
+    return PointerStore(
+        index, ParallelDiskMachine(degree, B), capacity=capacity
+    )
+
+
+class TestPointerStore:
+    def test_roundtrip_full_superblock(self):
+        store = make()
+        payload = list(range(store.payload_capacity_items))
+        store.insert(5, payload)
+        result = store.lookup(5)
+        assert result.found and result.value == payload
+
+    def test_lookup_costs_index_plus_one(self):
+        store = make()
+        store.insert(5, ["a", "b"])
+        result = store.lookup(5)
+        # 1 (index, one-probe) + 1 (payload superblock).
+        assert result.cost.read_ios == 2
+
+    def test_pointer_only_lookup_is_native_cost(self):
+        store = make()
+        store.insert(5, ["a"])
+        assert store.lookup_pointer(5).cost.read_ios == 1
+
+    def test_miss_costs_index_only(self):
+        store = make()
+        result = store.lookup(7)
+        assert not result.found
+        assert result.cost.read_ios == 1
+
+    def test_update_reuses_slot(self):
+        store = make()
+        store.insert(5, ["old"])
+        slot_before = store.lookup_pointer(5).value
+        store.insert(5, ["new", "payload"])
+        assert store.lookup_pointer(5).value == slot_before
+        assert store.lookup(5).value == ["new", "payload"]
+        assert len(store) == 1
+
+    def test_delete_recycles_slot(self):
+        store = make(capacity=2)
+        store.insert(1, ["a"])
+        store.insert(2, ["b"])
+        store.delete(1)
+        store.insert(3, ["c"])  # must reuse the freed slot
+        assert store.lookup(3).value == ["c"]
+        assert not store.lookup(1).found
+
+    def test_capacity_exhaustion(self):
+        store = make(capacity=2)
+        store.insert(1, ["a"])
+        store.insert(2, ["b"])
+        with pytest.raises(CapacityExceeded):
+            store.insert(3, ["c"])
+
+    def test_payload_too_large_rejected(self):
+        store = make()
+        with pytest.raises(ValueError):
+            store.insert(1, list(range(store.payload_capacity_items + 1)))
+
+    def test_many_records(self):
+        store = make(capacity=64)
+        rng = random.Random(1)
+        ref = {}
+        while len(ref) < 64:
+            k = rng.randrange(U)
+            v = [rng.randrange(100) for _ in range(rng.randrange(1, 20))]
+            store.insert(k, v)
+            ref[k] = v
+        assert all(store.lookup(k).value == v for k, v in ref.items())
+        assert set(store.stored_keys()) == set(ref)
+
+    def test_bandwidth_is_full_bd(self):
+        store = make(degree=16, B=32)
+        assert store.payload_capacity_items == 16 * 32

@@ -1,0 +1,146 @@
+"""Tests for global rebuilding and the user-facing facade."""
+
+import random
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.facade import ParallelDiskDictionary
+from repro.core.rebuilding import RebuildingDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+
+def basic_factory(capacity, generation):
+    machine = ParallelDiskMachine(16, 32, item_bits=64)
+    return BasicDictionary(
+        machine,
+        universe_size=U,
+        capacity=capacity,
+        degree=16,
+        seed=100 + generation,
+    )
+
+
+class TestRebuilding:
+    def test_grows_past_initial_capacity(self):
+        d = RebuildingDictionary(basic_factory, initial_capacity=16)
+        for k in range(200):
+            d.insert(k, k * 3)
+        assert len(d) == 200
+        assert all(d.lookup(k).value == k * 3 for k in range(200))
+
+    def test_rebuild_stats(self):
+        d = RebuildingDictionary(basic_factory, initial_capacity=16)
+        for k in range(100):
+            d.insert(k, None)
+        assert d.stats.rebuilds_started >= 1
+        assert d.stats.items_migrated > 0
+
+    def test_lookup_during_rebuild_consults_both(self):
+        d = RebuildingDictionary(
+            basic_factory, initial_capacity=32, move_per_op=2
+        )
+        for k in range(33):  # just tip into rebuilding
+            d.insert(k, k)
+        assert d.building is not None  # mid-rebuild
+        assert all(d.lookup(k).found for k in range(33))
+
+    def test_delete_during_rebuild(self):
+        d = RebuildingDictionary(
+            basic_factory, initial_capacity=32, move_per_op=2
+        )
+        for k in range(40):
+            d.insert(k, k)
+        d.delete(5)
+        d.delete(38)
+        assert not d.lookup(5).found
+        assert not d.lookup(38).found
+        assert len(d) == 38
+
+    def test_update_during_rebuild_no_stale_copy(self):
+        d = RebuildingDictionary(
+            basic_factory, initial_capacity=32, move_per_op=2
+        )
+        for k in range(33):
+            d.insert(k, "old")
+        assert d.building is not None
+        d.insert(0, "new")  # 0 may still live in the draining structure
+        # Drain fully.
+        for k in range(100, 160):
+            d.insert(k, "fill")
+        assert d.lookup(0).value == "new"
+
+    def test_stored_keys_union(self):
+        d = RebuildingDictionary(
+            basic_factory, initial_capacity=32, move_per_op=2
+        )
+        for k in range(50):
+            d.insert(k, None)
+        assert set(d.stored_keys()) == set(range(50))
+
+    def test_migration_outruns_inserts(self):
+        """move_per_op >= 2 guarantees rebuilds finish before the next one
+        must start."""
+        d = RebuildingDictionary(
+            basic_factory, initial_capacity=16, move_per_op=4
+        )
+        for k in range(500):
+            d.insert(k, None)
+        assert d.stats.rebuilds_finished == d.stats.rebuilds_started or (
+            d.stats.rebuilds_finished == d.stats.rebuilds_started - 1
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RebuildingDictionary(basic_factory, initial_capacity=0)
+        with pytest.raises(ValueError):
+            RebuildingDictionary(basic_factory, move_per_op=1)
+        with pytest.raises(ValueError):
+            RebuildingDictionary(basic_factory, growth=1.0)
+
+
+class TestFacade:
+    @pytest.mark.parametrize("mode", ["basic", "full-bandwidth"])
+    def test_modes_roundtrip(self, mode):
+        d = ParallelDiskDictionary(
+            universe_size=U, capacity=256, mode=mode, sigma=24, seed=4
+        )
+        rng = random.Random(0)
+        ref = {}
+        while len(ref) < 200:
+            k = rng.randrange(U)
+            v = rng.randrange(1 << 24)
+            d.insert(k, v)
+            ref[k] = v
+        assert all(d.lookup(k).value == v for k, v in ref.items())
+        assert len(d) == 200
+
+    def test_unbounded_growth_with_deletes(self):
+        d = ParallelDiskDictionary(
+            universe_size=U, capacity=32, mode="basic", unbounded=True, seed=1
+        )
+        for k in range(300):
+            d.insert(k, k)
+        for k in range(0, 300, 3):
+            d.delete(k)
+        assert len(d) == 200
+        assert not d.lookup(0).found
+        assert d.lookup(1).value == 1
+
+    def test_default_degree_is_logarithmic(self):
+        d = ParallelDiskDictionary(universe_size=1 << 20, capacity=64)
+        assert d.degree == 40  # 2 * log2(2^20)
+
+    def test_io_stats_aggregate(self):
+        d = ParallelDiskDictionary(universe_size=U, capacity=64, seed=2)
+        d.insert(1, None)
+        d.lookup(1)
+        stats = d.io_stats()
+        assert stats.read_ios >= 2
+        assert stats.write_ios >= 1
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ParallelDiskDictionary(universe_size=U, mode="nope")

@@ -1,0 +1,167 @@
+"""Tests for the Section 6 recursive full-bandwidth structure."""
+
+import random
+
+import pytest
+
+from repro.core.interface import CapacityExceeded
+from repro.core.recursive_dict import RecursiveLoadBalancedDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+def make(capacity=300, sigma=120, degree=16, levels=2, seed=3, **kw):
+    machine = ParallelDiskMachine((levels + 1) * degree, 32)
+    return RecursiveLoadBalancedDictionary(
+        machine,
+        universe_size=U,
+        capacity=capacity,
+        sigma=sigma,
+        degree=degree,
+        levels=levels,
+        seed=seed,
+        **kw,
+    )
+
+
+def fill(d, n, seed=0):
+    rng = random.Random(seed)
+    ref = {}
+    while len(ref) < n:
+        k = rng.randrange(U)
+        v = rng.randrange(1 << d.sigma)
+        d.insert(k, v)
+        ref[k] = v
+    return ref
+
+
+class TestOneIOLookups:
+    def test_every_lookup_is_one_io(self):
+        """The open problem's target: 1 parallel I/O worst case, hits and
+        misses, at full record bandwidth."""
+        d = make()
+        ref = fill(d, 300)
+        assert all(
+            d.lookup(k).cost.total_ios == 1 for k in list(ref)[:100]
+        )
+        rng = random.Random(9)
+        for _ in range(100):
+            probe = rng.randrange(U)
+            if probe not in ref:
+                assert d.lookup(probe).cost.total_ios == 1
+
+    def test_roundtrip(self):
+        d = make()
+        ref = fill(d, 300)
+        assert all(d.lookup(k).value == v for k, v in ref.items())
+
+    def test_wide_records(self):
+        d = make(capacity=60, sigma=900)
+        ref = fill(d, 60, seed=2)
+        assert all(d.lookup(k).value == v for k, v in ref.items())
+        assert all(d.lookup(k).cost.total_ios == 1 for k in ref)
+
+
+class TestUpdatesAndDeletes:
+    def test_update_in_place(self):
+        d = make()
+        d.insert(5, 111)
+        d.insert(5, 222)
+        assert d.lookup(5).value == 222
+        assert len(d) == 1
+
+    def test_update_leaves_no_ghost_fragments(self):
+        d = make(capacity=50)
+        d.insert(5, 111)
+        occupied = sum(
+            sum(s.loads().values()) for s in d.levels_store
+        )
+        d.insert(5, 222)
+        assert sum(
+            sum(s.loads().values()) for s in d.levels_store
+        ) == occupied
+
+    def test_delete(self):
+        d = make()
+        ref = fill(d, 100)
+        victim = next(iter(ref))
+        d.delete(victim)
+        assert not d.lookup(victim).found
+        assert len(d) == 99
+
+    def test_delete_missing_noop(self):
+        d = make()
+        cost = d.delete(3)
+        assert cost.write_ios == 0
+
+
+class TestSpillBehaviour:
+    def test_tight_levels_spill_to_brute_force(self):
+        d = make(capacity=400, stripe_slack=0.25, levels=2)
+        fill(d, 400, seed=5)
+        assert d.stats.spill_fraction > 0
+        # Everything still correct, still one probe.
+        keys = list(d.stored_keys())
+        assert all(d.lookup(k).cost.total_ios == 1 for k in keys[:50])
+
+    def test_brute_force_overflow_is_loud(self):
+        d = make(capacity=5000, stripe_slack=0.02, levels=1, degree=8)
+        with pytest.raises(CapacityExceeded):
+            fill(d, 5000, seed=6)
+
+    def test_level_histogram_accounts_everything(self):
+        d = make()
+        fill(d, 200, seed=7)
+        placed = sum(d.stats.level_histogram.values())
+        assert placed + d.stats.brute_inserts == d.stats.inserts
+
+
+class TestGeometry:
+    def test_disk_budget(self):
+        d = make(levels=3, degree=8)
+        assert d.disks_used == 4 * 8
+
+    def test_k_is_two_thirds_d(self):
+        d = make(degree=18)
+        assert d.k == 12
+
+    def test_capacity_enforced(self):
+        d = make(capacity=5)
+        fill(d, 5)
+        with pytest.raises(CapacityExceeded):
+            d.insert(U - 1, 0)
+
+    def test_parameter_validation(self):
+        machine = ParallelDiskMachine(8, 32)
+        with pytest.raises(ValueError):
+            RecursiveLoadBalancedDictionary(
+                machine, universe_size=U, capacity=10, sigma=8,
+                degree=16, levels=2,
+            )
+        with pytest.raises(ValueError):
+            make(levels=0)
+
+
+class TestReferenceModel:
+    def test_mixed_ops(self):
+        d = make(capacity=120)
+        model = {}
+        rng = random.Random(11)
+        for _ in range(400):
+            op = rng.random()
+            key = rng.randrange(U)
+            if op < 0.5 and (key in model or len(model) < 120):
+                value = rng.randrange(1 << d.sigma)
+                d.insert(key, value)
+                model[key] = value
+            elif op < 0.7 and model:
+                victim = rng.choice(list(model))
+                d.delete(victim)
+                del model[victim]
+            else:
+                result = d.lookup(key)
+                assert result.found == (key in model)
+                if result.found:
+                    assert result.value == model[key]
+        assert len(d) == len(model)

@@ -1,0 +1,106 @@
+"""Tests for the external (sort-based) Theorem 6 construction."""
+
+import random
+
+import pytest
+
+from repro.core.static_construction import external_assignment
+from repro.core.static_dict import StaticDictionary, assign_unique_neighbors
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+def setup(n=250, degree=16, stripe=1200, seed=3):
+    machine = ParallelDiskMachine(degree, 32, item_bits=64)
+    graph = SeededRandomExpander(
+        left_size=U, degree=degree, stripe_size=stripe, seed=seed
+    )
+    keys = random.Random(seed).sample(range(U), n)
+    return machine, graph, keys
+
+
+class TestExternalAssignment:
+    def test_matches_in_memory_assignment(self):
+        machine, graph, keys = setup()
+        external, report = external_assignment(machine, graph, keys)
+        in_memory = assign_unique_neighbors(graph, sorted(keys))
+        assert external == in_memory.assignment
+        assert report.rounds == in_memory.rounds
+        assert report.overflow == in_memory.overflow
+
+    def test_round_sizes_match(self):
+        machine, graph, keys = setup(n=300)
+        _, report = external_assignment(machine, graph, keys)
+        in_memory = assign_unique_neighbors(graph, sorted(keys))
+        assert report.round_sizes == in_memory.round_sizes
+
+    def test_cost_is_constant_multiple_of_sort(self):
+        """Theorem 6: construction cost O(sort(nd))."""
+        machine, graph, keys = setup(n=400)
+        _, report = external_assignment(machine, graph, keys)
+        assert report.sort_nd_bound > 0
+        assert report.ios_per_sort_bound <= 16  # small constant multiple
+
+    def test_cost_scales_with_n(self):
+        costs = []
+        for n in (100, 400):
+            machine, graph, keys = setup(n=n)
+            _, report = external_assignment(machine, graph, keys)
+            costs.append(report.total_ios)
+        assert costs[1] > costs[0]
+        # Near-linear growth (the recursion's geometric series): 4x the keys
+        # should cost well under 10x the I/O.
+        assert costs[1] < 10 * costs[0]
+
+    def test_all_io_through_the_machine(self):
+        machine, graph, keys = setup(n=150)
+        snap = machine.stats.snapshot()
+        external_assignment(machine, graph, keys)
+        assert machine.stats.since(snap).read_ios > 0
+        assert machine.stats.since(snap).write_ios > 0
+
+
+class TestBuildViaExtsort:
+    @pytest.mark.parametrize("case", ["a", "b"])
+    def test_extsort_build_correct(self, case):
+        rng = random.Random(5)
+        items = {rng.randrange(U): rng.randrange(1 << 24) for _ in range(200)}
+        disks = 16 * (2 if case == "a" else 1)
+        machine = ParallelDiskMachine(disks, 32)
+        d = StaticDictionary.build(
+            machine,
+            items,
+            universe_size=U,
+            sigma=24,
+            case=case,
+            degree=16,
+            seed=5,
+            construction="extsort",
+        )
+        assert d.external_report is not None
+        assert all(d.lookup(k).value == v for k, v in items.items())
+
+    def test_extsort_and_fast_agree(self):
+        rng = random.Random(6)
+        items = {rng.randrange(U): rng.randrange(100) for _ in range(150)}
+        m1 = ParallelDiskMachine(16, 32)
+        m2 = ParallelDiskMachine(16, 32)
+        d1 = StaticDictionary.build(
+            m1, items, universe_size=U, sigma=8, case="b", degree=16,
+            seed=6, construction="extsort",
+        )
+        d2 = StaticDictionary.build(
+            m2, items, universe_size=U, sigma=8, case="b", degree=16,
+            seed=6, construction="fast",
+        )
+        assert d1.assignment == d2.assignment
+
+    def test_unknown_construction_rejected(self):
+        machine = ParallelDiskMachine(16, 32)
+        with pytest.raises(ValueError):
+            StaticDictionary.build(
+                machine, {1: 1}, universe_size=U, sigma=8, case="b",
+                degree=16, construction="magic",
+            )

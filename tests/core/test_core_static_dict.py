@@ -1,0 +1,252 @@
+"""Tests for the Theorem 6 static dictionary (Section 4.2)."""
+
+import random
+
+import pytest
+
+from repro.core.interface import CapacityExceeded
+from repro.core.static_dict import (
+    StaticDictionary,
+    assign_unique_neighbors,
+    fields_needed,
+)
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.expanders.verify import unique_neighbor_set
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+def build(case, n=300, sigma=30, degree=16, seed=2, **kw):
+    rng = random.Random(seed)
+    items = {}
+    while len(items) < n:
+        items[rng.randrange(U)] = rng.randrange(1 << sigma)
+    disks = degree * (2 if case == "a" else 1)
+    machine = ParallelDiskMachine(disks, 32, item_bits=64)
+    d = StaticDictionary.build(
+        machine,
+        items,
+        universe_size=U,
+        sigma=sigma,
+        case=case,
+        degree=degree,
+        seed=seed,
+        **kw,
+    )
+    return d, items
+
+
+class TestFieldsNeeded:
+    def test_ceil_two_thirds(self):
+        assert fields_needed(12) == 8
+        assert fields_needed(16) == 11
+        assert fields_needed(13) == 9
+
+
+class TestAssignment:
+    def test_every_key_assigned_enough_unique_stripes(self):
+        g = SeededRandomExpander(
+            left_size=U, degree=16, stripe_size=1200, seed=4
+        )
+        keys = random.Random(4).sample(range(U), 300)
+        result = assign_unique_neighbors(g, keys)
+        assert not result.overflow
+        m = fields_needed(16)
+        for key, stripes in result.assignment.items():
+            assert len(stripes) == m
+            assert list(stripes) == sorted(set(stripes))
+
+    def test_assigned_stripes_are_neighbors(self):
+        g = SeededRandomExpander(
+            left_size=U, degree=16, stripe_size=1200, seed=4
+        )
+        keys = random.Random(4).sample(range(U), 200)
+        result = assign_unique_neighbors(g, keys)
+        for key, stripes in result.assignment.items():
+            neighbor_stripes = {i for (i, j) in g.striped_neighbors(key)}
+            assert set(stripes) <= neighbor_stripes
+
+    def test_round_one_uses_global_unique_neighbors(self):
+        """Keys assigned in round one take fields from Phi(S) — unique with
+        respect to the FULL set, hence untouchable by later rounds."""
+        g = SeededRandomExpander(
+            left_size=U, degree=16, stripe_size=1200, seed=4
+        )
+        keys = random.Random(9).sample(range(U), 250)
+        result = assign_unique_neighbors(g, keys)
+        phi = unique_neighbor_set(g, keys)
+        stripe_index = {
+            key: dict(g.striped_neighbors(key)) for key in keys
+        }
+        first_round_count = result.round_sizes[0]
+        # Reconstruct round-1 membership: keys whose assignment is a subset
+        # of the global Phi.
+        in_phi = 0
+        for key, stripes in result.assignment.items():
+            flat = {
+                s * g.stripe_size + stripe_index[key][s] for s in stripes
+            }
+            if flat <= phi:
+                in_phi += 1
+        assert in_phi >= first_round_count
+
+    def test_rounds_shrink_geometrically(self):
+        g = SeededRandomExpander(
+            left_size=U, degree=16, stripe_size=1600, seed=4
+        )
+        keys = random.Random(5).sample(range(U), 400)
+        result = assign_unique_neighbors(g, keys)
+        # Lemma 5 with lambda = 1/3: at least half assigned per round.
+        remaining = 400
+        for size in result.round_sizes:
+            assert size >= remaining * 0.4  # slack under the paper's 1/2
+            remaining -= size
+
+    def test_disjoint_field_assignment(self):
+        """No two keys ever share an assigned (stripe, index) field."""
+        g = SeededRandomExpander(
+            left_size=U, degree=16, stripe_size=1200, seed=4
+        )
+        keys = random.Random(6).sample(range(U), 300)
+        result = assign_unique_neighbors(g, keys)
+        used = set()
+        for key, stripes in result.assignment.items():
+            idx = dict(g.striped_neighbors(key))
+            for s in stripes:
+                loc = (s, idx[s])
+                assert loc not in used
+                used.add(loc)
+
+
+@pytest.mark.parametrize("case", ["a", "b"])
+class TestLookup:
+    def test_all_present_keys_found(self, case):
+        d, items = build(case)
+        for k, v in items.items():
+            result = d.lookup(k)
+            assert result.found and result.value == v
+
+    def test_lookups_cost_one_io(self, case):
+        d, items = build(case)
+        for k in list(items)[:50]:
+            assert d.lookup(k).cost.total_ios == 1
+
+    def test_misses_cost_one_io_and_not_found(self, case):
+        d, items = build(case)
+        rng = random.Random(99)
+        for _ in range(100):
+            probe = rng.randrange(U)
+            if probe in items:
+                continue
+            result = d.lookup(probe)
+            assert not result.found
+            assert result.cost.total_ios == 1
+
+    def test_insert_rejected(self, case):
+        d, _ = build(case, n=50)
+        with pytest.raises(NotImplementedError):
+            d.insert(1, 2)
+
+
+class TestCaseSpecifics:
+    def test_case_b_field_width(self):
+        d, _ = build("b", n=300, sigma=30, degree=16)
+        import math
+
+        assert d.field_bits == math.ceil(math.log2(300)) + math.ceil(
+            30 / fields_needed(16)
+        )
+
+    def test_case_a_uses_two_disk_groups(self):
+        d, _ = build("a")
+        assert d.membership is not None
+        assert d.array.disk_offset == d.degree
+
+    def test_case_b_has_no_membership_structure(self):
+        d, _ = build("b")
+        assert d.membership is None
+
+    def test_case_a_membership_only_when_sigma_zero(self):
+        rng = random.Random(0)
+        items = {rng.randrange(U): 0 for _ in range(100)}
+        machine = ParallelDiskMachine(32, 32)
+        d = StaticDictionary.build(
+            machine, items, universe_size=U, sigma=0, case="a", degree=16,
+        )
+        assert d.array is None
+        for k in items:
+            assert d.lookup(k).found
+
+    def test_space_accounting_linearish(self):
+        """Case (a) space: O(n (log u + sigma)) bits, constant <= 64."""
+        n, sigma = 400, 40
+        d, _ = build("a", n=n, sigma=sigma)
+        import math
+
+        per_key = d.space_bits / n
+        assert per_key <= 64 * (math.log2(U) + sigma)
+
+    def test_single_key_dictionary(self):
+        machine = ParallelDiskMachine(32, 32)
+        d = StaticDictionary.build(
+            machine, {123: 7}, universe_size=U, sigma=8, case="a", degree=16
+        )
+        assert d.lookup(123).value == 7
+        assert not d.lookup(124).found
+
+    def test_value_out_of_sigma_range_rejected(self):
+        machine = ParallelDiskMachine(16, 32)
+        with pytest.raises(ValueError):
+            StaticDictionary.build(
+                machine, {1: 256}, universe_size=U, sigma=8, case="b",
+                degree=16,
+            )
+
+    def test_invalid_case_rejected(self):
+        machine = ParallelDiskMachine(16, 32)
+        with pytest.raises(ValueError):
+            StaticDictionary.build(
+                machine, {1: 1}, universe_size=U, sigma=8, case="c",
+                degree=16,
+            )
+
+    def test_empty_items_rejected(self):
+        machine = ParallelDiskMachine(16, 32)
+        with pytest.raises(ValueError):
+            StaticDictionary.build(
+                machine, {}, universe_size=U, sigma=8, case="b", degree=16
+            )
+
+    def test_strict_overflow_raises(self):
+        """With a pathologically small array the assignment cannot finish;
+        strict mode must say so loudly."""
+        machine = ParallelDiskMachine(16, 32)
+        rng = random.Random(0)
+        items = {rng.randrange(U): 0 for _ in range(200)}
+        with pytest.raises(CapacityExceeded):
+            StaticDictionary.build(
+                machine,
+                items,
+                universe_size=U,
+                sigma=8,
+                case="b",
+                degree=16,
+                stripe_slack=0.05,  # v << n: impossible
+            )
+
+
+class TestMajorityDecoding:
+    def test_no_false_positives_across_probes(self):
+        """A missing key must never reach majority, even when its neighbor
+        fields are full of other keys' identifiers."""
+        d, items = build("b", n=500, degree=16)
+        rng = random.Random(123)
+        false_positives = 0
+        for _ in range(500):
+            probe = rng.randrange(U)
+            if probe in items:
+                continue
+            if d.lookup(probe).found:
+                false_positives += 1
+        assert false_positives == 0

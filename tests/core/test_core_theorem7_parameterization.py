@@ -1,0 +1,70 @@
+"""Theorem 7's exact parameterization: d > 6(1 + 1/eps), ratio = 6 eps'."""
+
+import random
+
+import pytest
+
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 18
+
+
+class TestFromEpsilon:
+    @pytest.mark.parametrize("epsilon", [1.0, 0.5, 0.25])
+    def test_delivers_one_plus_eps(self, epsilon):
+        degree_floor = int(6 * (1 + 1 / epsilon)) + 1
+        machine = ParallelDiskMachine(2 * degree_floor, 32)
+        d = DynamicDictionary.from_epsilon(
+            machine,
+            universe_size=U,
+            capacity=300,
+            sigma=32,
+            epsilon=epsilon,
+            seed=3,
+        )
+        assert d.degree > 6 * (1 + 1 / epsilon)
+        rng = random.Random(3)
+        ref = {}
+        while len(ref) < 300:
+            k = rng.randrange(U)
+            v = rng.randrange(1 << 32)
+            d.insert(k, v)
+            ref[k] = v
+        hits = [d.lookup(k).cost.total_ios for k in ref]
+        assert sum(hits) / len(hits) <= 1 + epsilon
+        assert d.stats.avg_insert_ios <= 2 + epsilon
+        assert all(d.lookup(k).value == v for k, v in list(ref.items())[:40])
+
+    def test_insufficient_disks_rejected(self):
+        machine = ParallelDiskMachine(8, 32)
+        with pytest.raises(ValueError):
+            DynamicDictionary.from_epsilon(
+                machine, universe_size=U, capacity=10, sigma=8, epsilon=0.5
+            )
+
+    def test_epsilon_validation(self):
+        machine = ParallelDiskMachine(64, 32)
+        with pytest.raises(ValueError):
+            DynamicDictionary.from_epsilon(
+                machine, universe_size=U, capacity=10, sigma=8, epsilon=0
+            )
+
+    def test_smaller_epsilon_needs_bigger_degree(self):
+        m_loose = ParallelDiskMachine(2 * 14, 32)
+        loose = DynamicDictionary.from_epsilon(
+            m_loose, universe_size=U, capacity=10, sigma=8, epsilon=1.0
+        )
+        m_tight = ParallelDiskMachine(2 * 31, 32)
+        tight = DynamicDictionary.from_epsilon(
+            m_tight, universe_size=U, capacity=10, sigma=8, epsilon=0.25
+        )
+        assert tight.degree > loose.degree
+
+    def test_ratio_within_theorem_range(self):
+        machine = ParallelDiskMachine(2 * 19, 32)
+        d = DynamicDictionary.from_epsilon(
+            machine, universe_size=U, capacity=50, sigma=8, epsilon=0.5
+        )
+        # 6 eps' < 1/(1 + 1/eps) = eps/(1+eps)
+        assert d.ratio < 0.5 / 1.5

@@ -1,0 +1,76 @@
+"""Tests for the consolidated expansion audit."""
+
+import random
+
+import pytest
+
+from repro.expanders.audit import expansion_audit
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.expanders.verify import (
+    neighbor_set,
+    unique_neighbor_set,
+    well_assignable_subset,
+)
+
+U = 1 << 16
+
+
+@pytest.fixture
+def setup():
+    g = SeededRandomExpander(
+        left_size=U, degree=16, stripe_size=1024, seed=8
+    )
+    S = random.Random(8).sample(range(U), 300)
+    return g, S
+
+
+class TestExpansionAudit:
+    def test_matches_individual_functions(self, setup):
+        g, S = setup
+        audit = expansion_audit(g, S, lambdas=(1 / 3, 1 / 2))
+        assert audit.gamma == len(neighbor_set(g, S))
+        assert audit.phi == len(unique_neighbor_set(g, S))
+        assert audit.assignable[1 / 3][0] == len(
+            well_assignable_subset(g, S, 1 / 3)
+        )
+        assert audit.assignable[1 / 2][0] == len(
+            well_assignable_subset(g, S, 1 / 2)
+        )
+
+    def test_lemma_flags(self, setup):
+        g, S = setup
+        audit = expansion_audit(g, S)
+        assert audit.lemma4_holds
+        assert audit.lemma5_holds
+
+    def test_overlap_optional(self, setup):
+        g, S = setup
+        without = expansion_audit(g, S)
+        assert without.max_overlap is None
+        assert without.majority_margin is None
+        with_overlap = expansion_audit(g, S[:80], with_overlap=True)
+        assert with_overlap.max_overlap is not None
+        assert with_overlap.majority_margin > 0
+
+    def test_summary_text(self, setup):
+        g, S = setup
+        text = expansion_audit(g, S, with_overlap=False).summary()
+        assert "lemma4" in text and "OK" in text
+
+    def test_duplicates_collapsed(self, setup):
+        g, S = setup
+        a = expansion_audit(g, S)
+        b = expansion_audit(g, S + S[:50])
+        assert a.n == b.n == len(S)
+        assert a.gamma == b.gamma
+
+    def test_empty_rejected(self, setup):
+        g, _ = setup
+        with pytest.raises(ValueError):
+            expansion_audit(g, [])
+
+    def test_larger_lambda_admits_more_keys(self, setup):
+        g, S = setup
+        audit = expansion_audit(g, S, lambdas=(0.2, 0.6))
+        # A laxer threshold (larger lambda) can only grow S'.
+        assert audit.assignable[0.6][0] >= audit.assignable[0.2][0]

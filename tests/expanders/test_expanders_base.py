@@ -1,0 +1,74 @@
+"""Unit tests for expander interfaces and parameter records."""
+
+import pytest
+
+from repro.expanders.base import ExpanderParams, NEpsParams
+
+
+class TestExpanderParams:
+    def test_valid(self):
+        p = ExpanderParams(d=16, eps=1 / 12, delta=0.5)
+        assert p.d == 16
+
+    def test_eps_below_one_over_d_rejected(self):
+        # The paper: eps cannot be smaller than 1/d for compressing graphs.
+        with pytest.raises(ValueError):
+            ExpanderParams(d=4, eps=0.1, delta=0.5)
+
+    def test_eps_out_of_range(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(d=16, eps=0.0, delta=0.5)
+        with pytest.raises(ValueError):
+            ExpanderParams(d=16, eps=1.0, delta=0.5)
+
+    def test_delta_out_of_range(self):
+        with pytest.raises(ValueError):
+            ExpanderParams(d=16, eps=0.5, delta=0.0)
+
+    def test_guaranteed_neighbors_takes_min(self):
+        p = ExpanderParams(d=10, eps=0.2, delta=0.5)
+        v = 100
+        # Small set: the (1-eps)*d*s branch.
+        assert p.guaranteed_neighbors(2, v) == 16
+        # Huge set: the (1-delta)*v branch.
+        assert p.guaranteed_neighbors(1000, v) == 50
+
+
+class TestNEpsParams:
+    def test_valid(self):
+        p = NEpsParams(N=100, eps=0.25)
+        assert p.guaranteed_neighbors(10, d=8) == 60
+
+    def test_oversized_set_rejected(self):
+        p = NEpsParams(N=10, eps=0.25)
+        with pytest.raises(ValueError):
+            p.guaranteed_neighbors(11, d=8)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            NEpsParams(N=0, eps=0.5)
+        with pytest.raises(ValueError):
+            NEpsParams(N=5, eps=1.5)
+
+
+class TestStripedFlatConsistency:
+    def test_flat_ids_follow_stripe_layout(self, graph):
+        striped = graph.striped_neighbors(123)
+        flat = graph.neighbors(123)
+        assert len(striped) == len(flat) == graph.degree
+        for (i, j), y in zip(striped, flat):
+            assert y == i * graph.stripe_size + j
+
+    def test_one_neighbor_per_stripe(self, graph):
+        striped = graph.striped_neighbors(5)
+        assert [i for (i, j) in striped] == list(range(graph.degree))
+
+    def test_neighbor_accessor(self, graph):
+        assert graph.neighbor(9, 3) == graph.neighbors(9)[3]
+        assert graph.striped_neighbor(9, 3) == graph.striped_neighbors(9)[3]
+
+    def test_out_of_universe_rejected(self, graph):
+        with pytest.raises(IndexError):
+            graph.neighbors(graph.left_size)
+        with pytest.raises(IndexError):
+            graph.neighbors(-1)

@@ -1,0 +1,177 @@
+"""Tests for Theorem 9 base expanders, the telescope product (Lemmas 10/11),
+the Theorem 12 semi-explicit construction and trivial striping."""
+
+import pytest
+
+from repro.expanders.explicit import TabulatedExpander, find_base_expander
+from repro.expanders.random_graph import SeededFlatExpander
+from repro.expanders.semi_explicit import (
+    SemiExplicitExpander,
+    theorem9_advice_words,
+)
+from repro.expanders.striping import TriviallyStripedExpander
+from repro.expanders.telescope import TelescopeProduct, _remap_multi_edges
+from repro.expanders.verify import neighbor_set, verify_expansion_sampled
+from repro.pdm.memory import InternalMemory
+
+
+class TestTabulatedExpander:
+    def test_table_lookup(self):
+        t = TabulatedExpander([(0, 1), (2, 3)], 4)
+        assert t.neighbors(0) == (0, 1)
+        assert t.left_size == 2 and t.degree == 2
+
+    def test_memory_charged_and_released(self):
+        mem = InternalMemory()
+        t = TabulatedExpander([(0, 1)] * 10, 4, memory=mem)
+        assert mem.used_words == t.memory_words == 20
+        t.release()
+        assert mem.used_words == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TabulatedExpander([], 4)
+        with pytest.raises(ValueError):
+            TabulatedExpander([(0,), (0, 1)], 4)  # ragged
+        with pytest.raises(ValueError):
+            TabulatedExpander([(9,)], 4)  # out of range
+
+
+class TestFindBaseExpander:
+    def test_finds_and_certifies(self):
+        mem = InternalMemory()
+        g = find_base_expander(
+            u=40, v=36, d=4, N=3, eps=0.5, seed=0, memory=mem
+        )
+        assert g.left_size == 40 and g.right_size == 36
+        assert mem.used_words == g.memory_words
+        report = verify_expansion_sampled(g, 3, 0.5, trials=200, seed=1)
+        assert report.is_expander
+
+    def test_infeasible_raises(self):
+        with pytest.raises(RuntimeError):
+            # Expanding 8-sets to (1-0.01)*2*8 ~ 15.8 of 8 vertices: absurd.
+            find_base_expander(
+                u=100, v=8, d=2, N=8, eps=0.01, seed=0, max_attempts=3
+            )
+
+
+class TestMultiEdgeRemap:
+    def test_no_duplicates_after_remap(self):
+        out = _remap_multi_edges([3, 3, 3, 5], 10)
+        assert len(set(out)) == len(out) == 4
+
+    def test_distinct_input_untouched(self):
+        assert _remap_multi_edges([1, 5, 7], 10) == (1, 5, 7)
+
+    def test_deterministic(self):
+        assert _remap_multi_edges([2, 2, 4], 9) == _remap_multi_edges(
+            [2, 2, 4], 9
+        )
+
+
+class TestTelescopeProduct:
+    def test_degree_multiplies(self):
+        s1 = SeededFlatExpander(left_size=100, degree=3, right_size=50, seed=1)
+        s2 = SeededFlatExpander(left_size=50, degree=4, right_size=20, seed=2)
+        t = TelescopeProduct([s1, s2])
+        assert t.degree == 12
+        assert t.left_size == 100 and t.right_size == 20
+        assert len(t.neighbors(7)) == 12
+
+    def test_stage_mismatch_rejected(self):
+        s1 = SeededFlatExpander(left_size=100, degree=3, right_size=50, seed=1)
+        s2 = SeededFlatExpander(left_size=49, degree=4, right_size=20, seed=2)
+        with pytest.raises(ValueError):
+            TelescopeProduct([s1, s2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TelescopeProduct([])
+
+    def test_composed_eps_formula(self):
+        assert TelescopeProduct.composed_eps([0.1, 0.2]) == pytest.approx(
+            1 - 0.9 * 0.8
+        )
+
+    def test_neighbors_within_final_right_side(self):
+        s1 = SeededFlatExpander(left_size=200, degree=3, right_size=80, seed=1)
+        s2 = SeededFlatExpander(left_size=80, degree=3, right_size=33, seed=2)
+        t = TelescopeProduct([s1, s2])
+        for x in range(0, 200, 17):
+            assert all(0 <= y < 33 for y in t.neighbors(x))
+
+    def test_remap_never_shrinks_neighbor_sets(self):
+        """Lemma 10's remark: remapping cannot decrease expansion."""
+        s1 = SeededFlatExpander(left_size=100, degree=3, right_size=60, seed=3)
+        s2 = SeededFlatExpander(left_size=60, degree=3, right_size=40, seed=4)
+        t = TelescopeProduct([s1, s2])
+        for x in range(0, 100, 9):
+            raw = set()
+            for y in s1.neighbors(x):
+                raw.update(s2.neighbors(y))
+            assert len(set(t.neighbors(x))) >= len(raw)
+
+
+class TestSemiExplicit:
+    def test_build_reports_resources(self):
+        mem = InternalMemory()
+        se = SemiExplicitExpander.build(
+            u=1 << 16, N=4, eps=0.5, beta=0.5, seed=3,
+            certify_trials=60, memory=mem,
+        )
+        assert se.right_size < (1 << 16)
+        assert len(se.stages) >= 1
+        assert se.memory_words == mem.used_words
+        assert 0 < se.composed_eps < 1
+        # Degree is polylog-scale, far below any table of the universe.
+        assert se.degree < (1 << 16) // 100
+
+    def test_composed_expander_expands_sampled(self):
+        se = SemiExplicitExpander.build(
+            u=1 << 16, N=4, eps=0.5, beta=0.5, seed=3, certify_trials=60
+        )
+        report = verify_expansion_sampled(
+            se.expander, 4, se.composed_eps, trials=40, seed=9
+        )
+        assert report.is_expander
+
+    def test_too_small_universe_raises(self):
+        with pytest.raises((RuntimeError, ValueError)):
+            SemiExplicitExpander.build(
+                u=40, N=30, eps=0.3, beta=0.5, seed=0, certify=False
+            )
+
+    def test_advice_formula(self):
+        assert theorem9_advice_words(1000, 100, 0.5) == (1000 / 50) ** 2
+        with pytest.raises(ValueError):
+            theorem9_advice_words(0, 10, 0.5)
+
+
+class TestTrivialStriping:
+    def test_geometry_blowup_is_d(self):
+        flat = SeededFlatExpander(
+            left_size=500, degree=5, right_size=40, seed=6
+        )
+        striped = TriviallyStripedExpander(flat)
+        assert striped.right_size == 5 * 40
+        assert striped.space_blowup == 5
+        assert striped.stripe_size == 40
+
+    def test_stripe_i_holds_flat_neighbor_i(self):
+        flat = SeededFlatExpander(
+            left_size=500, degree=5, right_size=40, seed=6
+        )
+        striped = TriviallyStripedExpander(flat)
+        for x in range(0, 500, 23):
+            pairs = striped.striped_neighbors(x)
+            assert [i for (i, j) in pairs] == list(range(5))
+            assert [j for (i, j) in pairs] == list(flat.neighbors(x))
+
+    def test_striping_never_shrinks_neighbor_sets(self):
+        flat = SeededFlatExpander(
+            left_size=300, degree=4, right_size=30, seed=8
+        )
+        striped = TriviallyStripedExpander(flat)
+        S = list(range(0, 300, 7))
+        assert len(neighbor_set(striped, S)) >= len(neighbor_set(flat, S))

@@ -1,0 +1,233 @@
+"""Tests for the GUV (Parvaresh–Vardy) truly explicit striped expander."""
+
+import math
+
+import pytest
+
+from repro.expanders.guv import (
+    GUVExpander,
+    _poly_mod,
+    _poly_mul,
+    _poly_powmod,
+    find_irreducible,
+    is_irreducible,
+)
+from repro.expanders.verify import (
+    verify_expansion_exact,
+    verify_expansion_sampled,
+)
+
+
+class TestFieldArithmetic:
+    def test_poly_mul(self):
+        # (1 + x)(1 + x) = 1 + 2x + x^2 over F_5
+        assert _poly_mul((1, 1), (1, 1), 5) == (1, 2, 1)
+
+    def test_poly_mul_reduces_mod_p(self):
+        # (2x)(3x) = 6x^2 = x^2 over F_5
+        assert _poly_mul((0, 2), (0, 3), 5) == (0, 0, 1)
+
+    def test_poly_mod(self):
+        # x^2 mod (x^2 + 1) = -1 = p-1 over F_7
+        assert _poly_mod((0, 0, 1), (1, 0, 1), 7) == (6,)
+
+    def test_poly_powmod_matches_repeated_mul(self):
+        e = (1, 0, 1)  # x^2 + 1 over F_7 (irreducible: -1 not a square)
+        f = (3, 2)
+        direct = (1,)
+        for _ in range(5):
+            direct = _poly_mod(_poly_mul(direct, f, 7), e, 7)
+        assert _poly_powmod(f, 5, e, 7) == direct
+
+    def test_powmod_zero_exponent(self):
+        assert _poly_powmod((3, 2), 0, (1, 0, 1), 7) == (1,)
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        # x^2 + 1 over F_7: -1 is a non-residue mod 7.
+        assert is_irreducible((1, 0, 1), 7)
+
+    def test_known_reducible(self):
+        # x^2 - 1 = (x-1)(x+1) over any F_p.
+        assert not is_irreducible((6, 0, 1), 7)
+
+    def test_degree_three(self):
+        # x^3 + x + 1 over F_2 is the classic irreducible.
+        assert is_irreducible((1, 1, 0, 1), 2)
+        # x^3 + 1 = (x+1)(x^2+x+1) over F_2.
+        assert not is_irreducible((1, 0, 0, 1), 2)
+
+    @pytest.mark.parametrize("p,n", [(5, 2), (7, 2), (5, 3), (3, 4)])
+    def test_find_irreducible_has_no_roots(self, p, n):
+        e = find_irreducible(p, n)
+        assert len(e) == n + 1 and e[-1] == 1
+        for a in range(p):
+            val = 0
+            for c in reversed(e):
+                val = (val * a + c) % p
+            assert val != 0  # no linear factors
+
+    def test_find_irreducible_deterministic(self):
+        assert find_irreducible(11, 3) == find_irreducible(11, 3)
+
+    def test_matches_brute_force_count_small(self):
+        """Number of monic irreducible quadratics over F_p is p(p-1)/2."""
+        p = 5
+        count = sum(
+            1
+            for b in range(p)
+            for c in range(p)
+            if is_irreducible((c, b, 1), p)
+        )
+        assert count == p * (p - 1) // 2
+
+
+class TestGUVExpander:
+    def test_geometry(self):
+        g = GUVExpander(p=13, n=2, m=2, h=2)
+        assert g.left_size == 169
+        assert g.degree == 13
+        assert g.stripe_size == 169
+        assert g.right_size == 13 * 169
+        assert g.N_guarantee == 4
+
+    def test_striped_one_neighbor_per_stripe(self):
+        g = GUVExpander(p=13, n=2, m=2, h=2)
+        for x in range(0, 169, 17):
+            pairs = g.striped_neighbors(x)
+            assert [i for (i, j) in pairs] == list(range(13))
+            assert all(0 <= j < g.stripe_size for (_i, j) in pairs)
+
+    def test_first_coordinate_of_index_is_f_of_y(self):
+        """Γ(f, y) starts with f(y): check against direct evaluation."""
+        g = GUVExpander(p=13, n=2, m=2, h=2)
+        x = 5 + 7 * 13  # f = 5 + 7X
+        for (y, index) in g.striped_neighbors(x):
+            assert index % 13 == (5 + 7 * y) % 13
+
+    def test_no_randomness_anywhere(self):
+        a = GUVExpander(p=13, n=2, m=2, h=2)
+        b = GUVExpander(p=13, n=2, m=2, h=2)
+        assert all(
+            a.striped_neighbors(x) == b.striped_neighbors(x)
+            for x in range(0, 169, 7)
+        )
+        assert a.is_truly_explicit
+
+    def test_expansion_exact_tiny(self):
+        g = GUVExpander(p=13, n=2, m=2, h=2)
+        report = verify_expansion_exact(
+            g, 2, g.eps_guarantee, max_sets=20_000
+        )
+        assert report.is_expander
+
+    def test_expansion_sampled_at_guarantee(self):
+        g = GUVExpander(p=23, n=2, m=2, h=3)
+        report = verify_expansion_sampled(
+            g, g.N_guarantee, g.eps_guarantee, trials=300, seed=1
+        )
+        assert report.is_expander
+
+    def test_memory_is_polylog(self):
+        g = GUVExpander(p=97, n=4, m=4, h=2)
+        assert g.evaluation_memory_words() == 5 + 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GUVExpander(p=12, n=2, m=2, h=2)  # not prime
+        with pytest.raises(ValueError):
+            GUVExpander(p=13, n=2, m=2, h=13)  # h >= p
+        with pytest.raises(ValueError):
+            GUVExpander(p=13, n=0, m=2, h=2)
+
+    def test_design_meets_requirements(self):
+        g = GUVExpander.design(
+            min_universe=1 << 20, min_N=16, max_eps=0.35
+        )
+        assert g.left_size >= 1 << 20
+        assert g.N_guarantee >= 16
+        assert g.eps_guarantee <= 0.35
+
+    def test_design_infeasible(self):
+        with pytest.raises(ValueError):
+            GUVExpander.design(
+                min_universe=1 << 60, min_N=1 << 20, max_eps=0.01,
+                max_degree=64,
+            )
+
+    def test_pairwise_agreement_bound_m1(self):
+        """With m = 1 the construction is the Reed-Solomon graph: two
+        distinct polynomials of degree < n agree on at most n-1 points, so
+        any two left vertices share at most n-1 neighbors — the algebraic
+        root of the expansion guarantee, checked exhaustively."""
+        g = GUVExpander(p=11, n=3, m=1, h=2)
+        import itertools
+
+        worst = 0
+        for x, y in itertools.combinations(range(0, g.left_size, 37), 2):
+            shared = len(
+                set(g.neighbors(x)) & set(g.neighbors(y))
+            )
+            worst = max(worst, shared)
+        assert worst <= g.n - 1
+
+    def test_folding_only_reduces_agreement(self):
+        """Adding folded coordinates (larger m) can only shrink the set of
+        evaluation points where two keys fully agree."""
+        g1 = GUVExpander(p=11, n=2, m=1, h=2)
+        g2 = GUVExpander(p=11, n=2, m=2, h=2)
+        for x, y in ((0, 13), (5, 100), (7, 99)):
+            agree1 = {
+                i for (i, j) in g1.striped_neighbors(x)
+                if g1.striped_neighbors(y)[i] == (i, j)
+            }
+            agree2 = {
+                i for (i, j) in g2.striped_neighbors(x)
+                if g2.striped_neighbors(y)[i] == (i, j)
+            }
+            assert agree2 <= agree1
+
+
+class TestGUVDictionaryEndToEnd:
+    """The paper's closing hope, realised: a dictionary with NO randomness
+    at all — the expander is canonical, the algorithms deterministic."""
+
+    def test_basic_dictionary_on_guv(self):
+        from repro.core.basic_dict import BasicDictionary
+        from repro.pdm.machine import ParallelDiskMachine
+
+        g = GUVExpander(p=29, n=3, m=2, h=2)  # u = 24389, d = 29, N = 4
+        machine = ParallelDiskMachine(g.degree, 32)
+        d = BasicDictionary(
+            machine,
+            universe_size=g.left_size,
+            capacity=g.N_guarantee,
+            graph=g,
+        )
+        keys = [3, 888, 24000, 12345]
+        for i, k in enumerate(keys):
+            assert d.insert(k, i * 11).total_ios == 2
+        for i, k in enumerate(keys):
+            result = d.lookup(k)
+            assert result.found and result.value == i * 11
+            assert result.cost.total_ios == 1
+        assert not d.lookup(7).found
+
+    def test_static_dictionary_on_guv(self):
+        from repro.core.static_dict import StaticDictionary
+        from repro.pdm.machine import ParallelDiskMachine
+
+        g = GUVExpander(p=29, n=3, m=2, h=2)
+        machine = ParallelDiskMachine(g.degree, 32)
+        items = {3: 1, 888: 2, 24000: 3, 12345: 4}
+        d = StaticDictionary.build(
+            machine,
+            items,
+            universe_size=g.left_size,
+            sigma=8,
+            case="b",
+            graph=g,
+        )
+        assert all(d.lookup(k).value == v for k, v in items.items())
+        assert all(d.lookup(k).cost.total_ios == 1 for k in items)

@@ -1,0 +1,135 @@
+"""Tests for expansion verification and the Lemma 4/5 quantities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expanders.base import Expander
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.expanders.verify import (
+    lemma4_bound,
+    lemma5_bound,
+    max_pairwise_overlap,
+    neighbor_set,
+    unique_neighbor_set,
+    verify_expansion_exact,
+    verify_expansion_sampled,
+    well_assignable_subset,
+)
+
+
+class _FixedGraph(Expander):
+    """Hand-built graph for exact assertions."""
+
+    def __init__(self, table, right_size):
+        self._table = table
+        self.left_size = len(table)
+        self.degree = len(table[0])
+        self.right_size = right_size
+
+    def neighbors(self, x):
+        return tuple(self._table[x])
+
+
+@pytest.fixture
+def fixed():
+    # x0: {0,1}, x1: {1,2}, x2: {3,4}
+    return _FixedGraph([(0, 1), (1, 2), (3, 4)], 5)
+
+
+class TestNeighborSets:
+    def test_neighbor_set(self, fixed):
+        assert neighbor_set(fixed, [0, 1]) == {0, 1, 2}
+        assert neighbor_set(fixed, [0, 1, 2]) == {0, 1, 2, 3, 4}
+
+    def test_unique_neighbors_excludes_shared(self, fixed):
+        # Vertex 1 is shared by x0 and x1.
+        assert unique_neighbor_set(fixed, [0, 1]) == {0, 2}
+
+    def test_unique_neighbors_singleton_set(self, fixed):
+        assert unique_neighbor_set(fixed, [0]) == {0, 1}
+
+    def test_multi_edge_counts_once(self):
+        g = _FixedGraph([(0, 0), (1, 2)], 3)
+        # x0's double edge to 0 still makes 0 unique to x0.
+        assert unique_neighbor_set(g, [0, 1]) == {0, 1, 2}
+
+    def test_well_assignable_subset(self, fixed):
+        # With lam = 0.5, a key needs >= 1 unique neighbor (d=2).
+        s_prime = well_assignable_subset(fixed, [0, 1, 2], 0.5)
+        assert set(s_prime) == {0, 1, 2}
+
+    def test_well_assignable_strict_threshold(self):
+        g = _FixedGraph([(0, 1), (0, 1), (2, 3)], 4)
+        # x0, x1 fully overlap: zero unique neighbors each.
+        s_prime = well_assignable_subset(g, [0, 1, 2], 0.5)
+        assert set(s_prime) == {2}
+
+
+class TestLemmaBounds:
+    def test_lemma4_formula(self):
+        assert lemma4_bound(12, 1 / 12, 10) == pytest.approx(100.0)
+
+    def test_lemma5_formula(self):
+        assert lemma5_bound(100, 1 / 12, 1 / 3) == pytest.approx(50.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 60), st.integers(0, 10_000))
+    def test_lemma4_holds_on_seeded_graph(self, n, seed_offset):
+        """Lemma 4 on measured data: |Phi(S)| >= (1 - 2 eps_meas) d n where
+        eps_meas is the measured expansion deficit of this very set."""
+        g = SeededRandomExpander(
+            left_size=1 << 14, degree=12, stripe_size=1024,
+            seed=seed_offset,
+        )
+        import random
+
+        S = random.Random(seed_offset).sample(range(1 << 14), n)
+        gamma = len(neighbor_set(g, S))
+        phi = len(unique_neighbor_set(g, S))
+        eps_meas = 1 - gamma / (g.degree * n)
+        assert phi >= (1 - 2 * eps_meas) * g.degree * n - 1e-9
+
+
+class TestExactVerification:
+    def test_detects_good_tiny_graph(self):
+        g = _FixedGraph([(0, 1), (2, 3), (4, 5)], 6)  # perfectly disjoint
+        report = verify_expansion_exact(g, 3, 0.1)
+        assert report.is_expander
+        assert report.worst_ratio == 1.0
+
+    def test_detects_bad_graph(self):
+        g = _FixedGraph([(0, 1), (0, 1), (0, 1)], 6)  # everyone overlaps
+        report = verify_expansion_exact(g, 2, 0.1)
+        assert not report.is_expander
+        assert len(report.worst_set) >= 2
+
+    def test_set_count_guard(self, graph):
+        with pytest.raises(ValueError):
+            verify_expansion_exact(graph, 50, 0.1, max_sets=10)
+
+
+class TestSampledVerification:
+    def test_pass_on_good_graph(self, graph):
+        report = verify_expansion_sampled(graph, 64, 0.25, trials=100, seed=0)
+        assert report.is_expander
+        assert report.sets_checked == 100
+
+    def test_fail_on_degenerate_graph(self):
+        g = _FixedGraph([(0, 0)] * 50, 10)  # everything maps to vertex 0
+        report = verify_expansion_sampled(g, 10, 0.5, trials=50, seed=0)
+        assert not report.is_expander
+
+
+class TestPairwiseOverlap:
+    def test_exact_overlap(self, fixed):
+        assert max_pairwise_overlap(fixed, [0, 1]) == 1
+        assert max_pairwise_overlap(fixed, [0, 2]) == 0
+
+    def test_overlap_supports_majority_decoding(self, graph):
+        """Theorem 6(b)'s argument needs pairwise overlaps well below d/2
+        on the actual graphs the dictionary uses."""
+        import random
+
+        S = random.Random(0).sample(range(graph.left_size), 200)
+        assert max_pairwise_overlap(graph, S) < graph.degree / 2

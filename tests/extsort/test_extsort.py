@@ -1,0 +1,161 @@
+"""Tests for external record arrays and the external mergesort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extsort.analysis import merge_passes, scan_ios, sort_ios_bound
+from repro.extsort.array import ExternalRecordArray
+from repro.extsort.mergesort import external_merge_sort
+from repro.pdm.machine import ParallelDiskMachine
+
+
+@pytest.fixture
+def array(machine):
+    return ExternalRecordArray(machine, record_bits=128, name="t")
+
+
+class TestExternalRecordArray:
+    def test_empty(self, array):
+        assert len(array) == 0
+        assert array.read_all() == []
+
+    def test_append_and_scan_order(self, array):
+        for i in range(100):
+            array.append(i)
+        assert array.read_all() == list(range(100))
+
+    def test_extend_matches_appends(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        b = ExternalRecordArray(machine, record_bits=128)
+        data = list(range(57))
+        for x in data:
+            a.append(x)
+        b.extend(data)
+        assert a.read_all() == b.read_all() == data
+
+    def test_buffered_tail_visible_without_flush(self, array):
+        array.append("x")  # stays in the output buffer
+        assert array.read_all() == ["x"]
+        assert array.blocks_on_disk == 0
+
+    def test_flush_spills_partial_block(self, array):
+        array.append("x")
+        array.flush()
+        assert array.blocks_on_disk == 1
+
+    def test_scan_io_cost_matches_formula(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        n = 1000
+        a.extend(range(n))
+        a.flush()
+        snap = machine.stats.snapshot()
+        list(a.scan())
+        measured = machine.stats.since(snap).read_ios
+        assert measured == scan_ios(n, a.records_per_block, machine.D)
+
+    def test_records_striped_across_disks(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        a.extend(range(machine.D * a.records_per_block))
+        a.flush()
+        disks_used = {addr[0] for addr in a._block_addrs}
+        assert disks_used == set(range(machine.D))
+
+    def test_record_too_wide_rejected(self, machine):
+        with pytest.raises(ValueError):
+            ExternalRecordArray(machine, record_bits=machine.block_bits + 1)
+
+    def test_buffer_charges_internal_memory(self, machine):
+        before = machine.memory.used_words
+        a = ExternalRecordArray(machine, record_bits=128)
+        assert machine.memory.used_words == before + a.records_per_block
+        a.release_buffer()
+        assert machine.memory.used_words == before
+
+
+class TestMergeSort:
+    def test_sorts(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        rng = random.Random(3)
+        data = [rng.randrange(10**9) for _ in range(2500)]
+        a.extend(data)
+        out, report = external_merge_sort(machine, a)
+        assert out.read_all() == sorted(data)
+        assert report.records == 2500
+
+    def test_sort_with_key(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        data = [(i % 7, i) for i in range(300)]
+        a.extend(data)
+        out, _ = external_merge_sort(machine, a, key=lambda r: r[0])
+        assert [r[0] for r in out.read_all()] == sorted(i % 7 for i in range(300))
+
+    def test_sort_is_stable_per_heapq_merge(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        data = [(0, i) for i in range(100)]
+        a.extend(data)
+        out, _ = external_merge_sort(machine, a, key=lambda r: r[0])
+        assert out.read_all() == data  # equal keys keep order
+
+    def test_empty_input(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        out, report = external_merge_sort(machine, a)
+        assert out.read_all() == []
+        assert report.merge_passes == 0
+
+    def test_single_run_needs_no_merge(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        a.extend([3, 1, 2])
+        out, report = external_merge_sort(machine, a)
+        assert report.runs_formed == 1
+        assert report.merge_passes == 0
+        assert out.read_all() == [1, 2, 3]
+
+    def test_io_within_analysis_bound(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        rng = random.Random(0)
+        n = 5000
+        a.extend(rng.randrange(10**6) for _ in range(n))
+        mem = 4 * machine.D * a.records_per_block
+        _, report = external_merge_sort(machine, a, memory_records=mem)
+        bound = sort_ios_bound(n, a.records_per_block, machine.D, mem)
+        assert report.cost.total_ios <= bound
+
+    def test_memory_floor_enforced(self, machine):
+        a = ExternalRecordArray(machine, record_bits=128)
+        a.extend(range(10))
+        with pytest.raises(ValueError):
+            external_merge_sort(machine, a, memory_records=1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=400))
+    def test_matches_sorted_property(self, data):
+        machine = ParallelDiskMachine(4, 8, item_bits=64)
+        a = ExternalRecordArray(machine, record_bits=64)
+        a.extend(data)
+        out, _ = external_merge_sort(machine, a)
+        assert out.read_all() == sorted(data)
+
+
+class TestAnalysisFormulas:
+    def test_scan_ios(self):
+        assert scan_ios(0, 8, 4) == 0
+        assert scan_ios(1, 8, 4) == 1
+        assert scan_ios(8 * 4, 8, 4) == 1
+        assert scan_ios(8 * 4 + 1, 8, 4) == 2
+
+    def test_scan_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            scan_ios(10, 0, 4)
+
+    def test_merge_passes(self):
+        assert merge_passes(100, 200, 4) == 0  # fits in memory
+        assert merge_passes(800, 100, 8) == 1  # 8 runs, fan-in 8
+        assert merge_passes(6400, 100, 8) == 2  # 64 runs
+
+    def test_sort_bound_grows_with_n(self):
+        small = sort_ios_bound(1000, 8, 4, 256)
+        large = sort_ios_bound(100_000, 8, 4, 256)
+        assert large > small

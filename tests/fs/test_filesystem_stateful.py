@@ -1,0 +1,94 @@
+"""Model-based testing of the file system against plain Python dicts."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+    run_state_machine_as_test,
+)
+
+from repro.fs import DeterministicFileSystem
+from repro.fs.filesystem import FileNotFound
+
+NAMES = ["a", "b", "log.txt", "mail"]
+MAX_BLOCKS = 8
+
+
+class FileSystemMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.fs = DeterministicFileSystem(
+            max_name_bytes=8,
+            max_blocks_per_file=MAX_BLOCKS,
+            expected_blocks=256,
+            seed=5,
+        )
+        self.model = {}  # name -> {block: data}, length implied
+
+    @rule(name=st.sampled_from(NAMES))
+    def create(self, name):
+        self.fs.create(name)
+        if name not in self.model:
+            self.model[name] = {}
+
+    @rule(name=st.sampled_from(NAMES), block=st.integers(0, MAX_BLOCKS - 1),
+          data=st.integers(0, 100))
+    def write(self, name, block, data):
+        if name in self.model:
+            self.fs.write_block(name, block, data)
+            self.model[name][block] = data
+        else:
+            with pytest.raises(FileNotFound):
+                self.fs.write_block(name, block, data)
+
+    @rule(name=st.sampled_from(NAMES), block=st.integers(0, MAX_BLOCKS - 1))
+    def read(self, name, block):
+        if name not in self.model:
+            with pytest.raises(FileNotFound):
+                self.fs.read_block(name, block)
+        elif block in self.model[name]:
+            data, cost = self.fs.read_block(name, block)
+            assert data == self.model[name][block]
+            assert cost.total_ios <= 2  # 1, or 2 mid-rebuild
+        else:
+            length = (
+                max(self.model[name]) + 1 if self.model[name] else 0
+            )
+            if block >= length:
+                with pytest.raises(IndexError):
+                    self.fs.read_block(name, block)
+            # A hole below the length also raises IndexError.
+            else:
+                with pytest.raises(IndexError):
+                    self.fs.read_block(name, block)
+
+    @rule(name=st.sampled_from(NAMES))
+    def delete(self, name):
+        if name in self.model:
+            self.fs.delete(name)
+            del self.model[name]
+        else:
+            with pytest.raises(FileNotFound):
+                self.fs.delete(name)
+
+    @invariant()
+    def names_agree(self):
+        assert set(self.fs.list_names()) == set(self.model)
+
+    @invariant()
+    def lengths_agree(self):
+        for name, blocks in self.model.items():
+            expected = max(blocks) + 1 if blocks else 0
+            assert self.fs.stat(name).num_blocks == expected
+
+
+def test_filesystem_stateful():
+    run_state_machine_as_test(
+        FileSystemMachine,
+        settings=settings(
+            max_examples=15, stateful_step_count=30, deadline=None
+        ),
+    )

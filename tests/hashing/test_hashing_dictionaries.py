@@ -1,0 +1,211 @@
+"""Tests for the four hashing baselines: correctness, I/O shape, and the
+worst-case behaviours Figure 1 holds against them."""
+
+import random
+
+import pytest
+
+from repro.core.interface import CapacityExceeded
+from repro.hashing import (
+    CuckooDictionary,
+    DGMPDictionary,
+    FolkloreDictionary,
+    StripedHashTable,
+)
+from repro.pdm.machine import ParallelDiskMachine
+from repro.workloads.keys import adversarial_keys_for_hash
+
+U = 1 << 18
+
+ALL = [StripedHashTable, CuckooDictionary, DGMPDictionary, FolkloreDictionary]
+
+
+def make(cls, capacity=400, seed=5, disks=16, block=32, **kw):
+    machine = ParallelDiskMachine(disks, block, item_bits=64)
+    return cls(
+        machine, universe_size=U, capacity=capacity, seed=seed, **kw
+    )
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestCommonBehaviour:
+    def test_roundtrip(self, cls):
+        d = make(cls)
+        rng = random.Random(1)
+        ref = {}
+        while len(ref) < 300:
+            k, v = rng.randrange(U), rng.randrange(1000)
+            d.insert(k, v)
+            ref[k] = v
+        assert all(d.lookup(k).value == v for k, v in ref.items())
+        assert len(d) == 300
+
+    def test_misses(self, cls):
+        d = make(cls)
+        d.insert(1, "x")
+        rng = random.Random(2)
+        for _ in range(100):
+            probe = rng.randrange(2, U)
+            assert not d.lookup(probe).found
+
+    def test_overwrite_keeps_size(self, cls):
+        d = make(cls)
+        d.insert(7, "a")
+        d.insert(7, "b")
+        assert d.lookup(7).value == "b"
+        assert len(d) == 1
+
+    def test_delete(self, cls):
+        d = make(cls)
+        for k in range(50):
+            d.insert(k, k)
+        for k in range(0, 50, 2):
+            d.delete(k)
+        assert len(d) == 25
+        assert not d.lookup(0).found
+        assert d.lookup(1).value == 1
+
+    def test_capacity_enforced(self, cls):
+        d = make(cls, capacity=5)
+        for k in range(5):
+            d.insert(k, None)
+        with pytest.raises(CapacityExceeded):
+            d.insert(99, None)
+
+    def test_stored_keys(self, cls):
+        d = make(cls)
+        for k in (3, 5, 8):
+            d.insert(k, None)
+        assert set(d.stored_keys()) == {3, 5, 8}
+
+    def test_lookup_one_io_on_random_keys(self, cls):
+        d = make(cls)
+        rng = random.Random(3)
+        keys = [rng.randrange(U) for _ in range(300)]
+        for k in keys:
+            d.insert(k, None)
+        costs = [d.lookup(k).cost.total_ios for k in keys]
+        avg = sum(costs) / len(costs)
+        assert avg <= 1.2  # 1 whp / 1 + eps
+
+
+class TestStripedSpecifics:
+    def test_no_overflow_whp_at_design_load(self):
+        d = make(StripedHashTable, capacity=400)
+        keys = random.Random(0).sample(range(U), 400)
+        for k in keys:
+            d.insert(k, None)
+        for k in keys:
+            d.lookup(k)
+        # "no overflowing blocks whp": every probe chain has length 1.
+        assert max(d.probe_histogram) == 1
+
+    def test_adversarial_keys_degrade_probing(self):
+        """The worst case hashing cannot avoid: keys colliding under h
+        push operations toward Theta(n / BD) I/Os."""
+        d = make(StripedHashTable, capacity=2000, disks=4, block=4)
+        bad = adversarial_keys_for_hash(
+            d.hash, U, d.table.capacity_items * 3
+        )
+        for k in bad:
+            d.insert(k, None)
+        worst = d.lookup(bad[-1]).cost.total_ios
+        assert worst >= 3  # probe chain spans several superblocks
+
+    def test_tombstone_preserves_chain(self):
+        d = make(StripedHashTable, capacity=2000, disks=4, block=4)
+        bad = adversarial_keys_for_hash(
+            d.hash, U, d.table.capacity_items + 1
+        )
+        for k in bad:
+            d.insert(k, None)
+        d.delete(bad[0])  # tombstone inside the chain
+        assert d.lookup(bad[-1]).found
+
+
+class TestCuckooSpecifics:
+    def test_lookup_reads_both_nests_in_one_io(self):
+        d = make(CuckooDictionary)
+        d.insert(5, "v")
+        cost = d.lookup(5).cost
+        assert cost.read_ios == 1
+        assert cost.blocks_read == 16  # both half-width nests
+
+    def test_eviction_walks_happen(self):
+        d = make(CuckooDictionary, capacity=500, load_slack=2.2)
+        for k in random.Random(7).sample(range(U), 500):
+            d.insert(k, None)
+        assert max(d.walk_histogram) >= 1  # some insert displaced another
+
+    def test_update_worst_case_spikes(self):
+        """Amortized expected O(1) but individual inserts cost much more —
+        the contrast with S4.1's worst-case 2."""
+        d = make(CuckooDictionary, capacity=600, load_slack=2.05)
+        worst = 0
+        for k in random.Random(8).sample(range(U), 600):
+            worst = max(worst, d.insert(k, None).total_ios)
+        assert worst > 2
+
+    def test_rehash_preserves_contents(self):
+        d = make(CuckooDictionary, capacity=200)
+        for k in range(200):
+            d.insert(k, k)
+        d._rehash()
+        assert d.rehashes == 1
+        assert all(d.lookup(k).value == k for k in range(200))
+
+
+class TestDGMPSpecifics:
+    def test_rebuild_on_overflow_preserves_contents(self):
+        d = make(DGMPDictionary, capacity=300, disks=4, block=4)
+        bad = adversarial_keys_for_hash(
+            d.hash, U, d.table.capacity_items + 1
+        )
+        for k in bad:
+            d.insert(k, k * 2)
+        assert d.rebuilds >= 1
+        assert all(d.lookup(k).value == k * 2 for k in bad)
+
+    def test_lookup_always_exactly_one_io(self):
+        d = make(DGMPDictionary)
+        for k in range(200):
+            d.insert(k, None)
+        assert all(
+            d.lookup(k).cost.total_ios == 1 for k in range(0, 400, 7)
+        )
+
+
+class TestFolkloreSpecifics:
+    def test_secondary_fraction_is_small(self):
+        d = make(FolkloreDictionary, capacity=400, load_slack=8.0)
+        keys = random.Random(9).sample(range(U), 400)
+        for k in keys:
+            d.insert(k, None)
+        for k in keys:
+            d.lookup(k)
+        assert d.secondary_fraction < 0.35
+
+    def test_bigger_primary_means_smaller_eps(self):
+        fracs = []
+        for slack in (2.0, 16.0):
+            d = make(FolkloreDictionary, capacity=400, load_slack=slack)
+            keys = random.Random(10).sample(range(U), 400)
+            for k in keys:
+                d.insert(k, None)
+            for k in keys:
+                d.lookup(k)
+            fracs.append(d.secondary_fraction)
+        assert fracs[1] < fracs[0]
+
+    def test_unmarked_foreign_cell_is_a_miss(self):
+        """A probe landing on another key's unmarked cell must answer
+        'absent' without touching the secondary."""
+        d = make(FolkloreDictionary, capacity=50)
+        d.insert(3, "x")
+        h = d.hash
+        other = next(
+            k for k in range(4, U) if h(k) == h(3)
+        )
+        result = d.lookup(other)
+        assert not result.found
+        assert result.cost.total_ios == 1

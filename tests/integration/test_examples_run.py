@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts run end-to-end and print their claims.
+
+The heavier examples (filesystem_store drives ~90k inserts twice) are
+exercised by the benchmarks that cover the same ground; here we run the
+fast ones whole and import-check the rest.
+"""
+
+import importlib.util
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "avg hit lookup I/Os" in out
+    assert "paper: exactly 1" in out
+
+
+def test_load_balancing_demo(capsys):
+    out = _run("load_balancing_demo.py", capsys)
+    assert "Lemma 3 bound" in out
+    assert "d-choice max load" in out
+
+
+def test_adversarial_demo(capsys):
+    out = _run("adversarial_demo.py", capsys)
+    assert "worst insert : 2 I/Os" in out
+
+
+def test_expander_construction(capsys):
+    out = _run("expander_construction.py", capsys)
+    assert "composed degree" in out
+    assert "sampled check   : expander=True" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["filesystem_store.py", "webmail_server.py"]
+)
+def test_heavy_examples_at_least_compile(name):
+    spec = importlib.util.spec_from_file_location(
+        name.removesuffix(".py"), EXAMPLES / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Import executes top-level code only (defs + constants), not main().
+    spec.loader.exec_module(module)
+    assert callable(module.main)

@@ -1,0 +1,163 @@
+"""Failure injection and edge cases across the library."""
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.interface import CapacityExceeded
+from repro.core.static_dict import StaticDictionary
+from repro.expanders.random_graph import SeededRandomExpander
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 14
+
+
+class TestTinyUniverses:
+    def test_universe_of_two(self):
+        machine = ParallelDiskMachine(8, 16)
+        d = BasicDictionary(
+            machine, universe_size=2, capacity=2, degree=8, seed=1
+        )
+        d.insert(0, "zero")
+        d.insert(1, "one")
+        assert d.lookup(0).value == "zero"
+        assert d.lookup(1).value == "one"
+
+    def test_dense_universe(self):
+        """Store the entire universe."""
+        machine = ParallelDiskMachine(8, 16)
+        d = BasicDictionary(
+            machine, universe_size=64, capacity=64, degree=8, seed=1
+        )
+        for k in range(64):
+            d.insert(k, k)
+        assert all(d.lookup(k).value == k for k in range(64))
+
+
+class TestDegenerateParameters:
+    def test_zero_capacity_rejected(self):
+        machine = ParallelDiskMachine(8, 16)
+        with pytest.raises(ValueError):
+            BasicDictionary(
+                machine, universe_size=U, capacity=0, degree=8
+            )
+
+    def test_degree_exceeding_disks_rejected(self):
+        machine = ParallelDiskMachine(4, 16)
+        with pytest.raises(ValueError):
+            DynamicDictionary(
+                machine, universe_size=U, capacity=10, sigma=8, degree=8
+            )
+
+    def test_static_degree_too_small(self):
+        machine = ParallelDiskMachine(4, 16)
+        with pytest.raises(ValueError):
+            StaticDictionary.build(
+                machine, {1: 1}, universe_size=U, sigma=4, case="b",
+                degree=2,
+            )
+
+
+class TestBucketOverflowInjection:
+    def test_overfull_bucket_is_loud_not_silent(self):
+        """Force a bucket array far too small for the key count: the
+        structure must raise CapacityExceeded, never corrupt."""
+        machine = ParallelDiskMachine(8, 4)  # tiny blocks
+        d = BasicDictionary(
+            machine,
+            universe_size=U,
+            capacity=10_000,
+            degree=8,
+            stripe_size=1,  # 8 buckets x 4 items = 32 slots total
+            seed=1,
+        )
+        with pytest.raises(CapacityExceeded):
+            for k in range(200):
+                d.insert(k, None)
+        # Everything inserted before the failure is still intact.
+        for k in range(20):
+            result = d.lookup(k)
+            assert result.found == (k < 20 and result.found)  # no corruption
+
+    def test_dynamic_level_exhaustion(self):
+        machine = ParallelDiskMachine(16, 8)
+        d = DynamicDictionary(
+            machine,
+            universe_size=U,
+            capacity=10_000,  # lie about capacity
+            sigma=8,
+            degree=8,
+            stripe_slack=0.02,  # tiny level arrays
+            min_stripe=2,
+            seed=1,
+        )
+        with pytest.raises(CapacityExceeded):
+            for k in range(5000):
+                d.insert(k, k % 256)
+
+
+class TestSigmaEdges:
+    def test_sigma_one(self):
+        machine = ParallelDiskMachine(32, 32)
+        d = DynamicDictionary(
+            machine, universe_size=U, capacity=50, sigma=1, degree=16,
+            seed=2,
+        )
+        d.insert(3, 1)
+        d.insert(4, 0)
+        assert d.lookup(3).value == 1
+        assert d.lookup(4).value == 0
+
+    def test_huge_sigma(self):
+        """Records far wider than a key — the full-bandwidth regime."""
+        machine = ParallelDiskMachine(32, 64)
+        sigma = 1500
+        d = DynamicDictionary(
+            machine, universe_size=U, capacity=40, sigma=sigma, degree=16,
+            seed=2,
+        )
+        value = (1 << sigma) - 12345
+        d.insert(7, value)
+        assert d.lookup(7).value == value
+
+    def test_static_sigma_wider_than_block(self):
+        machine = ParallelDiskMachine(32, 8)  # 512-bit blocks
+        sigma = 700  # record wider than any single block
+        items = {k: (k * 7919) % (1 << sigma) for k in range(40)}
+        d = StaticDictionary.build(
+            machine, items, universe_size=U, sigma=sigma, case="a",
+            degree=16, seed=3,
+        )
+        assert all(d.lookup(k).value == v for k, v in items.items())
+        assert all(d.lookup(k).cost.total_ios == 1 for k in items)
+
+
+class TestSharedMachine:
+    def test_many_structures_one_machine(self):
+        """Several dictionaries coexisting on one disk array must not
+        interfere (the allocator keeps address ranges disjoint)."""
+        machine = ParallelDiskMachine(16, 32)
+        a = BasicDictionary(
+            machine, universe_size=U, capacity=100, degree=16, seed=1
+        )
+        b = BasicDictionary(
+            machine, universe_size=U, capacity=100, degree=16, seed=2
+        )
+        for k in range(100):
+            a.insert(k, f"a{k}")
+            b.insert(k, f"b{k}")
+        assert all(a.lookup(k).value == f"a{k}" for k in range(100))
+        assert all(b.lookup(k).value == f"b{k}" for k in range(100))
+
+
+class TestExpanderDegeneracy:
+    def test_stripe_size_one(self):
+        """All keys share the single bucket per stripe; the d-choice scheme
+        must still respect capacity accounting."""
+        g = SeededRandomExpander(
+            left_size=U, degree=8, stripe_size=1, seed=0
+        )
+        assert all(
+            g.striped_neighbors(x) == tuple((i, 0) for i in range(8))
+            for x in range(10)
+        )

@@ -1,0 +1,109 @@
+"""Long-run churn: space and correctness under insert/delete equilibrium.
+
+Deletions must genuinely free storage (fields, bucket slots, payload
+superblocks); after thousands of churn operations at a steady live size,
+occupied storage must stay bounded by the live set — no leak, no drift.
+Also exercises the memory accounting of extsort under a hard capacity.
+"""
+
+import random
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.recursive_dict import RecursiveLoadBalancedDictionary
+from repro.pdm.machine import ParallelDiskMachine
+from repro.pdm.memory import InternalMemoryExceeded
+
+U = 1 << 18
+
+
+def churn(d, live_target, operations, value_fn, seed=0):
+    rng = random.Random(seed)
+    live = {}
+    for _ in range(operations):
+        if len(live) < live_target or rng.random() < 0.5:
+            if len(live) < d.capacity:
+                k = rng.randrange(U)
+                v = value_fn(rng)
+                d.insert(k, v)
+                live[k] = v
+        elif live:
+            k = rng.choice(list(live))
+            d.delete(k)
+            del live[k]
+    return live
+
+
+class TestChurnStability:
+    def test_basic_dict_no_slot_leak(self):
+        machine = ParallelDiskMachine(16, 32)
+        d = BasicDictionary(
+            machine, universe_size=U, capacity=200, degree=16, seed=1
+        )
+        live = churn(d, 100, 3000, lambda rng: rng.randrange(100), seed=1)
+        assert len(d) == len(live)
+        total_items = sum(d.buckets.loads().values())
+        assert total_items == len(live)  # every slot accounted for
+        assert all(d.lookup(k).value == v for k, v in live.items())
+
+    def test_dynamic_dict_no_field_leak(self):
+        machine = ParallelDiskMachine(32, 32)
+        d = DynamicDictionary(
+            machine, universe_size=U, capacity=200, sigma=24, degree=16,
+            seed=2,
+        )
+        live = churn(
+            d, 100, 2000, lambda rng: rng.randrange(1 << 24), seed=2
+        )
+        assert len(d) == len(live)
+        occupied = sum(d.level_occupancy())
+        # Every live key owns exactly m_need fields; none are orphaned.
+        assert occupied == len(live) * d.m_need
+        assert all(d.lookup(k).value == v for k, v in live.items())
+
+    def test_recursive_dict_no_fragment_leak(self):
+        machine = ParallelDiskMachine(48, 32)
+        d = RecursiveLoadBalancedDictionary(
+            machine, universe_size=U, capacity=150, sigma=48, degree=16,
+            levels=2, seed=3,
+        )
+        live = churn(
+            d, 80, 1500, lambda rng: rng.randrange(1 << 48), seed=3
+        )
+        assert len(d) == len(live)
+        fragments = sum(
+            sum(store.loads().values()) for store in d.levels_store
+        )
+        brute = sum(
+            len(machine.block_at(addr).payload or [])
+            for addr in d._brute_addrs
+        )
+        # Fragment conservation: k fragments per level-resident key.
+        level_keys = len(live) - brute
+        assert fragments == level_keys * d.k
+        assert all(d.lookup(k).value == v for k, v in live.items())
+
+
+class TestMemoryBoundedSort:
+    def test_extsort_respects_hard_memory_capacity(self):
+        """A machine with a hard internal-memory limit must reject a sort
+        configured beyond it — loudly, via the accountant."""
+        from repro.extsort import ExternalRecordArray, external_merge_sort
+
+        machine = ParallelDiskMachine(4, 8, memory_words=64)
+        arr = ExternalRecordArray(machine, record_bits=64)
+        arr.extend(range(500))
+        with pytest.raises(InternalMemoryExceeded):
+            external_merge_sort(machine, arr, memory_records=1000)
+
+    def test_extsort_within_capacity_succeeds(self):
+        from repro.extsort import ExternalRecordArray, external_merge_sort
+
+        machine = ParallelDiskMachine(4, 8, memory_words=4096)
+        arr = ExternalRecordArray(machine, record_bits=64)
+        data = list(range(500, 0, -1))
+        arr.extend(data)
+        out, _ = external_merge_sort(machine, arr, memory_records=256)
+        assert out.read_all() == sorted(data)

@@ -1,0 +1,148 @@
+"""Cross-cutting property-based tests on library invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.static_dict import StaticDictionary, fields_needed
+from repro.expanders.base import ExpanderParams
+from repro.expanders.random_graph import SeededFlatExpander, SeededRandomExpander
+from repro.expanders.telescope import TelescopeProduct
+from repro.expanders.verify import verify_definition1_sampled
+from repro.pdm.iostats import OpCost
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+costs = st.builds(
+    OpCost,
+    read_ios=st.integers(0, 50),
+    write_ios=st.integers(0, 50),
+    blocks_read=st.integers(0, 500),
+    blocks_written=st.integers(0, 500),
+)
+
+
+class TestOpCostAlgebra:
+    @given(costs, costs, costs)
+    def test_sequential_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(costs)
+    def test_zero_identity(self, a):
+        assert a + OpCost.zero() == a
+        assert OpCost.zero() + a == a
+
+    @given(costs, costs)
+    def test_parallel_commutative(self, a, b):
+        assert OpCost.parallel(a, b) == OpCost.parallel(b, a)
+
+    @given(costs, costs, costs)
+    def test_parallel_associative(self, a, b, c):
+        assert OpCost.parallel(OpCost.parallel(a, b), c) == OpCost.parallel(
+            a, OpCost.parallel(b, c)
+        )
+
+    @given(costs)
+    def test_parallel_idempotent_on_rounds(self, a):
+        par = OpCost.parallel(a, a)
+        assert par.read_ios == a.read_ios
+        assert par.write_ios == a.write_ios
+        assert par.blocks_read == 2 * a.blocks_read
+
+
+class TestTelescopeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        d1=st.integers(2, 5),
+        d2=st.integers(2, 5),
+        v1=st.integers(20, 60),
+        v2=st.integers(10, 40),
+        seed=st.integers(0, 100),
+    )
+    def test_composition_geometry(self, d1, d2, v1, v2, seed):
+        s1 = SeededFlatExpander(
+            left_size=200, degree=d1, right_size=v1, seed=seed
+        )
+        s2 = SeededFlatExpander(
+            left_size=v1, degree=d2, right_size=v2, seed=seed + 1
+        )
+        t = TelescopeProduct([s1, s2])
+        assert t.degree == d1 * d2
+        for x in (0, 37, 199):
+            ys = t.neighbors(x)
+            assert len(ys) == d1 * d2
+            assert all(0 <= y < v2 for y in ys)
+            # Multi-edge remap: all distinct whenever v2 allows it.
+            if d1 * d2 <= v2:
+                assert len(set(ys)) == d1 * d2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(0.01, 0.5), min_size=1, max_size=5))
+    def test_composed_eps_bounds(self, eps_list):
+        composed = TelescopeProduct.composed_eps(eps_list)
+        assert max(eps_list) <= composed + 1e-12
+        assert composed <= sum(eps_list) + 1e-12
+
+
+class TestDefinition1:
+    def test_sampled_check_on_good_graph(self):
+        g = SeededRandomExpander(
+            left_size=U, degree=16, stripe_size=1024, seed=3
+        )
+        params = ExpanderParams(d=16, eps=1 / 4, delta=0.5)
+        report = verify_definition1_sampled(
+            g, params, trials=300, max_set_size=300, seed=1
+        )
+        assert report.is_expander
+
+    def test_delta_branch_caps_requirement(self):
+        """Huge sets: the (1-delta)v branch is what must hold (it is what
+        Lemma 3's pigeonhole needs)."""
+        g = SeededRandomExpander(
+            left_size=U, degree=8, stripe_size=64, seed=5
+        )
+        params = ExpanderParams(d=8, eps=1 / 4, delta=0.5)
+        # Sets with d*s far above v: only the v-branch can apply.
+        report = verify_definition1_sampled(
+            g, params, trials=60, max_set_size=2000, seed=2
+        )
+        assert report.is_expander
+
+
+class TestStaticDictionaryProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.integers(2, 80),
+        sigma=st.integers(1, 64),
+        case=st.sampled_from(["a", "b"]),
+        seed=st.integers(0, 50),
+    )
+    def test_random_instances_roundtrip(self, n, sigma, case, seed):
+        rng = random.Random(seed)
+        items = {}
+        while len(items) < n:
+            items[rng.randrange(U)] = rng.randrange(1 << sigma)
+        degree = 16
+        disks = degree * (2 if case == "a" else 1)
+        machine = ParallelDiskMachine(disks, 32)
+        d = StaticDictionary.build(
+            machine, items, universe_size=U, sigma=sigma, case=case,
+            degree=degree, seed=seed,
+        )
+        for k, v in items.items():
+            result = d.lookup(k)
+            assert result.found and result.value == v
+            assert result.cost.total_ios == 1
+        for _ in range(20):
+            probe = rng.randrange(U)
+            if probe not in items:
+                assert not d.lookup(probe).found
+
+    @settings(max_examples=10, deadline=None)
+    @given(d=st.integers(4, 64))
+    def test_fields_needed_is_two_thirds(self, d):
+        m = fields_needed(d)
+        assert 2 * d <= 3 * m < 2 * d + 3

@@ -1,0 +1,55 @@
+"""Worst-case smoothing of global rebuilding (Overmars–van Leeuwen).
+
+The paper's point in choosing the technique: "worst-case efficient global
+rebuilding" — no operation, even during a rebuild, pays more than a
+constant factor over the base structure."""
+
+import random
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.rebuilding import RebuildingDictionary
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+
+def factory(capacity, generation):
+    machine = ParallelDiskMachine(16, 32)
+    return BasicDictionary(
+        machine, universe_size=U, capacity=capacity, degree=16,
+        seed=300 + generation,
+    )
+
+
+class TestWorstCaseSmoothing:
+    def test_no_operation_pays_more_than_a_constant(self):
+        d = RebuildingDictionary(
+            factory, initial_capacity=16, move_per_op=4
+        )
+        worst_insert = 0
+        worst_lookup = 0
+        rng = random.Random(0)
+        for i in range(600):
+            cost = d.insert(rng.randrange(U), i)
+            worst_insert = max(worst_insert, cost.total_ios)
+            result = d.lookup(rng.randrange(U))
+            worst_lookup = max(worst_lookup, result.cost.total_ios)
+        # Base structure: lookup 1, insert 2.  During a rebuild an insert
+        # additionally performs: one probe of the old structure, one
+        # migration batch of move_per_op items (each lookup 1 + parallel
+        # insert/delete 2) -- a fixed constant, never Theta(n).
+        move = 4
+        assert d.stats.rebuilds_started >= 3  # we really crossed rebuilds
+        assert worst_lookup <= 2  # parallel probe of both structures
+        assert worst_insert <= 2 + 1 + 2 + move * 3
+
+    def test_rebuild_total_cost_is_linear(self):
+        """Amortized sanity: total I/O across n inserts with rebuilds is
+        O(n) (each item migrates O(1) times thanks to doubling)."""
+        d = RebuildingDictionary(
+            factory, initial_capacity=16, move_per_op=4
+        )
+        total = 0
+        for i in range(600):
+            total += d.insert(i, None).total_ios
+        assert total <= 30 * 600

@@ -1,0 +1,136 @@
+"""Hypothesis stateful testing: every dictionary against a dict model.
+
+One rule-based state machine drives insert/delete/lookup with arbitrary
+interleavings; each dictionary class gets its own concrete machine class so
+failures name the culprit.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.btree import BTreeDictionary
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.hashing import (
+    CuckooDictionary,
+    DGMPDictionary,
+    FolkloreDictionary,
+    StripedHashTable,
+)
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 14
+CAPACITY = 80
+
+keys = st.integers(0, 200)  # small key space forces collisions
+values = st.integers(0, (1 << 20) - 1)
+
+
+class DictionaryMachine(RuleBasedStateMachine):
+    """Abstract model-based test; subclasses provide make_dict()."""
+
+    def __init__(self):
+        super().__init__()
+        self.dut = self.make_dict()
+        self.model = {}
+
+    def make_dict(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        if len(self.model) >= CAPACITY and key not in self.model:
+            return  # respect the declared capacity
+        self.dut.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        self.dut.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=keys)
+    def lookup(self, key):
+        result = self.dut.lookup(key)
+        assert result.found == (key in self.model)
+        if result.found:
+            assert result.value == self.model[key]
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.dut) == len(self.model)
+
+
+def _machine_for(cls, **kw):
+    pdm_disks = kw.pop("disks", 16)
+
+    class Concrete(DictionaryMachine):
+        def make_dict(self):
+            machine = ParallelDiskMachine(pdm_disks, 32, item_bits=64)
+            return cls(
+                machine,
+                universe_size=U,
+                capacity=CAPACITY,
+                seed=5,
+                **kw,
+            )
+
+    Concrete.__name__ = f"{cls.__name__}Machine"
+    return Concrete
+
+
+from repro.core.head_model_dict import HeadModelDictionary
+from repro.core.recursive_dict import RecursiveLoadBalancedDictionary
+
+_CONFIGS = [
+    (BasicDictionary, {"degree": 16}),
+    (StripedHashTable, {}),
+    (CuckooDictionary, {}),
+    (DGMPDictionary, {}),
+    (FolkloreDictionary, {}),
+    (DynamicDictionary, {"degree": 16, "sigma": 20, "disks": 32}),
+    (HeadModelDictionary, {"degree": 16}),
+    (
+        RecursiveLoadBalancedDictionary,
+        {"degree": 8, "sigma": 20, "levels": 2, "disks": 24},
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "cls,kw", _CONFIGS, ids=[c.__name__ for c, _ in _CONFIGS]
+)
+def test_stateful_against_model(cls, kw):
+    machine_cls = _machine_for(cls, **dict(kw))
+    run = settings(
+        max_examples=12, stateful_step_count=40, deadline=None
+    )
+    from hypothesis.stateful import run_state_machine_as_test
+
+    run_state_machine_as_test(machine_cls, settings=run)
+
+
+class BTreeMachine(DictionaryMachine):
+    def make_dict(self):
+        machine = ParallelDiskMachine(4, 4, item_bits=64)
+        return BTreeDictionary(
+            machine, universe_size=U, capacity=CAPACITY * 4
+        )
+
+
+def test_btree_stateful():
+    from hypothesis.stateful import run_state_machine_as_test
+
+    run_state_machine_as_test(
+        BTreeMachine,
+        settings=settings(
+            max_examples=12, stateful_step_count=40, deadline=None
+        ),
+    )

@@ -1,0 +1,99 @@
+"""Unit tests for blocks, disks and internal-memory accounting."""
+
+import pytest
+
+from repro.pdm.block import Block, BlockOverflowError
+from repro.pdm.disk import Disk
+from repro.pdm.memory import InternalMemory, InternalMemoryExceeded
+
+
+class TestBlock:
+    def test_new_block_is_empty(self):
+        b = Block(128)
+        assert b.is_empty
+        assert b.free_bits == 128
+
+    def test_store_and_clear(self):
+        b = Block(128)
+        b.store([1, 2], 100)
+        assert not b.is_empty
+        assert b.used_bits == 100
+        assert b.free_bits == 28
+        b.clear()
+        assert b.is_empty
+
+    def test_store_at_exact_capacity(self):
+        b = Block(128)
+        b.store("x", 128)
+        assert b.free_bits == 0
+
+    def test_overflow_rejected(self):
+        b = Block(128)
+        with pytest.raises(BlockOverflowError):
+            b.store("x", 129)
+
+    def test_negative_size_rejected(self):
+        b = Block(128)
+        with pytest.raises(ValueError):
+            b.store("x", -1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Block(0)
+
+
+class TestDisk:
+    def test_blocks_materialise_lazily(self):
+        d = Disk(0, 128)
+        assert d.touched_blocks == 0
+        d.block(100)
+        assert d.touched_blocks == 1
+        assert d.high_water == 101
+
+    def test_same_block_returned(self):
+        d = Disk(0, 128)
+        assert d.block(3) is d.block(3)
+
+    def test_negative_index_rejected(self):
+        d = Disk(0, 128)
+        with pytest.raises(IndexError):
+            d.block(-1)
+
+    def test_used_bits_aggregates(self):
+        d = Disk(0, 128)
+        d.block(0).store("a", 10)
+        d.block(5).store("b", 20)
+        assert d.used_bits == 30
+
+
+class TestInternalMemory:
+    def test_unbounded_tracks_peak(self):
+        m = InternalMemory()
+        m.charge(10)
+        m.charge(5)
+        m.release(12)
+        assert m.used_words == 3
+        assert m.peak_words == 15
+
+    def test_capacity_enforced(self):
+        m = InternalMemory(capacity_words=10)
+        m.charge(10)
+        with pytest.raises(InternalMemoryExceeded):
+            m.charge(1)
+
+    def test_release_more_than_used_rejected(self):
+        m = InternalMemory()
+        m.charge(5)
+        with pytest.raises(ValueError):
+            m.release(6)
+
+    def test_negative_amounts_rejected(self):
+        m = InternalMemory()
+        with pytest.raises(ValueError):
+            m.charge(-1)
+        with pytest.raises(ValueError):
+            m.release(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            InternalMemory(capacity_words=0)

@@ -1,0 +1,61 @@
+"""Property-based tests of the machine cost models themselves."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdm.machine import ParallelDiskHeadMachine, ParallelDiskMachine
+
+D = 6
+addr = st.tuples(st.integers(0, D - 1), st.integers(0, 30))
+batches = st.lists(addr, min_size=1, max_size=40)
+
+
+@given(batches)
+def test_pdm_read_cost_is_max_per_disk_multiplicity(batch):
+    machine = ParallelDiskMachine(D, 8)
+    machine.read_blocks(batch)
+    unique = set(batch)
+    per_disk = Counter(disk for (disk, _blk) in unique)
+    assert machine.stats.read_ios == max(per_disk.values())
+    assert machine.stats.blocks_read == len(unique)
+
+
+@given(batches)
+def test_head_model_cost_is_ceil_over_heads(batch):
+    machine = ParallelDiskHeadMachine(D, 8)
+    machine.read_blocks(batch)
+    unique = len(set(batch))
+    assert machine.stats.read_ios == -(-unique // D)
+
+
+@given(batches)
+def test_head_model_never_beats_pdm_lower_bound(batch):
+    """Both models are sandwiched: ceil(m/D) <= cost <= m."""
+    for cls in (ParallelDiskMachine, ParallelDiskHeadMachine):
+        machine = cls(D, 8)
+        machine.read_blocks(batch)
+        m = len(set(batch))
+        assert -(-m // D) <= machine.stats.read_ios <= m
+
+
+@settings(max_examples=30)
+@given(batches)
+def test_write_and_read_cost_models_agree(batch):
+    """Writing a batch costs the same rounds as reading it."""
+    unique = list(dict.fromkeys(batch))
+    reader = ParallelDiskMachine(D, 8)
+    reader.read_blocks(unique)
+    writer = ParallelDiskMachine(D, 8)
+    writer.write_blocks([(a, [0], 8) for a in unique])
+    assert writer.stats.write_ios == reader.stats.read_ios
+
+
+@given(batches)
+def test_utilization_bounds(batch):
+    machine = ParallelDiskMachine(D, 8)
+    machine.read_blocks(batch)
+    util = machine.stats.utilization(D)
+    assert 0 < util <= 1.0

@@ -1,0 +1,112 @@
+"""Unit tests for I/O accounting: snapshots, deltas, parallel combination."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pdm.iostats import IOStats, OpCost, measure
+from repro.pdm.machine import ParallelDiskMachine
+
+
+class TestIOStats:
+    def test_starts_at_zero(self):
+        s = IOStats()
+        assert s.total_ios == 0
+
+    def test_snapshot_is_independent_copy(self):
+        s = IOStats()
+        snap = s.snapshot()
+        s.read_ios += 5
+        assert snap.read_ios == 0
+
+    def test_since_computes_delta(self):
+        s = IOStats()
+        snap = s.snapshot()
+        s.read_ios += 3
+        s.write_ios += 2
+        delta = s.since(snap)
+        assert delta.read_ios == 3
+        assert delta.write_ios == 2
+        assert delta.total_ios == 5
+
+    def test_add_folds_cost_back(self):
+        s = IOStats()
+        s.add(OpCost(read_ios=1, write_ios=2, blocks_read=3, blocks_written=4))
+        assert (s.read_ios, s.write_ios) == (1, 2)
+        assert (s.blocks_read, s.blocks_written) == (3, 4)
+
+    def test_reset(self):
+        s = IOStats(read_ios=9)
+        s.reset()
+        assert s.total_ios == 0
+
+
+class TestOpCost:
+    def test_sequential_composition_adds(self):
+        a = OpCost(read_ios=1, write_ios=1)
+        b = OpCost(read_ios=2)
+        c = a + b
+        assert c.read_ios == 3 and c.write_ios == 1
+
+    def test_parallel_composition_takes_max_rounds(self):
+        a = OpCost(read_ios=1, write_ios=2, blocks_read=8)
+        b = OpCost(read_ios=3, write_ios=1, blocks_read=4)
+        c = OpCost.parallel(a, b)
+        assert c.read_ios == 3 and c.write_ios == 2
+
+    def test_parallel_composition_sums_block_volume(self):
+        a = OpCost(blocks_read=8, blocks_written=1)
+        b = OpCost(blocks_read=4, blocks_written=2)
+        c = OpCost.parallel(a, b)
+        assert c.blocks_read == 12 and c.blocks_written == 3
+
+    def test_parallel_of_nothing_is_zero(self):
+        assert OpCost.parallel() == OpCost.zero()
+
+    @given(
+        st.tuples(*(st.integers(0, 100) for _ in range(4))),
+        st.tuples(*(st.integers(0, 100) for _ in range(4))),
+    )
+    def test_parallel_bounded_by_sequential(self, t1, t2):
+        """Parallel rounds never exceed sequential rounds (and never drop
+        below either operand) — the basic sanity of the cost algebra."""
+        a, b = OpCost(*t1), OpCost(*t2)
+        par = OpCost.parallel(a, b)
+        seq = a + b
+        assert par.total_ios <= seq.total_ios
+        assert par.read_ios >= max(a.read_ios, b.read_ios)
+        assert par.write_ios >= max(a.write_ios, b.write_ios)
+
+
+class TestMeasure:
+    def test_measure_captures_cost(self):
+        m = ParallelDiskMachine(4, 8)
+        with measure(m) as cost:
+            m.read_blocks([(0, 0)])
+            m.write_blocks([((0, 0), [1], 64)])
+        assert cost.total_ios == 2
+        assert cost.read_ios == 1
+        assert cost.write_ios == 1
+
+    def test_measure_multiple_machines_sums(self):
+        m1 = ParallelDiskMachine(4, 8)
+        m2 = ParallelDiskMachine(4, 8)
+        with measure(m1, m2) as cost:
+            m1.read_blocks([(0, 0)])
+            m2.read_blocks([(0, 0)])
+        assert cost.total_ios == 2
+
+    def test_measure_is_delta_not_cumulative(self):
+        m = ParallelDiskMachine(4, 8)
+        m.read_blocks([(0, 0)])  # before the measurement window
+        with measure(m) as cost:
+            m.read_blocks([(1, 0)])
+        assert cost.total_ios == 1
+
+    def test_measure_captures_on_exception(self):
+        m = ParallelDiskMachine(4, 8)
+        with pytest.raises(RuntimeError):
+            with measure(m) as cost:
+                m.read_blocks([(0, 0)])
+                raise RuntimeError("boom")
+        assert cost.total_ios == 1

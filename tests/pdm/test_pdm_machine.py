@@ -1,0 +1,148 @@
+"""Unit tests for the PDM machines: cost model, addressing, allocation."""
+
+import pytest
+
+from repro.pdm.block import BlockOverflowError
+from repro.pdm.machine import ParallelDiskHeadMachine, ParallelDiskMachine
+
+
+class TestConstruction:
+    def test_rejects_zero_disks(self):
+        with pytest.raises(ValueError):
+            ParallelDiskMachine(0, 16)
+
+    def test_rejects_zero_block_capacity(self):
+        with pytest.raises(ValueError):
+            ParallelDiskMachine(4, 0)
+
+    def test_rejects_zero_item_bits(self):
+        with pytest.raises(ValueError):
+            ParallelDiskMachine(4, 16, item_bits=0)
+
+    def test_paper_aliases(self, machine):
+        assert machine.D == machine.num_disks == 8
+        assert machine.B == machine.block_items == 16
+
+    def test_block_bits_is_items_times_item_bits(self, machine):
+        assert machine.block_bits == 16 * 64
+
+
+class TestReadCostModel:
+    def test_one_block_costs_one_io(self, machine):
+        machine.read_blocks([(0, 0)])
+        assert machine.stats.read_ios == 1
+        assert machine.stats.blocks_read == 1
+
+    def test_one_block_per_disk_costs_one_io(self, machine):
+        machine.read_blocks([(i, 5) for i in range(machine.D)])
+        assert machine.stats.read_ios == 1
+        assert machine.stats.blocks_read == machine.D
+
+    def test_two_blocks_same_disk_cost_two_ios(self, machine):
+        machine.read_blocks([(3, 0), (3, 1)])
+        assert machine.stats.read_ios == 2
+
+    def test_cost_is_max_per_disk_multiplicity(self, machine):
+        # 3 blocks on disk 0, 1 block on each other disk: 3 rounds.
+        addrs = [(0, i) for i in range(3)] + [(d, 0) for d in range(1, 8)]
+        machine.read_blocks(addrs)
+        assert machine.stats.read_ios == 3
+
+    def test_duplicate_addresses_collapse(self, machine):
+        machine.read_blocks([(0, 0), (0, 0), (0, 0)])
+        assert machine.stats.read_ios == 1
+        assert machine.stats.blocks_read == 1
+
+    def test_empty_batch_is_free(self, machine):
+        assert machine.read_blocks([]) == {}
+        assert machine.stats.read_ios == 0
+
+    def test_out_of_range_disk_rejected(self, machine):
+        with pytest.raises(IndexError):
+            machine.read_blocks([(8, 0)])
+
+    def test_negative_block_rejected(self, machine):
+        with pytest.raises(IndexError):
+            machine.read_blocks([(0, -1)])
+
+
+class TestWriteCostModel:
+    def test_write_one_block(self, machine):
+        machine.write_blocks([((0, 0), [1, 2, 3], 3 * 64)])
+        assert machine.stats.write_ios == 1
+        assert machine.stats.blocks_written == 1
+
+    def test_write_round_trip(self, machine):
+        machine.write_blocks([((2, 7), ["payload"], 64)])
+        block = machine.read_blocks([(2, 7)])[(2, 7)]
+        assert block.payload == ["payload"]
+        assert block.used_bits == 64
+
+    def test_write_striped_batch_one_io(self, machine):
+        writes = [((d, 0), [d], 64) for d in range(machine.D)]
+        machine.write_blocks(writes)
+        assert machine.stats.write_ios == 1
+
+    def test_duplicate_write_address_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.write_blocks([((0, 0), [1], 64), ((0, 0), [2], 64)])
+
+    def test_overfull_payload_rejected(self, machine):
+        with pytest.raises(BlockOverflowError):
+            machine.write_blocks([((0, 0), [0], machine.block_bits + 1)])
+
+    def test_empty_write_batch_is_free(self, machine):
+        machine.write_blocks([])
+        assert machine.stats.write_ios == 0
+
+
+class TestHeadModel:
+    def test_d_blocks_anywhere_cost_one_io(self, head_machine):
+        # All on the same disk: still one round in the head model.
+        head_machine.read_blocks([(0, i) for i in range(head_machine.D)])
+        assert head_machine.stats.read_ios == 1
+
+    def test_ceil_division(self, head_machine):
+        head_machine.read_blocks([(0, i) for i in range(head_machine.D + 1)])
+        assert head_machine.stats.read_ios == 2
+
+    def test_head_model_dominates_pdm(self):
+        """For any batch, the head model never costs more than the PDM."""
+        pdm = ParallelDiskMachine(4, 8)
+        head = ParallelDiskHeadMachine(4, 8)
+        batch = [(0, 0), (0, 1), (0, 2), (1, 0), (2, 0)]
+        pdm.read_blocks(batch)
+        head.read_blocks(batch)
+        assert head.stats.read_ios <= pdm.stats.read_ios
+
+
+class TestAllocator:
+    def test_allocations_are_disjoint(self, machine):
+        a = machine.allocate(0, 10)
+        b = machine.allocate(0, 5)
+        assert b >= a + 10
+
+    def test_allocations_per_disk_independent(self, machine):
+        a = machine.allocate(0, 10)
+        b = machine.allocate(1, 10)
+        assert a == 0 and b == 0
+
+    def test_negative_count_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.allocate(0, -1)
+
+    def test_bad_disk_rejected(self, machine):
+        with pytest.raises(IndexError):
+            machine.allocate(99, 1)
+
+
+class TestSpaceAudit:
+    def test_footprint_counts_touched_blocks(self, machine):
+        machine.write_blocks([((0, 0), [1], 64), ((1, 3), [2], 64)])
+        assert machine.touched_blocks == 2
+        assert machine.footprint_bits == 2 * machine.block_bits
+        assert machine.used_bits == 128
+
+    def test_block_at_does_not_charge_io(self, machine):
+        machine.block_at((0, 0))
+        assert machine.stats.total_ios == 0

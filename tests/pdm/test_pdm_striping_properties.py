@@ -1,0 +1,81 @@
+"""Property-based model tests for the striped field array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+from repro.pdm.machine import ParallelDiskMachine
+from repro.pdm.striping import StripedFieldArray
+
+STRIPES, STRIPE_SIZE, FIELD_BITS = 6, 20, 32
+
+loc = st.tuples(st.integers(0, STRIPES - 1), st.integers(0, STRIPE_SIZE - 1))
+value = st.one_of(st.none(), st.integers(0, 2**16), st.text(max_size=4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(loc, value), max_size=40))
+def test_field_array_matches_dict_model(writes):
+    machine = ParallelDiskMachine(STRIPES, 16, item_bits=64)
+    array = StripedFieldArray(
+        machine,
+        stripes=STRIPES,
+        stripe_size=STRIPE_SIZE,
+        field_bits=FIELD_BITS,
+    )
+    model = {}
+    for location, val in writes:
+        array.write_fields({location: val})
+        if val is None:
+            model.pop(location, None)
+        else:
+            model[location] = val
+    all_locs = [
+        (s, i) for s in range(STRIPES) for i in range(STRIPE_SIZE)
+    ]
+    contents = array.read_fields(all_locs)
+    for location in all_locs:
+        assert contents[location] == model.get(location)
+    assert array.occupied_fields() == len(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.dictionaries(loc, st.integers(0, 100), min_size=1, max_size=30)
+)
+def test_bulk_write_equals_pointwise_writes(assignments):
+    m1 = ParallelDiskMachine(STRIPES, 16)
+    a1 = StripedFieldArray(
+        m1, stripes=STRIPES, stripe_size=STRIPE_SIZE, field_bits=FIELD_BITS
+    )
+    a1.write_fields(assignments)
+
+    m2 = ParallelDiskMachine(STRIPES, 16)
+    a2 = StripedFieldArray(
+        m2, stripes=STRIPES, stripe_size=STRIPE_SIZE, field_bits=FIELD_BITS
+    )
+    for location, val in assignments.items():
+        a2.write_fields({location: val})
+
+    locs = list(assignments)
+    assert a1.read_fields(locs) == a2.read_fields(locs)
+    # Bulk never costs more write rounds than pointwise.
+    assert m1.stats.write_ios <= m2.stats.write_ios
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(loc, min_size=1, max_size=STRIPES))
+def test_one_per_stripe_reads_are_one_round(locations):
+    """Any batch with at most one field per stripe is one parallel I/O."""
+    by_stripe = {}
+    for (s, i) in locations:
+        by_stripe[s] = (s, i)  # keep one per stripe
+    probe = list(by_stripe.values())
+    machine = ParallelDiskMachine(STRIPES, 16)
+    array = StripedFieldArray(
+        machine, stripes=STRIPES, stripe_size=STRIPE_SIZE,
+        field_bits=FIELD_BITS,
+    )
+    array.read_fields(probe)
+    assert machine.stats.read_ios == 1

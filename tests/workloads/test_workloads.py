@@ -1,0 +1,128 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.hashing.families import PolynomialHashFamily
+from repro.workloads.access import hit_miss_mix, uniform_accesses, zipf_accesses
+from repro.workloads.filesystem import FileSystemWorkload
+from repro.workloads.keys import (
+    adversarial_keys_for_hash,
+    clustered_keys,
+    uniform_keys,
+)
+
+
+class TestKeyGenerators:
+    def test_uniform_distinct_and_in_range(self):
+        keys = uniform_keys(1000, 200, seed=1)
+        assert len(keys) == len(set(keys)) == 200
+        assert all(0 <= k < 1000 for k in keys)
+
+    def test_uniform_deterministic(self):
+        assert uniform_keys(1000, 50, seed=2) == uniform_keys(1000, 50, seed=2)
+
+    def test_uniform_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_keys(10, 11)
+
+    def test_clustered_shape(self):
+        keys = clustered_keys(100_000, 100, clusters=4, seed=3)
+        assert len(keys) == len(set(keys)) == 100
+        # Consecutive runs: many adjacent pairs.
+        sorted_keys = sorted(keys)
+        adjacent = sum(
+            1 for a, b in zip(sorted_keys, sorted_keys[1:]) if b == a + 1
+        )
+        assert adjacent >= 80
+
+    def test_adversarial_keys_collide(self):
+        h = PolynomialHashFamily(
+            universe_size=1 << 16, range_size=64, seed=7
+        )
+        bad = adversarial_keys_for_hash(h, 1 << 16, 20)
+        assert len({h(k) for k in bad}) == 1
+
+    def test_adversarial_scan_limit(self):
+        h = PolynomialHashFamily(
+            universe_size=1 << 16, range_size=64, seed=7
+        )
+        with pytest.raises(ValueError):
+            adversarial_keys_for_hash(h, 1 << 16, 10**6, scan_limit=100)
+
+
+class TestAccessPatterns:
+    def test_uniform_accesses(self):
+        seq = uniform_accesses([1, 2, 3], 100, seed=1)
+        assert len(seq) == 100
+        assert set(seq) <= {1, 2, 3}
+
+    def test_zipf_skew(self):
+        keys = list(range(100))
+        seq = zipf_accesses(keys, 5000, s=1.5, seed=2)
+        from collections import Counter
+
+        counts = Counter(seq)
+        top = counts.most_common(1)[0][1]
+        assert top > 5000 / 20  # the head is heavy
+
+    def test_hit_miss_mix_fractions(self):
+        present = list(range(100))
+        seq = hit_miss_mix(present, 10_000, 1000, hit_fraction=0.7, seed=3)
+        hits = sum(1 for p in seq if p in set(present))
+        assert 600 < hits < 800
+
+    def test_hit_miss_misses_are_absent(self):
+        present = list(range(50))
+        seq = hit_miss_mix(present, 10_000, 300, hit_fraction=0.0, seed=4)
+        assert all(p not in set(present) for p in seq)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            hit_miss_mix([1], 10, 5, hit_fraction=1.5)
+
+
+class TestFileSystemWorkload:
+    def test_key_encoding_roundtrip(self):
+        fs = FileSystemWorkload(num_files=50, max_blocks_per_file=64, seed=1)
+        key = fs.key_for(7, 33)
+        assert fs.split_key(key) == (7, 33)
+
+    def test_universe_and_totals(self):
+        fs = FileSystemWorkload(num_files=50, max_blocks_per_file=64, seed=1)
+        assert fs.universe_size == 50 * 64
+        assert 50 <= fs.total_blocks <= 50 * 64
+
+    def test_all_keys_valid(self):
+        fs = FileSystemWorkload(num_files=20, max_blocks_per_file=32, seed=2)
+        keys = list(fs.all_keys())
+        assert len(keys) == fs.total_blocks
+        for key in keys:
+            fid, block = fs.split_key(key)
+            assert block < fs.files[fid].num_blocks
+
+    def test_random_reads_hit_existing_blocks(self):
+        fs = FileSystemWorkload(num_files=20, max_blocks_per_file=32, seed=2)
+        existing = set(fs.all_keys())
+        for key in fs.random_reads(500, seed=3):
+            assert key in existing
+
+    def test_sequential_scan(self):
+        fs = FileSystemWorkload(num_files=5, max_blocks_per_file=16, seed=4)
+        scan = fs.sequential_scan(2)
+        assert scan == sorted(scan)
+        assert len(scan) == fs.files[2].num_blocks
+
+    def test_size_skew(self):
+        fs = FileSystemWorkload(
+            num_files=500, max_blocks_per_file=128, seed=5
+        )
+        sizes = sorted(f.num_blocks for f in fs.files)
+        # Most files small, a few large.
+        assert sizes[len(sizes) // 2] < sizes[-1] / 2
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            FileSystemWorkload(num_files=0)
+        fs = FileSystemWorkload(num_files=3, seed=0)
+        with pytest.raises(ValueError):
+            fs.key_for(3, 0)

@@ -1,0 +1,152 @@
+"""Tests for the name codec, the parameter advisor and the dict-like API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.params import suggest
+from repro.pdm.machine import ParallelDiskMachine
+from repro.workloads.names import NameCodec
+
+
+class TestNameCodec:
+    def test_roundtrip_simple(self):
+        codec = NameCodec(max_name_bytes=16)
+        for name in ("", "a", "inode", "some_file.txt", "ünïcødé"):
+            assert codec.decode_name(codec.encode_name(name)) == name
+
+    def test_name_block_key_roundtrip(self):
+        codec = NameCodec(max_name_bytes=8, max_blocks=1024)
+        key = codec.key("mail.db", 77)
+        assert codec.split(key) == ("mail.db", 77)
+
+    def test_injective_across_lengths(self):
+        """Length-prefixing: 'a' and 'a\\x00'-style confusions impossible."""
+        codec = NameCodec(max_name_bytes=4)
+        ids = set()
+        names = ["", "a", "b", "aa", "ab", "ba", "aaa", "a" * 4]
+        for name in names:
+            ids.add(codec.encode_name(name))
+        assert len(ids) == len(names)
+
+    def test_too_long_rejected(self):
+        codec = NameCodec(max_name_bytes=4)
+        with pytest.raises(ValueError):
+            codec.encode_name("abcde")
+
+    def test_block_range_enforced(self):
+        codec = NameCodec(max_blocks=8)
+        with pytest.raises(ValueError):
+            codec.key("x", 8)
+
+    def test_universe_size_consistency(self):
+        codec = NameCodec(max_name_bytes=2, max_blocks=4)
+        assert codec.universe_size == (1 + 256 + 256**2) * 4
+        key = codec.key("zz", 3)
+        assert key < codec.universe_size
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=8), st.integers(0, 1023))
+    def test_roundtrip_property(self, name, block):
+        codec = NameCodec(max_name_bytes=32, max_blocks=1024)
+        key = codec.key(name, block)
+        back_name, back_block = codec.split(key)
+        assert (back_name, back_block) == (name, block)
+
+    def test_keys_usable_in_dictionary(self):
+        codec = NameCodec(max_name_bytes=8, max_blocks=256)
+        machine = ParallelDiskMachine(16, 32)
+        d = BasicDictionary(
+            machine,
+            universe_size=codec.universe_size,
+            capacity=100,
+            degree=16,
+            seed=1,
+        )
+        d.insert(codec.key("passwd", 0), "root:x:0:0")
+        result = d.lookup(codec.key("passwd", 0))
+        assert result.found and result.cost.total_ios == 1
+        assert not d.lookup(codec.key("passwd", 1)).found
+
+
+class TestParameterAdvisor:
+    def test_small_records_pick_basic(self):
+        s = suggest(universe_size=1 << 20, capacity=10_000)
+        assert s.mode == "basic"
+        assert s.predicted_lookup_worst == 1.0
+        assert s.degree == 40
+
+    def test_medium_records_pick_dynamic(self):
+        s = suggest(universe_size=1 << 20, capacity=1000, sigma=4096)
+        assert s.mode == "full-bandwidth"
+        assert 1.0 < s.predicted_lookup_avg < 1.5
+        assert s.disks == 2 * s.degree
+
+    def test_huge_records_pick_pointer_store(self):
+        s = suggest(
+            universe_size=1 << 20, capacity=100, sigma=10**7,
+            block_items=32,
+        )
+        assert s.mode == "pointer-store"
+        assert s.predicted_lookup_worst == 2.0
+
+    def test_summary_renders(self):
+        s = suggest(universe_size=1 << 16, capacity=100)
+        assert "predicted lookup" in s.summary()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            suggest(universe_size=1, capacity=10)
+
+    def test_suggestion_actually_works(self):
+        """End to end: build the suggested configuration and check the
+        predicted lookup cost is achieved."""
+        from repro.core.facade import ParallelDiskDictionary
+
+        s = suggest(universe_size=1 << 16, capacity=64)
+        d = ParallelDiskDictionary(
+            universe_size=1 << 16,
+            capacity=64,
+            mode=s.mode,
+            degree=s.degree,
+            block_items=s.block_items,
+        )
+        for k in range(64):
+            d.insert(k, k)
+        worst = max(d.lookup(k).cost.total_ios for k in range(64))
+        assert worst <= s.predicted_lookup_worst
+
+
+class TestDictLikeAPI:
+    @pytest.fixture
+    def d(self):
+        machine = ParallelDiskMachine(16, 32)
+        return BasicDictionary(
+            machine, universe_size=1 << 16, capacity=50, degree=16, seed=2
+        )
+
+    def test_setitem_getitem(self, d):
+        d[5] = "five"
+        assert d[5] == "five"
+
+    def test_getitem_missing_raises(self, d):
+        with pytest.raises(KeyError):
+            d[5]
+
+    def test_get_with_default(self, d):
+        assert d.get(5, "fallback") == "fallback"
+        d[5] = "x"
+        assert d.get(5) == "x"
+
+    def test_delitem(self, d):
+        d[5] = "x"
+        del d[5]
+        assert 5 not in d
+        with pytest.raises(KeyError):
+            del d[5]
+
+    def test_items(self, d):
+        for k in (1, 2, 3):
+            d[k] = k * 10
+        assert dict(d.items()) == {1: 10, 2: 20, 3: 30}

@@ -1,0 +1,136 @@
+"""Tests for workload generation and the replay driver."""
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.facade import ParallelDiskDictionary
+from repro.pdm.machine import ParallelDiskMachine
+from repro.workloads.replay import Workload, replay
+
+U = 1 << 16
+
+
+def make_dict(capacity=100):
+    machine = ParallelDiskMachine(16, 32)
+    return BasicDictionary(
+        machine, universe_size=U, capacity=capacity, degree=16, seed=1
+    )
+
+
+class TestWorkloadGeneration:
+    def test_deterministic(self):
+        a = Workload.generate(
+            universe_size=U, operations=200, capacity=50, seed=4
+        )
+        b = Workload.generate(
+            universe_size=U, operations=200, capacity=50, seed=4
+        )
+        assert a.ops == b.ops
+
+    def test_respects_capacity(self):
+        w = Workload.generate(
+            universe_size=U, operations=500, capacity=30, seed=2,
+            insert_fraction=0.9, delete_fraction=0.0,
+        )
+        live = set()
+        for kind, key, _ in w.ops:
+            if kind == "insert":
+                live.add(key)
+            elif kind == "delete":
+                live.discard(key)
+            assert len(live) <= 30
+
+    def test_op_mix(self):
+        w = Workload.generate(
+            universe_size=U, operations=1000, capacity=400, seed=3
+        )
+        kinds = [op[0] for op in w.ops]
+        assert kinds.count("insert") > 100
+        assert kinds.count("lookup") > 100
+        assert kinds.count("delete") > 10
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            Workload.generate(
+                universe_size=U, operations=10, capacity=5,
+                insert_fraction=0.8, delete_fraction=0.4,
+            )
+
+
+class TestReplay:
+    def test_replay_verifies_and_summarises(self):
+        w = Workload.generate(
+            universe_size=U, operations=400, capacity=80, seed=5
+        )
+        summary = replay(make_dict(), w)
+        assert summary.operations == 400
+        assert summary.avg("hit") == 1.0
+        assert summary.worst("insert") == 2
+        assert summary.total_ios > 0
+
+    def test_replay_works_across_structures(self):
+        w = Workload.generate(
+            universe_size=U, operations=200, capacity=40, seed=6,
+            value_bits=20,
+        )
+        for mode in ("basic", "full-bandwidth", "head-model"):
+            d = ParallelDiskDictionary(
+                universe_size=U, capacity=40, mode=mode, sigma=20, seed=6
+            )
+            summary = replay(d, w)
+            assert summary.operations == 200
+
+    def test_replay_catches_broken_dictionary(self):
+        class Liar(BasicDictionary):
+            def lookup(self, key):
+                result = super().lookup(key)
+                from repro.core.interface import LookupResult
+
+                return LookupResult(
+                    not result.found, result.value, result.cost
+                )
+
+        machine = ParallelDiskMachine(16, 32)
+        liar = Liar(
+            machine, universe_size=U, capacity=50, degree=16, seed=1
+        )
+        w = Workload.generate(
+            universe_size=U, operations=50, capacity=20, seed=7
+        )
+        with pytest.raises(AssertionError):
+            replay(liar, w)
+
+    def test_universe_mismatch_rejected(self):
+        w = Workload.generate(
+            universe_size=U * 2, operations=10, capacity=5, seed=8
+        )
+        with pytest.raises(ValueError):
+            replay(make_dict(), w)
+
+
+class TestFacadeNewModes:
+    @pytest.mark.parametrize("mode", ["one-probe-recursive", "head-model"])
+    def test_modes_roundtrip(self, mode):
+        d = ParallelDiskDictionary(
+            universe_size=U, capacity=60, mode=mode, sigma=24, seed=9,
+            degree=12,
+        )
+        import random
+
+        rng = random.Random(0)
+        ref = {}
+        while len(ref) < 60:
+            k = rng.randrange(U)
+            v = rng.randrange(1 << 24) if mode != "head-model" else ("v", k)
+            d.insert(k, v)
+            ref[k] = v
+        assert all(d.lookup(k).value == v for k, v in ref.items())
+
+    def test_recursive_mode_is_one_probe(self):
+        d = ParallelDiskDictionary(
+            universe_size=U, capacity=40, mode="one-probe-recursive",
+            sigma=24, seed=9, degree=12,
+        )
+        for k in range(40):
+            d.insert(k, k)
+        assert all(d.lookup(k).cost.total_ios == 1 for k in range(40))
