@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figure1 profile clean
+.PHONY: install test lint baseline bench examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# detlint (the in-tree determinism & PDM-discipline linter) + ruff if present.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src tests benchmarks examples scripts
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks || \
+		echo "ruff not installed; skipped (CI runs it)"
+
+baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.lint --update-baseline
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,7 +16,7 @@ from repro.analysis.concurrency import (
     footprints,
     max_block_contention,
 )
-from repro.analysis import bounds
+import repro.bounds as bounds
 
 __all__ = [
     "Figure1Row",

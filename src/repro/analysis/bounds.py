@@ -1,102 +1,42 @@
-"""Closed-form versions of every quantitative bound in the paper.
+"""Deprecated location of :mod:`repro.bounds`.
 
-Single home for the formulas that tests, benchmarks and EXPERIMENTS.md
-compare measurements against.  Each function cites its source statement.
+The closed-form paper bounds are pure math with no dependencies, and
+``repro.core`` needs them for parameter selection — an upward import of
+``repro.analysis`` from ``repro.core`` would invert the layering that
+``detlint`` (rule ARCH201) enforces.  The module therefore moved to the
+base layer as :mod:`repro.bounds`; this shim keeps old imports working.
 """
 
-from __future__ import annotations
+from repro.bounds import (
+    btree_height,
+    lemma3_max_load,
+    lemma4_unique_neighbors,
+    lemma5_assignable,
+    striping_space_blowup,
+    telescope_eps,
+    theorem6_case_a_field_bits,
+    theorem6_case_a_space_bits,
+    theorem6_case_b_field_bits,
+    theorem6_case_b_space_bits,
+    theorem6_fields_per_key,
+    theorem7_avg_reads,
+    theorem7_degree_floor,
+    theorem7_num_levels,
+)
 
-import math
-
-
-def lemma3_max_load(
-    n: int, v: int, k: int, d: int, eps: float, delta: float
-) -> float:
-    """Lemma 3: ``kn/((1-delta)v) + log_{(1-eps)d/k} v``."""
-    base = (1 - eps) * d / k
-    if base <= 1:
-        raise ValueError("Lemma 3 needs (1 - eps) d / k > 1")
-    return k * n / ((1 - delta) * v) + math.log(v, base)
-
-
-def lemma4_unique_neighbors(d: int, eps: float, n: int) -> float:
-    """Lemma 4: ``|Phi(S)| >= (1 - 2 eps) d n``."""
-    return (1 - 2 * eps) * d * n
-
-
-def lemma5_assignable(n: int, eps: float, lam: float) -> float:
-    """Lemma 5: ``|S'| >= (1 - 2 eps / lam) n``."""
-    return (1 - 2 * eps / lam) * n
-
-
-def theorem6_fields_per_key(d: int) -> int:
-    """Theorem 6 construction: every key is assigned ``ceil(2d/3)`` fields."""
-    return -(-2 * d // 3)
-
-
-def theorem6_case_a_space_bits(n: int, u: int, sigma: int, c: float = 64.0) -> float:
-    """Theorem 6(a): ``O(n (log u + sigma))`` bits; ``c`` is the constant
-    our geometry realises (64-bit items, slack-4 arrays)."""
-    return c * n * (math.log2(max(u, 2)) + sigma)
-
-
-def theorem6_case_b_space_bits(n: int, u: int, sigma: int, c: float = 64.0) -> float:
-    """Theorem 6(b): ``O(n log u log n + n sigma)`` bits."""
-    return c * n * (
-        math.log2(max(u, 2)) * math.log2(max(n, 2)) + sigma
-    )
-
-
-def theorem6_case_b_field_bits(n: int, sigma: int, d: int) -> int:
-    """Theorem 6(b): fields of ``lg n + 3 sigma / (2d)`` bits."""
-    ident = max(1, math.ceil(math.log2(max(n, 2))))
-    frag = math.ceil(sigma / theorem6_fields_per_key(d)) if sigma else 0
-    return ident + frag
-
-
-def theorem6_case_a_field_bits(sigma: int, d: int) -> int:
-    """Theorem 6(a): fields of ``3 sigma / (2d) + 4`` bits (large-sigma
-    regime; the implementation also enforces the per-field unary floor)."""
-    return math.ceil(3 * sigma / (2 * d)) + 4
-
-
-def theorem7_degree_floor(eps: float) -> int:
-    """Theorem 7: degree ``d > 6 (1 + 1/eps)``."""
-    return math.floor(6 * (1 + 1 / eps)) + 1
-
-
-def theorem7_num_levels(N: int, eps: float) -> int:
-    """Theorem 7: ``l = log N / log(1/(6 eps))`` arrays."""
-    if not 0 < 6 * eps < 1:
-        raise ValueError("Theorem 7 needs 6 eps < 1")
-    return max(1, math.ceil(math.log(max(N, 2)) / math.log(1 / (6 * eps))))
-
-
-def theorem7_avg_reads(eps_level: float, max_levels: int | None = None) -> float:
-    """Theorem 7's geometric series: ``1 + r + r^2 + ...`` with
-    ``r = 6 eps`` (here the level-shrink ratio)."""
-    if not 0 < eps_level < 1:
-        raise ValueError("ratio must lie in (0, 1)")
-    if max_levels is None:
-        return 1 / (1 - eps_level)
-    return sum(eps_level**i for i in range(max_levels))
-
-
-def btree_height(n: int, fanout: int) -> int:
-    """The Section 1.2 baseline: ``Theta(log_{BD} n)`` I/Os per access."""
-    if fanout < 2:
-        raise ValueError("fan-out must be at least 2")
-    return max(1, math.ceil(math.log(max(n, 2), fanout)))
-
-
-def striping_space_blowup(d: int) -> int:
-    """Section 5 closing remark: trivial striping costs a factor ``d``."""
-    return d
-
-
-def telescope_eps(stage_epsilons) -> float:
-    """Lemmas 10/11: composed error ``1 - prod(1 - eps_i)``."""
-    acc = 1.0
-    for e in stage_epsilons:
-        acc *= 1 - e
-    return 1 - acc
+__all__ = [
+    "btree_height",
+    "lemma3_max_load",
+    "lemma4_unique_neighbors",
+    "lemma5_assignable",
+    "striping_space_blowup",
+    "telescope_eps",
+    "theorem6_case_a_field_bits",
+    "theorem6_case_a_space_bits",
+    "theorem6_case_b_field_bits",
+    "theorem6_case_b_space_bits",
+    "theorem6_fields_per_key",
+    "theorem7_avg_reads",
+    "theorem7_degree_floor",
+    "theorem7_num_levels",
+]

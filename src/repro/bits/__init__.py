@@ -12,9 +12,14 @@ this at the bit level; this package supplies the machinery:
 * :mod:`~repro.bits.fields` — the field-chain codec: splitting a record
   across the fields assigned to a key, and reassembling it from the head
   pointer.
+* :mod:`~repro.bits.mix` — the canonical deterministic mixers
+  (:func:`~repro.bits.mix.splitmix64`, :func:`~repro.bits.mix.stable_hash`,
+  :func:`~repro.bits.mix.derive`): the only sanctioned sources of
+  "random-looking" values anywhere in the repository.
 """
 
 from repro.bits.bitvector import BitVector, BitReader
+from repro.bits.mix import derive, splitmix64, stable_hash
 from repro.bits.unary import encode_unary, decode_unary
 from repro.bits.fields import (
     ChainCapacityError,
@@ -34,4 +39,7 @@ __all__ = [
     "encode_chain",
     "decode_chain",
     "required_field_bits",
+    "derive",
+    "splitmix64",
+    "stable_hash",
 ]

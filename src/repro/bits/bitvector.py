@@ -119,7 +119,8 @@ class BitVector:
         )
 
     def __hash__(self) -> int:
-        return hash((self._value, self._length))
+        # int-only tuple: unaffected by PYTHONHASHSEED salting
+        return hash((self._value, self._length))  # detlint: ignore[DET002]
 
     def __repr__(self) -> str:
         return f"BitVector('{self.to01()}')"

@@ -1,0 +1,82 @@
+"""Canonical deterministic mixers.
+
+Everything in this repository that needs "random-looking" values derives
+them from the functions here — never from the process-global ``random``
+module, never from the salted builtin ``hash()``.  The reproduction's whole
+claim (SPAA 2006: determinism at randomized performance) collapses if any
+value depends on interpreter-level entropy, so the sanctioned sources are:
+
+* :func:`splitmix64` — the splitmix64 output permutation (Steele et al.,
+  "Fast splittable pseudorandom number generators", OOPSLA 2014): a
+  measurably well-distributed bijection on 64-bit integers.  This is the
+  neighbor function of the seeded expanders and the coefficient source of
+  the polynomial hash families.
+* :func:`stable_hash` — a splitmix64-chained hash of ``str``/``bytes``/
+  ``int`` values that is identical across processes, platforms and Python
+  versions.  Use it wherever builtin ``hash()`` on strings would otherwise
+  sneak per-process ``PYTHONHASHSEED`` salt into a data structure
+  (``detlint`` rule DET002 points here).
+* :func:`derive` — seed derivation: fold any number of integer tags into a
+  base seed so that independent subsystems (expander levels, rebuild
+  attempts, table rehashes) get essentially independent streams from one
+  user-supplied seed.
+
+These live in ``repro.bits`` — the bottom layer — so every other package
+may depend on them without creating import cycles (``detlint`` rule
+ARCH201 enforces the layering).
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(z: int) -> int:
+    """One round of the splitmix64 output permutation (pure function)."""
+    z = (z + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def derive(seed: int, *tags: int) -> int:
+    """Fold integer ``tags`` into ``seed``: a cheap domain separator.
+
+    ``derive(s, a, b) == derive(s, a, b)`` always, and distinct tag tuples
+    give (with splitmix64's quality) essentially independent values —
+    Section 4.3 needs one independent expander per level from a single
+    user seed, and rebuild schemes need a fresh function per attempt.
+    """
+    acc = splitmix64(seed & _MASK64)
+    for t in tags:
+        acc = splitmix64((acc ^ (t & _MASK64)) + 0xA0761D6478BD642F)
+    return acc
+
+
+def stable_hash(value: "str | bytes | int", *, seed: int = 0) -> int:
+    """A 64-bit hash of ``value`` that never varies between processes.
+
+    Builtin ``hash()`` on ``str``/``bytes`` is salted per process
+    (``PYTHONHASHSEED``), so any table layout, iteration order or file
+    format derived from it silently changes between runs — exactly the
+    nondeterminism this reproduction must exclude.  ``stable_hash`` chains
+    splitmix64 over 8-byte little-endian chunks instead; ``str`` is encoded
+    as UTF-8, ``int`` is reduced to its 64-bit residue.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        value = int(value)
+    if isinstance(value, int):
+        return splitmix64(derive(seed, value & _MASK64, value < 0))
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+    elif isinstance(value, (bytes, bytearray)):
+        data = bytes(value)
+    else:
+        raise TypeError(
+            f"stable_hash accepts str, bytes or int, got {type(value).__name__}"
+        )
+    acc = splitmix64(seed ^ (len(data) + 0x9E3779B97F4A7C15))
+    for i in range(0, len(data), 8):
+        chunk = int.from_bytes(data[i : i + 8], "little")
+        acc = splitmix64(acc ^ chunk)
+    return acc

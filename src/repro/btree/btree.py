@@ -16,7 +16,7 @@ import math
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.core.interface import Dictionary, LookupResult
-from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.superblocks import SuperblockArray
 from repro.pdm.iostats import OpCost, measure
 from repro.pdm.machine import AbstractDiskMachine
 

@@ -160,7 +160,7 @@ class HeadModelDictionary(Dictionary):
     def stored_keys(self) -> Iterator[int]:
         seen = set()
         for y in range(self.graph.right_size):
-            payload = self.machine.block_at(self._addr(y)).payload
+            payload = self.machine.block_at(self._addr(y)).payload  # detlint: ignore[PDM102] -- audit iterator, uncharged by design
             if payload:
                 for (k2, _v) in payload:
                     if k2 not in seen:
@@ -170,7 +170,7 @@ class HeadModelDictionary(Dictionary):
     def current_max_load(self) -> int:
         worst = 0
         for y in range(self.graph.right_size):
-            payload = self.machine.block_at(self._addr(y)).payload
+            payload = self.machine.block_at(self._addr(y)).payload  # detlint: ignore[PDM102] -- audit read, uncharged by design
             if payload:
                 worst = max(worst, len(payload))
         return worst

@@ -3,7 +3,7 @@
 Given the quantities a user actually knows — universe size, expected keys,
 record size, block capacity — suggest a machine geometry and structure
 parameters, with the paper's predicted per-operation costs attached
-(:mod:`repro.analysis.bounds`).  The facade uses simpler defaults; this is
+(:mod:`repro.bounds`).  The facade uses simpler defaults; this is
 the "capacity planning" front door for users sizing a deployment.
 """
 
@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.analysis import bounds
+import repro.bounds as bounds
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
-from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.superblocks import SuperblockArray
 from repro.pdm.iostats import OpCost, measure
 from repro.pdm.machine import AbstractDiskMachine
 

@@ -338,7 +338,7 @@ class RecursiveLoadBalancedDictionary(Dictionary):
                         seen.add(k2)
                         yield k2
         for addr in self._brute_addrs:
-            payload = self.machine.block_at(addr).payload
+            payload = self.machine.block_at(addr).payload  # detlint: ignore[PDM102] -- audit iterator, uncharged by design
             if payload:
                 for (k2, _v) in payload:
                     if k2 not in seen:

@@ -86,7 +86,7 @@ def assign_unique_neighbors(
     while remaining and rounds < max_rounds:
         owner: Dict[int, Optional[int]] = {}
         for x in remaining:
-            for y in set(graph.neighbors(x)):
+            for y in dict.fromkeys(graph.neighbors(x)):
                 owner[y] = x if y not in owner else None
         assigned_now: List[int] = []
         still: List[int] = []

@@ -29,7 +29,7 @@ from repro.expanders.verify import (
     verify_expansion_exact,
     verify_expansion_sampled,
 )
-from repro.pdm.memory import InternalMemory
+from repro.pdm import InternalMemory
 
 
 class TabulatedExpander(Expander):

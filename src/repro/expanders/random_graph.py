@@ -25,17 +25,10 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.bits.mix import splitmix64
 from repro.expanders.base import Expander, StripedExpander
 
-_MASK = (1 << 64) - 1
-
-
-def splitmix64(z: int) -> int:
-    """One round of the splitmix64 output permutation (pure function)."""
-    z = (z + 0x9E3779B97F4A7C15) & _MASK
-    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
-    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
-    return z ^ (z >> 31)
+__all__ = ["SeededRandomExpander", "SeededFlatExpander", "splitmix64"]
 
 
 class SeededRandomExpander(StripedExpander):

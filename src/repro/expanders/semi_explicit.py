@@ -34,7 +34,7 @@ from repro.expanders.existence import expansion_failure_log2_prob
 from repro.expanders.random_graph import SeededFlatExpander
 from repro.expanders.telescope import TelescopeProduct
 from repro.expanders.verify import verify_expansion_sampled
-from repro.pdm.memory import InternalMemory
+from repro.pdm import InternalMemory
 
 
 def theorem9_advice_words(u: int, v: int, eps: float, *, c: float = 2.0) -> int:

@@ -44,7 +44,7 @@ def unique_neighbor_set(graph: Expander, S: Iterable[int]) -> Set[int]:
     """
     owner_count: Counter = Counter()
     for x in S:
-        for y in set(graph.neighbors(x)):
+        for y in dict.fromkeys(graph.neighbors(x)):
             owner_count[y] += 1
     return {y for y, c in owner_count.items() if c == 1}
 
@@ -64,7 +64,7 @@ def well_assignable_subset(
     threshold = (1 - lam) * graph.degree
     out = []
     for x in S:
-        count = sum(1 for y in set(graph.neighbors(x)) if y in phi)
+        count = sum(1 for y in dict.fromkeys(graph.neighbors(x)) if y in phi)
         if count >= threshold:
             out.append(x)
     return out

@@ -9,12 +9,19 @@ rule and reduced to the table range.
 
 Deterministic given its seed; its description (the ``k`` coefficients) is
 charged to internal memory by callers via :attr:`description_words`.
+
+Coefficients are derived from the seed with the repository's canonical
+:func:`~repro.bits.mix.splitmix64` mixer rather than ``random.Random``:
+the family is then a pure function of ``(seed, universe, range, k)`` with
+no dependence on any PRNG implementation, and ``detlint`` (rule DET001)
+can verify mechanically that no module-level RNG state is involved.
 """
 
 from __future__ import annotations
 
-import random
 from typing import List
+
+from repro.bits.mix import derive, splitmix64
 
 
 def _next_prime(n: int) -> int:
@@ -65,8 +72,14 @@ class PolynomialHashFamily:
         self.independence = independence
         self.seed = seed
         self.p = _next_prime(max(universe_size, range_size, 2))
-        rng = random.Random(seed)
-        coeffs: List[int] = [rng.randrange(self.p) for _ in range(independence)]
+        # 128 mixed bits per coefficient: the mod-p bias is ~p/2^128,
+        # irrelevant even for universe-sized primes.
+        base = derive(seed, universe_size, range_size, independence)
+        coeffs: List[int] = [
+            ((splitmix64(base + 2 * i) << 64) | splitmix64(base + 2 * i + 1))
+            % self.p
+            for i in range(independence)
+        ]
         if all(c == 0 for c in coeffs[1:]):
             coeffs[1] = 1  # keep the map non-constant
         self.coeffs = coeffs

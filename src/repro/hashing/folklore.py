@@ -22,7 +22,7 @@ from typing import Any, Optional
 from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.hashing.dgmp import DGMPDictionary
 from repro.hashing.families import PolynomialHashFamily
-from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.superblocks import SuperblockArray
 from repro.pdm.iostats import OpCost, measure
 from repro.pdm.machine import AbstractDiskMachine
 

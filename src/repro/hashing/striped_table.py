@@ -20,7 +20,7 @@ from typing import Any, Optional, Tuple
 
 from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.hashing.families import PolynomialHashFamily
-from repro.hashing.superblocks import SuperblockArray
+from repro.pdm.superblocks import SuperblockArray
 from repro.pdm.iostats import OpCost, measure
 from repro.pdm.machine import AbstractDiskMachine
 

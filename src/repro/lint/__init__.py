@@ -1,0 +1,57 @@
+"""``detlint`` — the determinism & PDM-discipline linter.
+
+The SPAA 2006 reproduction's value is a *deterministic* dictionary whose
+I/O counts are honest.  Both properties are invisible at runtime: an
+unseeded ``random`` call, a ``PYTHONHASHSEED``-salted ``hash()``, a
+set-order-dependent loop, or a block read that bypasses the I/O meter all
+pass the test suite while silently invalidating the claims.  ``detlint``
+checks the discipline statically, over the AST:
+
+========  =====================================================
+DET001    unseeded / process-global RNG use
+DET002    builtin ``hash()`` (salted per process on str/bytes)
+DET003    iteration over a set (hash-order dependent)
+DET004    wall-clock reads inside deterministic modules
+DET005    raw OS entropy (``urandom``, ``uuid4``, ``secrets``)
+PDM101    importing PDM simulator internals (``Disk``/``Block``)
+PDM102    uncharged physical block access (``block_at``/``.disks``)
+ARCH201   package-layering violations (core must not import the
+          randomized baselines; see ``[tool.detlint.layers]``)
+LINT001   file does not parse
+========  =====================================================
+
+Usage::
+
+    python -m repro.lint src tests benchmarks
+    python -m repro.lint --list-rules
+    python -m repro.lint --explain PDM102
+    python -m repro.lint --update-baseline
+
+Suppress a single line with ``# detlint: ignore[CODE] -- why``, a whole
+file with ``# detlint: skip-file``; grandfather existing findings in the
+baseline file (``.detlint-baseline.json``).  Configuration lives in
+``[tool.detlint]`` in pyproject.toml.
+
+The package is deliberately stdlib-only and imports nothing from the rest
+of ``repro``, so the linter can never be broken by the code it lints.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import Config, load_config
+from repro.lint.engine import Report, lint_source, run
+from repro.lint.finding import Finding
+from repro.lint.rules import Rule, all_rules, register, rule_by_code
+
+__all__ = [
+    "Baseline",
+    "Config",
+    "Finding",
+    "Report",
+    "Rule",
+    "all_rules",
+    "lint_source",
+    "load_config",
+    "register",
+    "rule_by_code",
+    "run",
+]

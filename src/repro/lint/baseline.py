@@ -1,0 +1,81 @@
+"""Grandfathered findings.
+
+A baseline lets the linter be introduced (or a rule tightened) without a
+flag day: existing findings are recorded as ``(file, rule) -> count`` and
+suppressed, while *new* findings — a higher count, a new file, a new rule —
+still fail.  Line numbers are deliberately not stored: they drift with
+every edit, and a per-(file, rule) count ratchets just as well.
+
+The file is JSON with sorted keys, so regeneration is deterministic and
+diffs are reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.finding import Finding
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path} (expected {FORMAT_VERSION})"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict) or not all(
+            isinstance(v, int) and v > 0 for v in entries.values()
+        ):
+            raise ValueError(f"malformed baseline entries in {path}")
+        return cls(entries=dict(entries))
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for f in findings:
+            entries[f.baseline_key] = entries.get(f.baseline_key, 0) + 1
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def apply(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], int, List[str]]:
+        """Split ``findings`` against the baseline.
+
+        Returns ``(kept, suppressed_count, stale_keys)``: per key the first
+        ``count`` findings (in location order) are suppressed; ``stale_keys``
+        are baseline entries whose budget was not fully used — the debt
+        shrank, and the baseline should be regenerated to ratchet down.
+        """
+        remaining = dict(self.entries)
+        kept: List[Finding] = []
+        suppressed = 0
+        for f in sorted(findings):
+            budget = remaining.get(f.baseline_key, 0)
+            if budget > 0:
+                remaining[f.baseline_key] = budget - 1
+                suppressed += 1
+            else:
+                kept.append(f)
+        stale = sorted(k for k, v in remaining.items() if v > 0)
+        return kept, suppressed, stale

@@ -1,0 +1,185 @@
+"""The ``detlint`` command line: ``python -m repro.lint [paths ...]``.
+
+Exit codes: 0 clean (after baseline + pragmas), 1 findings remain,
+2 usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint import engine
+from repro.lint.baseline import Baseline
+from repro.lint.config import Config, load_config
+from repro.lint.rules import all_rules, rule_by_code
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "detlint — determinism & PDM-discipline linter for the "
+            "SPAA 2006 reproduction"
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: [tool.detlint] paths)",
+    )
+    p.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root (default: nearest ancestor with pyproject.toml)",
+    )
+    p.add_argument("--select", help="comma-separated rule codes to run exclusively")
+    p.add_argument("--ignore", help="comma-separated rule codes to disable")
+    p.add_argument(
+        "--baseline", type=Path, default=None, help="override the baseline file"
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report grandfathered findings too",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list rule codes and exit"
+    )
+    p.add_argument(
+        "--explain", metavar="CODE", help="print one rule's rationale and exit"
+    )
+    return p
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = "everywhere" if rule.scope == "all" else "deterministic modules"
+        lines.append(f"{rule.code}  {rule.name:<24} [{scope}] {rule.summary}")
+    lines.append(
+        f"{engine.SYNTAX_ERROR_CODE}  {'syntax-error':<24} [everywhere] "
+        f"file does not parse"
+    )
+    return "\n".join(lines)
+
+
+def _explain(code: str) -> Optional[str]:
+    cls = rule_by_code(code)
+    if cls is None:
+        if code.upper() == engine.SYNTAX_ERROR_CODE:
+            return (
+                f"{engine.SYNTAX_ERROR_CODE} syntax-error: the file failed "
+                f"to parse; nothing else can be checked."
+            )
+        return None
+    return f"{cls.code} {cls.name}: {cls.summary}\n\n{cls.rationale}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.explain:
+        text = _explain(args.explain)
+        if text is None:
+            print(f"unknown rule code: {args.explain}", file=sys.stderr)
+            return 2
+        print(text)
+        return 0
+
+    try:
+        config: Config = load_config(args.root)
+    except ValueError as exc:
+        print(f"detlint: configuration error: {exc}", file=sys.stderr)
+        return 2
+    known = {r.code for r in all_rules()} | {engine.SYNTAX_ERROR_CODE}
+    if args.select:
+        config.select = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+    if args.ignore:
+        config.ignore |= {
+            c.strip().upper() for c in args.ignore.split(",") if c.strip()
+        }
+    unknown = ((config.select or set()) | config.ignore) - known
+    if unknown:
+        print(
+            f"detlint: unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        report = engine.run(config, args.paths or None)
+    except FileNotFoundError as exc:
+        print(f"detlint: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or config.baseline_path
+    if args.update_baseline:
+        if baseline_path is None:
+            print("detlint: no baseline path configured", file=sys.stderr)
+            return 2
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(
+            f"detlint: baseline updated with {len(report.findings)} "
+            f"finding(s) -> {baseline_path}"
+        )
+        return 0
+
+    suppressed = 0
+    stale: List[str] = []
+    findings = report.findings
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"detlint: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed, stale = baseline.apply(findings)
+
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_json() for f in findings],
+                    "files_checked": report.files_checked,
+                    "baseline_suppressed": suppressed,
+                    "pragma_suppressed": report.pragma_suppressed,
+                    "stale_baseline_keys": stale,
+                },
+                indent=2,
+            )
+        )
+        return 1 if findings else 0
+
+    for f in findings:
+        print(f.format())
+    tail = (
+        f"detlint: {len(findings)} finding(s) in {report.files_checked} "
+        f"file(s) ({suppressed} baselined, "
+        f"{report.pragma_suppressed} pragma-suppressed)"
+    )
+    print(tail)
+    if stale:
+        print(
+            f"detlint: note: {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} (debt shrank — run "
+            f"--update-baseline to ratchet): {', '.join(stale[:5])}"
+            + (" ..." if len(stale) > 5 else "")
+        )
+    return 1 if findings else 0

@@ -1,0 +1,133 @@
+"""The linting engine: walk files, parse, run rules, apply suppressions.
+
+Stdlib-only by design (``ast`` + ``tokenize``): the linter must never be
+broken by the code it polices, so ``repro.lint`` sits outside every other
+layer and imports nothing from them (ARCH201 applies to the linter too —
+its allowed dependency list is empty).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint import pragmas
+from repro.lint.config import Config
+from repro.lint.finding import Finding
+from repro.lint.rules import ModuleContext, Rule, all_rules
+
+#: engine-level pseudo-rule: the file could not be parsed at all
+SYNTAX_ERROR_CODE = "LINT001"
+
+
+@dataclass
+class Report:
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    pragma_suppressed: int = 0
+
+
+def collect_files(config: Config, paths: Sequence[str]) -> List[Path]:
+    """Resolve CLI path arguments to a sorted, deduplicated list of .py
+    files under the project root, honouring the exclude patterns."""
+    out = []
+    seen = set()
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            p = config.root / p
+        if p.is_file():
+            candidates: Iterable[Path] = [p]
+        elif p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for c in candidates:
+            if c.suffix != ".py":
+                continue
+            try:
+                rel = c.resolve().relative_to(config.root).as_posix()
+            except ValueError:
+                rel = c.as_posix()
+            if config.is_excluded(rel) or rel in seen:
+                continue
+            seen.add(rel)
+            out.append(c.resolve())
+    return sorted(out)
+
+
+def lint_source(
+    source: str,
+    *,
+    rel_path: str,
+    config: Config,
+    rules: Optional[Sequence[Rule]] = None,
+    path: Optional[Path] = None,
+) -> tuple[List[Finding], int]:
+    """Lint one in-memory source.  Returns (findings, pragma_suppressed)."""
+    sup = pragmas.scan(source)
+    if sup.skip_file:
+        return [], 0
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = getattr(exc, "offset", 0) or 0
+        return (
+            [
+                Finding(
+                    path=rel_path,
+                    line=line,
+                    col=col,
+                    code=SYNTAX_ERROR_CODE,
+                    message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                )
+            ],
+            0,
+        )
+    ctx = ModuleContext(
+        path=path or (config.root / rel_path),
+        rel_path=rel_path,
+        module=config.module_name(rel_path),
+        tree=tree,
+        source=source,
+        strict=config.is_strict(rel_path),
+        config=config,
+    )
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules if rules is not None else all_rules():
+        if not config.rule_enabled(rule.code) or not rule.applies(ctx):
+            continue
+        for f in rule.check(ctx):
+            if sup.is_suppressed(f.line, f.code):
+                suppressed += 1
+            else:
+                findings.append(f)
+    findings.sort()
+    return findings, suppressed
+
+
+def run(
+    config: Config,
+    paths: Optional[Sequence[str]] = None,
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Report:
+    """Lint ``paths`` (default: the configured ones).  Baseline application
+    is the caller's concern — this returns every live finding."""
+    report = Report()
+    files = collect_files(config, paths or config.paths)
+    for f in files:
+        rel = f.relative_to(config.root).as_posix() if f.is_relative_to(config.root) else f.as_posix()
+        source = f.read_text(encoding="utf-8")
+        findings, suppressed = lint_source(
+            source, rel_path=rel, config=config, rules=rules, path=f
+        )
+        report.findings.extend(findings)
+        report.pragma_suppressed += suppressed
+        report.files_checked += 1
+    report.findings.sort()
+    return report

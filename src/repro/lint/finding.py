@@ -1,0 +1,38 @@
+"""The unit of ``detlint`` output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Ordered by location so reports are stable regardless of rule execution
+    order — the linter's own output must be deterministic.
+    """
+
+    path: str  # POSIX-style path relative to the project root
+    line: int  # 1-based
+    col: int  # 0-based, as in the ast module
+    code: str  # e.g. "DET001"
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def baseline_key(self) -> str:
+        """Baseline bucket: line numbers drift, so grandfathered findings
+        are counted per ``(file, rule)``, not pinned to lines."""
+        return f"{self.path}::{self.code}"
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

@@ -1,0 +1,75 @@
+"""Suppression pragmas.
+
+Two forms, both as comments:
+
+* ``# detlint: ignore[CODE1,CODE2]`` — suppress those codes on this line;
+  ``# detlint: ignore`` with no bracket suppresses every code on the line.
+  Anything after ``--`` inside the comment is free-form justification.
+* ``# detlint: skip-file`` — anywhere in the file: skip the whole file.
+
+Comments are found with :mod:`tokenize`, so pragma-looking text inside
+string literals is never honoured (a plain regex over lines would be
+fooled by docstrings — including this one).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+_PRAGMA_RE = re.compile(
+    r"#\s*detlint:\s*(?P<kind>skip-file|ignore)"
+    r"(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed pragmas for one file."""
+
+    skip_file: bool = False
+    #: line -> frozenset of codes, or None meaning "all codes"
+    by_line: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        if self.skip_file:
+            return True
+        if line not in self.by_line:
+            return False
+        codes = self.by_line[line]
+        return codes is None or code in codes
+
+
+def scan(source: str) -> Suppressions:
+    """Collect pragmas from ``source``.  Tolerates tokenize errors (the
+    engine reports a syntax error separately via the LINT001 finding)."""
+    out = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _PRAGMA_RE.search(tok.string)
+        if m is None:
+            continue
+        if m.group("kind") == "skip-file":
+            out.skip_file = True
+            continue
+        raw = m.group("codes")
+        line = tok.start[0]
+        if raw is None:
+            out.by_line[line] = None  # bare ignore: all codes
+            continue
+        codes = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+        if not codes:
+            out.by_line[line] = None
+        elif line in out.by_line and out.by_line[line] is not None:
+            out.by_line[line] = out.by_line[line] | codes
+        elif line not in out.by_line:
+            out.by_line[line] = codes
+    return out

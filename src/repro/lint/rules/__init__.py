@@ -1,0 +1,20 @@
+"""Rule registry.  Importing this package registers every rule family."""
+
+from repro.lint.rules import arch, det, pdm  # noqa: F401  (registration side effect)
+from repro.lint.rules.base import (
+    ImportMap,
+    ModuleContext,
+    Rule,
+    all_rules,
+    register,
+    rule_by_code,
+)
+
+__all__ = [
+    "ImportMap",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "rule_by_code",
+]

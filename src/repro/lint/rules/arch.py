@@ -1,0 +1,89 @@
+"""ARCH rules: import layering.
+
+The determinism story has a dependency direction: the paper's
+deterministic structures (``repro.core``, ``repro.expanders``) must never
+import the *randomized* baselines (``repro.hashing``) or the workload
+generators — a stray import would let randomized machinery leak into the
+deterministic path, and historically did (the pointer store once pulled
+its storage layout out of ``repro.hashing``).  The allowed edges live in
+``[tool.detlint.layers]``; base packages (``arch-base``) are importable
+from anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.finding import Finding
+from repro.lint.rules.base import ModuleContext, Rule, register
+
+
+def _package_of(module: str) -> str:
+    """The layering unit: the first two dotted components."""
+    return ".".join(module.split(".")[:2])
+
+
+def _imported_modules(tree: ast.Module, current: Optional[str]) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level and current:
+                base = current.split(".")
+                # a module's level-1 relative import is its own package
+                base = base[: len(base) - node.level]
+                resolved = ".".join(base + ([node.module] if node.module else []))
+                if resolved:
+                    yield node, resolved
+            elif node.module:
+                yield node, node.module
+
+
+@register
+class LayeringRule(Rule):
+    code = "ARCH201"
+    name = "layering"
+    summary = "import violates the configured package layering"
+    rationale = (
+        "repro.core and repro.expanders are the deterministic contribution; "
+        "repro.hashing and repro.workloads are the randomized baselines and "
+        "drivers they are measured against.  An upward or cross import "
+        "(core -> hashing, core -> analysis, pdm -> anything) entangles the "
+        "layers, invites cycles, and lets randomized code into the "
+        "deterministic path.  Allowed edges are declared in "
+        "[tool.detlint.layers]."
+    )
+    scope = "strict"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module is None:
+            return
+        pkg = _package_of(ctx.module)
+        allowed: Optional[List[str]] = ctx.config.layers.get(pkg)
+        if allowed is None or "*" in allowed:
+            return
+        permitted = set(allowed) | set(ctx.config.arch_base) | {pkg}
+        for node, target in _imported_modules(ctx.tree, ctx.module):
+            if not (target == "repro" or target.startswith("repro.")):
+                continue
+            dep = _package_of(target)
+            if dep == "repro":
+                # "from repro import x" — the root façade re-imports heavy
+                # subpackages; inside the library that is a cycle risk.
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{pkg} imports the root repro façade; import the "
+                    f"specific submodule instead",
+                )
+                continue
+            if dep not in permitted:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{pkg} may not import {dep} "
+                    f"(allowed: {', '.join(sorted(permitted - {pkg})) or 'nothing'}); "
+                    f"see [tool.detlint.layers]",
+                )

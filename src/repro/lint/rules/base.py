@@ -1,0 +1,134 @@
+"""Rule plumbing: the base class, the registry, and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.config import Config
+from repro.lint.finding import Finding
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one file."""
+
+    path: Path  # absolute
+    rel_path: str  # POSIX, relative to project root
+    module: Optional[str]  # dotted name when under a src root, else None
+    tree: ast.Module
+    source: str
+    strict: bool  # inside the configured deterministic-module patterns
+    config: Config
+    _imports: "Optional[ImportMap]" = None
+
+    @property
+    def imports(self) -> "ImportMap":
+        if self._imports is None:
+            self._imports = ImportMap.collect(self.tree)
+        return self._imports
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """One checkable discipline.  Subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    rationale: str = ""
+    #: "strict" rules run only on deterministic modules; "all" rules run on
+    #: every linted file (tests and benchmarks included).
+    scope: str = "strict"
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.strict or self.scope == "all"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rule_by_code(code: str) -> Optional[Type[Rule]]:
+    return _REGISTRY.get(code.upper())
+
+
+# -- import resolution ------------------------------------------------------
+
+
+@dataclass
+class ImportMap:
+    """Module aliases and from-imports of one file, for resolving dotted
+    call chains like ``np.random.default_rng`` back to real module paths."""
+
+    #: local name -> dotted module ("np" -> "numpy")
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (source module, original name)
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, tree: ast.Module) -> "ImportMap":
+        out = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # "import a.b" binds "a"; "import a.b as c" binds a.b
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    out.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    out.from_imports[local] = (node.module, alias.name)
+        return out
+
+    def resolve_chain(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of an attribute chain with the root resolved through
+        the imports: ``np.random.rand`` -> ``numpy.random.rand``.  Returns
+        None for chains not rooted at a plain name."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root]] + parts[1:])
+        if root in self.from_imports:
+            mod, orig = self.from_imports[root]
+            return ".".join([mod, orig] + parts[1:])
+        return ".".join(parts)
+
+
+def call_args_count(node: ast.Call) -> int:
+    return len(node.args) + len(node.keywords)

@@ -1,0 +1,293 @@
+"""DET rules: sources of run-to-run nondeterminism.
+
+The reproduction's claim is that every structure is *deterministic* — the
+same inputs give the same layout, the same I/O trace, the same counts, in
+every process on every machine.  These rules mechanically exclude the ways
+Python lets entropy leak in.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.finding import Finding
+from repro.lint.rules.base import ModuleContext, Rule, call_args_count, register
+
+# Constructors that are fine *if* given an explicit seed argument.
+_RANDOM_FACTORIES = {"Random"}
+_NUMPY_FACTORIES = {
+    "default_rng",
+    "RandomState",
+    "Generator",
+    "SeedSequence",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+
+def _is_factory(fn: str, factories: Set[str]) -> bool:
+    return fn in factories
+
+
+@register
+class UnseededRandomRule(Rule):
+    code = "DET001"
+    name = "unseeded-global-rng"
+    summary = (
+        "call uses the process-global (or unseeded) RNG instead of an "
+        "explicitly seeded generator"
+    )
+    rationale = (
+        "Module-level random.* functions and unseeded generator "
+        "constructors draw from interpreter-global state seeded from OS "
+        "entropy, so layouts and traces differ between runs — invalidating "
+        "every determinism claim and every reported I/O count.  Construct "
+        "random.Random(seed) / numpy.random.default_rng(seed) and thread "
+        "the seed through explicitly."
+    )
+    scope = "all"  # unseeded randomness makes tests flaky too
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = ctx.imports.resolve_chain(node.func)
+            if chain is None:
+                continue
+            hit = self._classify(ctx, node, chain)
+            if hit is not None:
+                yield ctx.finding(node, self.code, hit)
+
+    def _classify(
+        self, ctx: ModuleContext, node: ast.Call, chain: str
+    ) -> Optional[str]:
+        nargs = call_args_count(node)
+        if chain.startswith("random."):
+            fn = chain[len("random.") :]
+            if "." in fn or fn == "SystemRandom":  # method call / DET005's job
+                return None
+            if _is_factory(fn, _RANDOM_FACTORIES):
+                if nargs == 0:
+                    return (
+                        f"random.{fn}() without a seed argument falls back "
+                        f"to OS entropy; pass an explicit seed"
+                    )
+                return None
+            return (
+                f"random.{fn}() uses the process-global RNG; construct "
+                f"random.Random(seed) and use it explicitly"
+            )
+        if chain.startswith("numpy.random."):
+            fn = chain[len("numpy.random.") :]
+            if "." in fn:
+                return None
+            if _is_factory(fn, _NUMPY_FACTORIES):
+                if nargs == 0:
+                    return (
+                        f"numpy.random.{fn}() without a seed argument falls "
+                        f"back to OS entropy; pass an explicit seed"
+                    )
+                return None
+            return (
+                f"numpy.random.{fn}() uses numpy's global RNG; construct "
+                f"numpy.random.default_rng(seed) and use it explicitly"
+            )
+        return None
+
+
+@register
+class BuiltinHashRule(Rule):
+    code = "DET002"
+    name = "builtin-hash"
+    summary = "builtin hash() is salted per process for str/bytes"
+    rationale = (
+        "CPython salts str/bytes hashing with PYTHONHASHSEED, so any table "
+        "layout, ordering or derived value involving builtin hash() "
+        "silently changes between processes.  Use "
+        "repro.bits.mix.stable_hash (or an explicit hash family) instead; "
+        "for provably int-only arguments, suppress with a pragma."
+    )
+    scope = "all"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if self._shadowed(ctx.tree):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "builtin hash() is salted per process on str/bytes; use "
+                    "repro.bits.mix.stable_hash or suppress if the argument "
+                    "is provably int-only",
+                )
+
+    @staticmethod
+    def _shadowed(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name == "hash":
+                    return True
+                args = node.args
+                names = [
+                    a.arg
+                    for a in (
+                        *args.posonlyargs,
+                        *args.args,
+                        *args.kwonlyargs,
+                    )
+                ]
+                if "hash" in names:
+                    return True
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id == "hash":
+                        return True
+        return False
+
+
+def _is_set_producing(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: flag only when a side is itself visibly a set
+        return _is_set_producing(node.left) or _is_set_producing(node.right)
+    return False
+
+
+@register
+class SetIterationOrderRule(Rule):
+    code = "DET003"
+    name = "set-iteration-order"
+    summary = "iteration over a set depends on hash order"
+    rationale = (
+        "Set iteration order follows element hashes — salted for strings, "
+        "and an implementation detail everywhere — so any sequence, file or "
+        "I/O schedule built by iterating a set can differ between runs.  "
+        "Wrap the set in sorted(...), or dedup with dict.fromkeys(...) "
+        "which preserves first-seen order."
+    )
+    scope = "strict"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in {"list", "tuple", "enumerate"}
+                and node.args
+            ):
+                iters.append(node.args[0])
+            for it in iters:
+                if _is_set_producing(it):
+                    yield ctx.finding(
+                        it,
+                        self.code,
+                        "iterating a set leaks hash order into the result; "
+                        "wrap in sorted(...) or dedup with dict.fromkeys(...)",
+                    )
+
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    code = "DET004"
+    name = "wall-clock"
+    summary = "deterministic module reads the wall clock"
+    rationale = (
+        "Timing belongs in benchmarks and the replay driver, not in the "
+        "data structures: a code path that branches on (or stores) the "
+        "clock is not a function of its inputs, and the PDM cost model "
+        "already provides the performance measure (parallel I/Os)."
+    )
+    scope = "strict"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = ctx.imports.resolve_chain(node.func)
+            if chain in _WALL_CLOCK:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{chain}() reads the wall clock inside a deterministic "
+                    f"module; measure time only in benchmarks, count "
+                    f"parallel I/Os here",
+                )
+
+
+_ENTROPY = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "random.SystemRandom",
+}
+
+
+@register
+class OsEntropyRule(Rule):
+    code = "DET005"
+    name = "os-entropy"
+    summary = "direct OS entropy source"
+    rationale = (
+        "os.urandom, uuid4, secrets.* and SystemRandom are nondeterministic "
+        "by construction — no seed can reproduce them.  Nothing in a "
+        "deterministic reproduction (tests included) should consume raw "
+        "entropy."
+    )
+    scope = "all"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = ctx.imports.resolve_chain(node.func)
+            if chain is None:
+                continue
+            if chain in _ENTROPY or chain.startswith("secrets."):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{chain}() draws raw OS entropy; no seed can reproduce "
+                    f"it — derive values from repro.bits.mix instead",
+                )

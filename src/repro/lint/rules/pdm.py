@@ -1,0 +1,131 @@
+"""PDM rules: every disk access must be charged.
+
+The repository's headline numbers are parallel I/O counts measured by
+:class:`repro.pdm.iostats.IOStats`.  They are only honest if *all* block
+traffic flows through the machine's ``read_blocks`` / ``write_blocks``
+(which charge the model's round cost) — code that touches ``Disk`` /
+``Block`` objects directly, or uses the uncharged ``block_at`` escape
+hatch, bypasses the meter.  Outside ``repro.pdm`` itself that is either a
+bug or an audit, and audits must say so with a pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.finding import Finding
+from repro.lint.rules.base import ModuleContext, Rule, register
+
+_INTERNAL_MODULES = {
+    "repro.pdm.block",
+    "repro.pdm.disk",
+    "repro.pdm.memory",
+}
+_INTERNAL_NAMES = {"Block", "Disk"}
+
+
+def _inside_pdm(ctx: ModuleContext) -> bool:
+    return ctx.module is not None and (
+        ctx.module == "repro.pdm" or ctx.module.startswith("repro.pdm.")
+    )
+
+
+@register
+class PdmInternalsImportRule(Rule):
+    code = "PDM101"
+    name = "pdm-internals-import"
+    summary = "imports PDM internals instead of the repro.pdm façade"
+    rationale = (
+        "Disk and Block are simulator internals: holding one lets code "
+        "move data without charging I/O.  Everything public — machines, "
+        "IOStats, InternalMemory, the striped layouts — is exported by the "
+        "repro.pdm package itself; import it from there so the boundary "
+        "stays visible and greppable."
+    )
+    scope = "strict"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _inside_pdm(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _INTERNAL_MODULES:
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"import of PDM internal module {alias.name}; "
+                            f"import the public name from repro.pdm instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.module in _INTERNAL_MODULES:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"import from PDM internal module {node.module}; "
+                        f"import the public name from repro.pdm instead",
+                    )
+                elif node.module == "repro.pdm" or node.module.startswith(
+                    "repro.pdm."
+                ):
+                    for alias in node.names:
+                        if alias.name in _INTERNAL_NAMES:
+                            yield ctx.finding(
+                                node,
+                                self.code,
+                                f"import of simulator internal "
+                                f"{alias.name!r} outside repro.pdm; all "
+                                f"I/O must flow through the machine "
+                                f"read/write APIs",
+                            )
+
+
+@register
+class UnchargedIoRule(Rule):
+    code = "PDM102"
+    name = "uncharged-io"
+    summary = "uncharged physical block access outside repro.pdm"
+    rationale = (
+        "machine.block_at(...) and machine.disks[...] read blocks without "
+        "charging parallel I/Os, so any algorithmic use silently deflates "
+        "the measured costs the repository reports.  Route data movement "
+        "through read_blocks/write_blocks; genuine audits (space checks, "
+        "stored_keys iterators) must carry a "
+        "'# detlint: ignore[PDM102]' pragma with a justification."
+    )
+    scope = "strict"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if _inside_pdm(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            hit = None
+            if isinstance(node, ast.Attribute) and node.attr == "block_at":
+                hit = (node, "block_at() bypasses I/O accounting")
+            elif isinstance(node, ast.Subscript) and self._is_disks(node.value):
+                # machine.disks[i] — reaching for a Disk object directly
+                hit = (node, "indexing .disks bypasses I/O accounting")
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and self._is_disks(
+                node.iter
+            ):
+                hit = (node.iter, "iterating .disks bypasses I/O accounting")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if self._is_disks(gen.iter):
+                        hit = (gen.iter, "iterating .disks bypasses I/O accounting")
+                        break
+            if hit is not None:
+                where, kind = hit
+                yield ctx.finding(
+                    where,
+                    self.code,
+                    f"{kind}; use read_blocks/write_blocks, or pragma an "
+                    f"audit with a justification",
+                )
+
+    @staticmethod
+    def _is_disks(node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "disks"

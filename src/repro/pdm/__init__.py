@@ -27,6 +27,9 @@ This package provides:
   *fields* laid out in ``d`` stripes, one stripe per disk, so that reading
   one field per stripe is a single parallel I/O.  This is the storage layout
   beneath every dictionary in Section 4.
+* :class:`~repro.pdm.superblocks.SuperblockArray` — the disks "considered
+  as a single disk with block size BD" (Section 1.1): the layout beneath
+  the hashing baselines, the pointer store and the B-tree.
 """
 
 from repro.pdm.block import Block, BlockOverflowError
@@ -39,6 +42,7 @@ from repro.pdm.machine import (
 )
 from repro.pdm.memory import InternalMemory, InternalMemoryExceeded
 from repro.pdm.striping import StripedFieldArray, StripedItemBuckets
+from repro.pdm.superblocks import SuperblockArray
 
 __all__ = [
     "Block",
@@ -54,4 +58,5 @@ __all__ = [
     "InternalMemoryExceeded",
     "StripedFieldArray",
     "StripedItemBuckets",
+    "SuperblockArray",
 ]

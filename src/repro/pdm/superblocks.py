@@ -1,0 +1,117 @@
+"""Striped superblocks: the disks "considered as a single disk with block
+size BD" (Section 1.1).
+
+A :class:`SuperblockArray` is a logical array whose entry ``j`` spans one
+block at the same index on each disk of a group — reading or writing one
+superblock is exactly one parallel I/O and moves up to ``width * B`` items.
+This is the storage layout beneath every hashing baseline and beneath the
+pointer-indirected payload store; it is pure PDM layout (no hashing
+involved), which is why it lives here rather than in ``repro.hashing``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.pdm.machine import AbstractDiskMachine
+
+
+class SuperblockArray:
+    """``num_superblocks`` superblocks of ``width * B`` items each."""
+
+    def __init__(
+        self,
+        machine: AbstractDiskMachine,
+        *,
+        num_superblocks: int,
+        disk_offset: int = 0,
+        width: Optional[int] = None,
+        item_bits: Optional[int] = None,
+    ):
+        if num_superblocks <= 0:
+            raise ValueError(
+                f"need at least one superblock, got {num_superblocks}"
+            )
+        if width is None:
+            width = machine.num_disks - disk_offset
+        if width <= 0 or disk_offset + width > machine.num_disks:
+            raise ValueError(
+                f"disk group [{disk_offset}, {disk_offset + width}) invalid "
+                f"for a machine with {machine.num_disks} disks"
+            )
+        self.machine = machine
+        self.num_superblocks = num_superblocks
+        self.disk_offset = disk_offset
+        self.width = width
+        self.item_bits = machine.item_bits if item_bits is None else item_bits
+        self.items_per_block = machine.block_bits // self.item_bits
+        if self.items_per_block <= 0:
+            raise ValueError("an item does not fit in a block")
+        self.capacity_items = self.width * self.items_per_block
+        self._base = [
+            machine.allocate(disk_offset + t, num_superblocks)
+            for t in range(width)
+        ]
+
+    def _addrs(self, j: int) -> List[tuple]:
+        if not 0 <= j < self.num_superblocks:
+            raise IndexError(
+                f"superblock {j} out of range [0, {self.num_superblocks})"
+            )
+        return [
+            (self.disk_offset + t, self._base[t] + j) for t in range(self.width)
+        ]
+
+    def read(self, js: Iterable[int]) -> Dict[int, List[Any]]:
+        """Fetch superblocks; distinct ``j`` values on the same group cost
+        one round each (they collide on every disk)."""
+        js = list(dict.fromkeys(js))
+        all_addrs = []
+        for j in js:
+            all_addrs.extend(self._addrs(j))
+        blocks = self.machine.read_blocks(all_addrs)
+        out: Dict[int, List[Any]] = {}
+        for j in js:
+            items: List[Any] = []
+            for addr in self._addrs(j):
+                payload = blocks[addr].payload
+                if payload:
+                    items.extend(payload)
+            out[j] = items
+        return out
+
+    def write(self, assignments: Dict[int, Sequence[Any]]) -> None:
+        """Replace superblock contents (split round-robin over the group)."""
+        writes = []
+        for j, items in assignments.items():
+            items = list(items)
+            if len(items) > self.capacity_items:
+                raise OverflowError(
+                    f"superblock {j} would hold {len(items)} items; capacity "
+                    f"is {self.capacity_items}"
+                )
+            addrs = self._addrs(j)
+            for t, addr in enumerate(addrs):
+                part = items[
+                    t * self.items_per_block : (t + 1) * self.items_per_block
+                ]
+                writes.append((addr, part, len(part) * self.item_bits))
+        self.machine.write_blocks(writes)
+
+    def peek(self, j: int) -> List[Any]:
+        """Audit read without I/O charge."""
+        items: List[Any] = []
+        for addr in self._addrs(j):
+            payload = self.machine.block_at(addr).payload
+            if payload:
+                items.extend(payload)
+        return items
+
+    def occupancy(self) -> Dict[int, int]:
+        """Audit: items per non-empty superblock."""
+        out = {}
+        for j in range(self.num_superblocks):
+            n = len(self.peek(j))
+            if n:
+                out[j] = n
+        return out

@@ -207,9 +207,9 @@ class TestDeterminism:
         assert run() == run()
 
     def test_no_global_random_state_dependence(self):
-        random.seed(999)  # pollute global state
+        random.seed(999)  # detlint: ignore[DET001] -- deliberate pollution of global state
         a = self._trace()
-        random.seed(123)
+        random.seed(123)  # detlint: ignore[DET001] -- deliberate pollution of global state
         b = self._trace()
         assert a == b
 

@@ -1,0 +1,42 @@
+"""Shared fixtures for the detlint tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import Config
+from repro.lint.engine import lint_source
+
+
+@pytest.fixture
+def strict_config(tmp_path) -> Config:
+    """A config where everything under ``src/repro`` is deterministic,
+    mirroring the shipped layout."""
+    return Config(root=tmp_path)
+
+
+@pytest.fixture
+def check(strict_config):
+    """check(source, rel_path=...) -> list of 'CODE:line' strings."""
+
+    def _check(source, rel_path="src/repro/core/mod.py", select=None):
+        cfg = strict_config
+        if select is not None:
+            cfg.select = set(select)
+        findings, _ = lint_source(source, rel_path=rel_path, config=cfg)
+        return [f"{f.code}:{f.line}" for f in findings]
+
+    return _check
+
+
+@pytest.fixture
+def codes(check):
+    """Like ``check`` but just the set of codes."""
+
+    def _codes(source, **kw):
+        return {entry.split(":")[0] for entry in check(source, **kw)}
+
+    return _codes
+
+
+PROJECT_ROOT = Path(__file__).resolve().parents[2]

@@ -1,0 +1,152 @@
+"""End-to-end CLI behaviour and the repository self-check.
+
+The self-check is the linter's reason to exist: ``src/repro`` must lint
+clean with the shipped configuration and baseline, and a deliberately
+seeded violation must fail with the right code and location.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import engine, load_config
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+
+PROJECT_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(args, cwd):
+    env = dict(os.environ)
+    src = str(PROJECT_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def make_project(tmp_path, bad_source):
+    """A miniature project mirroring the real layout."""
+    (tmp_path / "pyproject.toml").write_text(
+        textwrap.dedent("""\
+            [tool.detlint]
+            paths = ["src"]
+            src-roots = ["src"]
+            strict = ["src/repro/**"]
+            baseline = ".detlint-baseline.json"
+            arch-base = ["repro.bits"]
+
+            [tool.detlint.layers]
+            "repro.core" = ["repro.pdm"]
+            """)
+    )
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(bad_source)
+    return tmp_path
+
+
+class TestCliOnSeededViolation:
+    BAD = "import random\n\n\ndef draw():\n    return random.random()\n"
+
+    def test_nonzero_exit_with_code_and_location(self, tmp_path):
+        proj = make_project(tmp_path, self.BAD)
+        res = run_cli(["src"], cwd=proj)
+        assert res.returncode == 1, res.stderr
+        assert "src/repro/core/bad.py:5:11: DET001" in res.stdout
+
+    def test_json_format(self, tmp_path):
+        proj = make_project(tmp_path, self.BAD)
+        res = run_cli(["src", "--format", "json"], cwd=proj)
+        assert res.returncode == 1
+        payload = json.loads(res.stdout)
+        [finding] = payload["findings"]
+        assert finding["code"] == "DET001"
+        assert finding["path"] == "src/repro/core/bad.py"
+        assert finding["line"] == 5
+
+    def test_baseline_grandfathers_then_ratchets(self, tmp_path):
+        proj = make_project(tmp_path, self.BAD)
+        assert run_cli(["src", "--update-baseline"], cwd=proj).returncode == 0
+        assert run_cli(["src"], cwd=proj).returncode == 0
+        bad = proj / "src" / "repro" / "core" / "bad.py"
+        bad.write_text(self.BAD + "\n\ndef more():\n    return random.random()\n")
+        res = run_cli(["src"], cwd=proj)
+        assert res.returncode == 1
+        assert res.stdout.count("DET001") == 1  # only the new finding
+
+    def test_pragma_clears_the_run(self, tmp_path):
+        proj = make_project(
+            tmp_path,
+            "import random\n"
+            "x = random.random()  # detlint: ignore[DET001] -- fixture\n",
+        )
+        res = run_cli(["src"], cwd=proj)
+        assert res.returncode == 0, res.stdout + res.stderr
+
+    def test_list_rules_and_explain(self, tmp_path):
+        proj = make_project(tmp_path, "x = 1\n")
+        listing = run_cli(["--list-rules"], cwd=proj)
+        assert listing.returncode == 0
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                     "PDM101", "PDM102", "ARCH201", "LINT001"):
+            assert code in listing.stdout
+        explain = run_cli(["--explain", "PDM102"], cwd=proj)
+        assert explain.returncode == 0
+        assert "I/O" in explain.stdout
+        assert run_cli(["--explain", "NOPE99"], cwd=proj).returncode == 2
+
+    def test_unknown_path_is_usage_error(self, tmp_path):
+        proj = make_project(tmp_path, "x = 1\n")
+        assert run_cli(["no/such/dir"], cwd=proj).returncode == 2
+
+
+class TestSelfCheck:
+    """detlint on this repository itself, with the shipped config."""
+
+    def test_src_lints_clean_with_shipped_baseline(self):
+        config = load_config(PROJECT_ROOT)
+        report = engine.run(config, ["src", "tests", "benchmarks"])
+        baseline = Baseline.load(config.baseline_path)
+        kept, _suppressed, _stale = baseline.apply(report.findings)
+        assert kept == [], "\n".join(f.format() for f in kept)
+
+    def test_in_process_main_matches(self, capsys, monkeypatch):
+        monkeypatch.chdir(PROJECT_ROOT)
+        rc = main(["src", "tests", "benchmarks"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+
+    def test_seeded_violation_in_core_is_caught_in_process(self):
+        """The acceptance scenario, without touching the working tree:
+        lint a doctored copy of a real core module."""
+        config = load_config(PROJECT_ROOT)
+        source = (PROJECT_ROOT / "src/repro/core/basic_dict.py").read_text()
+        doctored = source + "\nimport random\n_JITTER = random.random()\n"
+        lines = doctored.count("\n")
+        findings, _ = engine.lint_source(
+            doctored,
+            rel_path="src/repro/core/basic_dict.py",
+            config=config,
+        )
+        assert [f.code for f in findings] == ["DET001"]
+        assert findings[0].line == lines  # the appended call site
+
+    def test_linter_output_is_deterministic(self):
+        config = load_config(PROJECT_ROOT)
+        a = engine.run(config, ["src"])
+        b = engine.run(config, ["src"])
+        assert [f.format() for f in a.findings] == [
+            f.format() for f in b.findings
+        ]
+        assert a.files_checked == b.files_checked

@@ -1,0 +1,142 @@
+"""Pragma suppression, baseline round-trip, and config behaviour."""
+
+import textwrap
+
+from repro.lint import pragmas
+from repro.lint.baseline import Baseline
+from repro.lint.config import Config, match_path
+from repro.lint.engine import lint_source
+from repro.lint.finding import Finding
+
+
+def s(code: str) -> str:
+    return textwrap.dedent(code)
+
+
+class TestPragmas:
+    def test_same_line_code_suppression(self, check):
+        src = s("""\
+            import random
+            x = random.random()  # detlint: ignore[DET001] -- fixture
+            y = random.random()
+            """)
+        assert check(src) == ["DET001:3"]
+
+    def test_bare_ignore_suppresses_everything(self, check):
+        src = 'h = hash("k")  # detlint: ignore\n'
+        assert check(src) == []
+
+    def test_wrong_code_does_not_suppress(self, check):
+        src = 'h = hash("k")  # detlint: ignore[DET001]\n'
+        assert check(src) == ["DET002:1"]
+
+    def test_multiple_codes(self, check):
+        src = s("""\
+            import random
+            h = hash(str(random.random()))  # detlint: ignore[DET001, DET002]
+            """)
+        assert check(src) == []
+
+    def test_skip_file(self, check):
+        src = s("""\
+            # detlint: skip-file
+            import random
+            x = random.random()
+            """)
+        assert check(src) == []
+
+    def test_pragma_inside_string_is_ignored(self, check):
+        src = s("""\
+            DOC = "use # detlint: ignore[DET002] to suppress"
+            h = hash(DOC)
+            """)
+        assert check(src) == ["DET002:2"]
+
+    def test_scan_reports_lines(self):
+        sup = pragmas.scan("x = 1  # detlint: ignore[DET001]\n")
+        assert sup.is_suppressed(1, "DET001")
+        assert not sup.is_suppressed(1, "DET002")
+        assert not sup.is_suppressed(2, "DET001")
+
+    def test_suppressed_count_reported(self, strict_config):
+        src = "x = hash('k')  # detlint: ignore[DET002]\n"
+        findings, suppressed = lint_source(
+            src, rel_path="src/repro/core/m.py", config=strict_config
+        )
+        assert findings == [] and suppressed == 1
+
+
+def _f(path, line, code):
+    return Finding(path=path, line=line, col=0, code=code, message="m")
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [
+            _f("src/a.py", 3, "DET001"),
+            _f("src/a.py", 9, "DET001"),
+            _f("src/b.py", 1, "PDM102"),
+        ]
+        b = Baseline.from_findings(findings)
+        path = tmp_path / "baseline.json"
+        b.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == {
+            "src/a.py::DET001": 2,
+            "src/b.py::PDM102": 1,
+        }
+        kept, suppressed, stale = loaded.apply(findings)
+        assert kept == [] and suppressed == 3 and stale == []
+
+    def test_new_findings_surface(self, tmp_path):
+        old = [_f("src/a.py", 3, "DET001")]
+        b = Baseline.from_findings(old)
+        new = old + [_f("src/a.py", 10, "DET001"), _f("src/c.py", 2, "DET002")]
+        kept, suppressed, stale = b.apply(new)
+        assert suppressed == 1
+        assert {(f.path, f.code) for f in kept} == {
+            ("src/a.py", "DET001"),
+            ("src/c.py", "DET002"),
+        }
+
+    def test_stale_entries_reported(self):
+        b = Baseline(entries={"src/gone.py::DET001": 2})
+        kept, suppressed, stale = b.apply([])
+        assert kept == [] and suppressed == 0
+        assert stale == ["src/gone.py::DET001"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == {}
+
+    def test_deterministic_serialisation(self, tmp_path):
+        findings = [_f("b.py", 1, "X001"), _f("a.py", 1, "X001")]
+        p1, p2 = tmp_path / "1.json", tmp_path / "2.json"
+        Baseline.from_findings(findings).save(p1)
+        Baseline.from_findings(list(reversed(findings))).save(p2)
+        assert p1.read_text() == p2.read_text()
+
+
+class TestConfig:
+    def test_match_path_subtree(self):
+        assert match_path("src/repro/core/x.py", "src/repro/**")
+        assert not match_path("tests/core/x.py", "src/repro/**")
+
+    def test_module_name_derivation(self, tmp_path):
+        cfg = Config(root=tmp_path)
+        assert cfg.module_name("src/repro/pdm/disk.py") == "repro.pdm.disk"
+        assert cfg.module_name("src/repro/core/__init__.py") == "repro.core"
+        assert cfg.module_name("tests/core/test_x.py") is None
+
+    def test_strict_classification(self, tmp_path):
+        cfg = Config(root=tmp_path)
+        assert cfg.is_strict("src/repro/core/basic_dict.py")
+        assert not cfg.is_strict("benchmarks/bench_scaling.py")
+
+    def test_select_and_ignore(self, tmp_path):
+        cfg = Config(root=tmp_path)
+        cfg.ignore = {"DET002"}
+        assert not cfg.rule_enabled("DET002")
+        assert cfg.rule_enabled("DET001")
+        cfg.select = {"PDM102"}
+        assert cfg.rule_enabled("PDM102")
+        assert not cfg.rule_enabled("DET001")

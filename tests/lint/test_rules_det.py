@@ -1,0 +1,165 @@
+"""Fixture snippets for the DET rule family: positives and negatives."""
+
+import textwrap
+
+
+def s(code: str) -> str:
+    return textwrap.dedent(code)
+
+
+class TestDET001UnseededRandom:
+    def test_module_level_random_call(self, check):
+        out = check(s("""\
+            import random
+            x = random.random()
+            """))
+        assert out == ["DET001:2"]
+
+    def test_module_level_randrange_and_shuffle(self, codes):
+        assert codes(s("""\
+            import random
+            random.shuffle([1, 2])
+            y = random.randrange(7)
+            """)) == {"DET001"}
+
+    def test_seeded_random_instance_is_clean(self, check):
+        assert check(s("""\
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            """)) == []
+
+    def test_unseeded_random_constructor(self, check):
+        out = check(s("""\
+            import random
+            rng = random.Random()
+            """))
+        assert out == ["DET001:2"]
+
+    def test_from_import_is_resolved(self, check):
+        out = check(s("""\
+            from random import randrange
+            x = randrange(10)
+            """))
+        assert out == ["DET001:2"]
+
+    def test_numpy_global_rng(self, check):
+        out = check(s("""\
+            import numpy as np
+            x = np.random.rand(3)
+            """))
+        assert out == ["DET001:2"]
+
+    def test_numpy_default_rng_needs_seed(self, check):
+        assert check(s("""\
+            import numpy as np
+            rng = np.random.default_rng()
+            """)) == ["DET001:2"]
+        assert check(s("""\
+            import numpy as np
+            rng = np.random.default_rng(7)
+            """)) == []
+
+    def test_applies_outside_strict_modules_too(self, check):
+        out = check(
+            "import random\nx = random.random()\n",
+            rel_path="tests/test_whatever.py",
+        )
+        assert out == ["DET001:2"]
+
+
+class TestDET002BuiltinHash:
+    def test_hash_call_flagged(self, check):
+        assert check('h = hash("key")\n') == ["DET002:1"]
+
+    def test_method_hash_not_flagged(self, check):
+        assert check(s("""\
+            class T:
+                def go(self, key):
+                    return self.hash(key)
+            """)) == []
+
+    def test_shadowed_hash_not_flagged(self, check):
+        assert check(s("""\
+            def hash(x):
+                return x
+            h = hash(3)
+            """)) == []
+
+
+class TestDET003SetIteration:
+    def test_for_over_set_call(self, check):
+        assert check(s("""\
+            def f(xs):
+                for x in set(xs):
+                    print(x)
+            """)) == ["DET003:2"]
+
+    def test_comprehension_over_set_literal(self, check):
+        assert check("ys = [x for x in {1, 2, 3}]\n") == ["DET003:1"]
+
+    def test_list_of_set(self, check):
+        assert check("ys = list(set([3, 1]))\n") == ["DET003:1"]
+
+    def test_sorted_wrapper_is_clean(self, check):
+        assert check(s("""\
+            def f(xs):
+                for x in sorted(set(xs)):
+                    print(x)
+            """)) == []
+
+    def test_dict_fromkeys_is_clean(self, check):
+        assert check(s("""\
+            def f(xs):
+                for x in dict.fromkeys(xs):
+                    print(x)
+            """)) == []
+
+    def test_relaxed_modules_exempt(self, check):
+        src = "for x in set([1]):\n    pass\n"
+        assert check(src, rel_path="benchmarks/bench_x.py") == []
+
+
+class TestDET004WallClock:
+    def test_time_calls_flagged(self, codes):
+        assert codes(s("""\
+            import time
+            t0 = time.perf_counter()
+            t1 = time.time()
+            """)) == {"DET004"}
+
+    def test_datetime_now_flagged(self, check):
+        assert check(s("""\
+            import datetime
+            t = datetime.datetime.now()
+            """)) == ["DET004:2"]
+
+    def test_from_import_resolved(self, check):
+        assert check(s("""\
+            from time import perf_counter
+            t = perf_counter()
+            """)) == ["DET004:2"]
+
+    def test_benchmarks_may_time(self, check):
+        src = "import time\nt = time.perf_counter()\n"
+        assert check(src, rel_path="benchmarks/bench_x.py") == []
+
+
+class TestDET005OsEntropy:
+    def test_urandom_uuid4_secrets(self, codes):
+        assert codes(s("""\
+            import os, uuid, secrets
+            a = os.urandom(8)
+            b = uuid.uuid4()
+            c = secrets.token_bytes(8)
+            """)) == {"DET005"}
+
+    def test_system_random_flagged(self, check):
+        assert check(s("""\
+            import random
+            r = random.SystemRandom()
+            """)) == ["DET005:2"]
+
+    def test_applies_in_tests_too(self, check):
+        out = check("import os\nx = os.urandom(4)\n", rel_path="tests/t.py")
+        assert out == ["DET005:2"]

@@ -1,0 +1,150 @@
+"""Fixture snippets for the PDM and ARCH rule families."""
+
+import textwrap
+
+
+def s(code: str) -> str:
+    return textwrap.dedent(code)
+
+
+class TestPDM101InternalsImport:
+    def test_import_internal_module(self, check):
+        assert check("from repro.pdm.disk import Disk\n") == ["PDM101:1"]
+        assert check("import repro.pdm.block\n") == ["PDM101:1"]
+
+    def test_import_internal_name_from_facade(self, check):
+        assert check("from repro.pdm import Block\n") == ["PDM101:1"]
+
+    def test_facade_public_names_clean(self, check):
+        assert check(s("""\
+            from repro.pdm import InternalMemory, ParallelDiskMachine, measure
+            """)) == []
+
+    def test_memory_submodule_flagged(self, check):
+        assert check("from repro.pdm.memory import InternalMemory\n") == [
+            "PDM101:1"
+        ]
+
+    def test_pdm_itself_exempt(self, check):
+        src = "from repro.pdm.block import Block\n"
+        assert check(src, rel_path="src/repro/pdm/machine.py") == []
+
+
+class TestPDM102UnchargedIo:
+    def test_block_at_flagged(self, check):
+        assert check(s("""\
+            def peek(machine, addr):
+                return machine.block_at(addr).payload
+            """)) == ["PDM102:2"]
+
+    def test_disks_subscript_flagged(self, check):
+        assert check(s("""\
+            def grab(machine):
+                return machine.disks[0]
+            """)) == ["PDM102:2"]
+
+    def test_disks_iteration_flagged(self, check):
+        assert check(s("""\
+            def total(machine):
+                return sum(d.used_bits for d in machine.disks)
+            """)) == ["PDM102:2"]
+
+    def test_int_field_named_disks_clean(self, check):
+        assert check(s("""\
+            class Suggestion:
+                disks: int
+                def show(self):
+                    return f"D={self.disks}"
+            """)) == []
+
+    def test_charged_api_clean(self, check):
+        assert check(s("""\
+            def move(machine, addr):
+                blk = machine.read_blocks([addr])[addr]
+                machine.write_blocks([(addr, blk.payload, 8)])
+            """)) == []
+
+    def test_pdm_itself_exempt(self, check):
+        src = "def f(m):\n    return m.block_at((0, 0))\n"
+        assert check(src, rel_path="src/repro/pdm/striping.py") == []
+
+
+class TestARCH201Layering:
+    def test_core_may_not_import_hashing(self, check):
+        out = check(
+            "from repro.hashing.families import PolynomialHashFamily\n",
+            rel_path="src/repro/core/dict.py",
+        )
+        assert out == ["ARCH201:1"]
+
+    def test_core_may_not_import_workloads(self, check):
+        out = check(
+            "from repro.workloads.keys import uniform_keys\n",
+            rel_path="src/repro/core/dict.py",
+        )
+        assert out == ["ARCH201:1"]
+
+    def test_core_may_not_import_analysis(self, check):
+        out = check(
+            "import repro.analysis.reporting\n",
+            rel_path="src/repro/core/params.py",
+        )
+        assert out == ["ARCH201:1"]
+
+    def test_core_allowed_deps_clean(self, check):
+        assert check(
+            s("""\
+                import repro.bounds as bounds
+                from repro.bits.mix import splitmix64
+                from repro.expanders.base import Expander
+                from repro.extsort.mergesort import external_merge_sort
+                from repro.pdm import ParallelDiskMachine
+                """),
+            rel_path="src/repro/core/dict.py",
+        ) == []
+
+    def test_pdm_is_a_leaf(self, check):
+        out = check(
+            "from repro.expanders.base import Expander\n",
+            rel_path="src/repro/pdm/machine.py",
+        )
+        assert out == ["ARCH201:1"]
+
+    def test_hashing_may_use_core_interface(self, check):
+        assert check(
+            "from repro.core.interface import Dictionary\n",
+            rel_path="src/repro/hashing/cuckoo.py",
+        ) == []
+
+    def test_analysis_unconstrained(self, check):
+        assert check(
+            "from repro.hashing import CuckooDictionary\n",
+            rel_path="src/repro/analysis/figure1.py",
+        ) == []
+
+    def test_root_facade_import_flagged(self, check):
+        out = check(
+            "from repro import Dictionary\n",
+            rel_path="src/repro/core/dict.py",
+        )
+        assert out == ["ARCH201:1"]
+
+    def test_lint_is_stdlib_only(self, check):
+        out = check(
+            "from repro.pdm import IOStats\n",
+            rel_path="src/repro/lint/engine.py",
+        )
+        # ARCH201 for the layer break; PDM101 does not apply (facade import)
+        assert out == ["ARCH201:1"]
+
+    def test_files_without_module_name_exempt(self, check):
+        assert check(
+            "from repro.hashing import CuckooDictionary\n",
+            rel_path="tests/core/test_x.py",
+        ) == []
+
+
+class TestLINT001SyntaxError:
+    def test_unparseable_file(self, check):
+        out = check("def broken(:\n    pass\n")
+        assert out and out[0].startswith("LINT001:")
