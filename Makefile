@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint baseline bench examples figure1 profile clean
+.PHONY: install test lint baseline bench bench-report examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,15 @@ baseline:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Instrumented smoke run: spans + metrics + theorem-bound monitors over both
+# dictionaries, written as a machine-readable report (and a Perfetto trace).
+bench-report:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m repro.obs --structure both \
+		--operations 512 --capacity 512 --quiet \
+		--json benchmarks/results/BENCH_smoke.json \
+		--chrome-trace benchmarks/results/BENCH_smoke_trace.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

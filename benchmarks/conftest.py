@@ -14,6 +14,8 @@ import pathlib
 
 import pytest
 
+from repro.obs.export import write_table_artifact
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -25,11 +27,11 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def save_table(results_dir):
-    """Write a rendered table under benchmarks/results/<name>.txt."""
+    """Write a rendered table under benchmarks/results/<name>.txt (plus a
+    machine-readable .json sidecar via repro.obs.export)."""
 
     def _save(name: str, text: str) -> None:
-        path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        write_table_artifact(results_dir, name, text)
         # Also echo to the captured stdout for `pytest -s` users.
         print(f"\n[{name}]\n{text}")
 

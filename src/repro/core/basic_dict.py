@@ -30,8 +30,9 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.expanders.base import StripedExpander
 from repro.expanders.random_graph import SeededRandomExpander
-from repro.pdm.iostats import OpCost, measure
+from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
+from repro.pdm.spans import span
 from repro.pdm.striping import StripedItemBuckets
 
 
@@ -157,7 +158,13 @@ class BasicDictionary(Dictionary):
 
     def lookup(self, key: int) -> LookupResult:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "basic_dict.lookup",
+            op="lookup",
+            structure="basic_dict",
+            blocks_per_bucket=self.buckets.blocks_per_bucket,
+        ) as m:
             locs = self.graph.striped_neighbors(key)
             contents = self.buckets.read_buckets(locs)
             fragments: List[Tuple[int, Any]] = []
@@ -165,6 +172,8 @@ class BasicDictionary(Dictionary):
                 for (k2, t, frag) in contents[loc]:
                     if k2 == key:
                         fragments.append((t, frag))
+            if m.span is not None:
+                m.annotate(found=bool(fragments))
         if not fragments:
             return LookupResult(False, None, m.cost)
         fragments.sort()
@@ -185,12 +194,21 @@ class BasicDictionary(Dictionary):
         keys = list(keys)
         for key in keys:
             self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "basic_dict.lookup_batch",
+            op="lookup_batch",
+            structure="basic_dict",
+            blocks_per_bucket=self.buckets.blocks_per_bucket,
+            batch_size=len(keys),
+        ) as m:
             all_locs = {}
             for key in dict.fromkeys(keys):
                 all_locs[key] = self.graph.striped_neighbors(key)
             wanted = {loc for locs in all_locs.values() for loc in locs}
             contents = self.buckets.read_buckets(wanted)
+            if m.span is not None:
+                m.annotate(distinct_keys=len(all_locs), buckets_read=len(wanted))
         out: Dict[int, LookupResult] = {}
         for key, locs in all_locs.items():
             fragments = [
@@ -214,7 +232,13 @@ class BasicDictionary(Dictionary):
     def upsert(self, key: int, value: Any = None) -> Tuple[bool, Any, OpCost]:
         """Insert or replace; returns ``(was_present, old_value, cost)``."""
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "basic_dict.upsert",
+            op="upsert",
+            structure="basic_dict",
+            blocks_per_bucket=self.buckets.blocks_per_bucket,
+        ) as m:
             locs = self.graph.striped_neighbors(key)
             contents = self.buckets.read_buckets(locs)
 
@@ -255,6 +279,16 @@ class BasicDictionary(Dictionary):
                         f"larger bucket array (stripe_size) or larger blocks"
                     )
             self.buckets.write_buckets(dirty)
+            if m.span is not None:
+                # Telemetry for the Lemma 3 bound monitor: post-operation
+                # occupancy and the worst bucket load ever reached.
+                m.annotate(
+                    size=self.size + (0 if was_present else 1),
+                    max_load=self._max_load_seen,
+                    num_buckets=self.num_buckets,
+                    degree=self.degree,
+                    k=self.k,
+                )
         if not was_present:
             self.size += 1
             old_value = None
@@ -265,7 +299,13 @@ class BasicDictionary(Dictionary):
 
     def delete(self, key: int) -> OpCost:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "basic_dict.delete",
+            op="delete",
+            structure="basic_dict",
+            blocks_per_bucket=self.buckets.blocks_per_bucket,
+        ) as m:
             locs = self.graph.striped_neighbors(key)
             contents = self.buckets.read_buckets(locs)
             dirty = {}
@@ -302,7 +342,13 @@ class BasicDictionary(Dictionary):
                 f"{len(items)} items exceed capacity N={self.capacity}"
             )
         contents: Dict[Tuple[int, int], List[Any]] = {}
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "basic_dict.bulk_build",
+            op="bulk_build",
+            structure="basic_dict",
+            items=len(items),
+        ) as m:
             for key in sorted(items):
                 self._check_key(key)
                 locs = self.graph.striped_neighbors(key)
@@ -341,6 +387,17 @@ class BasicDictionary(Dictionary):
     def current_max_load(self) -> int:
         loads = self.buckets.loads()
         return max(loads.values()) if loads else 0
+
+    def load_histogram(self) -> Dict[int, int]:
+        """Map load value -> number of buckets with that load (the
+        balanced-allocation telemetry lens; audit scan, no I/O charged).
+        Load 0 counts the buckets currently empty."""
+        counts: Dict[int, int] = {}
+        loads = self.buckets.loads()
+        for load in loads.values():
+            counts[load] = counts.get(load, 0) + 1
+        counts[0] = self.num_buckets - len(loads)
+        return {load: counts[load] for load in sorted(counts)}
 
     def __len__(self) -> int:
         return self.size

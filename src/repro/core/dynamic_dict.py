@@ -34,8 +34,9 @@ from repro.core.basic_dict import BasicDictionary
 from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.core.static_dict import fields_needed
 from repro.expanders.random_graph import SeededRandomExpander
-from repro.pdm.iostats import OpCost, measure
+from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
+from repro.pdm.spans import span
 from repro.pdm.striping import StripedFieldArray
 
 
@@ -246,30 +247,45 @@ class DynamicDictionary(Dictionary):
 
     def lookup(self, key: int) -> LookupResult:
         self._check_key(key)
-        # Phase 1 (parallel): membership probe + speculative level-1 read.
-        mem = self.membership.lookup(key)
-        with measure(self.machine) as spec:
-            locs1, fields1 = self._read_level(0, key)
-        cost = OpCost.parallel(mem.cost, spec.cost)
-        if not mem.found:
+        with span(
+            self.machine,
+            "dynamic_dict.lookup",
+            op="lookup",
+            structure="dynamic_dict",
+            num_levels=self.num_levels,
+            membership_bpb=self.membership.buckets.blocks_per_bucket,
+        ) as root:
+            # Phase 1 (parallel): membership probe + speculative level-1 read.
+            with span(self.machine, "dynamic_dict.lookup.phase1", parallel=True):
+                mem = self.membership.lookup(key)
+                with span(
+                    self.machine, "dynamic_dict.speculative_read", level=0
+                ) as spec:
+                    locs1, fields1 = self._read_level(0, key)
+            cost = OpCost.parallel(mem.cost, spec.cost)
+            if not mem.found:
+                root.annotate(found=False)
+                self.stats.lookups += 1
+                self.stats.misses += 1
+                self.stats.lookup_ios += cost.total_ios
+                self.stats.miss_ios += cost.total_ios
+                return LookupResult(False, None, cost)
+            level, head = mem.value
+            if level == 0:
+                value = self._chain_value(0, key, fields1, locs1, head)
+            else:
+                with span(
+                    self.machine, "dynamic_dict.level_read", level=level
+                ) as extra:
+                    locs, fields = self._read_level(level, key)
+                cost = cost + extra.cost
+                value = self._chain_value(level, key, fields, locs, head)
+            root.annotate(found=True, level=level)
             self.stats.lookups += 1
-            self.stats.misses += 1
+            self.stats.hits += 1
             self.stats.lookup_ios += cost.total_ios
-            self.stats.miss_ios += cost.total_ios
-            return LookupResult(False, None, cost)
-        level, head = mem.value
-        if level == 0:
-            value = self._chain_value(0, key, fields1, locs1, head)
-        else:
-            with measure(self.machine) as extra:
-                locs, fields = self._read_level(level, key)
-            cost = cost + extra.cost
-            value = self._chain_value(level, key, fields, locs, head)
-        self.stats.lookups += 1
-        self.stats.hits += 1
-        self.stats.lookup_ios += cost.total_ios
-        self.stats.hit_ios += cost.total_ios
-        return LookupResult(True, value, cost)
+            self.stats.hit_ios += cost.total_ios
+            return LookupResult(True, value, cost)
 
     def insert(self, key: int, value: int = None) -> OpCost:
         self._check_key(key)
@@ -280,72 +296,102 @@ class DynamicDictionary(Dictionary):
         if self.size >= self.capacity and not self.membership.contains(key):
             raise CapacityExceeded(f"dictionary at capacity N={self.capacity}")
 
-        # Retrieval phase: first-fit level probing, then one chain write.
-        with measure(self.machine) as ret:
-            placed = None
-            for level in range(self.num_levels):
-                locs, fields = self._read_level(level, key)
-                free = self._free_stripes(locs, fields)
-                if len(free) >= self.m_need:
-                    placed = (level, free[: self.m_need], locs)
-                    break
-            if placed is None:
-                raise CapacityExceeded(
-                    f"no level offers {self.m_need} free fields for key {key}; "
-                    f"increase stripe_slack or capacity headroom"
+        with span(
+            self.machine,
+            "dynamic_dict.insert",
+            op="insert",
+            structure="dynamic_dict",
+            num_levels=self.num_levels,
+            membership_bpb=self.membership.buckets.blocks_per_bucket,
+        ) as root:
+            # Retrieval + membership run on disjoint disk groups in parallel.
+            with span(self.machine, "dynamic_dict.insert.place", parallel=True):
+                with span(self.machine, "dynamic_dict.first_fit") as ret:
+                    placed = None
+                    for level in range(self.num_levels):
+                        locs, fields = self._read_level(level, key)
+                        free = self._free_stripes(locs, fields)
+                        if len(free) >= self.m_need:
+                            placed = (level, free[: self.m_need], locs)
+                            break
+                    if placed is None:
+                        raise CapacityExceeded(
+                            f"no level offers {self.m_need} free fields for key "
+                            f"{key}; increase stripe_slack or capacity headroom"
+                        )
+                    level, stripes, locs = placed
+                    ret.annotate(level=level)
+                    record = BitVector.from_int(value, self.sigma)
+                    encoded = encode_chain(record, stripes, self.field_bits)
+                    stripe_index = {i: j for (i, j) in locs}
+                    self.levels[level].write_fields(
+                        {(s, stripe_index[s]): bits for s, bits in encoded.items()}
+                    )
+                head = stripes[0]
+
+                # Membership phase (its own disk group, runs in parallel).
+                was_present, old, mem_cost = self.membership.upsert(
+                    key, (level, head)
                 )
-            level, stripes, locs = placed
-            record = BitVector.from_int(value, self.sigma)
-            encoded = encode_chain(record, stripes, self.field_bits)
-            stripe_index = {i: j for (i, j) in locs}
-            self.levels[level].write_fields(
-                {(s, stripe_index[s]): bits for s, bits in encoded.items()}
+            cost = OpCost.parallel(ret.cost, mem_cost)
+
+            if was_present:
+                # Update of an existing key: clear the superseded chain.
+                old_level, old_head = old
+                with span(
+                    self.machine, "dynamic_dict.clear_chain", level=old_level
+                ) as clear:
+                    locs_o, fields_o = self._read_level(old_level, key)
+                    by_stripe = {s: fields_o[(s, j)] for (s, j) in locs_o}
+                    old_stripes = self._chain_stripes(old_head, by_stripe)
+                    idx = {i: j for (i, j) in locs_o}
+                    self.levels[old_level].write_fields(
+                        {(s, idx[s]): None for s in old_stripes}
+                    )
+                cost = cost + clear.cost
+            else:
+                self.size += 1
+
+            root.annotate(level=level, was_present=was_present)
+            self.stats.inserts += 1
+            self.stats.insert_ios += cost.total_ios
+            self.stats.level_histogram[level] = (
+                self.stats.level_histogram.get(level, 0) + 1
             )
-        head = stripes[0]
-
-        # Membership phase (its own disk group, runs in parallel).
-        was_present, old, mem_cost = self.membership.upsert(key, (level, head))
-        cost = OpCost.parallel(ret.cost, mem_cost)
-
-        if was_present:
-            # Update of an existing key: clear the superseded chain.
-            old_level, old_head = old
-            with measure(self.machine) as clear:
-                locs_o, fields_o = self._read_level(old_level, key)
-                by_stripe = {s: fields_o[(s, j)] for (s, j) in locs_o}
-                old_stripes = self._chain_stripes(old_head, by_stripe)
-                idx = {i: j for (i, j) in locs_o}
-                self.levels[old_level].write_fields(
-                    {(s, idx[s]): None for s in old_stripes}
-                )
-            cost = cost + clear.cost
-        else:
-            self.size += 1
-
-        self.stats.inserts += 1
-        self.stats.insert_ios += cost.total_ios
-        self.stats.level_histogram[level] = (
-            self.stats.level_histogram.get(level, 0) + 1
-        )
-        return cost
+            return cost
 
     def delete(self, key: int) -> OpCost:
         self._check_key(key)
-        mem = self.membership.lookup(key)
-        if not mem.found:
-            return mem.cost
-        level, head = mem.value
-        with measure(self.machine) as clear:
-            locs, fields = self._read_level(level, key)
-            by_stripe = {s: fields[(s, j)] for (s, j) in locs}
-            stripes = self._chain_stripes(head, by_stripe)
-            idx = {i: j for (i, j) in locs}
-            self.levels[level].write_fields({(s, idx[s]): None for s in stripes})
-        del_cost = self.membership.delete(key)
-        self.size -= 1
-        # Membership delete and chain clearing hit disjoint disk groups; the
-        # initial membership read is serial (it supplies the level).
-        return mem.cost + OpCost.parallel(clear.cost, del_cost)
+        with span(
+            self.machine,
+            "dynamic_dict.delete",
+            op="delete",
+            structure="dynamic_dict",
+            num_levels=self.num_levels,
+            membership_bpb=self.membership.buckets.blocks_per_bucket,
+        ) as root:
+            mem = self.membership.lookup(key)
+            if not mem.found:
+                root.annotate(found=False)
+                return mem.cost
+            level, head = mem.value
+            # Membership delete and chain clearing hit disjoint disk groups;
+            # the initial membership read is serial (it supplies the level).
+            with span(self.machine, "dynamic_dict.delete.apply", parallel=True):
+                with span(
+                    self.machine, "dynamic_dict.clear_chain", level=level
+                ) as clear:
+                    locs, fields = self._read_level(level, key)
+                    by_stripe = {s: fields[(s, j)] for (s, j) in locs}
+                    stripes = self._chain_stripes(head, by_stripe)
+                    idx = {i: j for (i, j) in locs}
+                    self.levels[level].write_fields(
+                        {(s, idx[s]): None for s in stripes}
+                    )
+                del_cost = self.membership.delete(key)
+            self.size -= 1
+            root.annotate(found=True, level=level)
+            return mem.cost + OpCost.parallel(clear.cost, del_cost)
 
     # -- bulk construction ----------------------------------------------------------
 
@@ -371,7 +417,13 @@ class DynamicDictionary(Dictionary):
         result = assign_unique_neighbors(
             graph, sorted(items), m_need=self.m_need
         )
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "dynamic_dict.bulk_load",
+            op="bulk_load",
+            structure="dynamic_dict",
+            items=len(items),
+        ) as m:
             writes = {}
             membership_items = {}
             for key, stripes in result.assignment.items():

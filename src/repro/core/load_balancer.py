@@ -147,3 +147,19 @@ class DChoiceLoadBalancer:
         """Map load value -> number of buckets with that load."""
         values, counts = np.unique(self.loads, return_counts=True)
         return {int(val): int(cnt) for val, cnt in zip(values, counts)}
+
+    def load_profile(self) -> Dict[str, object]:
+        """Deterministic telemetry snapshot for the observability layer:
+        the :class:`PlacementReport` numbers plus the full load
+        distribution — the lens the balanced-allocation literature uses to
+        compare schemes (max, average, gap, histogram)."""
+        report = self.report()
+        return {
+            "n_vertices": report.n_vertices,
+            "items_placed": report.items_placed,
+            "num_buckets": self.graph.right_size,
+            "max_load": report.max_load,
+            "avg_load": report.avg_load,
+            "gap": report.max_load - report.avg_load,
+            "histogram": self.load_histogram(),
+        }

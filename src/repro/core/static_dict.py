@@ -41,8 +41,9 @@ from repro.core.basic_dict import BasicDictionary
 from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.expanders.base import StripedExpander
 from repro.expanders.random_graph import SeededRandomExpander
-from repro.pdm.iostats import OpCost, measure
+from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
+from repro.pdm.spans import span
 from repro.pdm.striping import StripedFieldArray
 
 #: the fraction of a key's neighbors that get assigned: ceil(2d/3).
@@ -355,7 +356,13 @@ class StaticDictionary(Dictionary):
         return self._lookup_case_a(key)
 
     def _lookup_case_b(self, key: int) -> LookupResult:
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "static_dict.lookup",
+            op="lookup",
+            structure="static_dict",
+            case="b",
+        ) as m:
             locs = self.graph.striped_neighbors(key)
             fields = self.array.read_fields(locs)
             counts: Dict[int, int] = {}
@@ -387,12 +394,20 @@ class StaticDictionary(Dictionary):
     def _lookup_case_a(self, key: int) -> LookupResult:
         # The two sub-dictionaries live on disjoint disk groups and are
         # probed simultaneously: combine costs with `parallel`.
-        mem_result = self.membership.lookup(key)
-        if self.array is None:
-            return mem_result
-        with measure(self.machine) as m:
-            locs = self.graph.striped_neighbors(key)
-            fields = self.array.read_fields(locs)
+        with span(
+            self.machine,
+            "static_dict.lookup",
+            op="lookup",
+            structure="static_dict",
+            case="a",
+            parallel=True,
+        ):
+            mem_result = self.membership.lookup(key)
+            if self.array is None:
+                return mem_result
+            with span(self.machine, "static_dict.field_read") as m:
+                locs = self.graph.striped_neighbors(key)
+                fields = self.array.read_fields(locs)
         cost = OpCost.parallel(mem_result.cost, m.cost)
         if not mem_result.found:
             return LookupResult(False, None, cost)

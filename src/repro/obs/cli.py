@@ -1,0 +1,151 @@
+"""``python -m repro.obs`` — replay a workload under full instrumentation.
+
+Runs a generated :mod:`repro.workloads` workload against the basic and/or
+dynamic dictionary with span tracing, metrics collection and the theorem
+bound monitors enabled, then prints a text report and (optionally) writes
+JSON Lines span events, a Perfetto-loadable Chrome trace, and a
+machine-readable JSON report.
+
+Examples::
+
+    python -m repro.obs --structure basic --operations 512
+    python -m repro.obs --structure both --chrome-trace trace.json
+    python -m repro.obs --structure dynamic --strict --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.harness import STRUCTURES, report_events, run_instrumented
+from repro.obs.monitors import BoundViolationError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="replay a workload under span tracing, metrics, and "
+        "theorem-bound monitors",
+    )
+    parser.add_argument(
+        "--structure",
+        choices=STRUCTURES + ("both",),
+        default="basic",
+        help="dictionary to instrument (default: basic)",
+    )
+    parser.add_argument("--disks", type=int, default=16, help="number of disks D")
+    parser.add_argument(
+        "--block", type=int, default=32, help="items per block B"
+    )
+    parser.add_argument(
+        "--universe", type=int, default=1 << 20, help="key universe size"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=512, help="dictionary capacity n"
+    )
+    parser.add_argument(
+        "--operations", type=int, default=512, help="workload length"
+    )
+    parser.add_argument(
+        "--sigma", type=int, default=32, help="satellite value bits"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first theorem-budget violation",
+    )
+    parser.add_argument(
+        "--jsonl",
+        type=pathlib.Path,
+        default=None,
+        help="write span/metric/violation events as JSON Lines",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        type=pathlib.Path,
+        default=None,
+        help="write a Chrome trace-event JSON (open in Perfetto); "
+        "per-disk tracks are included automatically",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        help="write the machine-readable report (BENCH_smoke.json shape)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the text report"
+    )
+    return parser
+
+
+def _suffixed(path: pathlib.Path, tag: str, multi: bool) -> pathlib.Path:
+    if not multi:
+        return path
+    return path.with_name(f"{path.stem}-{tag}{path.suffix}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    structures = list(STRUCTURES) if args.structure == "both" else [args.structure]
+    multi = len(structures) > 1
+
+    reports = []
+    for structure in structures:
+        try:
+            report = run_instrumented(
+                structure,
+                num_disks=args.disks,
+                block_items=args.block,
+                universe_size=args.universe,
+                capacity=args.capacity,
+                operations=args.operations,
+                sigma=args.sigma,
+                seed=args.seed,
+                trace=args.chrome_trace is not None,
+                strict=args.strict,
+            )
+        except BoundViolationError as exc:
+            print(f"BOUND VIOLATION ({structure}): {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+
+        if not args.quiet:
+            print(report.render_text())
+            print()
+        if args.jsonl is not None:
+            path = _suffixed(args.jsonl, structure, multi)
+            count = write_jsonl(path, report_events(report))
+            print(f"wrote {count} events to {path}", file=sys.stderr)
+        if args.chrome_trace is not None:
+            path = _suffixed(args.chrome_trace, structure, multi)
+            write_chrome_trace(
+                path,
+                report.recorder,
+                report.tracer,
+                num_disks=args.disks,
+            )
+            print(f"wrote Chrome trace to {path}", file=sys.stderr)
+
+    if args.json is not None:
+        payload = {
+            "tool": "repro.obs",
+            "runs": [r.to_dict() for r in reports],
+            "ok": all(r.ok for r in reports),
+        }
+        args.json.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"wrote report to {args.json}", file=sys.stderr)
+
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

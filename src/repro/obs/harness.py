@@ -1,0 +1,270 @@
+"""Instrumented workload runs: the glue between ``repro.workloads`` and
+the observability layer.
+
+:func:`run_instrumented` builds a machine and a dictionary, attaches a
+span recorder (and optionally an I/O tracer), replays a generated
+workload, collects metrics, and evaluates the theorem-bound monitors —
+returning everything as one :class:`ObsReport`.  The CLI
+(``python -m repro.obs``) and the smoke benchmark are thin wrappers over
+this function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.reporting import render_table
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.obs.export import span_events
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collect_load_distribution,
+    collect_machine,
+    collect_spans,
+)
+from repro.obs.monitors import MonitorSet, default_monitors
+from repro.pdm.machine import ParallelDiskMachine
+from repro.pdm.spans import SpanRecorder, attach_spans
+from repro.pdm.trace import TraceRecorder, attach
+from repro.workloads.replay import ReplaySummary, Workload, replay
+
+STRUCTURES = ("basic", "dynamic")
+
+
+@dataclass
+class ObsReport:
+    """Everything one instrumented run produced."""
+
+    structure: str
+    params: Dict[str, Any]
+    summary: ReplaySummary
+    recorder: SpanRecorder
+    registry: MetricsRegistry
+    monitors: MonitorSet
+    tracer: Optional[TraceRecorder] = None
+    machine: Any = None
+    dictionary: Any = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.summary.errors == 0 and self.monitors.ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable report (the ``BENCH_smoke.json`` payload)."""
+        per_kind = {}
+        for kind in sorted(self.summary.ios_by_kind):
+            per_kind[kind] = {
+                "count": len(self.summary.ios_by_kind[kind]),
+                "avg_ios": self.summary.avg(kind),
+                "worst_ios": self.summary.worst(kind),
+            }
+        return {
+            "structure": self.structure,
+            "params": self.params,
+            "operations": self.summary.operations,
+            "total_ios": self.summary.total_ios,
+            "per_kind": per_kind,
+            "span_totals": self.recorder.totals(),
+            "metrics": self.registry.as_dict(),
+            "monitors": self.monitors.summary(),
+            "notes": list(self.notes),
+        }
+
+    def render_text(self) -> str:
+        """The human-readable report the CLI prints."""
+        lines: List[str] = []
+        lines.append(f"== instrumented run: {self.structure} ==")
+        lines.append(
+            "params: "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        )
+        lines.append("")
+        lines.append("-- per-operation I/O --")
+        rows = [
+            [
+                kind,
+                len(self.summary.ios_by_kind[kind]),
+                f"{self.summary.avg(kind):.3f}",
+                self.summary.worst(kind),
+            ]
+            for kind in sorted(self.summary.ios_by_kind)
+        ]
+        lines.append(render_table(["kind", "count", "avg ios", "worst ios"], rows))
+        lines.append("")
+        lines.append("-- span totals --")
+        rows = [
+            [
+                name,
+                agg["count"],
+                agg["total_ios"],
+                agg["effective_ios"],
+                f"{agg['total_ios'] / agg['count']:.3f}",
+            ]
+            for name, agg in self.recorder.totals().items()
+        ]
+        lines.append(
+            render_table(
+                ["span", "count", "raw ios", "effective ios", "avg raw"], rows
+            )
+        )
+        lines.append("")
+        lines.append("-- metrics --")
+        lines.append(self.registry.render_text())
+        lines.append("")
+        lines.append("-- bound monitors --")
+        lines.append(
+            f"checks: {self.monitors.checks}  "
+            f"violations: {len(self.monitors.violations)}  "
+            f"{'OK' if self.monitors.ok else 'VIOLATED'}"
+        )
+        for v in self.monitors.violations:
+            lines.append(
+                f"  [{v.monitor}] {v.span_name}#{v.span_index}: "
+                f"observed {v.observed:g} > budget {v.budget:g} ({v.detail})"
+            )
+        return "\n".join(lines)
+
+
+def build_structure(
+    structure: str,
+    machine: ParallelDiskMachine,
+    *,
+    universe_size: int,
+    capacity: int,
+    sigma: int,
+    seed: int,
+):
+    if structure == "basic":
+        return BasicDictionary(
+            machine,
+            universe_size=universe_size,
+            capacity=capacity,
+            degree=machine.num_disks,
+            seed=seed,
+        )
+    if structure == "dynamic":
+        return DynamicDictionary(
+            machine,
+            universe_size=universe_size,
+            capacity=capacity,
+            sigma=sigma,
+            seed=seed,
+        )
+    raise ValueError(
+        f"unknown structure {structure!r}; choose from {STRUCTURES}"
+    )
+
+
+def run_instrumented(
+    structure: str = "basic",
+    *,
+    num_disks: int = 16,
+    block_items: int = 32,
+    universe_size: int = 1 << 20,
+    capacity: int = 512,
+    operations: int = 512,
+    sigma: int = 32,
+    insert_fraction: float = 0.4,
+    delete_fraction: float = 0.1,
+    seed: int = 0,
+    trace: bool = False,
+    strict: bool = False,
+    monitors: Optional[MonitorSet] = None,
+) -> ObsReport:
+    """Replay a generated workload under full instrumentation.
+
+    Returns the spans, metrics and monitor verdicts of the run; with
+    ``strict=True`` the first theorem-budget violation raises
+    :class:`~repro.obs.monitors.BoundViolationError` instead of being
+    recorded.
+    """
+    machine = ParallelDiskMachine(num_disks, block_items)
+    dictionary = build_structure(
+        structure,
+        machine,
+        universe_size=universe_size,
+        capacity=capacity,
+        sigma=sigma,
+        seed=seed,
+    )
+    workload = Workload.generate(
+        name=f"{structure}-mixed",
+        universe_size=universe_size,
+        operations=operations,
+        capacity=capacity,
+        value_bits=sigma,
+        insert_fraction=insert_fraction,
+        delete_fraction=delete_fraction,
+        seed=seed,
+    )
+    recorder = attach_spans(machine)
+    tracer = attach(machine) if trace else None
+
+    summary = replay(dictionary, workload)
+
+    registry = MetricsRegistry()
+    collect_machine(registry, machine)
+    collect_spans(registry, recorder)
+    if structure == "basic":
+        collect_load_distribution(
+            registry, dictionary.load_histogram(), structure=structure
+        )
+    else:
+        collect_load_distribution(
+            registry,
+            dictionary.membership.load_histogram(),
+            structure=f"{structure}.membership",
+        )
+        for level, occupied in enumerate(dictionary.level_occupancy()):
+            registry.gauge(
+                "dynamic_dict.level_occupancy", level=level
+            ).set(occupied)
+
+    monitor_set = monitors if monitors is not None else MonitorSet(
+        monitors=default_monitors(), strict=strict
+    )
+    monitor_set.check_recorder(recorder)
+
+    params = {
+        "num_disks": num_disks,
+        "block_items": block_items,
+        "universe_size": universe_size,
+        "capacity": capacity,
+        "operations": operations,
+        "sigma": sigma,
+        "seed": seed,
+    }
+    return ObsReport(
+        structure=structure,
+        params=params,
+        summary=summary,
+        recorder=recorder,
+        registry=registry,
+        monitors=monitor_set,
+        tracer=tracer,
+        machine=machine,
+        dictionary=dictionary,
+    )
+
+
+def report_events(report: ObsReport) -> List[Dict[str, Any]]:
+    """JSONL event stream of one report: a header, every span, every
+    metric, every violation."""
+    events: List[Dict[str, Any]] = [
+        {
+            "type": "run",
+            "structure": report.structure,
+            "params": report.params,
+            "operations": report.summary.operations,
+            "total_ios": report.summary.total_ios,
+        }
+    ]
+    events.extend(span_events(report.recorder))
+    for key, data in report.registry.as_dict().items():
+        events.append({"type": "metric", "name": key, **data})
+    for v in report.monitors.violations:
+        events.append(v.to_dict())
+    return events

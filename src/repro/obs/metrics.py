@@ -1,0 +1,268 @@
+"""Deterministic metrics: counters, gauges and fixed-bucket histograms.
+
+No wall clock anywhere — every number is a function of the simulated run
+(I/O rounds, block counts, bucket loads, memory words), so two identical
+runs render byte-identical metric reports.  Metrics are identified by a
+name plus an optional label set; the registry keeps them in registration
+order, and label sets are canonicalised by sorting label *names* (label
+values never drive ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds for per-operation I/O rounds.
+DEFAULT_IO_BUCKETS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _canon_labels(labels: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple((k, str(labels[k])) for k in sorted(labels))
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time number (utilization, peak memory, occupancy)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style).
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in the overflow bucket.  Bucket bounds are fixed at
+    construction, so merged/diffed reports always line up.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_IO_BUCKETS) -> None:
+        bounds = list(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(bounds) != bounds:
+            raise ValueError(f"bucket bounds must be sorted, got {bounds}")
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 for overflow
+        self.total = 0
+        self.sum: float = 0.0
+        self.max: float = 0.0
+
+    def observe(self, value: float, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"observation count must be >= 0, got {count}")
+        if count == 0:
+            return
+        idx = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                idx = i
+                break
+        self.counts[idx] += count
+        self.total += count
+        self.sum += value * count
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Insertion-ordered collection of named, labelled metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Any] = {}
+
+    def _get(self, name: str, labels: Mapping[str, Any], factory) -> Any:
+        key = (name, _canon_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        metric = self._get(name, labels, Counter)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"{name} is registered as a {metric.kind}")
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        metric = self._get(name, labels, Gauge)
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"{name} is registered as a {metric.kind}")
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_IO_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        metric = self._get(name, labels, lambda: Histogram(buckets))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"{name} is registered as a {metric.kind}")
+        if list(metric.bounds) != list(buckets):
+            raise ValueError(
+                f"{name} already registered with bounds {metric.bounds}"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(self) -> Iterator[Tuple[str, Dict[str, str], Any]]:
+        """Yield ``(name, labels, metric)`` in registration order."""
+        for (name, labels), metric in self._metrics.items():
+            yield name, dict(labels), metric
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready dump; label sets collapse into the key as
+        ``name{k=v,...}`` (deterministic: labels are pre-sorted)."""
+        out: Dict[str, Any] = {}
+        for name, labels, metric in self.items():
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in labels.items())
+                key = f"{name}{{{rendered}}}"
+            else:
+                key = name
+            out[key] = metric.as_dict()
+        return out
+
+    def render_text(self) -> str:
+        """Human-readable report, one metric per line (histograms get a
+        summary line plus their bucket counts)."""
+        lines: List[str] = []
+        for key, data in self.as_dict().items():
+            if data["kind"] == "histogram":
+                lines.append(
+                    f"{key}: total={data['total']} mean={data['mean']:.3f} "
+                    f"max={data['max']:g}"
+                )
+                pairs = []
+                for bound, count in zip(data["bounds"], data["counts"]):
+                    pairs.append(f"<={bound:g}:{count}")
+                pairs.append(f">{data['bounds'][-1]:g}:{data['counts'][-1]}")
+                lines.append(f"  buckets {' '.join(pairs)}")
+            elif isinstance(data["value"], float) and not data["value"].is_integer():
+                lines.append(f"{key}: {data['value']:.4f}")
+            else:
+                lines.append(f"{key}: {data['value']:g}")
+        return "\n".join(lines)
+
+
+# -- collectors ---------------------------------------------------------------
+
+
+def collect_machine(
+    registry: MetricsRegistry, machine, prefix: str = "pdm"
+) -> None:
+    """Snapshot a machine's cumulative counters into ``registry``:
+    I/O rounds, blocks moved, bandwidth utilization, memory peaks, space."""
+    stats = machine.stats
+    registry.gauge(f"{prefix}.read_ios").set(stats.read_ios)
+    registry.gauge(f"{prefix}.write_ios").set(stats.write_ios)
+    registry.gauge(f"{prefix}.total_ios").set(stats.total_ios)
+    registry.gauge(f"{prefix}.blocks_read").set(stats.blocks_read)
+    registry.gauge(f"{prefix}.blocks_written").set(stats.blocks_written)
+    registry.gauge(f"{prefix}.utilization").set(
+        stats.utilization(machine.num_disks)
+    )
+    registry.gauge(f"{prefix}.num_disks").set(machine.num_disks)
+    registry.gauge(f"{prefix}.block_items").set(machine.block_items)
+    registry.gauge(f"{prefix}.memory_used_words").set(machine.memory.used_words)
+    registry.gauge(f"{prefix}.memory_peak_words").set(machine.memory.peak_words)
+    registry.gauge(f"{prefix}.touched_blocks").set(machine.touched_blocks)
+    registry.gauge(f"{prefix}.footprint_bits").set(machine.footprint_bits)
+
+
+def collect_spans(
+    registry: MetricsRegistry,
+    recorder,
+    *,
+    buckets: Sequence[float] = DEFAULT_IO_BUCKETS,
+    roots_only: bool = True,
+) -> None:
+    """Aggregate a :class:`~repro.pdm.spans.SpanRecorder` into the
+    registry: operation counts, raw and effective round totals per span
+    name, plus a per-name histogram of per-operation rounds.
+
+    With ``roots_only`` (the default) only top-level operations feed the
+    histograms — nested helper spans still appear in the totals counters.
+    """
+    for s in recorder.iter_spans():
+        registry.counter("span.count", span=s.name).inc()
+        registry.counter("span.read_ios", span=s.name).inc(s.cost.read_ios)
+        registry.counter("span.write_ios", span=s.name).inc(s.cost.write_ios)
+        registry.counter("span.blocks_read", span=s.name).inc(s.cost.blocks_read)
+        registry.counter("span.blocks_written", span=s.name).inc(
+            s.cost.blocks_written
+        )
+        registry.counter("span.effective_ios", span=s.name).inc(
+            s.effective_cost.total_ios
+        )
+    roots = recorder.roots if roots_only else list(recorder.iter_spans())
+    for s in roots:
+        registry.histogram("span.op_ios", buckets, span=s.name).observe(
+            s.effective_cost.total_ios
+        )
+
+
+def collect_load_distribution(
+    registry: MetricsRegistry,
+    histogram: Mapping[int, int],
+    *,
+    name: str = "bucket_load",
+    buckets: Optional[Sequence[float]] = None,
+    **labels: Any,
+) -> None:
+    """Fold a ``load -> bucket count`` map (from
+    :meth:`~repro.core.load_balancer.DChoiceLoadBalancer.load_histogram` or
+    :meth:`~repro.core.basic_dict.BasicDictionary.load_histogram`) into a
+    registry histogram."""
+    if buckets is None:
+        buckets = DEFAULT_IO_BUCKETS
+    metric = registry.histogram(name, buckets, **labels)
+    for load in sorted(histogram):
+        metric.observe(load, count=histogram[load])

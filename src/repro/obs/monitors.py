@@ -1,0 +1,306 @@
+"""Runtime theorem-bound monitors.
+
+Every claim this reproduction makes is an I/O-count claim; these monitors
+evaluate the paper's closed forms (:mod:`repro.bounds`) against *live*
+span costs, so any instrumented run is also a theorem check:
+
+* **Theorem 6** — a ``basic_dict.lookup`` span must finish within the
+  one-probe budget (``blocks_per_bucket`` parallel I/Os; 1 in the
+  one-probe regime), and updates within the read+write budget.
+* **Theorem 7** — ``dynamic_dict`` lookups are at most one level read
+  beyond the parallel phase-1 probe; worst-case updates are bounded by the
+  level count plus the membership and chain-clearing writes.
+* **Lemma 3** — after every ``basic_dict.upsert``, the maximum bucket load
+  ever reached must sit below ``kn/((1-delta)v) + log_{(1-eps)d/k} v``.
+
+Monitors consume the *effective* span cost
+(:attr:`repro.pdm.spans.Span.effective_cost`) — the sequential/parallel
+composition the theorems are stated in — and never mutate anything: a
+violation is recorded (and optionally raised) with the span attributes
+needed to reproduce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bounds import lemma3_max_load
+from repro.pdm.spans import Span, SpanRecorder
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed-cost-exceeds-bound event."""
+
+    monitor: str
+    span_name: str
+    span_index: int
+    observed: float
+    budget: float
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "violation",
+            "monitor": self.monitor,
+            "span": self.span_name,
+            "span_index": self.span_index,
+            "observed": self.observed,
+            "budget": self.budget,
+            "detail": self.detail,
+        }
+
+
+class BoundViolationError(AssertionError):
+    """Raised in strict mode when an operation exceeds its theorem budget."""
+
+    def __init__(self, violation: Violation):
+        self.violation = violation
+        super().__init__(
+            f"[{violation.monitor}] {violation.span_name} "
+            f"(span #{violation.span_index}): observed {violation.observed:g} "
+            f"exceeds budget {violation.budget:g} — {violation.detail}"
+        )
+
+
+class BoundMonitor:
+    """Base class: inspect one span, return a violation or ``None``.
+
+    Subclasses carry a ``name`` identifying the bound they enforce.
+    """
+
+    name: str
+
+    def check(self, span: Span) -> Optional[Violation]:
+        raise NotImplementedError
+
+
+@dataclass
+class SpanBudgetMonitor(BoundMonitor):
+    """Checks ``observe(span) <= budget(span)`` for spans named
+    ``span_name``.  ``budget`` receives the span's attrs and returns the
+    closed-form bound, or ``None`` to skip (missing telemetry)."""
+
+    name: str
+    span_name: str
+    budget: Callable[[Dict[str, Any]], Optional[float]]
+    observe: Callable[[Span], float] = lambda s: s.effective_cost.total_ios
+    detail: str = ""
+
+    def check(self, span: Span) -> Optional[Violation]:
+        if span.name != self.span_name:
+            return None
+        limit = self.budget(span.attrs)
+        if limit is None:
+            return None
+        observed = self.observe(span)
+        if observed <= limit:
+            return None
+        return Violation(
+            monitor=self.name,
+            span_name=span.name,
+            span_index=span.index,
+            observed=observed,
+            budget=limit,
+            detail=self.detail or f"attrs={span.attrs}",
+        )
+
+
+def _require(attrs: Dict[str, Any], *keys: str) -> Optional[List[Any]]:
+    out = []
+    for key in keys:
+        if key not in attrs:
+            return None
+        out.append(attrs[key])
+    return out
+
+
+# -- the paper's budgets ------------------------------------------------------
+
+
+def theorem6_lookup_monitor() -> SpanBudgetMonitor:
+    """Theorem 6 / §4.1: a lookup reads each of the key's ``d`` buckets in
+    one parallel I/O per bucket block — ``blocks_per_bucket`` rounds, 1 in
+    the one-probe regime."""
+
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        got = _require(attrs, "blocks_per_bucket")
+        return float(got[0]) if got else None
+
+    return SpanBudgetMonitor(
+        name="theorem6.lookup",
+        span_name="basic_dict.lookup",
+        budget=budget,
+        detail="Theorem 6 one-probe lookup budget (blocks_per_bucket rounds)",
+    )
+
+
+def basic_update_monitor() -> SpanBudgetMonitor:
+    """§4.1: insert/upsert/delete read the candidate buckets once and write
+    the dirty ones once — ``2 * blocks_per_bucket`` rounds (2 in the
+    one-probe regime, "the best possible")."""
+
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        got = _require(attrs, "blocks_per_bucket")
+        return 2.0 * got[0] if got else None
+
+    return SpanBudgetMonitor(
+        name="basic_dict.update",
+        span_name="basic_dict.upsert",
+        budget=budget,
+        detail="§4.1 update budget: one bucket read + one bucket write",
+    )
+
+
+def basic_delete_monitor() -> SpanBudgetMonitor:
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        got = _require(attrs, "blocks_per_bucket")
+        return 2.0 * got[0] if got else None
+
+    return SpanBudgetMonitor(
+        name="basic_dict.delete",
+        span_name="basic_dict.delete",
+        budget=budget,
+        detail="§4.1 delete budget: one bucket read + one bucket write-back",
+    )
+
+
+def theorem7_lookup_monitor() -> SpanBudgetMonitor:
+    """Theorem 7: membership probe and speculative level-1 read share one
+    parallel I/O; a key on a deeper level pays exactly one more read —
+    worst case ``membership_bpb + 1`` effective rounds."""
+
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        got = _require(attrs, "membership_bpb")
+        return got[0] + 1.0 if got else None
+
+    return SpanBudgetMonitor(
+        name="theorem7.lookup",
+        span_name="dynamic_dict.lookup",
+        budget=budget,
+        detail="Theorem 7 lookup budget: parallel phase-1 + one level read",
+    )
+
+
+def theorem7_update_monitor() -> SpanBudgetMonitor:
+    """Theorem 7 worst-case update: first-fit probes at most ``l`` levels
+    (reads), writes one chain, the membership upsert runs in parallel on
+    its own disk group, and superseding an old chain adds one read+write —
+    ``max(l, membership_bpb) + 3`` effective rounds (the paper's
+    ``O(log N)`` with the constant made explicit)."""
+
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        got = _require(attrs, "num_levels", "membership_bpb")
+        if got is None:
+            return None
+        num_levels, bpb = got
+        return float(max(num_levels, bpb)) + 3.0
+
+    return SpanBudgetMonitor(
+        name="theorem7.update",
+        span_name="dynamic_dict.insert",
+        budget=budget,
+        detail="Theorem 7 worst-case update budget: l level probes + chain "
+        "write + parallel membership update + old-chain clear",
+    )
+
+
+def theorem7_delete_monitor() -> SpanBudgetMonitor:
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        # membership probe (bpb) + parallel(chain clear, membership delete)
+        # = bpb + max(1, bpb) reads + max(1, bpb) writes = 3 * bpb rounds.
+        got = _require(attrs, "membership_bpb")
+        return 3.0 * got[0] if got else None
+
+    return SpanBudgetMonitor(
+        name="theorem7.delete",
+        span_name="dynamic_dict.delete",
+        budget=budget,
+        detail="Theorem 7 delete budget: membership probe + parallel "
+        "chain-clear / membership-delete",
+    )
+
+
+def lemma3_load_monitor(
+    *, eps: float = 1 / 12, delta: float = 0.5
+) -> SpanBudgetMonitor:
+    """Lemma 3: after an upsert the maximum load ever reached must sit
+    below ``kn/((1-delta)v) + log_{(1-eps)d/k} v`` for the current ``n``.
+    ``eps``/``delta`` default to the expansion parameters the benchmark
+    suite certifies for :class:`SeededRandomExpander` instances."""
+
+    def budget(attrs: Dict[str, Any]) -> Optional[float]:
+        got = _require(attrs, "size", "num_buckets", "degree", "k")
+        if got is None:
+            return None
+        n, v, d, k = got
+        if n <= 0 or (1 - eps) * d / k <= 1:
+            return None
+        return lemma3_max_load(n=n, v=v, k=k, d=d, eps=eps, delta=delta)
+
+    return SpanBudgetMonitor(
+        name="lemma3.max_load",
+        span_name="basic_dict.upsert",
+        budget=budget,
+        observe=lambda s: float(s.attrs.get("max_load", 0)),
+        detail="Lemma 3 max-load bound kn/((1-delta)v) + log_{(1-eps)d/k} v",
+    )
+
+
+def default_monitors(
+    *, eps: float = 1 / 12, delta: float = 0.5
+) -> List[BoundMonitor]:
+    """The full panel: Lemma 3, Theorem 6, Theorem 7."""
+    return [
+        theorem6_lookup_monitor(),
+        basic_update_monitor(),
+        basic_delete_monitor(),
+        theorem7_lookup_monitor(),
+        theorem7_update_monitor(),
+        theorem7_delete_monitor(),
+        lemma3_load_monitor(eps=eps, delta=delta),
+    ]
+
+
+@dataclass
+class MonitorSet:
+    """Runs a panel of monitors over recorded spans.
+
+    ``strict=True`` raises :class:`BoundViolationError` at the first
+    violation; otherwise violations accumulate in :attr:`violations` and
+    the run continues (record-and-report mode).
+    """
+
+    monitors: List[BoundMonitor] = field(default_factory=default_monitors)
+    strict: bool = False
+    violations: List[Violation] = field(default_factory=list)
+    checks: int = 0
+
+    def check_span(self, span: Span) -> None:
+        for monitor in self.monitors:
+            result = monitor.check(span)
+            self.checks += 1
+            if result is not None:
+                self.violations.append(result)
+                if self.strict:
+                    raise BoundViolationError(result)
+
+    def check_recorder(self, recorder: SpanRecorder) -> List[Violation]:
+        """Evaluate every recorded span (the whole tree, pre-order);
+        returns the violations found in this pass."""
+        before = len(self.violations)
+        for s in recorder.iter_spans():
+            self.check_span(s)
+        return self.violations[before:]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "checks": self.checks,
+            "violations": [v.to_dict() for v in self.violations],
+            "ok": self.ok,
+        }

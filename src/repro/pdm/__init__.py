@@ -20,6 +20,11 @@ This package provides:
   I/O accounting with snapshots, per-operation deltas and parallel-phase
   combination (sub-dictionaries living on disjoint disk groups execute their
   probes simultaneously, so their costs combine with ``max``, not ``+``).
+* :func:`~repro.pdm.spans.span` / :class:`~repro.pdm.spans.SpanRecorder` —
+  hierarchical operation spans: named, nestable ``measure`` windows whose
+  trees make sequential/parallel composition explicit.  Off by default
+  (one ``None`` check); the ``repro.obs`` layer consumes them for metrics,
+  bound monitoring and trace export.
 * :class:`~repro.pdm.memory.InternalMemory` — word-granular accounting of
   internal memory (the paper assumes capacity for ``O(log n)`` keys, and
   Section 5 trades ``O(N^beta)`` words of internal memory for explicitness).
@@ -41,6 +46,14 @@ from repro.pdm.machine import (
     ParallelDiskHeadMachine,
 )
 from repro.pdm.memory import InternalMemory, InternalMemoryExceeded
+from repro.pdm.spans import (
+    Span,
+    SpanHandle,
+    SpanRecorder,
+    attach_spans,
+    detach_spans,
+    span,
+)
 from repro.pdm.striping import StripedFieldArray, StripedItemBuckets
 from repro.pdm.superblocks import SuperblockArray
 
@@ -51,6 +64,12 @@ __all__ = [
     "IOStats",
     "OpCost",
     "measure",
+    "Span",
+    "SpanHandle",
+    "SpanRecorder",
+    "span",
+    "attach_spans",
+    "detach_spans",
     "AbstractDiskMachine",
     "ParallelDiskMachine",
     "ParallelDiskHeadMachine",

@@ -11,6 +11,10 @@ cost of such an operation is the **maximum**, not the sum, of the two
 sub-costs.  :meth:`OpCost.parallel` implements that combination (element-wise
 ``max`` on I/O rounds — a safe upper bound on the true interleaved schedule —
 and ``+`` on block counters, which count data volume rather than rounds).
+
+:mod:`repro.pdm.spans` builds on these primitives: a span is a named,
+nestable ``measure`` window whose tree records the sequential/parallel
+composition explicitly, feeding the ``repro.obs`` observability layer.
 """
 
 from __future__ import annotations
@@ -45,6 +49,10 @@ class IOStats:
         ``blocks moved / (rounds * D)``.  Striped access patterns approach
         1.0; un-striped ones collapse toward ``1/D`` — the quantitative
         version of why Section 2 requires striped expanders."""
+        if num_disks <= 0:
+            raise ValueError(
+                f"utilization needs a positive disk count, got {num_disks}"
+            )
         rounds = self.total_ios
         if rounds == 0:
             return 0.0
@@ -100,6 +108,28 @@ class OpCost:
             self.blocks_read + other.blocks_read,
             self.blocks_written + other.blocks_written,
         )
+
+    def __sub__(self, other: "OpCost") -> "OpCost":
+        """Counter-wise difference (the residual of a parent span after its
+        children are accounted for)."""
+        return OpCost(
+            self.read_ios - other.read_ios,
+            self.write_ios - other.write_ios,
+            self.blocks_read - other.blocks_read,
+            self.blocks_written - other.blocks_written,
+        )
+
+    def utilization(self, num_disks: int) -> float:
+        """Per-operation bandwidth utilization, the :meth:`IOStats.utilization`
+        counterpart: ``blocks moved / (rounds * D)``."""
+        if num_disks <= 0:
+            raise ValueError(
+                f"utilization needs a positive disk count, got {num_disks}"
+            )
+        rounds = self.total_ios
+        if rounds == 0:
+            return 0.0
+        return (self.blocks_read + self.blocks_written) / (rounds * num_disks)
 
     @staticmethod
     def parallel(*costs: "OpCost") -> "OpCost":

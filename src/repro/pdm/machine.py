@@ -73,6 +73,9 @@ class AbstractDiskMachine:
         self._next_free: List[int] = [0] * num_disks
         #: optional :class:`repro.pdm.trace.TraceRecorder`
         self.tracer = None
+        #: optional :class:`repro.pdm.spans.SpanRecorder` (hierarchical
+        #: operation spans; attach with :func:`repro.pdm.spans.attach_spans`)
+        self.spans = None
 
     # -- allocation ---------------------------------------------------------
 

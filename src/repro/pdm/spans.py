@@ -1,0 +1,242 @@
+"""Hierarchical operation spans over the I/O accountant.
+
+A *span* is a named, attributed window of execution on one machine; spans
+nest, forming a tree per top-level operation ("lookup" containing
+"membership-probe" containing the raw probe).  Each span's ``cost`` is the
+raw :class:`~repro.pdm.iostats.IOStats` delta of the machine over the
+window — exactly what :func:`repro.pdm.iostats.measure` reports — so the
+root of a span tree always equals the legacy ``measure()`` total.
+
+Composition is explicit: a span opened with ``parallel=True`` declares
+that its direct children execute simultaneously on disjoint disk groups
+(the Theorem 6(a)/Theorem 7 pattern), so its *effective* cost combines the
+children with :meth:`OpCost.parallel` instead of ``+``.
+:attr:`Span.effective_cost` evaluates the whole tree under these rules —
+this is the quantity the paper's theorems bound, and the quantity the
+``repro.obs`` bound monitors check.
+
+Like :class:`repro.pdm.trace.TraceRecorder`, recording is off unless a
+:class:`SpanRecorder` is attached to the machine; the hot path pays one
+``None`` check (structures open spans unconditionally, but an unrecorded
+span is just a snapshot/delta pair, the same work ``measure`` does).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.pdm.iostats import OpCost
+
+
+@dataclass
+class Span:
+    """One node of a span tree."""
+
+    index: int
+    name: str
+    mode: str = "seq"  # "seq" | "parallel" — how direct children compose
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    cost: OpCost = field(default_factory=OpCost)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def total_ios(self) -> int:
+        return self.cost.total_ios
+
+    @property
+    def effective_cost(self) -> OpCost:
+        """Cost under the declared sequential/parallel composition.
+
+        Children contribute their own effective costs, combined with ``+``
+        (``mode="seq"``) or :meth:`OpCost.parallel` (``mode="parallel"``);
+        I/O the span performed *outside* any child (the residual) is always
+        sequential.  A leaf's effective cost is its raw cost.
+        """
+        if not self.children:
+            return self.cost
+        child_raw = OpCost.zero()
+        for c in self.children:
+            child_raw = child_raw + c.cost
+        residual = self.cost - child_raw
+        if self.mode == "parallel":
+            combined = OpCost.parallel(*(c.effective_cost for c in self.children))
+        else:
+            combined = OpCost.zero()
+            for c in self.children:
+                combined = combined + c.effective_cost
+        return combined + residual
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this subtree (deterministic)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of this subtree."""
+        eff = self.effective_cost
+        return {
+            "index": self.index,
+            "name": self.name,
+            "mode": self.mode,
+            "attrs": dict(self.attrs),
+            "cost": {
+                "read_ios": self.cost.read_ios,
+                "write_ios": self.cost.write_ios,
+                "blocks_read": self.cost.blocks_read,
+                "blocks_written": self.cost.blocks_written,
+            },
+            "effective": {
+                "read_ios": eff.read_ios,
+                "write_ios": eff.write_ios,
+                "blocks_read": eff.blocks_read,
+                "blocks_written": eff.blocks_written,
+            },
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+@dataclass
+class SpanHandle:
+    """Yielded by :func:`span`; carries the measured cost (always) and the
+    recorded tree node (only when a recorder is attached)."""
+
+    cost: OpCost = field(default_factory=OpCost)
+    span: Optional[Span] = None
+
+    @property
+    def total_ios(self) -> int:
+        return self.cost.total_ios
+
+    @property
+    def read_ios(self) -> int:
+        return self.cost.read_ios
+
+    @property
+    def write_ios(self) -> int:
+        return self.cost.write_ios
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-operation (hit/miss, levels,
+        loads).  No-op when unrecorded."""
+        if self.span is not None:
+            self.span.attrs.update(attrs)
+
+
+class SpanRecorder:
+    """Collects span trees from an attached machine.
+
+    Maintains an open-span stack; completed top-level spans accumulate in
+    :attr:`roots` in execution order.  All ordering is insertion order —
+    no wall clock anywhere (``index`` is the deterministic logical time).
+    """
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_index = 0
+
+    def enter(self, name: str, mode: str, attrs: Dict[str, Any]) -> Span:
+        node = Span(index=self._next_index, name=name, mode=mode, attrs=attrs)
+        self._next_index += 1
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        return node
+
+    def exit(self, node: Span, cost: OpCost) -> None:
+        if not self._stack or self._stack[-1] is not node:
+            raise RuntimeError(
+                f"unbalanced span exit for {node.name!r}; spans must strictly nest"
+            )
+        self._stack.pop()
+        node.cost = cost
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        if self._stack:
+            raise RuntimeError("cannot clear a recorder with open spans")
+        self.roots.clear()
+        self._next_index = 0
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every recorded span, pre-order across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def totals(self) -> Dict[str, Dict[str, int]]:
+        """Aggregate per span name: count, raw and effective round/block
+        sums.  Keys appear in first-execution order."""
+        out: Dict[str, Dict[str, int]] = {}
+        for s in self.iter_spans():
+            agg = out.setdefault(
+                s.name,
+                {
+                    "count": 0,
+                    "read_ios": 0,
+                    "write_ios": 0,
+                    "total_ios": 0,
+                    "blocks_read": 0,
+                    "blocks_written": 0,
+                    "effective_ios": 0,
+                },
+            )
+            agg["count"] += 1
+            agg["read_ios"] += s.cost.read_ios
+            agg["write_ios"] += s.cost.write_ios
+            agg["total_ios"] += s.cost.total_ios
+            agg["blocks_read"] += s.cost.blocks_read
+            agg["blocks_written"] += s.cost.blocks_written
+            agg["effective_ios"] += s.effective_cost.total_ios
+        return out
+
+
+@contextmanager
+def span(
+    machine, name: str, *, parallel: bool = False, **attrs: Any
+) -> Iterator[SpanHandle]:
+    """Measure the I/O cost of the block as a (possibly nested) span.
+
+    Subsumes :func:`repro.pdm.iostats.measure` for the single-machine case:
+    the yielded handle exposes ``.cost`` / ``.total_ios`` the same way, and
+    additionally builds a node in the machine's attached
+    :class:`SpanRecorder` (if any).  ``parallel=True`` marks the *direct
+    children* of this span as executing on disjoint disk groups.
+
+    >>> with span(machine, "lookup", op="lookup") as h:
+    ...     machine.read_blocks(addrs)
+    >>> h.total_ios
+    1
+    """
+    recorder: Optional[SpanRecorder] = machine.spans
+    snap = machine.stats.snapshot()
+    handle = SpanHandle()
+    node: Optional[Span] = None
+    if recorder is not None:
+        node = recorder.enter(name, "parallel" if parallel else "seq", attrs)
+        handle.span = node
+    try:
+        yield handle
+    finally:
+        handle.cost = machine.stats.since(snap)
+        if node is not None:
+            recorder.exit(node, handle.cost)
+
+
+def attach_spans(machine) -> SpanRecorder:
+    """Attach a fresh :class:`SpanRecorder` to ``machine`` (replacing any
+    existing one) and return it."""
+    recorder = SpanRecorder()
+    machine.spans = recorder
+    return recorder
+
+
+def detach_spans(machine) -> None:
+    machine.spans = None

@@ -13,7 +13,7 @@ check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import Dict, KeysView, List, Tuple
 
 Addr = Tuple[int, int]
 
@@ -41,19 +41,27 @@ class TraceRecorder:
 
     # -- analyses -------------------------------------------------------------
 
-    def blocks_touched(self, kind: str | None = None) -> Set[Addr]:
-        out: Set[Addr] = set()
+    def blocks_touched(self, kind: str | None = None) -> KeysView[Addr]:
+        """Distinct blocks touched, in *first-touch order*.
+
+        The result is a dict keys view: set-like for membership and
+        intersection tests (the concurrency analysis), but insertion-ordered
+        — exporting or diffing footprints is stable run to run, unlike the
+        hash-ordered ``set`` this used to return.
+        """
+        out: Dict[Addr, None] = {}
         for ev in self.events:
             if kind is None or ev.kind == kind:
-                out.update(ev.addrs)
-        return out
+                for addr in ev.addrs:
+                    out[addr] = None
+        return out.keys()
 
-    def write_footprint(self) -> Set[Addr]:
+    def write_footprint(self) -> KeysView[Addr]:
         """All blocks written during the trace — the lock set a pessimistic
         concurrency-control scheme would need for the traced operation."""
         return self.blocks_touched("write")
 
-    def read_footprint(self) -> Set[Addr]:
+    def read_footprint(self) -> KeysView[Addr]:
         return self.blocks_touched("read")
 
     @property

@@ -1,0 +1,130 @@
+"""Tests for the deterministic metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_load_distribution,
+    collect_machine,
+    collect_spans,
+)
+from repro.pdm.spans import attach_spans, span
+
+
+class TestPrimitives:
+    def test_counter_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set(self):
+        g = Gauge()
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_histogram_bucketing(self):
+        h = Histogram(buckets=(1, 2, 4))
+        for v in (0, 1, 2, 3, 4, 99):
+            h.observe(v)
+        # <=1: {0, 1}; <=2: {2}; <=4: {3, 4}; overflow: {99}
+        assert h.counts == [2, 1, 2, 1]
+        assert h.total == 6
+        assert h.max == 99
+        assert h.mean == (0 + 1 + 2 + 3 + 4 + 99) / 6
+
+    def test_histogram_weighted_observe(self):
+        h = Histogram(buckets=(10,))
+        h.observe(3, count=5)
+        assert h.counts == [5, 0]
+        assert h.sum == 15
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_same_name_labels_same_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", kind="read").inc()
+        reg.counter("ops", kind="read").inc()
+        reg.counter("ops", kind="write").inc()
+        assert reg.counter("ops", kind="read").value == 2
+        assert reg.counter("ops", kind="write").value == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_histogram_bounds_must_match(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1, 2))
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(1, 2, 3))
+
+    def test_as_dict_keys_canonical_and_ordered(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a", z="1", a="2").set(3)
+        keys = list(reg.as_dict())
+        # registration order, not alphabetical; labels sorted by name
+        assert keys == ["b", "a{a=2,z=1}"]
+
+    def test_render_text_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("ops", kind="read").inc(3)
+            reg.gauge("util").set(0.75)
+            reg.histogram("lat", buckets=(1, 2)).observe(1)
+            return reg.render_text()
+
+        assert build() == build()
+
+
+class TestCollectors:
+    def test_collect_machine(self, machine):
+        machine.read_blocks([(d, 0) for d in range(machine.D)])
+        reg = MetricsRegistry()
+        collect_machine(reg, machine)
+        out = reg.as_dict()
+        assert out["pdm.read_ios"]["value"] == 1
+        assert out["pdm.blocks_read"]["value"] == machine.D
+        assert out["pdm.utilization"]["value"] == 1.0
+        assert out["pdm.num_disks"]["value"] == machine.D
+
+    def test_collect_spans(self, machine):
+        recorder = attach_spans(machine)
+        for _ in range(2):
+            with span(machine, "op"):
+                machine.read_blocks([(0, 0)])
+        reg = MetricsRegistry()
+        collect_spans(reg, recorder)
+        out = reg.as_dict()
+        assert out["span.count{span=op}"]["value"] == 2
+        assert out["span.read_ios{span=op}"]["value"] == 2
+        hist = out["span.op_ios{span=op}"]
+        assert hist["total"] == 2 and hist["max"] == 1
+
+    def test_collect_load_distribution_from_basic_dict(self, wide_machine):
+        d = BasicDictionary(
+            wide_machine, universe_size=1 << 16, capacity=64, degree=16, seed=1
+        )
+        for key in range(20):
+            d.upsert(key * 7, key)
+        reg = MetricsRegistry()
+        collect_load_distribution(reg, d.load_histogram(), structure="basic")
+        hist = reg.as_dict()["bucket_load{structure=basic}"]
+        # every bucket is represented, including the empty ones
+        assert hist["total"] == d.num_buckets
+        assert hist["max"] == max(d.load_histogram())

@@ -1,0 +1,127 @@
+"""Tests for the theorem-bound monitors (repro.obs.monitors).
+
+The acceptance tests at the bottom are the point of the subsystem: real
+instrumented runs of the paper's structures must satisfy the Lemma 3 /
+Theorem 6 / Theorem 7 budgets with zero violations.
+"""
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.obs.monitors import (
+    BoundViolationError,
+    MonitorSet,
+    SpanBudgetMonitor,
+    default_monitors,
+    lemma3_load_monitor,
+)
+from repro.pdm.iostats import OpCost
+from repro.pdm.spans import Span, attach_spans
+
+U = 1 << 16
+
+
+def make_span(name, *, cost=OpCost(), attrs=None, index=0):
+    return Span(index=index, name=name, attrs=dict(attrs or {}), cost=cost)
+
+
+class TestSpanBudgetMonitor:
+    def monitor(self):
+        return SpanBudgetMonitor(
+            name="m",
+            span_name="op",
+            budget=lambda attrs: attrs.get("limit"),
+        )
+
+    def test_within_budget_passes(self):
+        s = make_span("op", cost=OpCost(read_ios=2), attrs={"limit": 2})
+        assert self.monitor().check(s) is None
+
+    def test_over_budget_reports(self):
+        s = make_span("op", cost=OpCost(read_ios=3), attrs={"limit": 2})
+        v = self.monitor().check(s)
+        assert v is not None
+        assert (v.observed, v.budget) == (3, 2)
+        assert v.to_dict()["type"] == "violation"
+
+    def test_other_spans_ignored(self):
+        s = make_span("other", cost=OpCost(read_ios=9), attrs={"limit": 1})
+        assert self.monitor().check(s) is None
+
+    def test_missing_telemetry_skips(self):
+        s = make_span("op", cost=OpCost(read_ios=9))  # no "limit" attr
+        assert self.monitor().check(s) is None
+
+    def test_monitor_set_strict_raises(self):
+        ms = MonitorSet(monitors=[self.monitor()], strict=True)
+        bad = make_span("op", cost=OpCost(read_ios=3), attrs={"limit": 1})
+        with pytest.raises(BoundViolationError) as exc:
+            ms.check_span(bad)
+        assert exc.value.violation.monitor == "m"
+
+    def test_monitor_set_records_in_lenient_mode(self):
+        ms = MonitorSet(monitors=[self.monitor()])
+        ms.check_span(make_span("op", cost=OpCost(read_ios=3), attrs={"limit": 1}))
+        ms.check_span(make_span("op", cost=OpCost(read_ios=1), attrs={"limit": 1}))
+        assert len(ms.violations) == 1
+        assert not ms.ok
+        assert ms.summary()["checks"] == 2
+
+    def test_lemma3_monitor_fires_on_absurd_load(self):
+        s = make_span(
+            "basic_dict.upsert",
+            attrs={
+                "size": 10,
+                "num_buckets": 64,
+                "degree": 16,
+                "k": 1,
+                "max_load": 10_000,
+            },
+        )
+        v = lemma3_load_monitor().check(s)
+        assert v is not None and v.observed == 10_000
+
+
+class TestAcceptanceBasicDict:
+    """Zero violations on instrumented basic_dict traffic (Theorem 6 / Lemma 3)."""
+
+    def test_lookups_updates_deletes_within_budget(self, wide_machine):
+        d = BasicDictionary(
+            wide_machine, universe_size=U, capacity=128, degree=16, seed=1
+        )
+        recorder = attach_spans(wide_machine)
+        for key in range(0, 400, 4):
+            d.upsert(key, key * 3)
+        for key in range(0, 600, 3):
+            d.lookup(key)
+        for key in range(0, 200, 8):
+            d.delete(key)
+
+        ms = MonitorSet(monitors=default_monitors())
+        ms.check_recorder(recorder)
+        assert ms.checks > 0
+        assert ms.violations == []
+
+
+class TestAcceptanceDynamicDict:
+    """Zero violations on instrumented dynamic_dict updates (Theorem 7)."""
+
+    def test_mixed_update_traffic_within_budget(self, wide_machine):
+        d = DynamicDictionary(
+            wide_machine, universe_size=U, capacity=96, sigma=16, seed=3
+        )
+        recorder = attach_spans(wide_machine)
+        for key in range(0, 240, 3):
+            d.insert(key, key % (1 << 16))
+        for key in range(0, 240, 6):
+            d.insert(key, (key + 1) % (1 << 16))  # overwrite: clears old chain
+        for key in range(0, 240, 9):
+            d.delete(key)
+        for key in range(0, 300, 5):
+            d.lookup(key)
+
+        ms = MonitorSet(monitors=default_monitors())
+        ms.check_recorder(recorder)
+        assert ms.checks > 0
+        assert ms.violations == []

@@ -78,6 +78,69 @@ class TestOpCost:
         assert par.write_ios >= max(a.write_ios, b.write_ios)
 
 
+class TestUtilizationGuards:
+    def test_iostats_utilization_rejects_zero_disks(self):
+        with pytest.raises(ValueError):
+            IOStats(read_ios=1).utilization(0)
+
+    def test_iostats_utilization_rejects_negative_disks(self):
+        with pytest.raises(ValueError):
+            IOStats().utilization(-4)
+
+    def test_opcost_utilization_matches_iostats(self):
+        cost = OpCost(read_ios=2, write_ios=1, blocks_read=10, blocks_written=2)
+        stats = IOStats()
+        stats.add(cost)
+        assert cost.utilization(4) == stats.utilization(4) == 12 / (3 * 4)
+
+    def test_opcost_utilization_rejects_zero_disks(self):
+        with pytest.raises(ValueError):
+            OpCost(read_ios=1).utilization(0)
+
+    def test_opcost_utilization_idle_is_zero(self):
+        assert OpCost().utilization(8) == 0.0
+
+
+class TestCompositionLaws:
+    """The span algebra rests on these identities."""
+
+    def test_subtraction_inverts_addition(self):
+        a = OpCost(1, 2, 3, 4)
+        b = OpCost(5, 6, 7, 8)
+        assert (a + b) - b == a
+        assert (a + b) - a == b
+
+    def test_zero_is_identity_for_both_compositions(self):
+        a = OpCost(2, 3, 5, 7)
+        assert a + OpCost.zero() == a
+        assert OpCost.parallel(a, OpCost.zero()) == OpCost(
+            a.read_ios, a.write_ios, a.blocks_read, a.blocks_written
+        )
+
+    def test_sequential_is_associative_and_commutative(self):
+        a, b, c = OpCost(1, 0, 2, 0), OpCost(0, 3, 0, 1), OpCost(2, 2, 2, 2)
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+
+    def test_parallel_is_associative(self):
+        a, b, c = OpCost(1, 0, 2, 0), OpCost(0, 3, 0, 1), OpCost(2, 2, 2, 2)
+        assert OpCost.parallel(OpCost.parallel(a, b), c) == OpCost.parallel(
+            a, b, c
+        )
+
+    @given(
+        st.tuples(*(st.integers(0, 100) for _ in range(4))),
+        st.tuples(*(st.integers(0, 100) for _ in range(4))),
+    )
+    def test_parallel_rounds_max_blocks_sum(self, t1, t2):
+        a, b = OpCost(*t1), OpCost(*t2)
+        par = OpCost.parallel(a, b)
+        assert par.read_ios == max(a.read_ios, b.read_ios)
+        assert par.write_ios == max(a.write_ios, b.write_ios)
+        assert par.blocks_read == a.blocks_read + b.blocks_read
+        assert par.blocks_written == a.blocks_written + b.blocks_written
+
+
 class TestMeasure:
     def test_measure_captures_cost(self):
         m = ParallelDiskMachine(4, 8)

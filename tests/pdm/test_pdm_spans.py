@@ -1,0 +1,188 @@
+"""Tests for hierarchical operation spans (repro.pdm.spans)."""
+
+import pytest
+
+from repro.pdm.iostats import OpCost, measure
+from repro.pdm.spans import (
+    Span,
+    SpanRecorder,
+    attach_spans,
+    detach_spans,
+    span,
+)
+
+
+def _read(machine, n=1, disk=0):
+    machine.read_blocks([(disk, i) for i in range(n)])
+
+
+class TestSpanContextManager:
+    def test_unrecorded_span_measures_like_measure(self, machine):
+        with span(machine, "op") as h:
+            _read(machine)
+        assert machine.spans is None
+        assert h.span is None
+        assert h.total_ios == 1
+        assert h.cost.read_ios == 1
+
+    def test_handle_mirrors_measure_totals(self, machine):
+        with measure(machine) as legacy:
+            with span(machine, "op") as h:
+                _read(machine, 3)
+                machine.write_blocks([((0, 0), [1], 64)])
+        assert h.cost == legacy.cost
+        assert h.read_ios == legacy.read_ios
+        assert h.write_ios == legacy.write_ios
+
+    def test_annotate_is_noop_when_unrecorded(self, machine):
+        with span(machine, "op") as h:
+            h.annotate(hit=True)  # must not raise
+        assert h.span is None
+
+    def test_cost_captured_on_exception(self, machine):
+        recorder = attach_spans(machine)
+        with pytest.raises(RuntimeError):
+            with span(machine, "op") as h:
+                _read(machine)
+                raise RuntimeError("boom")
+        assert h.total_ios == 1
+        # the recorder's stack unwound: a new root can open cleanly
+        assert recorder.depth == 0
+        with span(machine, "op2"):
+            pass
+        assert [r.name for r in recorder.roots] == ["op", "op2"]
+
+
+class TestRecording:
+    def test_attach_detach(self, machine):
+        recorder = attach_spans(machine)
+        assert machine.spans is recorder
+        detach_spans(machine)
+        assert machine.spans is None
+
+    def test_nesting_builds_tree(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "root"):
+            with span(machine, "child_a"):
+                _read(machine)
+            with span(machine, "child_b"):
+                _read(machine, 2)
+        (root,) = recorder.roots
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        # child_b reads 2 same-disk blocks = 2 rounds
+        assert root.cost.read_ios == 3
+        assert root.children[1].cost.blocks_read == 2
+
+    def test_root_cost_equals_legacy_measure_total(self, machine):
+        """Acceptance: the root of a span tree reports exactly what the
+        legacy measure() context reports over the same window."""
+        recorder = attach_spans(machine)
+        with measure(machine) as legacy:
+            with span(machine, "root"):
+                with span(machine, "inner"):
+                    _read(machine, 2)
+                machine.write_blocks([((1, 0), [1], 64)])
+        (root,) = recorder.roots
+        assert root.cost == legacy.cost
+
+    def test_indices_are_preorder_logical_time(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "a"):
+            with span(machine, "b"):
+                pass
+        with span(machine, "c"):
+            pass
+        assert [s.index for s in recorder.iter_spans()] == [0, 1, 2]
+        assert [s.name for s in recorder.iter_spans()] == ["a", "b", "c"]
+
+    def test_attrs_and_annotate(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "op", kind="lookup") as h:
+            h.annotate(hit=False)
+        (root,) = recorder.roots
+        assert root.attrs == {"kind": "lookup", "hit": False}
+
+    def test_clear_rejects_open_spans(self, machine):
+        recorder = attach_spans(machine)
+        with pytest.raises(RuntimeError):
+            with span(machine, "op"):
+                recorder.clear()
+
+    def test_totals_aggregates_per_name(self, machine):
+        recorder = attach_spans(machine)
+        for _ in range(3):
+            with span(machine, "op"):
+                _read(machine)
+        totals = recorder.totals()
+        assert totals["op"]["count"] == 3
+        assert totals["op"]["read_ios"] == 3
+        assert totals["op"]["effective_ios"] == 3
+
+    def test_determinism_two_identical_runs(self, machine, wide_machine):
+        def run(m):
+            rec = attach_spans(m)
+            with span(m, "root", parallel=True):
+                with span(m, "a"):
+                    m.read_blocks([(0, 0)])
+                with span(m, "b"):
+                    m.read_blocks([(1, 0)])
+            return [r.to_dict() for r in rec.roots]
+
+        assert run(machine) == run(wide_machine)
+
+
+class TestEffectiveCost:
+    def test_leaf_effective_is_raw(self):
+        s = Span(index=0, name="leaf", cost=OpCost(read_ios=2))
+        assert s.effective_cost == s.cost
+
+    def test_sequential_children_sum(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "root"):
+            with span(machine, "a"):
+                _read(machine)
+            with span(machine, "b"):
+                _read(machine)
+        (root,) = recorder.roots
+        assert root.effective_cost.total_ios == 2
+        assert root.effective_cost == root.cost
+
+    def test_parallel_children_max_rounds_sum_blocks(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "root", parallel=True):
+            with span(machine, "a"):
+                _read(machine, 1, disk=0)
+            with span(machine, "b"):
+                _read(machine, 2, disk=1)  # 2 same-disk blocks = 2 rounds
+        (root,) = recorder.roots
+        # raw: 3 read rounds; effective: max(1, 2) = 2 rounds
+        assert root.cost.read_ios == 3
+        assert root.effective_cost.read_ios == 2
+        # block volume always sums
+        assert root.effective_cost.blocks_read == 3
+
+    def test_residual_io_stays_sequential(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "root", parallel=True):
+            with span(machine, "a"):
+                _read(machine)
+            with span(machine, "b"):
+                _read(machine)
+            _read(machine)  # outside any child
+        (root,) = recorder.roots
+        # parallel children collapse to 1 round; the residual adds 1
+        assert root.effective_cost.read_ios == 2
+        assert root.cost.read_ios == 3
+
+    def test_effective_matches_opcost_parallel_algebra(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "root", parallel=True):
+            with span(machine, "a"):
+                _read(machine, 2, disk=0)
+            with span(machine, "b"):
+                machine.write_blocks([((1, 0), [1], 64)])
+        (root,) = recorder.roots
+        a, b = root.children
+        assert root.effective_cost == OpCost.parallel(
+            a.effective_cost, b.effective_cost
+        )

@@ -27,6 +27,26 @@ class TestTraceRecorder:
         assert recorder.read_footprint() == {(0, 0), (1, 2)}
         assert recorder.write_footprint() == {(1, 2)}
 
+    def test_footprints_preserve_first_touch_order(self, machine):
+        """Footprints iterate in first-touch order (no set-iteration
+        nondeterminism) while staying set-like for comparisons."""
+        recorder = attach(machine)
+        machine.read_blocks([(3, 0), (1, 0)])
+        machine.read_blocks([(2, 0), (3, 0)])
+        assert list(recorder.blocks_touched()) == [(3, 0), (1, 0), (2, 0)]
+        assert list(recorder.read_footprint()) == [(3, 0), (1, 0), (2, 0)]
+        # set-like semantics are preserved
+        assert recorder.blocks_touched() == {(1, 0), (2, 0), (3, 0)}
+        assert recorder.blocks_touched() & {(1, 0)} == {(1, 0)}
+
+    def test_footprint_kind_filter_ordered(self, machine):
+        recorder = attach(machine)
+        machine.write_blocks([((5, 1), [1], 64)])
+        machine.read_blocks([(0, 0)])
+        machine.write_blocks([((4, 0), [1], 64)])
+        assert list(recorder.write_footprint()) == [(5, 1), (4, 0)]
+        assert list(recorder.blocks_touched()) == [(5, 1), (0, 0), (4, 0)]
+
     def test_detach_stops_recording(self, machine):
         recorder = attach(machine)
         detach(machine)
