@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint baseline bench bench-report examples figure1 profile clean
+.PHONY: install test lint baseline bench bench-report chaos examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,14 @@ bench-report:
 		--operations 512 --capacity 512 --quiet \
 		--json benchmarks/results/BENCH_smoke.json \
 		--chrome-trace benchmarks/results/BENCH_smoke_trace.json
+
+# Deterministic chaos run: seeded fault plan against all three dictionaries,
+# verified against a model — exit 1 on any silent wrong answer.
+chaos:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m repro.faults --structure all \
+		--operations 256 --capacity 128 --quiet \
+		--json benchmarks/results/BENCH_chaos.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

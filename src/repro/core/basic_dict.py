@@ -27,7 +27,13 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.core.interface import (
+    CapacityExceeded,
+    DegradedLookupError,
+    DegradedModeError,
+    Dictionary,
+    LookupResult,
+)
 from repro.expanders.base import StripedExpander
 from repro.expanders.random_graph import SeededRandomExpander
 from repro.pdm.iostats import OpCost
@@ -166,19 +172,56 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
         ) as m:
             locs = self.graph.striped_neighbors(key)
-            contents = self.buckets.read_buckets(locs)
+            if self.machine.faults is None:
+                contents = self.buckets.read_buckets(locs)
+                failures: Dict[Tuple[int, int], Any] = {}
+            else:
+                contents, failures = self.buckets.read_buckets_degraded(locs)
+                if failures and m.span is not None:
+                    m.annotate(degraded=True, failed_buckets=len(failures))
             fragments: List[Tuple[int, Any]] = []
             for loc in locs:
+                if loc in failures:
+                    continue
                 for (k2, t, frag) in contents[loc]:
                     if k2 == key:
                         fragments.append((t, frag))
             if m.span is not None:
                 m.annotate(found=bool(fragments))
+        if failures:
+            self._settle_degraded(key, fragments, failures)
         if not fragments:
             return LookupResult(False, None, m.cost)
         fragments.sort()
         value = _join_fragments([frag for _, frag in fragments])
         return LookupResult(True, value, m.cost)
+
+    def _settle_degraded(
+        self,
+        key: int,
+        fragments: List[Tuple[int, Any]],
+        failures: Dict[Tuple[int, int], Any],
+    ) -> None:
+        """Decide whether a lookup that lost buckets is still sound.
+
+        A key lives in exactly one bucket per fragment (``k`` buckets
+        total), so a *complete* fragment set recovered from the surviving
+        choices is a correct positive answer — the ``d``-choice fallback.
+        Anything else is undecidable: the key (or a missing fragment) may
+        be hiding in a failed bucket, so we fail loudly rather than report
+        a possibly-wrong miss or a truncated value.
+        """
+        ts = sorted(t for t, _ in fragments)
+        if ts == list(range(self.k)):
+            return  # every fragment recovered: positive answer is sound
+        raise DegradedLookupError(
+            f"key {key}: {len(failures)} of {self.degree} candidate buckets "
+            f"unreadable and only {len(ts)}/{self.k} fragments recovered; "
+            f"membership cannot be decided",
+            key=key,
+            failures=failures,
+            membership=True if ts else None,
+        )
 
     def lookup_batch(self, keys: Sequence[int]) -> Tuple[Dict[int, LookupResult], OpCost]:
         """Answer many lookups in one batched probe.
@@ -206,7 +249,13 @@ class BasicDictionary(Dictionary):
             for key in dict.fromkeys(keys):
                 all_locs[key] = self.graph.striped_neighbors(key)
             wanted = {loc for locs in all_locs.values() for loc in locs}
-            contents = self.buckets.read_buckets(wanted)
+            if self.machine.faults is None:
+                contents = self.buckets.read_buckets(wanted)
+                failures: Dict[Tuple[int, int], Any] = {}
+            else:
+                contents, failures = self.buckets.read_buckets_degraded(wanted)
+                if failures and m.span is not None:
+                    m.annotate(degraded=True, failed_buckets=len(failures))
             if m.span is not None:
                 m.annotate(distinct_keys=len(all_locs), buckets_read=len(wanted))
         out: Dict[int, LookupResult] = {}
@@ -214,9 +263,16 @@ class BasicDictionary(Dictionary):
             fragments = [
                 (t, frag)
                 for loc in locs
+                if loc not in failures
                 for (k2, t, frag) in contents[loc]
                 if k2 == key
             ]
+            if failures and any(loc in failures for loc in locs):
+                # Same soundness rule as the single-key path; the first
+                # undecidable key (insertion order) fails the whole batch.
+                self._settle_degraded(
+                    key, fragments, {l: failures[l] for l in locs if l in failures}
+                )
             if fragments:
                 fragments.sort()
                 value = _join_fragments([f for _, f in fragments])
@@ -240,7 +296,25 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
         ) as m:
             locs = self.graph.striped_neighbors(key)
-            contents = self.buckets.read_buckets(locs)
+            if self.machine.faults is None:
+                contents = self.buckets.read_buckets(locs)
+            else:
+                contents, failures = self.buckets.read_buckets_degraded(locs)
+                if failures:
+                    # Placing into a surviving choice while the key might be
+                    # hiding in a failed bucket could create a duplicate —
+                    # a future silent wrong answer.  Mutations need all d
+                    # candidate loads; fail before touching anything.
+                    if m.span is not None:
+                        m.annotate(degraded=True, failed_buckets=len(failures))
+                    raise DegradedModeError(
+                        f"upsert of key {key}: {len(failures)} of "
+                        f"{self.degree} candidate buckets unreadable; "
+                        f"refusing a placement that could duplicate the key",
+                        key=key,
+                        op="upsert",
+                        failures=failures,
+                    )
 
             old_fragments: List[Tuple[int, Any]] = []
             dirty: Dict[Tuple[int, int], List[Any]] = {}
@@ -307,7 +381,23 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
         ) as m:
             locs = self.graph.striped_neighbors(key)
-            contents = self.buckets.read_buckets(locs)
+            if self.machine.faults is None:
+                contents = self.buckets.read_buckets(locs)
+            else:
+                contents, failures = self.buckets.read_buckets_degraded(locs)
+                if failures:
+                    # A delete that cannot see every candidate bucket might
+                    # leave the key alive in a failed one; refuse up front
+                    # (no partial mutation has happened yet).
+                    if m.span is not None:
+                        m.annotate(degraded=True, failed_buckets=len(failures))
+                    raise DegradedModeError(
+                        f"delete of key {key}: {len(failures)} of "
+                        f"{self.degree} candidate buckets unreadable",
+                        key=key,
+                        op="delete",
+                        failures=failures,
+                    )
             dirty = {}
             removed = False
             for loc in locs:

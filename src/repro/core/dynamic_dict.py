@@ -31,8 +31,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.bits import BitVector, decode_chain, encode_chain, required_field_bits
 from repro.core.basic_dict import BasicDictionary
-from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.core.interface import (
+    CapacityExceeded,
+    DegradedLookupError,
+    Dictionary,
+    LookupResult,
+)
 from repro.core.static_dict import fields_needed
+from repro.pdm.errors import DiskFailure
 from repro.expanders.random_graph import SeededRandomExpander
 from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
@@ -215,9 +221,25 @@ class DynamicDictionary(Dictionary):
         fields = self.levels[level].read_fields(locs)
         return locs, fields
 
-    def _free_stripes(self, locs, fields) -> List[int]:
+    def _read_level_degraded(self, level: int, key: int):
+        """Like :meth:`_read_level` but collects per-field faults.
+
+        Returns ``(locs, fields, failures)`` where ``failures`` maps the
+        unreadable ``(stripe, j)`` locations to their :class:`IOFault`;
+        those locations are absent from ``fields``.
+        """
+        locs = self.level_graphs[level].striped_neighbors(key)
+        fields, failures = self.levels[level].read_fields_degraded(locs)
+        return locs, fields, failures
+
+    def _free_stripes(self, locs, fields, failures=None) -> List[int]:
+        # A field whose state is unknown (unreadable block) can never be
+        # claimed free: writing into it could clobber another key's chain.
         return sorted(
-            stripe for (stripe, j) in locs if fields[(stripe, j)] is None
+            stripe
+            for (stripe, j) in locs
+            if (failures is None or (stripe, j) not in failures)
+            and fields[(stripe, j)] is None
         )
 
     def _chain_value(self, level: int, key: int, fields, locs, head: int) -> int:
@@ -226,6 +248,79 @@ class DynamicDictionary(Dictionary):
             by_stripe, head, self.field_bits, self.sigma, self.degree
         )
         return record.to_int()
+
+    def _chain_value_degraded(
+        self, level: int, key: int, fields, locs, head: int, failures
+    ) -> int:
+        """Decode a chain whose level read lost some fields.
+
+        The retrieval arrays keep exactly one copy of every chain field, so
+        a failure on any stripe the chain actually visits is unrecoverable:
+        membership is certain (the §4.1 dictionary answered) but the value
+        is not, and we raise rather than return a truncated record.
+        Failures on the key's *other* neighbor fields are harmless.
+        """
+        if not failures:
+            return self._chain_value(level, key, fields, locs, head)
+        by_stripe = {
+            (stripe): fields[(stripe, j)]
+            for (stripe, j) in locs
+            if (stripe, j) not in failures
+        }
+        try:
+            record = decode_chain(
+                by_stripe, head, self.field_bits, self.sigma, self.degree
+            )
+        except (KeyError, TypeError) as exc:
+            raise DegradedLookupError(
+                f"key {key}: chain on level {level} crosses "
+                f"{len(failures)} unreadable field(s); the dynamic levels "
+                f"keep no spare copies",
+                key=key,
+                failures=dict(failures),
+                membership=True,
+            ) from exc
+        return record.to_int()
+
+    def _clear_chain_best_effort(self, level: int, key: int, head: int):
+        """Clear a chain under faults, leaking what cannot be reached.
+
+        Returns ``(leaked, failures)``.  Fields on unreadable stripes — and
+        every field *past* the first unreadable link, since the chain walk
+        cannot continue — stay occupied.  That costs capacity (first-fit
+        sees them as busy), never correctness: membership no longer points
+        at them.  ``leaked`` counts only the known-lost links; the tail
+        beyond a broken link is of unknown length.
+        """
+        from repro.bits.bitvector import BitReader
+        from repro.bits.unary import decode_unary
+
+        locs, fields, failures = self._read_level_degraded(level, key)
+        idx = {i: j for (i, j) in locs}
+        stripes: List[int] = []
+        leaked = 0
+        stripe = head
+        while True:
+            if stripe not in idx:
+                leaked += 1  # walk escaped the key's neighborhood: stop
+                break
+            loc = (stripe, idx[stripe])
+            if loc in failures or fields.get(loc) is None:
+                leaked += 1  # broken link: the rest of the chain is orphaned
+                break
+            stripes.append(stripe)
+            delta = decode_unary(BitReader(fields[loc]))
+            if delta == 0:
+                break
+            stripe += delta
+        if stripes:
+            try:
+                self.levels[level].write_fields(
+                    {(s, idx[s]): None for s in stripes}
+                )
+            except DiskFailure:
+                leaked += len(stripes)
+        return leaked, failures
 
     def _chain_stripes(self, head: int, fields_by_stripe) -> List[int]:
         """Walk a chain to enumerate its stripes (for clearing)."""
@@ -255,13 +350,27 @@ class DynamicDictionary(Dictionary):
             num_levels=self.num_levels,
             membership_bpb=self.membership.buckets.blocks_per_bucket,
         ) as root:
+            degraded = self.machine.faults is not None
             # Phase 1 (parallel): membership probe + speculative level-1 read.
+            # Under faults the speculative read must not raise eagerly: a
+            # lost level-0 field is irrelevant when the key is absent or
+            # lives on a deeper level.
             with span(self.machine, "dynamic_dict.lookup.phase1", parallel=True):
                 mem = self.membership.lookup(key)
                 with span(
                     self.machine, "dynamic_dict.speculative_read", level=0
                 ) as spec:
-                    locs1, fields1 = self._read_level(0, key)
+                    if degraded:
+                        locs1, fields1, fails1 = self._read_level_degraded(
+                            0, key
+                        )
+                        if fails1:
+                            spec.annotate(
+                                degraded=True, failed_fields=len(fails1)
+                            )
+                    else:
+                        locs1, fields1 = self._read_level(0, key)
+                        fails1 = {}
             cost = OpCost.parallel(mem.cost, spec.cost)
             if not mem.found:
                 root.annotate(found=False)
@@ -272,14 +381,30 @@ class DynamicDictionary(Dictionary):
                 return LookupResult(False, None, cost)
             level, head = mem.value
             if level == 0:
-                value = self._chain_value(0, key, fields1, locs1, head)
+                value = self._chain_value_degraded(
+                    0, key, fields1, locs1, head, fails1
+                )
             else:
                 with span(
                     self.machine, "dynamic_dict.level_read", level=level
                 ) as extra:
-                    locs, fields = self._read_level(level, key)
+                    if degraded:
+                        locs, fields, fails = self._read_level_degraded(
+                            level, key
+                        )
+                        if fails:
+                            extra.annotate(
+                                degraded=True, failed_fields=len(fails)
+                            )
+                    else:
+                        locs, fields = self._read_level(level, key)
+                        fails = {}
                 cost = cost + extra.cost
-                value = self._chain_value(level, key, fields, locs, head)
+                value = self._chain_value_degraded(
+                    level, key, fields, locs, head, fails
+                )
+            if degraded and (fails1 or (level != 0 and fails)):
+                root.annotate(degraded=True)
             root.annotate(found=True, level=level)
             self.stats.lookups += 1
             self.stats.hits += 1
@@ -304,16 +429,34 @@ class DynamicDictionary(Dictionary):
             num_levels=self.num_levels,
             membership_bpb=self.membership.buckets.blocks_per_bucket,
         ) as root:
+            degraded = self.machine.faults is not None
             # Retrieval + membership run on disjoint disk groups in parallel.
             with span(self.machine, "dynamic_dict.insert.place", parallel=True):
                 with span(self.machine, "dynamic_dict.first_fit") as ret:
                     placed = None
+                    probe_failures = 0
                     for level in range(self.num_levels):
-                        locs, fields = self._read_level(level, key)
-                        free = self._free_stripes(locs, fields)
+                        if degraded:
+                            # Unreadable fields count as occupied (see
+                            # _free_stripes); a level with faults can still
+                            # accept the key if enough *verified-free*
+                            # fields remain, so first-fit degrades to
+                            # placing one level deeper instead of refusing.
+                            locs, fields, fails = self._read_level_degraded(
+                                level, key
+                            )
+                            probe_failures += len(fails)
+                        else:
+                            locs, fields = self._read_level(level, key)
+                            fails = None
+                        free = self._free_stripes(locs, fields, fails)
                         if len(free) >= self.m_need:
                             placed = (level, free[: self.m_need], locs)
                             break
+                    if probe_failures:
+                        ret.annotate(
+                            degraded=True, failed_fields=probe_failures
+                        )
                     if placed is None:
                         raise CapacityExceeded(
                             f"no level offers {self.m_need} free fields for key "
@@ -337,17 +480,27 @@ class DynamicDictionary(Dictionary):
 
             if was_present:
                 # Update of an existing key: clear the superseded chain.
+                # Membership already points at the new chain, so a fault
+                # here can only leak fields, never corrupt an answer —
+                # clear what is reachable and count the rest.
                 old_level, old_head = old
                 with span(
                     self.machine, "dynamic_dict.clear_chain", level=old_level
                 ) as clear:
-                    locs_o, fields_o = self._read_level(old_level, key)
-                    by_stripe = {s: fields_o[(s, j)] for (s, j) in locs_o}
-                    old_stripes = self._chain_stripes(old_head, by_stripe)
-                    idx = {i: j for (i, j) in locs_o}
-                    self.levels[old_level].write_fields(
-                        {(s, idx[s]): None for s in old_stripes}
-                    )
+                    if degraded:
+                        leaked, _ = self._clear_chain_best_effort(
+                            old_level, key, old_head
+                        )
+                        if leaked:
+                            clear.annotate(degraded=True, leaked_fields=leaked)
+                    else:
+                        locs_o, fields_o = self._read_level(old_level, key)
+                        by_stripe = {s: fields_o[(s, j)] for (s, j) in locs_o}
+                        old_stripes = self._chain_stripes(old_head, by_stripe)
+                        idx = {i: j for (i, j) in locs_o}
+                        self.levels[old_level].write_fields(
+                            {(s, idx[s]): None for s in old_stripes}
+                        )
                 cost = cost + clear.cost
             else:
                 self.size += 1
@@ -375,6 +528,24 @@ class DynamicDictionary(Dictionary):
                 root.annotate(found=False)
                 return mem.cost
             level, head = mem.value
+            if self.machine.faults is not None:
+                # Degraded order: retire the membership entry *first* (it
+                # refuses upfront when its buckets are unreadable, leaving
+                # everything untouched), then clear the chain best-effort.
+                # A fault mid-clear leaks fields but the key is already
+                # gone — no lookup can ever see the half-cleared chain.
+                del_cost = self.membership.delete(key)
+                with span(
+                    self.machine, "dynamic_dict.clear_chain", level=level
+                ) as clear:
+                    leaked, fails = self._clear_chain_best_effort(
+                        level, key, head
+                    )
+                    if leaked or fails:
+                        clear.annotate(degraded=True, leaked_fields=leaked)
+                self.size -= 1
+                root.annotate(found=True, level=level)
+                return mem.cost + del_cost + clear.cost
             # Membership delete and chain clearing hit disjoint disk groups;
             # the initial membership read is serial (it supplies the level).
             with span(self.machine, "dynamic_dict.delete.apply", parallel=True):

@@ -27,6 +27,45 @@ class CapacityExceeded(Exception):
     the paper's lemmas keep safe at proper parameters) would be violated."""
 
 
+class DegradedModeError(Exception):
+    """An operation could not complete correctly under injected faults.
+
+    Raised by the degraded-mode paths when the surviving redundancy is no
+    longer sufficient to *guarantee* a correct answer — the loud-failure
+    contract: a dictionary under faults either answers correctly or raises
+    this (or a typed :class:`repro.pdm.errors.IOFault`), never returns a
+    silently wrong result.
+
+    ``failures`` carries the per-location faults that pushed the operation
+    past its tolerance, so chaos reports can attribute every failed op.
+    """
+
+    def __init__(self, message: str, *, key: Optional[int] = None,
+                 op: str = "", failures: Any = None):
+        super().__init__(message)
+        self.key = key
+        self.op = op
+        self.failures = failures if failures is not None else {}
+
+
+class DegradedLookupError(DegradedModeError):
+    """A lookup lost too many of its redundant probes.
+
+    For the one-probe static dictionary this means more than
+    ``floor((ceil(2d/3) - 1) / 2)`` of the key's assigned fields were
+    unreadable, so a majority among the surviving fields is no longer
+    decisive.  ``membership`` (when not ``None``) preserves what *is* still
+    known soundly: ``True``/``False`` if presence could be decided even
+    though the value could not be reconstructed.
+    """
+
+    def __init__(self, message: str, *, key: Optional[int] = None,
+                 op: str = "lookup", failures: Any = None,
+                 membership: Optional[bool] = None):
+        super().__init__(message, key=key, op=op, failures=failures)
+        self.membership = membership
+
+
 @dataclass(frozen=True)
 class LookupResult:
     """Outcome of one lookup."""

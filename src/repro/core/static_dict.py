@@ -38,7 +38,13 @@ from repro.bits import (
     required_field_bits,
 )
 from repro.core.basic_dict import BasicDictionary
-from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
+from repro.core.interface import (
+    CapacityExceeded,
+    DegradedLookupError,
+    Dictionary,
+    LookupResult,
+)
+from repro.pdm.errors import BlockCorruption, DiskFailure
 from repro.expanders.base import StripedExpander
 from repro.expanders.random_graph import SeededRandomExpander
 from repro.pdm.iostats import OpCost
@@ -49,6 +55,18 @@ from repro.pdm.striping import StripedFieldArray
 #: the fraction of a key's neighbors that get assigned: ceil(2d/3).
 def fields_needed(degree: int) -> int:
     return -(-2 * degree // 3)
+
+
+def fault_tolerance(degree: int) -> int:
+    """Maximum unreadable assigned fields a degraded lookup survives.
+
+    With ``m = ceil(2d/3)`` assigned fields and a strict-majority-of-``m``
+    decode bar, losing ``f <= floor((m - 1) / 2)`` fields still leaves the
+    true identifier with more than ``m/2`` votes, while any impostor holds
+    at most ``eps * d < d/3 <= m/2`` shared-neighbor fields — so both the
+    positive answer and the miss stay sound up to exactly this threshold.
+    """
+    return (fields_needed(degree) - 1) // 2
 
 
 @dataclass
@@ -150,6 +168,7 @@ class StaticDictionary(Dictionary):
         graph: Optional[StripedExpander] = None,
         strict: bool = True,
         construction: str = "fast",
+        redundancy: str = "standard",
     ) -> "StaticDictionary":
         """Construct the dictionary for a fixed key -> value map.
 
@@ -162,10 +181,31 @@ class StaticDictionary(Dictionary):
         (:mod:`repro.core.static_construction`) so its ``O(sort(nd))`` I/O
         cost is measured; ``'fast'`` computes the identical assignment in
         host memory and charges only the field/membership writes.
+
+        ``redundancy`` (case 'b' only) selects the fragment layout:
+        ``'standard'`` is the paper's — each of the ``m = ceil(2d/3)``
+        fields holds a distinct ``ceil(sigma/m)``-bit record fragment, so
+        losing any fragment loses record bits (membership stays decidable
+        up to :func:`fault_tolerance` lost fields, but the value does not
+        survive).  ``'replicate'`` stores the *full* record in every
+        assigned field (``m``-way replication, ``field_bits = lg n +
+        sigma``): degraded lookups then reconstruct the value from any
+        surviving field and can read-repair corrupted ones — the space /
+        fault-tolerance trade-off made explicit.
         """
         self = object.__new__(cls)
         if case not in ("a", "b"):
             raise ValueError(f"case must be 'a' or 'b', got {case!r}")
+        if redundancy not in ("standard", "replicate"):
+            raise ValueError(
+                f"redundancy must be 'standard' or 'replicate', got "
+                f"{redundancy!r}"
+            )
+        if redundancy == "replicate" and case != "b":
+            raise ValueError(
+                "redundancy='replicate' applies to case 'b' only; case 'a' "
+                "chains fragments through unary pointers and cannot replicate"
+            )
         if sigma < 0:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         n = len(items)
@@ -174,6 +214,7 @@ class StaticDictionary(Dictionary):
         self.universe_size = universe_size
         self.sigma = sigma
         self.case = case
+        self.redundancy = redundancy
         self.machine = machine
         self.n = n
 
@@ -253,7 +294,10 @@ class StaticDictionary(Dictionary):
         membership_cost = OpCost.zero()
         if case == "b":
             self.membership = None
-            frag_bits = math.ceil(sigma / self.m_need) if sigma else 0
+            if redundancy == "replicate":
+                frag_bits = sigma
+            else:
+                frag_bits = math.ceil(sigma / self.m_need) if sigma else 0
             self.field_bits = self.ident_bits + max(frag_bits, 0)
             self.array = StripedFieldArray(
                 machine,
@@ -308,6 +352,7 @@ class StaticDictionary(Dictionary):
         return BitVector.from_int(value, self.sigma)
 
     def _fill_case_b(self, items: Mapping[int, int]) -> None:
+        replicate = self.redundancy == "replicate"
         frag_w = math.ceil(self.sigma / self.m_need) if self.sigma else 0
         writes: Dict[Tuple[int, int], Tuple[int, BitVector]] = {}
         stripe_index = self._stripe_index_map()
@@ -315,11 +360,14 @@ class StaticDictionary(Dictionary):
             record = self._record_bits(items[key])
             ident = self._ident[key]
             for t, stripe in enumerate(stripes):
-                frag = (
-                    record[t * frag_w : (t + 1) * frag_w]
-                    if frag_w
-                    else BitVector()
-                )
+                if replicate:
+                    frag = record if self.sigma else BitVector()
+                else:
+                    frag = (
+                        record[t * frag_w : (t + 1) * frag_w]
+                        if frag_w
+                        else BitVector()
+                    )
                 writes[(stripe, stripe_index[key][stripe])] = (ident, frag)
         self.array.write_fields(writes)
 
@@ -364,32 +412,141 @@ class StaticDictionary(Dictionary):
             case="b",
         ) as m:
             locs = self.graph.striped_neighbors(key)
-            fields = self.array.read_fields(locs)
+            if self.machine.faults is None:
+                fields = self.array.read_fields(locs)
+                failures: Dict[Tuple[int, int], Exception] = {}
+            else:
+                fields, failures = self.array.read_fields_degraded(locs)
+                if failures and m.span is not None:
+                    m.annotate(degraded=True, failed_fields=len(failures))
             counts: Dict[int, int] = {}
             for loc in locs:
+                if loc in failures:
+                    continue
                 val = fields[loc]
                 if val is not None:
                     ident = val[0]
                     counts[ident] = counts.get(ident, 0) + 1
-        majority = None
-        for ident, cnt in counts.items():
-            if cnt > self.degree / 2:
-                majority = ident
-                break
-        if majority is None:
-            return LookupResult(False, None, m.cost)
-        frags = [
-            (stripe, fields[(stripe, j)][1])
-            for (stripe, j) in locs
-            if fields[(stripe, j)] is not None
-            and fields[(stripe, j)][0] == majority
-        ]
-        frags.sort()
-        record = BitVector()
-        for _, frag in frags:
-            record = record + frag
-        value = record[: self.sigma].to_int() if self.sigma else None
-        return LookupResult(True, value, m.cost)
+            # Decode bar: a strict majority of the m = ceil(2d/3) *assigned*
+            # fields.  On intact data this answers identically to a
+            # majority-of-d bar (a present key holds all m > d/2 fields, an
+            # impostor at most eps*d < d/3 <= m/2), but it stays correct
+            # when fields are legitimately missing — after a fault, or after
+            # read-repair scrubbed a field's block slot.
+            bar = self.m_need / 2
+            majority = None
+            for ident, cnt in counts.items():
+                if cnt > bar:
+                    majority = ident
+                    break
+            if majority is None and failures:
+                if len(failures) > fault_tolerance(self.degree):
+                    # A present key could have lost its majority entirely:
+                    # a miss would be a guess, so fail loudly instead.
+                    raise DegradedLookupError(
+                        f"key {key}: {len(failures)} of {self.degree} fields "
+                        f"unreadable exceeds the tolerance of "
+                        f"{fault_tolerance(self.degree)}; membership "
+                        f"undecidable",
+                        key=key,
+                        failures=failures,
+                    )
+                # f <= floor((m-1)/2): even a present key keeps > m/2
+                # surviving votes, so the absence of a majority proves a
+                # genuine miss.
+            found = majority is not None
+            value: Optional[int] = None
+            if found:
+                frags = [
+                    (stripe, fields[(stripe, j)][1])
+                    for (stripe, j) in locs
+                    if (stripe, j) not in failures
+                    and fields[(stripe, j)] is not None
+                    and fields[(stripe, j)][0] == majority
+                ]
+                frags.sort()
+                if failures:
+                    value = self._decode_degraded(key, majority, frags, failures)
+                    self._read_repair(key, majority, value, failures, m)
+                elif self.sigma:
+                    record = BitVector()
+                    for _, frag in frags:
+                        record = record + frag
+                    value = record[: self.sigma].to_int()
+            if m.span is not None:
+                m.annotate(found=found)
+        # m.cost is only final once the span has exited.
+        return LookupResult(found, value, m.cost)
+
+    def _decode_degraded(
+        self,
+        key: int,
+        majority: int,
+        frags: List[Tuple[int, BitVector]],
+        failures: Dict[Tuple[int, int], Exception],
+    ) -> Optional[int]:
+        """Reconstruct the record once presence is established.
+
+        Replicated layout: any surviving copy is the whole record.
+        Standard layout: all ``m`` distinct fragments are required — if any
+        assigned field was lost, membership is known but the value is not,
+        and pretending otherwise would return a truncated record.
+        """
+        if not self.sigma:
+            return None
+        if self.redundancy == "replicate":
+            return frags[0][1][: self.sigma].to_int()
+        if len(frags) == self.m_need:
+            record = BitVector()
+            for _, frag in frags:
+                record = record + frag
+            return record[: self.sigma].to_int()
+        raise DegradedLookupError(
+            f"key {key} is present but {self.m_need - len(frags)} of its "
+            f"{self.m_need} record fragments are unreadable "
+            f"(redundancy='standard' keeps no spare copies; build with "
+            f"redundancy='replicate' for value survival)",
+            key=key,
+            failures=failures,
+            membership=True,
+        )
+
+    def _read_repair(
+        self,
+        key: int,
+        majority: int,
+        value: Optional[int],
+        failures: Dict[Tuple[int, int], Exception],
+        handle,
+    ) -> None:
+        """Heal corrupted fields of ``key`` from the reconstructed record.
+
+        Recovery (not the one-probe hot path) may consult the construction
+        metadata, the way a scrubber would: only fields the assignment
+        actually gave to ``key`` are rewritten, and only for *corruption*
+        failures — an outage has nothing to write to, and a transient left
+        the medium intact.  Repair I/O is charged as ``repair_ios`` inside
+        the lookup span.
+        """
+        if self.redundancy != "replicate":
+            return
+        assigned = set(self.assignment.get(key, ()))
+        record = (
+            BitVector.from_int(value, self.sigma) if self.sigma else BitVector()
+        )
+        repairs = {
+            loc: (majority, record)
+            for loc, fault in failures.items()
+            if isinstance(fault, BlockCorruption) and loc[0] in assigned
+        }
+        if not repairs:
+            return
+        try:
+            self.array.repair_fields(repairs)
+        except DiskFailure:
+            return  # the disk went down between read and repair; next time
+        if handle.span is not None:
+            handle.annotate(repaired_fields=len(repairs))
 
     def _lookup_case_a(self, key: int) -> LookupResult:
         # The two sub-dictionaries live on disjoint disk groups and are
@@ -402,17 +559,43 @@ class StaticDictionary(Dictionary):
             case="a",
             parallel=True,
         ):
+            # Membership handles its own degradation: an undecidable probe
+            # raises DegradedLookupError from inside the basic dictionary.
             mem_result = self.membership.lookup(key)
             if self.array is None:
                 return mem_result
             with span(self.machine, "static_dict.field_read") as m:
                 locs = self.graph.striped_neighbors(key)
-                fields = self.array.read_fields(locs)
+                if self.machine.faults is None:
+                    fields = self.array.read_fields(locs)
+                    failures: Dict[Tuple[int, int], Exception] = {}
+                else:
+                    fields, failures = self.array.read_fields_degraded(locs)
+                    if failures and m.span is not None:
+                        m.annotate(degraded=True, failed_fields=len(failures))
         cost = OpCost.parallel(mem_result.cost, m.cost)
         if not mem_result.found:
+            # Sound regardless of field failures: membership alone decides
+            # absence, and it answered (or raised) on its own redundancy.
             return LookupResult(False, None, cost)
         head = mem_result.value
-        by_stripe = {stripe: fields[(stripe, j)] for (stripe, j) in locs}
+        if failures:
+            assigned = set(self.assignment.get(key, ()))
+            lost = [loc for loc in failures if loc[0] in assigned]
+            if lost:
+                raise DegradedLookupError(
+                    f"key {key} is present but {len(lost)} of its chained "
+                    f"record fields are unreadable (case 'a' unary chains "
+                    f"keep no spare copies)",
+                    key=key,
+                    failures=failures,
+                    membership=True,
+                )
+        by_stripe = {
+            stripe: fields[(stripe, j)]
+            for (stripe, j) in locs
+            if (stripe, j) not in failures
+        }
         record = decode_chain(
             by_stripe, head, self.field_bits, self.sigma, self.degree
         )

@@ -1,0 +1,28 @@
+"""Deterministic chaos: fault plans and degraded-mode survival runs.
+
+The *mechanism* — fault events, the wrapped :class:`FaultyDisk`, the
+injector the machine consults on its hot path — lives in
+:mod:`repro.pdm.faults`, below the dictionaries.  This package is the
+*policy* layer on top:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: seeded, bit-identical
+  schedules of outages, transients, corruptions and stragglers over the
+  machine's logical clock;
+* :mod:`repro.faults.chaos` — :func:`run_chaos`: replay a workload
+  healthy and then faulted, verify every answer against a model, and
+  report survived / loudly-failed / silently-wrong operations plus the
+  I/O cost of recovery;
+* ``python -m repro.faults`` — the CLI over both (exit 1 on any silent
+  wrong answer).
+"""
+
+from repro.faults.chaos import ChaosReport, chaos_replay, run_chaos
+from repro.faults.plan import FOREVER, FaultPlan
+
+__all__ = [
+    "ChaosReport",
+    "FaultPlan",
+    "FOREVER",
+    "chaos_replay",
+    "run_chaos",
+]

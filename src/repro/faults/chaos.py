@@ -1,0 +1,399 @@
+"""Chaos runs: replay workloads under deterministic fault injection.
+
+:func:`run_chaos` executes the same seeded workload twice — once on a
+healthy machine (the baseline), once with a :class:`~repro.faults.plan.
+FaultPlan` attached — and reports what survived, what failed *loudly*
+(typed :class:`~repro.pdm.errors.IOFault` /
+:class:`~repro.core.interface.DegradedModeError`), and, crucially,
+whether anything failed *silently*: every lookup is checked against a
+Python-dict model, and a wrong answer is the one unforgivable outcome
+(``ChaosReport.ok`` is false, the CLI exits 1).
+
+Both passes are functions of ``(seed, fault_seed)`` only, so a chaos run
+that finds a bug is its own reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bits.mix import derive
+from repro.core.interface import CapacityExceeded, DegradedModeError
+from repro.core.static_dict import StaticDictionary, fault_tolerance
+from repro.obs.harness import build_structure
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collect_faults,
+    collect_machine,
+    collect_spans,
+)
+from repro.pdm.errors import IOFault
+from repro.pdm.faults import attach_faults
+from repro.pdm.machine import ParallelDiskMachine
+from repro.pdm.spans import attach_spans
+from repro.workloads.replay import Workload, replay
+
+from repro.faults.plan import FaultPlan
+
+STRUCTURES = ("static", "basic", "dynamic")
+
+Op = Tuple[str, int, Optional[int]]
+
+# Domain-separation tags for the static workload's key streams.
+_TAG_KEY = 0xC4A05_01
+_TAG_VALUE = 0xC4A05_02
+_TAG_ABSENT = 0xC4A05_03
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run."""
+
+    structure: str
+    params: Dict[str, Any]
+    plan_counts: Dict[str, int]
+    operations: int
+    survived: int
+    wrong_answers: int
+    failed: Dict[str, int] = field(default_factory=dict)
+    healthy_ios: int = 0
+    chaos_ios: int = 0
+    retry_ios: int = 0
+    repair_ios: int = 0
+    degraded_spans: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    registry: Optional[MetricsRegistry] = None
+
+    @property
+    def failed_total(self) -> int:
+        return sum(self.failed.values())
+
+    @property
+    def ok(self) -> bool:
+        """Loud failures are acceptable chaos outcomes; silence is not."""
+        return self.wrong_answers == 0
+
+    @property
+    def overhead(self) -> float:
+        """Relative I/O cost of surviving the faults (chaos vs healthy)."""
+        if self.healthy_ios <= 0:
+            return 0.0
+        return self.chaos_ios / self.healthy_ios - 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "structure": self.structure,
+            "params": self.params,
+            "plan": self.plan_counts,
+            "operations": self.operations,
+            "survived": self.survived,
+            "failed": dict(self.failed),
+            "wrong_answers": self.wrong_answers,
+            "healthy_ios": self.healthy_ios,
+            "chaos_ios": self.chaos_ios,
+            "retry_ios": self.retry_ios,
+            "repair_ios": self.repair_ios,
+            "degraded_spans": self.degraded_spans,
+            "overhead": self.overhead,
+            "injected": dict(self.injected),
+            "metrics": self.registry.as_dict() if self.registry else {},
+            "ok": self.ok,
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"== chaos run: {self.structure} ==",
+            "params: "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.params.items())),
+            "plan: "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.plan_counts.items())),
+            f"operations: {self.operations}  survived: {self.survived}  "
+            f"failed-loud: {self.failed_total}  wrong: {self.wrong_answers}",
+        ]
+        if self.failed:
+            lines.append(
+                "  " + " ".join(f"{k}={v}" for k, v in sorted(self.failed.items()))
+            )
+        lines.append(
+            f"io: healthy={self.healthy_ios} chaos={self.chaos_ios} "
+            f"(+{self.overhead:.1%})  retry={self.retry_ios} "
+            f"repair={self.repair_ios}  degraded-spans={self.degraded_spans}"
+        )
+        lines.append(
+            "injected: "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
+        )
+        lines.append("verdict: " + ("OK" if self.ok else "SILENT WRONG ANSWER"))
+        return "\n".join(lines)
+
+
+# -- workload construction ----------------------------------------------------
+
+
+def _static_items(
+    *, universe_size: int, capacity: int, sigma: int, seed: int
+) -> Dict[int, int]:
+    items: Dict[int, int] = {}
+    i = 0
+    while len(items) < capacity:
+        key = derive(seed, _TAG_KEY, i) % universe_size
+        if key not in items:
+            items[key] = derive(seed, _TAG_VALUE, i) % (1 << sigma)
+        i += 1
+    return items
+
+
+def _static_ops(
+    items: Dict[int, int],
+    *,
+    universe_size: int,
+    operations: int,
+    seed: int,
+) -> Tuple[Op, ...]:
+    """Alternating present/absent lookups (the static dict is immutable)."""
+    present = sorted(items)
+    ops: list = []
+    hit_i = 0
+    probe_j = 0
+    while len(ops) < operations:
+        if len(ops) % 2 == 0:
+            key = present[hit_i % len(present)]
+            hit_i += 1
+        else:
+            while True:
+                key = derive(seed, _TAG_ABSENT, probe_j) % universe_size
+                probe_j += 1
+                if key not in items:
+                    break
+        ops.append(("lookup", key, None))
+    return tuple(ops)
+
+
+def _build_static(
+    machine: ParallelDiskMachine,
+    *,
+    universe_size: int,
+    capacity: int,
+    sigma: int,
+    seed: int,
+) -> Tuple[StaticDictionary, Dict[int, int]]:
+    items = _static_items(
+        universe_size=universe_size, capacity=capacity, sigma=sigma, seed=seed
+    )
+    dictionary = StaticDictionary.build(
+        machine,
+        items,
+        universe_size=universe_size,
+        sigma=sigma,
+        case="b",
+        redundancy="replicate",
+        seed=seed,
+    )
+    return dictionary, items
+
+
+# -- the fault-aware replay loop ----------------------------------------------
+
+
+def chaos_replay(
+    dictionary,
+    ops: Tuple[Op, ...],
+    *,
+    model: Optional[Dict[int, int]] = None,
+    verify: bool = True,
+) -> Tuple[int, int, Dict[str, int]]:
+    """Drive ``dictionary`` through ``ops``, absorbing typed failures.
+
+    Returns ``(survived, wrong_answers, failed_by_kind)``.  A typed
+    exception (:class:`IOFault`, :class:`DegradedModeError`,
+    :class:`CapacityExceeded`) counts as a *loud* failure and leaves the
+    model untouched — every dictionary mutation either completes or
+    refuses before changing visible state, so later verified lookups stay
+    meaningful.  A lookup that *returns* but disagrees with the model is a
+    silent wrong answer, the outcome chaos runs exist to rule out.
+    """
+    if model is None:
+        model = {}
+    survived = 0
+    wrong = 0
+    failed: Dict[str, int] = {}
+    for kind, key, value in ops:
+        try:
+            if kind == "insert":
+                dictionary.insert(key, value)
+                model[key] = value
+            elif kind == "delete":
+                dictionary.delete(key)
+                model.pop(key, None)
+            else:
+                result = dictionary.lookup(key)
+                if verify:
+                    expected = key in model
+                    if result.found != expected or (
+                        expected
+                        and result.value is not None
+                        and result.value != model[key]
+                    ):
+                        wrong += 1
+                        continue
+            survived += 1
+        except (DegradedModeError, IOFault, CapacityExceeded) as exc:
+            name = type(exc).__name__
+            failed[name] = failed.get(name, 0) + 1
+    return survived, wrong, failed
+
+
+# -- the harness --------------------------------------------------------------
+
+
+def run_chaos(
+    structure: str = "static",
+    *,
+    num_disks: int = 16,
+    block_items: int = 32,
+    universe_size: int = 1 << 20,
+    capacity: int = 128,
+    operations: int = 256,
+    sigma: int = 32,
+    seed: int = 0,
+    fault_seed: int = 1,
+    plan: Optional[FaultPlan] = None,
+    checksums: bool = True,
+    retry_budget: int = 3,
+    outage_rate: float = 0.08,
+    transient_rate: float = 0.15,
+    corruption_rate: float = 0.02,
+    straggler_rate: float = 0.10,
+) -> ChaosReport:
+    """One healthy pass, one faulted pass, one verdict.
+
+    The healthy pass measures the baseline I/O of the exact workload the
+    faulted pass replays; its round count also sizes the fault plan's
+    horizon, so the schedule spreads over the whole run regardless of
+    workload length.  A caller-supplied ``plan`` overrides the generated
+    one (e.g. :meth:`FaultPlan.kill_disks` for targeted adversaries) and
+    is *not* shifted — targeted plans use :data:`~repro.faults.plan.
+    FOREVER` windows that cover any clock.
+    """
+    if structure not in STRUCTURES:
+        raise ValueError(
+            f"unknown structure {structure!r}; choose from {STRUCTURES}"
+        )
+
+    def fresh(machine):
+        if structure == "static":
+            return _build_static(
+                machine,
+                universe_size=universe_size,
+                capacity=capacity,
+                sigma=sigma,
+                seed=seed,
+            )
+        dictionary = build_structure(
+            structure,
+            machine,
+            universe_size=universe_size,
+            capacity=capacity,
+            sigma=sigma,
+            seed=seed,
+        )
+        return dictionary, None
+
+    if structure == "static":
+        ops: Tuple[Op, ...] = ()
+    else:
+        workload = Workload.generate(
+            name=f"chaos-{structure}",
+            universe_size=universe_size,
+            operations=operations,
+            capacity=capacity,
+            value_bits=sigma,
+            seed=seed,
+        )
+        ops = workload.ops
+
+    # Healthy baseline: same build, same operations, no faults.
+    machine_h = ParallelDiskMachine(num_disks, block_items)
+    dict_h, items_h = fresh(machine_h)
+    if structure == "static":
+        ops = _static_ops(
+            items_h,
+            universe_size=universe_size,
+            operations=operations,
+            seed=seed,
+        )
+        before = machine_h.stats.total_ios
+        for _, key, _ in ops:
+            result = dict_h.lookup(key)
+            assert result.found == (key in items_h)
+        healthy_ios = machine_h.stats.total_ios - before
+    else:
+        before = machine_h.stats.total_ios
+        replay(dict_h, Workload(
+            name="healthy", universe_size=universe_size, ops=ops
+        ))
+        healthy_ios = machine_h.stats.total_ios - before
+
+    # Faulted pass: identical build, then the plan goes live.
+    machine = ParallelDiskMachine(num_disks, block_items)
+    recorder = attach_spans(machine)
+    dictionary, items = fresh(machine)
+    model: Dict[int, int] = dict(items) if items is not None else {}
+    if plan is None:
+        plan = FaultPlan.generate(
+            fault_seed,
+            num_disks=num_disks,
+            horizon=max(16, healthy_ios),
+            outage_rate=outage_rate,
+            transient_rate=transient_rate,
+            corruption_rate=corruption_rate,
+            straggler_rate=straggler_rate,
+        ).shifted(machine.stats.total_ios)
+    injector = attach_faults(
+        machine, plan.events, checksums=checksums, retry_budget=retry_budget
+    )
+    chaos_before = machine.stats.total_ios
+    survived, wrong, failed = chaos_replay(
+        dictionary, ops, model=model, verify=True
+    )
+    chaos_ios = machine.stats.total_ios - chaos_before
+
+    registry = MetricsRegistry()
+    collect_machine(registry, machine)
+    collect_spans(registry, recorder)
+    collect_faults(registry, machine, recorder)
+    degraded_spans = sum(
+        1 for s in recorder.iter_spans() if s.attrs.get("degraded")
+    )
+
+    params = {
+        "num_disks": num_disks,
+        "block_items": block_items,
+        "universe_size": universe_size,
+        "capacity": capacity,
+        "operations": operations,
+        "sigma": sigma,
+        "seed": seed,
+        "fault_seed": fault_seed,
+        "checksums": checksums,
+        "retry_budget": retry_budget,
+    }
+    if structure == "static":
+        params["fault_tolerance"] = fault_tolerance(dictionary.degree)
+    return ChaosReport(
+        structure=structure,
+        params=params,
+        plan_counts=plan.counts(),
+        operations=len(ops),
+        survived=survived,
+        wrong_answers=wrong,
+        failed=failed,
+        healthy_ios=healthy_ios,
+        chaos_ios=chaos_ios,
+        retry_ios=machine.stats.retry_ios,
+        repair_ios=machine.stats.repair_ios,
+        degraded_spans=degraded_spans,
+        injected=dict(injector.injected),
+        registry=registry,
+    )

@@ -1,0 +1,152 @@
+"""``python -m repro.faults`` — deterministic chaos runs.
+
+Replays seeded workloads against the dictionaries with a generated
+:class:`~repro.faults.plan.FaultPlan` attached, and reports survived vs
+loudly-failed operations, degraded-mode I/O overhead, and — the point —
+whether any lookup returned a silently wrong answer.
+
+Exit codes:
+
+* ``0`` — every run survived-or-failed-loudly; no wrong answers.
+* ``1`` — at least one silent wrong answer (the chaos contract broke).
+* ``2`` — operational error (bad arguments, unwritable output, crash).
+
+Examples::
+
+    python -m repro.faults --structure static --operations 256
+    python -m repro.faults --structure all --json \
+        benchmarks/results/BENCH_chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.faults.chaos import STRUCTURES, run_chaos
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="replay workloads under deterministic fault injection",
+    )
+    parser.add_argument(
+        "--structure",
+        choices=STRUCTURES + ("all",),
+        default="static",
+        help="dictionary to torture (default: static)",
+    )
+    parser.add_argument("--disks", type=int, default=16, help="number of disks D")
+    parser.add_argument("--block", type=int, default=32, help="items per block B")
+    parser.add_argument(
+        "--universe", type=int, default=1 << 20, help="key universe size"
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=128, help="dictionary capacity n"
+    )
+    parser.add_argument(
+        "--operations", type=int, default=256, help="workload length"
+    )
+    parser.add_argument(
+        "--sigma", type=int, default=32, help="satellite value bits"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--fault-seed", type=int, default=1, help="fault plan seed"
+    )
+    parser.add_argument(
+        "--retry-budget",
+        type=int,
+        default=3,
+        help="transient-read retries before TransientIOError",
+    )
+    parser.add_argument(
+        "--no-checksums",
+        action="store_true",
+        help="disable verify-on-read (silent corruption stays silent; "
+        "expect a nonzero wrong-answer count)",
+    )
+    parser.add_argument(
+        "--outage-rate", type=float, default=0.08, help="per disk-epoch"
+    )
+    parser.add_argument(
+        "--transient-rate", type=float, default=0.15, help="per disk-epoch"
+    )
+    parser.add_argument(
+        "--corruption-rate", type=float, default=0.02, help="per logical round"
+    )
+    parser.add_argument(
+        "--straggler-rate", type=float, default=0.10, help="per disk-epoch"
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        help="write the machine-readable report (BENCH_chaos.json shape)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the text report"
+    )
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    structures = (
+        list(STRUCTURES) if args.structure == "all" else [args.structure]
+    )
+    reports = []
+    for structure in structures:
+        report = run_chaos(
+            structure,
+            num_disks=args.disks,
+            block_items=args.block,
+            universe_size=args.universe,
+            capacity=args.capacity,
+            operations=args.operations,
+            sigma=args.sigma,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            checksums=not args.no_checksums,
+            retry_budget=args.retry_budget,
+            outage_rate=args.outage_rate,
+            transient_rate=args.transient_rate,
+            corruption_rate=args.corruption_rate,
+            straggler_rate=args.straggler_rate,
+        )
+        reports.append(report)
+        if not args.quiet:
+            print(report.render_text())
+            print()
+
+    if args.json is not None:
+        payload = {
+            "tool": "repro.faults",
+            "runs": [r.to_dict() for r in reports],
+            "ok": all(r.ok for r in reports),
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        )
+        print(f"wrote report to {args.json}", file=sys.stderr)
+
+    return 0 if all(r.ok for r in reports) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        args = build_parser().parse_args(argv)
+        return _run(args)
+    except SystemExit:
+        raise
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

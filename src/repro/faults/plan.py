@@ -1,0 +1,233 @@
+"""Deterministic fault plans: seeded chaos schedules for the PDM.
+
+A :class:`FaultPlan` is a reproducible list of
+:mod:`repro.pdm.faults` events — disk outages, transient I/O windows,
+silent block corruptions and straggler windows — generated purely from a
+seed via :func:`repro.bits.mix.derive`.  No wall clock, no process
+entropy: ``FaultPlan.generate(seed, ...)`` is bit-identical across runs,
+processes and platforms, so a chaos run that finds a bug *is* its own
+reproducer.
+
+Time is the machine's logical clock (``machine.stats.total_ios``); the
+plan divides its ``horizon`` into epochs and draws at most a bounded
+number of concurrent outages per epoch so the schedule degrades the
+structure without trivially exceeding every tolerance threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bits.mix import derive
+from repro.pdm.faults import (
+    DiskOutage,
+    FaultEvent,
+    SilentCorruption,
+    StragglerWindow,
+    TransientWindow,
+)
+
+#: Sentinel end for "down for the rest of the run" windows.
+FOREVER = 1 << 62
+
+# Domain-separation tags (arbitrary distinct constants).
+_TAG_OUTAGE = 0x0F01
+_TAG_TRANSIENT = 0x0F02
+_TAG_STRAGGLER = 0x0F03
+_TAG_CORRUPT = 0x0F04
+
+
+def _unit(x: int) -> float:
+    """Map a 64-bit mixer output to [0, 1)."""
+    return (x & ((1 << 53) - 1)) / float(1 << 53)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded, immutable fault schedule."""
+
+    seed: int
+    num_disks: int
+    horizon: int
+    events: Tuple[FaultEvent, ...]
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        num_disks: int,
+        horizon: int,
+        epochs: int = 8,
+        outage_rate: float = 0.08,
+        transient_rate: float = 0.15,
+        corruption_rate: float = 0.02,
+        straggler_rate: float = 0.10,
+        max_down_per_epoch: int = 1,
+        blocks_per_disk: int = 64,
+    ) -> "FaultPlan":
+        """Draw a schedule over ``horizon`` logical I/O rounds.
+
+        Each of ``epochs`` equal windows rolls, per disk and per fault
+        kind, an independent value from ``derive(seed, tag, disk, epoch)``;
+        a roll below the kind's rate schedules a window inside that epoch.
+        At most ``max_down_per_epoch`` outages start per epoch (disks in
+        index order), so the adversary stays below the blanket-failure
+        regime unless the caller raises the cap.  ``corruption_rate`` is
+        interpreted per logical round: ``int(rate * horizon)`` corruption
+        events land on derived (disk, round, block) coordinates.
+        """
+        if num_disks <= 0:
+            raise ValueError(f"need at least one disk, got {num_disks}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if epochs <= 0:
+            raise ValueError(f"epochs must be positive, got {epochs}")
+        epoch_len = max(1, horizon // epochs)
+        events: List[FaultEvent] = []
+        for e in range(epochs):
+            start0 = e * epoch_len
+            down_this_epoch = 0
+            for disk in range(num_disks):
+                r_out = derive(seed, _TAG_OUTAGE, disk, e)
+                if (
+                    _unit(r_out) < outage_rate
+                    and down_this_epoch < max_down_per_epoch
+                ):
+                    down_this_epoch += 1
+                    off = derive(seed, _TAG_OUTAGE, disk, e, 1) % epoch_len
+                    dur = 1 + derive(seed, _TAG_OUTAGE, disk, e, 2) % max(
+                        1, epoch_len // 2
+                    )
+                    events.append(
+                        DiskOutage(disk, start0 + off, start0 + off + dur)
+                    )
+                r_tr = derive(seed, _TAG_TRANSIENT, disk, e)
+                if _unit(r_tr) < transient_rate:
+                    off = derive(seed, _TAG_TRANSIENT, disk, e, 1) % epoch_len
+                    dur = 1 + derive(seed, _TAG_TRANSIENT, disk, e, 2) % max(
+                        1, epoch_len // 2
+                    )
+                    events.append(
+                        TransientWindow(disk, start0 + off, start0 + off + dur)
+                    )
+                r_st = derive(seed, _TAG_STRAGGLER, disk, e)
+                if _unit(r_st) < straggler_rate:
+                    off = derive(seed, _TAG_STRAGGLER, disk, e, 1) % epoch_len
+                    dur = 1 + derive(seed, _TAG_STRAGGLER, disk, e, 2) % max(
+                        1, epoch_len // 2
+                    )
+                    extra = 1 + derive(seed, _TAG_STRAGGLER, disk, e, 3) % 2
+                    events.append(
+                        StragglerWindow(
+                            disk, start0 + off, start0 + off + dur, extra
+                        )
+                    )
+        for i in range(int(corruption_rate * horizon)):
+            disk = derive(seed, _TAG_CORRUPT, i, 0) % num_disks
+            rnd = derive(seed, _TAG_CORRUPT, i, 1) % horizon
+            block = derive(seed, _TAG_CORRUPT, i, 2) % blocks_per_disk
+            salt = derive(seed, _TAG_CORRUPT, i, 3)
+            events.append(SilentCorruption(disk, rnd, block, salt))
+        return cls(
+            seed=seed,
+            num_disks=num_disks,
+            horizon=horizon,
+            events=tuple(events),
+        )
+
+    @classmethod
+    def kill_disks(
+        cls,
+        disks: Sequence[int],
+        *,
+        num_disks: int,
+        start: int = 0,
+        end: int = FOREVER,
+    ) -> "FaultPlan":
+        """The targeted adversary: the listed disks are down on
+        ``[start, end)``.  This is the plan the threshold tests use —
+        failing exactly the stripes that hold a key's fields."""
+        events = tuple(DiskOutage(d, start, end) for d in disks)
+        return cls(seed=0, num_disks=num_disks, horizon=end, events=events)
+
+    def shifted(self, offset: int) -> "FaultPlan":
+        """The same schedule, translated ``offset`` logical rounds later.
+
+        Fault windows are expressed on the machine's absolute clock
+        (``stats.total_ios``); a plan generated over ``[0, horizon)`` must
+        be shifted past any build-phase I/O before being attached, or its
+        early windows land in the (already elapsed) past.
+        """
+        if offset == 0:
+            return self
+        out: List[FaultEvent] = []
+        for e in self.events:
+            if isinstance(e, SilentCorruption):
+                out.append(
+                    SilentCorruption(e.disk, e.round + offset, e.block, e.salt)
+                )
+            elif isinstance(e, DiskOutage):
+                out.append(DiskOutage(e.disk, e.start + offset, e.end + offset))
+            elif isinstance(e, TransientWindow):
+                out.append(
+                    TransientWindow(e.disk, e.start + offset, e.end + offset)
+                )
+            else:
+                out.append(
+                    StragglerWindow(
+                        e.disk,
+                        e.start + offset,
+                        e.end + offset,
+                        e.extra_rounds,
+                    )
+                )
+        return FaultPlan(
+            seed=self.seed,
+            num_disks=self.num_disks,
+            horizon=self.horizon + offset,
+            events=tuple(out),
+        )
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two schedules over the wider of the two horizons."""
+        return FaultPlan(
+            seed=self.seed,
+            num_disks=max(self.num_disks, other.num_disks),
+            horizon=max(self.horizon, other.horizon),
+            events=self.events + other.events,
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Events by kind, for reports."""
+        out: Dict[str, int] = {
+            "outages": 0,
+            "transients": 0,
+            "stragglers": 0,
+            "corruptions": 0,
+        }
+        for event in self.events:
+            if isinstance(event, DiskOutage):
+                out["outages"] += 1
+            elif isinstance(event, TransientWindow):
+                out["transients"] += 1
+            elif isinstance(event, StragglerWindow):
+                out["stragglers"] += 1
+            else:
+                out["corruptions"] += 1
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "num_disks": self.num_disks,
+            "horizon": self.horizon,
+            "counts": self.counts(),
+            "events": [
+                {"kind": type(e).__name__, **vars(e)} for e in self.events
+            ],
+        }
+
+    def __len__(self) -> int:
+        return len(self.events)

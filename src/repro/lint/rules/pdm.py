@@ -22,7 +22,7 @@ _INTERNAL_MODULES = {
     "repro.pdm.disk",
     "repro.pdm.memory",
 }
-_INTERNAL_NAMES = {"Block", "Disk"}
+_INTERNAL_NAMES = {"Block", "Disk", "FaultyDisk"}
 
 
 def _inside_pdm(ctx: ModuleContext) -> bool:
@@ -101,8 +101,11 @@ class UnchargedIoRule(Rule):
             return
         for node in ast.walk(ctx.tree):
             hit = None
-            if isinstance(node, ast.Attribute) and node.attr == "block_at":
-                hit = (node, "block_at() bypasses I/O accounting")
+            if isinstance(node, ast.Attribute) and node.attr in (
+                "block_at",
+                "peek_at",
+            ):
+                hit = (node, f"{node.attr}() bypasses I/O accounting")
             elif isinstance(node, ast.Subscript) and self._is_disks(node.value):
                 # machine.disks[i] — reaching for a Disk object directly
                 hit = (node, "indexing .disks bypasses I/O accounting")

@@ -11,6 +11,15 @@ Examples::
     python -m repro.obs --structure basic --operations 512
     python -m repro.obs --structure both --chrome-trace trace.json
     python -m repro.obs --structure dynamic --strict --json report.json
+
+Exit codes:
+
+* ``0`` — run completed, every bound monitor satisfied.
+* ``1`` — run completed but a theorem budget was violated (in ``--strict``
+  mode the first violation aborts the run, still exit 1 — it is the same
+  verdict, delivered earlier).
+* ``2`` — operational error: bad parameters, unwritable output paths —
+  the run itself is no verdict on the bounds.
 """
 
 from __future__ import annotations
@@ -91,8 +100,7 @@ def _suffixed(path: pathlib.Path, tag: str, multi: bool) -> pathlib.Path:
     return path.with_name(f"{path.stem}-{tag}{path.suffix}")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _run(args: argparse.Namespace) -> int:
     structures = list(STRUCTURES) if args.structure == "both" else [args.structure]
     multi = len(structures) > 1
 
@@ -112,8 +120,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 strict=args.strict,
             )
         except BoundViolationError as exc:
+            # A strict-mode abort is still a *violation* verdict (exit 1);
+            # exit 2 is reserved for runs that produced no verdict at all.
             print(f"BOUND VIOLATION ({structure}): {exc}", file=sys.stderr)
-            return 2
+            return 1
         reports.append(report)
 
         if not args.quiet:
@@ -145,6 +155,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote report to {args.json}", file=sys.stderr)
 
     return 0 if all(r.ok for r in reports) else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        args = build_parser().parse_args(argv)
+        return _run(args)
+    except SystemExit:
+        raise
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -249,6 +249,39 @@ def collect_spans(
         )
 
 
+def collect_faults(
+    registry: MetricsRegistry,
+    machine,
+    recorder=None,
+    prefix: str = "faults",
+) -> None:
+    """Fault-injection and recovery telemetry.
+
+    Injected-event counters come from the machine's attached
+    :class:`~repro.pdm.faults.FaultInjector` (no-op when no faults are
+    attached — the gauges still report the stats counters, which are then
+    zero).  With a span ``recorder``, also counts the spans that ran
+    degraded (``attrs["degraded"]``).
+    """
+    injector = getattr(machine, "faults", None)
+    if injector is not None:
+        for kind in sorted(injector.injected):
+            registry.counter(f"{prefix}.injected", kind=kind).inc(
+                injector.injected[kind]
+            )
+        registry.gauge(f"{prefix}.pending_corruptions").set(
+            injector.pending_corruptions
+        )
+    stats = machine.stats
+    registry.gauge(f"{prefix}.retry_ios").set(stats.retry_ios)
+    registry.gauge(f"{prefix}.repair_ios").set(stats.repair_ios)
+    if recorder is not None:
+        degraded = sum(
+            1 for s in recorder.iter_spans() if s.attrs.get("degraded")
+        )
+        registry.gauge(f"{prefix}.degraded_spans").set(degraded)
+
+
 def collect_load_distribution(
     registry: MetricsRegistry,
     histogram: Mapping[int, int],

@@ -87,9 +87,15 @@ class SpanBudgetMonitor(BoundMonitor):
     budget: Callable[[Dict[str, Any]], Optional[float]]
     observe: Callable[[Span], float] = lambda s: s.effective_cost.total_ios
     detail: str = ""
+    #: Theorem budgets are stated for fault-free machines; a span marked
+    #: ``degraded`` legitimately paid for retries/repair, so it is judged
+    #: by :class:`DegradationMonitor` instead.
+    skip_degraded: bool = True
 
     def check(self, span: Span) -> Optional[Violation]:
         if span.name != self.span_name:
+            return None
+        if self.skip_degraded and span.attrs.get("degraded"):
             return None
         limit = self.budget(span.attrs)
         if limit is None:
@@ -248,10 +254,64 @@ def lemma3_load_monitor(
     )
 
 
+def _degraded_base_budget(span: Span) -> Optional[float]:
+    """The healthy-budget part of a degraded span's allowance."""
+    attrs = span.attrs
+    if span.name == "basic_dict.lookup":
+        got = _require(attrs, "blocks_per_bucket")
+        return float(got[0]) if got else None
+    if span.name == "static_dict.lookup" and attrs.get("case") == "b":
+        return 1.0  # Theorem 6(b): one parallel probe of the d field disks
+    if span.name == "dynamic_dict.lookup":
+        got = _require(attrs, "membership_bpb")
+        return got[0] + 1.0 if got else None
+    return None
+
+
+@dataclass
+class DegradationMonitor(BoundMonitor):
+    """Bounds the *overhead* of surviving faults.
+
+    A degraded lookup may exceed its theorem budget only by the I/O it
+    verifiably spent on recovery: retried rounds (``retry_ios``) and
+    read-repair writes (``repair_ios``).  Anything beyond
+    ``healthy_budget + recovery`` means degraded mode is leaking
+    unaccounted I/O — exactly the regression this monitor exists to
+    catch.  Spans without the ``degraded`` attribute are ignored (the
+    theorem monitors own them).
+    """
+
+    name: str = "degradation.recovery"
+
+    def check(self, span: Span) -> Optional[Violation]:
+        if not span.attrs.get("degraded"):
+            return None
+        base = _degraded_base_budget(span)
+        if base is None:
+            return None
+        eff = span.effective_cost
+        limit = base + eff.retry_ios + eff.repair_ios
+        observed = eff.total_ios
+        if observed <= limit:
+            return None
+        return Violation(
+            monitor=self.name,
+            span_name=span.name,
+            span_index=span.index,
+            observed=observed,
+            budget=limit,
+            detail=(
+                f"degraded op exceeds healthy budget {base:g} + "
+                f"retry {eff.retry_ios} + repair {eff.repair_ios}"
+            ),
+        )
+
+
 def default_monitors(
     *, eps: float = 1 / 12, delta: float = 0.5
 ) -> List[BoundMonitor]:
-    """The full panel: Lemma 3, Theorem 6, Theorem 7."""
+    """The full panel: Lemma 3, Theorem 6, Theorem 7, degraded-mode
+    recovery overhead."""
     return [
         theorem6_lookup_monitor(),
         basic_update_monitor(),
@@ -260,6 +320,7 @@ def default_monitors(
         theorem7_update_monitor(),
         theorem7_delete_monitor(),
         lemma3_load_monitor(eps=eps, delta=delta),
+        DegradationMonitor(),
     ]
 
 

@@ -35,10 +35,32 @@ This package provides:
 * :class:`~repro.pdm.superblocks.SuperblockArray` — the disks "considered
   as a single disk with block size BD" (Section 1.1): the layout beneath
   the hashing baselines, the pointer store and the B-tree.
+* :mod:`~repro.pdm.faults` / :mod:`~repro.pdm.errors` — deterministic fault
+  injection (disk outages, transient read errors, silent corruption,
+  stragglers, all scheduled by logical round) plus the typed
+  :class:`~repro.pdm.errors.IOFault` taxonomy and per-block checksums.
+  Off by default (one ``None`` check); schedules come from the
+  ``repro.faults`` package.
 """
 
-from repro.pdm.block import Block, BlockOverflowError
+from repro.pdm.block import Block, BlockOverflowError, payload_fingerprint
 from repro.pdm.disk import Disk
+from repro.pdm.errors import (
+    BlockCorruption,
+    DiskFailure,
+    IOFault,
+    TransientIOError,
+)
+from repro.pdm.faults import (
+    DiskOutage,
+    FaultInjector,
+    FaultyDisk,
+    SilentCorruption,
+    StragglerWindow,
+    TransientWindow,
+    attach_faults,
+    detach_faults,
+)
 from repro.pdm.iostats import IOStats, OpCost, measure
 from repro.pdm.machine import (
     AbstractDiskMachine,
@@ -60,7 +82,20 @@ from repro.pdm.superblocks import SuperblockArray
 __all__ = [
     "Block",
     "BlockOverflowError",
+    "payload_fingerprint",
     "Disk",
+    "IOFault",
+    "DiskFailure",
+    "TransientIOError",
+    "BlockCorruption",
+    "DiskOutage",
+    "TransientWindow",
+    "SilentCorruption",
+    "StragglerWindow",
+    "FaultyDisk",
+    "FaultInjector",
+    "attach_faults",
+    "detach_faults",
     "IOStats",
     "OpCost",
     "measure",

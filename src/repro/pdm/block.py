@@ -6,21 +6,62 @@ the classical formulation).  Payloads are arbitrary Python objects; the
 and the block enforces the capacity.  This keeps the simulator honest about
 the space claims of Theorem 6 without forcing every data structure through a
 bit-serialisation layer.
+
+Integrity: a block can carry a *checksum* — a deterministic 64-bit
+fingerprint of its payload (:func:`payload_fingerprint`, built on
+:func:`repro.bits.mix.stable_hash`, so it is identical across processes and
+platforms).  Checksums are maintained by the machine when its ``checksums``
+flag is on: every :meth:`Block.seal` after a write records the fingerprint,
+and verify-on-read (:meth:`Block.verify`) turns *silent* corruption — a
+payload mutated behind the accountant's back by the fault layer — into a
+typed :class:`~repro.pdm.errors.BlockCorruption`.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
+
+from repro.bits.mix import splitmix64, stable_hash
 
 
 class BlockOverflowError(Exception):
     """Raised when a payload is declared larger than the block capacity."""
 
 
+def _fingerprint_obj(obj: Any, acc: int) -> int:
+    """Fold one payload object into the running fingerprint.
+
+    Handles the payload shapes the simulator stores (None, ints, strings,
+    bytes, bools, bit vectors, and nested lists/tuples of those); anything
+    else is folded through its ``repr``, which is deterministic for every
+    type this repository puts on disk.
+    """
+    if obj is None:
+        return splitmix64(acc ^ 0x9E3779B97F4A7C15)
+    if isinstance(obj, bool):
+        return splitmix64(acc ^ (0xB0 + int(obj)))
+    if isinstance(obj, int):
+        return splitmix64(acc ^ stable_hash(obj))
+    if isinstance(obj, (str, bytes, bytearray)):
+        return splitmix64(acc ^ stable_hash(bytes(obj) if not isinstance(obj, str) else obj))
+    if isinstance(obj, (list, tuple)):
+        acc = splitmix64(acc ^ (0x1157 + len(obj)))
+        for item in obj:
+            acc = _fingerprint_obj(item, acc)
+        return acc
+    # BitVector and friends: a stable repr is part of their contract.
+    return splitmix64(acc ^ stable_hash(repr(obj)))
+
+
+def payload_fingerprint(payload: Any, used_bits: int) -> int:
+    """Deterministic 64-bit fingerprint of ``(payload, used_bits)``."""
+    return _fingerprint_obj(payload, splitmix64(used_bits + 0xA0761D6478BD642F))
+
+
 class Block:
     """One disk block: a payload plus bit-granular capacity accounting."""
 
-    __slots__ = ("capacity_bits", "payload", "used_bits")
+    __slots__ = ("capacity_bits", "payload", "used_bits", "checksum")
 
     def __init__(self, capacity_bits: int):
         if capacity_bits <= 0:
@@ -28,6 +69,9 @@ class Block:
         self.capacity_bits = capacity_bits
         self.payload: Any = None
         self.used_bits = 0
+        #: fingerprint of the payload at the last sealed write, or ``None``
+        #: when the block has never been written with checksums enabled.
+        self.checksum: Optional[int] = None
 
     @property
     def is_empty(self) -> bool:
@@ -38,7 +82,11 @@ class Block:
         return self.capacity_bits - self.used_bits
 
     def store(self, payload: Any, used_bits: int) -> None:
-        """Replace the block contents, declaring the payload size in bits."""
+        """Replace the block contents, declaring the payload size in bits.
+
+        Any previous checksum is invalidated; the machine re-seals after a
+        checksummed write (:meth:`seal`).
+        """
         if used_bits < 0:
             raise ValueError(f"used_bits must be non-negative, got {used_bits}")
         if used_bits > self.capacity_bits:
@@ -48,10 +96,30 @@ class Block:
             )
         self.payload = payload
         self.used_bits = used_bits
+        self.checksum = None
 
     def clear(self) -> None:
         self.payload = None
         self.used_bits = 0
+        self.checksum = None
+
+    # -- integrity ----------------------------------------------------------
+
+    def seal(self) -> int:
+        """Record the fingerprint of the current contents and return it."""
+        self.checksum = payload_fingerprint(self.payload, self.used_bits)
+        return self.checksum
+
+    def verify(self) -> bool:
+        """``True`` iff the contents still match the sealed checksum.
+
+        An unsealed block (``checksum is None`` — written before checksums
+        were enabled, or never written) trivially verifies: there is no
+        integrity claim to check.
+        """
+        if self.checksum is None:
+            return True
+        return self.checksum == payload_fingerprint(self.payload, self.used_bits)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -37,6 +37,18 @@ class Disk:
                 self.high_water = index + 1
         return blk
 
+    def peek(self, index: int) -> "Block | None":
+        """Return the block at ``index`` if it was ever written, else ``None``.
+
+        Unlike :meth:`block` this never materialises storage, so read-only
+        probes of untouched indices leave ``touched_blocks``/``high_water``
+        unchanged — a never-written block reads back as empty without the
+        accounting pretending it exists.
+        """
+        if index < 0:
+            raise IndexError(f"negative block index {index}")
+        return self._blocks.get(index)
+
     @property
     def touched_blocks(self) -> int:
         """Number of blocks ever materialised on this disk."""

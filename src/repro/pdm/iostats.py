@@ -38,6 +38,13 @@ class IOStats:
     write_ios: int = 0
     blocks_read: int = 0
     blocks_written: int = 0
+    #: Extra rounds spent re-issuing reads after transient faults.  These
+    #: rounds are *also* counted in ``read_ios`` (they are real I/O); this
+    #: field isolates how much of the total is recovery overhead.
+    retry_ios: int = 0
+    #: Rounds spent re-writing blocks to heal detected corruption
+    #: (read-repair).  Also counted in ``write_ios``; see ``retry_ios``.
+    repair_ios: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -61,7 +68,12 @@ class IOStats:
     def snapshot(self) -> "IOStats":
         """Return an immutable copy of the current counters."""
         return IOStats(
-            self.read_ios, self.write_ios, self.blocks_read, self.blocks_written
+            self.read_ios,
+            self.write_ios,
+            self.blocks_read,
+            self.blocks_written,
+            self.retry_ios,
+            self.repair_ios,
         )
 
     def since(self, snap: "IOStats") -> "OpCost":
@@ -71,6 +83,8 @@ class IOStats:
             write_ios=self.write_ios - snap.write_ios,
             blocks_read=self.blocks_read - snap.blocks_read,
             blocks_written=self.blocks_written - snap.blocks_written,
+            retry_ios=self.retry_ios - snap.retry_ios,
+            repair_ios=self.repair_ios - snap.repair_ios,
         )
 
     def add(self, cost: "OpCost") -> None:
@@ -79,12 +93,33 @@ class IOStats:
         self.write_ios += cost.write_ios
         self.blocks_read += cost.blocks_read
         self.blocks_written += cost.blocks_written
+        self.retry_ios += cost.retry_ios
+        self.repair_ios += cost.repair_ios
+
+    def merge(self, other: "IOStats") -> "IOStats":
+        """Return a new :class:`IOStats` with both counter sets summed.
+
+        Merging treats the two machines' histories as sequential work by a
+        single driver (the same convention as :func:`measure` across several
+        machines); use :meth:`OpCost.parallel` for simultaneous probes of
+        disjoint disk groups.
+        """
+        return IOStats(
+            self.read_ios + other.read_ios,
+            self.write_ios + other.write_ios,
+            self.blocks_read + other.blocks_read,
+            self.blocks_written + other.blocks_written,
+            self.retry_ios + other.retry_ios,
+            self.repair_ios + other.repair_ios,
+        )
 
     def reset(self) -> None:
         self.read_ios = 0
         self.write_ios = 0
         self.blocks_read = 0
         self.blocks_written = 0
+        self.retry_ios = 0
+        self.repair_ios = 0
 
 
 @dataclass(frozen=True)
@@ -95,10 +130,18 @@ class OpCost:
     write_ios: int = 0
     blocks_read: int = 0
     blocks_written: int = 0
+    retry_ios: int = 0
+    repair_ios: int = 0
 
     @property
     def total_ios(self) -> int:
         return self.read_ios + self.write_ios
+
+    @property
+    def recovery_ios(self) -> int:
+        """Rounds attributable to fault recovery (retries plus repairs).
+        A subset of ``total_ios``, never an addition to it."""
+        return self.retry_ios + self.repair_ios
 
     def __add__(self, other: "OpCost") -> "OpCost":
         """Sequential composition: phases that must happen one after another."""
@@ -107,6 +150,8 @@ class OpCost:
             self.write_ios + other.write_ios,
             self.blocks_read + other.blocks_read,
             self.blocks_written + other.blocks_written,
+            self.retry_ios + other.retry_ios,
+            self.repair_ios + other.repair_ios,
         )
 
     def __sub__(self, other: "OpCost") -> "OpCost":
@@ -117,6 +162,8 @@ class OpCost:
             self.write_ios - other.write_ios,
             self.blocks_read - other.blocks_read,
             self.blocks_written - other.blocks_written,
+            self.retry_ios - other.retry_ios,
+            self.repair_ios - other.repair_ios,
         )
 
     def utilization(self, num_disks: int) -> float:
@@ -143,6 +190,8 @@ class OpCost:
             write_ios=max(c.write_ios for c in costs),
             blocks_read=sum(c.blocks_read for c in costs),
             blocks_written=sum(c.blocks_written for c in costs),
+            retry_ios=max(c.retry_ios for c in costs),
+            repair_ios=max(c.repair_ios for c in costs),
         )
 
     @staticmethod

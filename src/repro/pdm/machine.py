@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.pdm.block import Block
 from repro.pdm.disk import Disk
+from repro.pdm.errors import BlockCorruption, DiskFailure, IOFault, TransientIOError
 from repro.pdm.iostats import IOStats
 from repro.pdm.memory import InternalMemory
 
@@ -76,6 +77,21 @@ class AbstractDiskMachine:
         #: optional :class:`repro.pdm.spans.SpanRecorder` (hierarchical
         #: operation spans; attach with :func:`repro.pdm.spans.attach_spans`)
         self.spans = None
+        #: optional :class:`repro.pdm.faults.FaultInjector` (attach with
+        #: :func:`repro.pdm.faults.attach_faults`); same one-``None``-check
+        #: hot-path contract as ``tracer``/``spans``
+        self.faults = None
+        #: when True, writes seal a per-block checksum and reads verify it
+        #: (:mod:`repro.pdm.block`); silent corruption becomes a typed
+        #: :class:`~repro.pdm.errors.BlockCorruption`
+        self.checksums = False
+        #: extra read attempts allowed per batch when transient faults hit
+        self.retry_budget = 3
+        # Shared stand-in for reads of never-written blocks: read paths use
+        # Disk.peek so read-only probes don't materialise storage (and don't
+        # inflate touched_blocks/footprint).  Callers treat read results as
+        # immutable — all mutation goes through write_blocks.
+        self._void_block = Block(self.block_bits)
 
     # -- allocation ---------------------------------------------------------
 
@@ -121,6 +137,14 @@ class AbstractDiskMachine:
         disk_id, block_index = addr
         return self.disks[disk_id].block(block_index)
 
+    def peek_at(self, addr: Addr) -> Block | None:
+        """Like :meth:`block_at` but returns ``None`` for a never-written
+        block instead of materialising it — audits and read-modify-write
+        staging don't inflate ``touched_blocks``."""
+        self._check_addr(addr)
+        disk_id, block_index = addr
+        return self.disks[disk_id].peek(block_index)
+
     # -- cost model (specialised by subclasses) ---------------------------
 
     def _batch_rounds(self, addrs: Sequence[Addr]) -> int:
@@ -132,26 +156,131 @@ class AbstractDiskMachine:
         """Read a batch of blocks; charges the model-specific round count.
 
         Duplicate addresses are collapsed: a block is transferred once.
+        Blocks never written read back empty without materialising storage
+        (``Disk.peek``); treat results as immutable — all mutation goes
+        through :meth:`write_blocks`.
+
+        With a fault injector attached, transient errors are retried within
+        ``retry_budget`` (charged as ``retry_ios``); any failure that
+        survives retries raises its typed :class:`~repro.pdm.errors.IOFault`
+        (first failing address in batch order).  Callers prepared to recover
+        use :meth:`read_blocks_degraded` instead.
         """
         unique = list(dict.fromkeys(tuple(a) for a in addrs))
         if not unique:
             return {}
         for addr in unique:
             self._check_addr(addr)
-        rounds = self._batch_rounds(unique)
-        self.stats.read_ios += rounds
-        self.stats.blocks_read += len(unique)
-        if self.tracer is not None:
-            self.tracer.record("read", unique, rounds)
-        return {addr: self.disks[addr[0]].block(addr[1]) for addr in unique}
+        blocks, failures = self._read_batch(unique)
+        if failures:
+            for addr in unique:
+                fault = failures.get(addr)
+                if fault is not None:
+                    raise fault
+        return blocks
 
-    def write_blocks(self, writes: Iterable[Tuple[Addr, Any, int]]) -> None:
+    def read_blocks_degraded(
+        self, addrs: Iterable[Addr]
+    ) -> Tuple[Dict[Addr, Block], Dict[Addr, "IOFault"]]:
+        """Fault-tolerant batch read: never raises for injected faults.
+
+        Returns ``(blocks, failures)`` — every requested address appears in
+        exactly one of the two maps.  Transients are retried exactly as in
+        :meth:`read_blocks`; what remains in ``failures`` is what recovery
+        logic (majority decode, choice fallback, read-repair) must absorb.
+        """
+        unique = list(dict.fromkeys(tuple(a) for a in addrs))
+        if not unique:
+            return {}, {}
+        for addr in unique:
+            self._check_addr(addr)
+        return self._read_batch(unique)
+
+    def _read_batch(
+        self, unique: List[Addr]
+    ) -> Tuple[Dict[Addr, Block], Dict[Addr, "IOFault"]]:
+        faults = self.faults
+        checksums = self.checksums
+        blocks: Dict[Addr, Block] = {}
+        failures: Dict[Addr, IOFault] = {}
+        pending = list(unique)
+        attempt = 0
+        while pending:
+            clock = self.stats.total_ios
+            if faults is not None:
+                faults.apply_due_corruption(clock, self)
+            rounds = self._batch_rounds(pending)
+            extra = 0
+            if faults is not None:
+                for d in dict.fromkeys(a[0] for a in pending):
+                    e = self.disks[d].extra_rounds_at(clock)
+                    if e > extra:
+                        extra = e
+                if extra:
+                    faults.count("straggler_rounds", extra)
+            self.stats.read_ios += rounds + extra
+            # Straggler penalties and full re-issued rounds are real reads,
+            # but retry_ios isolates them as fault-attributable overhead.
+            self.stats.retry_ios += extra + (rounds if attempt > 0 else 0)
+            if self.tracer is not None:
+                self.tracer.record("read", pending, rounds + extra)
+            retry: List[Addr] = []
+            fetched = 0
+            for addr in pending:
+                disk = self.disks[addr[0]]
+                if faults is not None:
+                    status = disk.status_at(clock)
+                    if status == "down":
+                        faults.count("disk_failure")
+                        failures[addr] = DiskFailure(
+                            f"disk {addr[0]} is down at round {clock}",
+                            addrs=[addr], disk=addr[0], clock=clock,
+                        )
+                        continue
+                    if status == "transient":
+                        faults.count("transient")
+                        if attempt < self.retry_budget:
+                            retry.append(addr)
+                        else:
+                            failures[addr] = TransientIOError(
+                                f"read of block {addr} still failing after "
+                                f"{attempt} retries (budget "
+                                f"{self.retry_budget})",
+                                addrs=[addr], disk=addr[0], clock=clock,
+                            )
+                        continue
+                fetched += 1
+                blk = disk.peek(addr[1])
+                if blk is None:
+                    blocks[addr] = self._void_block
+                    continue
+                if checksums and not blk.verify():
+                    failures[addr] = BlockCorruption(
+                        f"block {addr} failed checksum verification at "
+                        f"round {clock}",
+                        addrs=[addr], disk=addr[0], clock=clock,
+                    )
+                    continue
+                blocks[addr] = blk
+            self.stats.blocks_read += fetched
+            pending = retry
+            attempt += 1
+        return blocks, failures
+
+    def write_blocks(
+        self, writes: Iterable[Tuple[Addr, Any, int]], *, repair: bool = False
+    ) -> None:
         """Write a batch of blocks.
 
         Each element of ``writes`` is ``(addr, payload, used_bits)``.  The
         same rounds accounting as for reads applies.  Writing the same
         address twice in one batch is an error (the model writes blocks
         atomically once per round).
+
+        With a fault injector attached, a write touching a down disk raises
+        :class:`~repro.pdm.errors.DiskFailure` *before* any mutation or
+        charge — the batch is atomic.  ``repair=True`` marks the rounds as
+        ``repair_ios`` (read-repair after detected corruption).
         """
         writes = list(writes)
         if not writes:
@@ -161,13 +290,30 @@ class AbstractDiskMachine:
             raise ValueError("duplicate address in one write batch")
         for addr in addrs:
             self._check_addr(addr)
+        faults = self.faults
+        if faults is not None:
+            clock = self.stats.total_ios
+            for addr in addrs:
+                if self.disks[addr[0]].status_at(clock) == "down":
+                    faults.count("disk_failure")
+                    raise DiskFailure(
+                        f"cannot write block {addr}: disk {addr[0]} is down "
+                        f"at round {clock}",
+                        addrs=[addr], disk=addr[0], clock=clock,
+                    )
         rounds = self._batch_rounds(addrs)
         self.stats.write_ios += rounds
         self.stats.blocks_written += len(addrs)
+        if repair:
+            self.stats.repair_ios += rounds
         if self.tracer is not None:
             self.tracer.record("write", addrs, rounds)
+        checksums = self.checksums
         for (addr, payload, used_bits) in writes:
-            self.disks[addr[0]].block(addr[1]).store(payload, used_bits)
+            blk = self.disks[addr[0]].block(addr[1])
+            blk.store(payload, used_bits)
+            if checksums:
+                blk.seal()
 
     # -- convenience single-block forms ------------------------------------
 

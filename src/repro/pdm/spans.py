@@ -87,12 +87,16 @@ class Span:
                 "write_ios": self.cost.write_ios,
                 "blocks_read": self.cost.blocks_read,
                 "blocks_written": self.cost.blocks_written,
+                "retry_ios": self.cost.retry_ios,
+                "repair_ios": self.cost.repair_ios,
             },
             "effective": {
                 "read_ios": eff.read_ios,
                 "write_ios": eff.write_ios,
                 "blocks_read": eff.blocks_read,
                 "blocks_written": eff.blocks_written,
+                "retry_ios": eff.retry_ios,
+                "repair_ios": eff.repair_ios,
             },
             "children": [c.to_dict() for c in self.children],
         }
@@ -186,6 +190,8 @@ class SpanRecorder:
                     "blocks_read": 0,
                     "blocks_written": 0,
                     "effective_ios": 0,
+                    "retry_ios": 0,
+                    "repair_ios": 0,
                 },
             )
             agg["count"] += 1
@@ -195,6 +201,8 @@ class SpanRecorder:
             agg["blocks_read"] += s.cost.blocks_read
             agg["blocks_written"] += s.cost.blocks_written
             agg["effective_ios"] += s.effective_cost.total_ios
+            agg["retry_ios"] += s.cost.retry_ios
+            agg["repair_ios"] += s.cost.repair_ios
         return out
 
 

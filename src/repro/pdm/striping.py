@@ -112,6 +112,33 @@ class StripedFieldArray:
             out[loc] = None if payload is None else payload[slot]
         return out
 
+    def read_fields_degraded(
+        self, locs: Iterable[FieldLoc]
+    ) -> Tuple[Dict[FieldLoc, Any], Dict[FieldLoc, Any]]:
+        """Fault-tolerant variant of :meth:`read_fields`.
+
+        Returns ``(values, failures)``: every requested location lands in
+        exactly one map, failures carrying the typed
+        :class:`~repro.pdm.errors.IOFault` that made its block unreadable.
+        """
+        locs = [tuple(l) for l in locs]
+        for loc in locs:
+            self._check_loc(loc)
+        addr_of = {loc: self._block_addr(loc) for loc in locs}
+        blocks, faults = self.machine.read_blocks_degraded(
+            addr for addr, _ in addr_of.values()
+        )
+        out: Dict[FieldLoc, Any] = {}
+        failures: Dict[FieldLoc, Any] = {}
+        for loc, (addr, slot) in addr_of.items():
+            fault = faults.get(addr)
+            if fault is not None:
+                failures[loc] = fault
+                continue
+            payload = blocks[addr].payload
+            out[loc] = None if payload is None else payload[slot]
+        return out, failures
+
     def write_fields(self, assignments: Mapping[FieldLoc, Any]) -> None:
         """Store values into fields (``None`` clears a field).
 
@@ -126,9 +153,9 @@ class StripedFieldArray:
             by_block.setdefault(addr, []).append((slot, value))
         writes = []
         for addr, slot_values in by_block.items():
-            block = self.machine.block_at(addr)
+            block = self.machine.peek_at(addr)
             payload: List[Any]
-            if block.payload is None:
+            if block is None or block.payload is None:
                 payload = [None] * self.fields_per_block
             else:
                 payload = list(block.payload)
@@ -138,13 +165,37 @@ class StripedFieldArray:
             writes.append((addr, payload, used))
         self.machine.write_blocks(writes)
 
+    def repair_fields(self, assignments: Mapping[FieldLoc, Any]) -> None:
+        """Rewrite fields onto *scrubbed* blocks (read-repair; charged as
+        ``repair_ios``).
+
+        After a checksum mismatch the block's other slots are garbage of
+        unknown shape, so repair starts from an empty payload and restores
+        only the fields the caller reconstructed from redundancy; sibling
+        keys' fields heal on their own next lookups.
+        """
+        by_block: Dict[Tuple[int, int], List[Tuple[int, Any]]] = {}
+        for loc, value in assignments.items():
+            self._check_loc(loc)
+            addr, slot = self._block_addr(loc)
+            by_block.setdefault(addr, []).append((slot, value))
+        writes = []
+        for addr, slot_values in by_block.items():
+            payload: List[Any] = [None] * self.fields_per_block
+            for slot, value in slot_values:
+                payload[slot] = value
+            used = sum(1 for v in payload if v is not None) * self.field_bits
+            writes.append((addr, payload, used))
+        self.machine.write_blocks(writes, repair=True)
+
     # -- audits (no I/O charged) ----------------------------------------------
 
     def peek(self, loc: FieldLoc) -> Any:
         """Read a field without charging I/O (tests/verification only)."""
         self._check_loc(loc)
         addr, slot = self._block_addr(loc)
-        payload = self.machine.block_at(addr).payload
+        block = self.machine.peek_at(addr)
+        payload = None if block is None else block.payload
         return None if payload is None else payload[slot]
 
     def occupied_fields(self) -> int:
@@ -154,7 +205,8 @@ class StripedFieldArray:
             disk = self.machine.disks[self.disk_offset + stripe]
             base = self._base[stripe]
             for block_index in range(base, base + self.blocks_per_stripe):
-                payload = disk.block(block_index).payload
+                block = disk.peek(block_index)
+                payload = None if block is None else block.payload
                 if payload is not None:
                     count += sum(1 for v in payload if v is not None)
         return count
@@ -264,6 +316,41 @@ class StripedItemBuckets:
             out[loc] = items
         return out
 
+    def read_buckets_degraded(
+        self, locs: Iterable[FieldLoc]
+    ) -> Tuple[Dict[FieldLoc, List[Any]], Dict[FieldLoc, Any]]:
+        """Fault-tolerant variant of :meth:`read_buckets`.
+
+        A bucket is failed as a whole if *any* of its blocks is unreadable
+        (a partial bucket could hide an item, so partial data is unsafe).
+        Returns ``(buckets, failures)``; each location appears in exactly
+        one of the two maps.
+        """
+        locs = [tuple(l) for l in locs]
+        for loc in locs:
+            self._check_loc(loc)
+        all_addrs = []
+        for loc in locs:
+            all_addrs.extend(self._addrs(loc))
+        blocks, faults = self.machine.read_blocks_degraded(all_addrs)
+        out: Dict[FieldLoc, List[Any]] = {}
+        failures: Dict[FieldLoc, Any] = {}
+        for loc in locs:
+            items: List[Any] = []
+            fault = None
+            for addr in self._addrs(loc):
+                fault = faults.get(addr)
+                if fault is not None:
+                    break
+                payload = blocks[addr].payload
+                if payload:
+                    items.extend(payload)
+            if fault is not None:
+                failures[loc] = fault
+            else:
+                out[loc] = items
+        return out, failures
+
     def write_buckets(self, assignments: Mapping[FieldLoc, Sequence[Any]]) -> None:
         """Replace bucket contents.  Raises if a bucket would exceed its
         item capacity — the Lemma 3 load bound is what prevents this in the
@@ -290,7 +377,8 @@ class StripedItemBuckets:
         self._check_loc(loc)
         items: List[Any] = []
         for addr in self._addrs(loc):
-            payload = self.machine.block_at(addr).payload
+            block = self.machine.peek_at(addr)
+            payload = None if block is None else block.payload
             if payload:
                 items.extend(payload)
         return items

@@ -1,0 +1,116 @@
+"""Adversarial fault placement: the exact Theorem-6 degradation threshold.
+
+The adversary knows the layout: it fails precisely the disks holding a
+chosen key's assigned fields.  The contract under test (the PR's
+acceptance criterion):
+
+* up to ``fault_tolerance(d) = floor((ceil(2d/3) - 1) / 2)`` lost fields,
+  every lookup — for *every* key, not just the targeted one — still
+  answers correctly;
+* one fault beyond the threshold raises a typed
+  :class:`DegradedLookupError`;
+* at no point, on either side of the threshold, does any lookup return a
+  silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.interface import DegradedLookupError
+from repro.core.static_dict import StaticDictionary, fault_tolerance
+from repro.faults.plan import FaultPlan
+from repro.pdm.faults import attach_faults
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+SIGMA = 16
+
+
+def _build(num_disks=8, n=32, seed=3):
+    machine = ParallelDiskMachine(num_disks, 16, item_bits=64)
+    items = {(11 + i * 131) % U: (i * 37) % (1 << SIGMA) for i in range(n)}
+    sd = StaticDictionary.build(
+        machine,
+        items,
+        universe_size=U,
+        sigma=SIGMA,
+        case="b",
+        redundancy="replicate",
+        seed=seed,
+    )
+    return machine, sd, items
+
+
+def _absent_keys(items, count=8):
+    out = []
+    x = 0
+    while len(out) < count:
+        if x not in items:
+            out.append(x)
+        x += 1
+    return out
+
+
+class TestThresholdSweep:
+    def test_survives_every_fault_count_up_to_tolerance(self):
+        tol = fault_tolerance(8)
+        assert tol == 2  # d=8: m=6, floor(5/2)
+        for f in range(tol + 1):
+            machine, sd, items = _build()
+            target = sorted(items)[0]
+            doomed = sorted(sd.assignment[target])[:f]
+            attach_faults(
+                machine,
+                FaultPlan.kill_disks(doomed, num_disks=8).events,
+            )
+            for k, v in sorted(items.items()):
+                result = sd.lookup(k)
+                assert result.found, f"f={f}: key {k} lost"
+                assert result.value == v, f"f={f}: key {k} wrong value"
+            for k in _absent_keys(items):
+                assert not sd.lookup(k).found, f"f={f}: ghost key {k}"
+
+    def test_one_beyond_tolerance_is_typed_never_wrong(self):
+        tol = fault_tolerance(8)
+        machine, sd, items = _build()
+        target = sorted(items)[0]
+        doomed = sorted(sd.assignment[target])[: tol + 1]
+        attach_faults(
+            machine, FaultPlan.kill_disks(doomed, num_disks=8).events
+        )
+        with pytest.raises(DegradedLookupError) as exc_info:
+            sd.lookup(target)
+        assert exc_info.value.key == target
+        # Collateral keys: correct or typed — silence is the only failure.
+        for k, v in sorted(items.items()):
+            if k == target:
+                continue
+            try:
+                result = sd.lookup(k)
+            except DegradedLookupError:
+                continue
+            assert result.found and result.value == v
+
+    def test_threshold_is_exact_not_conservative(self):
+        # The same key that raises at tol+1 must still answer at tol:
+        # the bound is tight, not a safety margin.
+        tol = fault_tolerance(8)
+        machine, sd, items = _build()
+        target = sorted(items)[0]
+        doomed = sorted(sd.assignment[target])[:tol]
+        attach_faults(
+            machine, FaultPlan.kill_disks(doomed, num_disks=8).events
+        )
+        result = sd.lookup(target)
+        assert result.found and result.value == items[target]
+
+    def test_degradation_visible_in_stats(self):
+        machine, sd, items = _build()
+        target = sorted(items)[0]
+        doomed = sorted(sd.assignment[target])[:1]
+        attach_faults(
+            machine, FaultPlan.kill_disks(doomed, num_disks=8).events
+        )
+        sd.lookup(target)
+        assert machine.faults.injected["disk_failure"] > 0

@@ -1,0 +1,165 @@
+"""Chaos harness + ``python -m repro.faults`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.cli import main
+
+
+class TestRunChaos:
+    @pytest.mark.parametrize("structure", ["static", "basic", "dynamic"])
+    def test_no_silent_wrong_answers(self, structure):
+        report = run_chaos(
+            structure, operations=64, capacity=48, num_disks=16
+        )
+        assert report.ok
+        assert report.wrong_answers == 0
+        assert report.survived + report.failed_total == report.operations
+
+    def test_static_survives_generated_plan_fully(self):
+        # Generated plans cap concurrent outages at 1 < fault_tolerance,
+        # so the replicated static dict must answer every single lookup.
+        report = run_chaos("static", operations=64, capacity=48)
+        assert report.survived == report.operations
+        assert report.failed_total == 0
+
+    def test_degraded_overhead_is_measured(self):
+        report = run_chaos("static", operations=64, capacity=48)
+        assert report.healthy_ios > 0
+        assert report.chaos_ios >= report.healthy_ios
+        assert report.retry_ios > 0  # transients + stragglers cost rounds
+        assert report.degraded_spans > 0
+        # And the overhead shows up in the metrics registry too.
+        metrics = report.registry.as_dict()
+        assert metrics["faults.retry_ios"]["value"] == report.retry_ios
+
+    def test_deterministic_repeat(self):
+        a = run_chaos("basic", operations=64, capacity=48).to_dict()
+        b = run_chaos("basic", operations=64, capacity=48).to_dict()
+        assert a == b
+
+    def test_fault_seed_changes_outcome(self):
+        a = run_chaos("basic", operations=64, capacity=48, fault_seed=1)
+        b = run_chaos("basic", operations=64, capacity=48, fault_seed=2)
+        assert a.to_dict() != b.to_dict()
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos("btree")
+
+    def test_report_shape(self):
+        report = run_chaos("static", operations=32, capacity=24)
+        assert isinstance(report, ChaosReport)
+        data = report.to_dict()
+        for field in (
+            "structure",
+            "plan",
+            "survived",
+            "failed",
+            "wrong_answers",
+            "healthy_ios",
+            "chaos_ios",
+            "retry_ios",
+            "repair_ios",
+            "injected",
+            "ok",
+        ):
+            assert field in data
+        text = report.render_text()
+        assert "chaos run" in text and "verdict" in text
+
+
+class TestCli:
+    def test_exit_zero_and_json_report(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        code = main(
+            [
+                "--structure",
+                "static",
+                "--operations",
+                "64",
+                "--capacity",
+                "48",
+                "--quiet",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["tool"] == "repro.faults"
+        assert payload["ok"] is True
+        assert len(payload["runs"]) == 1
+
+    def test_json_bytes_deterministic(self, tmp_path):
+        args = [
+            "--structure",
+            "basic",
+            "--operations",
+            "64",
+            "--capacity",
+            "48",
+            "--quiet",
+            "--json",
+        ]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(args + [str(a)]) == 0
+        assert main(args + [str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_operational_error_exits_two(self, tmp_path):
+        code = main(
+            [
+                "--structure",
+                "static",
+                "--operations",
+                "16",
+                "--capacity",
+                "8",
+                "--disks",
+                "2",  # degree < 4: structure constructor rejects
+                "--quiet",
+            ]
+        )
+        assert code == 2
+
+    def test_no_checksums_lets_corruption_lie(self):
+        # The documented failure mode the checksum flag exists for:
+        # scramble the exact bucket holding a stored key.  Without
+        # verify-on-read the lookup *returns* — and is wrong.  With it,
+        # the same corruption surfaces as a typed degraded error.
+        from repro.core.basic_dict import BasicDictionary
+        from repro.core.interface import DegradedLookupError
+        from repro.pdm.faults import SilentCorruption, attach_faults
+        from repro.pdm.machine import ParallelDiskMachine
+
+        def scrambled_lookup(checksums):
+            machine = ParallelDiskMachine(8, 16, item_bits=64)
+            d = BasicDictionary(
+                machine, universe_size=1 << 16, capacity=32, degree=8, seed=5
+            )
+            key = 12345
+            d.upsert(key, 77)
+            loc = next(
+                l
+                for l in d.graph.striped_neighbors(key)
+                if any(
+                    item is not None and item[0] == key
+                    for item in d.buckets.peek(l)
+                )
+            )
+            events = [
+                SilentCorruption(disk, machine.stats.total_ios, block)
+                for disk, block in d.buckets._addrs(loc)
+            ]
+            attach_faults(machine, events, checksums=checksums)
+            return d.lookup(key)
+
+        silent = scrambled_lookup(checksums=False)
+        assert not (silent.found and silent.value == 77)  # a quiet lie
+        with pytest.raises(DegradedLookupError):  # a loud truth
+            scrambled_lookup(checksums=True)

@@ -1,0 +1,248 @@
+"""Degraded-mode dictionary reads: sound answers or typed errors, never lies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.interface import DegradedLookupError, DegradedModeError
+from repro.core.static_dict import StaticDictionary, fault_tolerance, fields_needed
+from repro.faults.plan import FaultPlan
+from repro.pdm.errors import IOFault
+from repro.pdm.faults import SilentCorruption, attach_faults
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+
+def _items(n, *, stride=97, sigma=16):
+    return {(7 + i * stride) % U: (i * 31) % (1 << sigma) for i in range(n)}
+
+
+# -- static: replicate-mode majority reads ------------------------------------
+
+
+class TestStaticDegraded:
+    def _build(self, machine, n=32, redundancy="replicate"):
+        items = _items(n)
+        sd = StaticDictionary.build(
+            machine,
+            items,
+            universe_size=U,
+            sigma=16,
+            case="b",
+            redundancy=redundancy,
+            seed=3,
+        )
+        return sd, items
+
+    def test_tolerance_formula(self):
+        for d in (4, 6, 8, 12, 16):
+            m = fields_needed(d)
+            assert fault_tolerance(d) == (m - 1) // 2
+
+    def test_survives_up_to_tolerance(self, machine):
+        sd, items = self._build(machine)
+        tol = fault_tolerance(sd.degree)
+        assert tol >= 1
+        key = sorted(items)[0]
+        doomed = sorted(sd.assignment[key])[:tol]
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks(doomed, num_disks=machine.num_disks).events,
+        )
+        for k, v in sorted(items.items()):
+            result = sd.lookup(k)
+            assert result.found and result.value == v
+        # Misses stay sound too: no key, no majority, failures <= tolerance.
+        absent = next(x for x in range(U) if x not in items)
+        assert not sd.lookup(absent).found
+
+    def test_beyond_tolerance_raises_never_lies(self, machine):
+        sd, items = self._build(machine)
+        tol = fault_tolerance(sd.degree)
+        key = sorted(items)[0]
+        doomed = sorted(sd.assignment[key])[: tol + 1]
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks(doomed, num_disks=machine.num_disks).events,
+        )
+        with pytest.raises(DegradedLookupError):
+            sd.lookup(key)
+
+    def test_standard_layout_loses_value_not_membership(self, machine):
+        sd, items = self._build(machine, redundancy="standard")
+        key = sorted(items)[0]
+        doomed = sorted(sd.assignment[key])[:1]
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks(doomed, num_disks=machine.num_disks).events,
+        )
+        with pytest.raises(DegradedLookupError) as exc_info:
+            sd.lookup(key)
+        # Membership was still decidable; only the value fragment is gone.
+        assert exc_info.value.membership is True
+
+    def test_read_repair_scrubs_corruption(self, machine):
+        sd, items = self._build(machine)
+        key = sorted(items)[0]
+        stripes = sorted(sd.assignment[key])
+        locs = dict(sd.graph.striped_neighbors(key))
+        (disk, block), _slot = sd.array._block_addr(
+            (stripes[0], locs[stripes[0]])
+        )
+        clock = machine.stats.total_ios
+        attach_faults(
+            machine, [SilentCorruption(disk, clock, block, salt=5)]
+        )
+        before = machine.stats.snapshot()
+        result = sd.lookup(key)
+        assert result.found and result.value == items[key]
+        cost = machine.stats.since(before)
+        assert cost.repair_ios > 0  # the corrupted block was rewritten
+        # Second lookup reads clean data: no retries, no repairs.
+        before = machine.stats.snapshot()
+        result = sd.lookup(key)
+        assert result.found and result.value == items[key]
+        again = machine.stats.since(before)
+        assert again.repair_ios == 0 and again.retry_ios == 0
+
+
+# -- basic: k-choice membership under a dead bucket disk ----------------------
+
+
+class TestBasicDegraded:
+    def _build(self, machine, n=24):
+        d = BasicDictionary(
+            machine, universe_size=U, capacity=64, degree=8, seed=5
+        )
+        keys = sorted(_items(n))
+        for k in keys:
+            d.upsert(k, k % 251)
+        return d, keys
+
+    def test_lookup_sound_or_typed(self, machine):
+        d, keys = self._build(machine)
+        attach_faults(
+            machine, FaultPlan.kill_disks([0], num_disks=8).events
+        )
+        outcomes = {"ok": 0, "raised": 0}
+        for k in keys:
+            try:
+                result = d.lookup(k)
+                assert result.found and result.value == k % 251
+                outcomes["ok"] += 1
+            except DegradedLookupError as exc:
+                # The key's stored fragment sits on the dead disk: the
+                # surviving candidates cannot prove either answer.
+                assert exc.key == k
+                outcomes["raised"] += 1
+        # Every key has a candidate bucket per stripe, so both outcomes
+        # appear with two dozen keys over eight disks.
+        assert outcomes["ok"] > 0 and outcomes["raised"] > 0
+
+    def test_absence_unprovable_raises(self, machine):
+        d, keys = self._build(machine)
+        attach_faults(
+            machine, FaultPlan.kill_disks([0], num_disks=8).events
+        )
+        absent = next(x for x in range(U) if x not in set(keys))
+        with pytest.raises(DegradedLookupError) as exc_info:
+            d.lookup(absent)
+        assert exc_info.value.membership is None
+
+    def test_mutations_refuse_upfront(self, machine):
+        d, keys = self._build(machine)
+        before_keys = set(d.stored_keys())
+        attach_faults(
+            machine, FaultPlan.kill_disks([0], num_disks=8).events
+        )
+        with pytest.raises(DegradedModeError):
+            d.upsert(keys[0], 1)
+        with pytest.raises(DegradedModeError):
+            d.delete(keys[0])
+        assert set(d.stored_keys()) == before_keys  # nothing half-applied
+
+
+# -- dynamic: per-level propagation -------------------------------------------
+
+
+class TestDynamicDegraded:
+    def _build(self, wide_machine, n=24):
+        d = DynamicDictionary(
+            wide_machine, universe_size=U, capacity=64, sigma=16, seed=9
+        )
+        items = _items(n)
+        for k, v in sorted(items.items()):
+            d.insert(k, v)
+        return d, items
+
+    def test_chain_crossing_dead_stripe_raises(self, wide_machine):
+        d, items = self._build(wide_machine)
+        key0 = sorted(items)[0]
+        level, head = d.membership.lookup(key0).value
+        # Kill the disk holding the key's chain head: the walk cannot start.
+        dead = d.levels[level].disk_offset + head
+        attach_faults(
+            wide_machine, FaultPlan.kill_disks([dead], num_disks=32).events
+        )
+        with pytest.raises(DegradedLookupError) as exc_info:
+            d.lookup(key0)
+        assert exc_info.value.membership is True  # membership group healthy
+
+    def test_chain_avoiding_dead_stripe_survives(self, wide_machine):
+        d, items = self._build(wide_machine)
+        # First-fit packs chains into the LOWEST free stripes, so the top
+        # stripe is unused at this occupancy: killing it degrades the
+        # speculative read without touching any chain.
+        arr = d.levels[0]
+        dead = arr.disk_offset + arr.stripes - 1
+        attach_faults(
+            wide_machine, FaultPlan.kill_disks([dead], num_disks=32).events
+        )
+        ok = 0
+        for k, v in sorted(items.items()):
+            try:
+                result = d.lookup(k)
+                assert result.found and result.value == v
+                ok += 1
+            except DegradedLookupError:
+                pass  # loud is acceptable; silent wrong never
+        assert ok > 0
+
+    def test_miss_sound_despite_field_failures(self, wide_machine):
+        d, items = self._build(wide_machine)
+        dead = d.levels[0].disk_offset
+        attach_faults(
+            wide_machine, FaultPlan.kill_disks([dead], num_disks=32).events
+        )
+        absent = next(x for x in range(U) if x not in items)
+        result = d.lookup(absent)
+        assert not result.found
+
+    def test_insert_places_around_dead_stripe(self, wide_machine):
+        d, items = self._build(wide_machine)
+        dead = d.levels[0].disk_offset
+        attach_faults(
+            wide_machine, FaultPlan.kill_disks([dead], num_disks=32).events
+        )
+        new_key = next(x for x in range(U) if x not in items)
+        d.insert(new_key, 1234)
+        result = d.lookup(new_key)  # chain avoids the unknown-state stripe
+        assert result.found and result.value == 1234
+
+    def test_delete_is_loud_or_clean_never_corrupt(self, wide_machine):
+        d, items = self._build(wide_machine)
+        dead = d.levels[0].disk_offset
+        attach_faults(
+            wide_machine, FaultPlan.kill_disks([dead], num_disks=32).events
+        )
+        for k in sorted(items):
+            try:
+                d.delete(k)
+            except (DegradedModeError, IOFault):
+                continue
+            # Deleted: the membership miss makes absence sound even with
+            # leaked chain fields on the dead stripe.
+            assert not d.lookup(k).found

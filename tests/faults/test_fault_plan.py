@@ -1,0 +1,107 @@
+"""FaultPlan: seeded generation must be bit-identical and well-formed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FOREVER, FaultPlan
+from repro.pdm.faults import (
+    DiskOutage,
+    SilentCorruption,
+    StragglerWindow,
+    TransientWindow,
+)
+
+
+class TestGenerate:
+    def test_bit_identical_across_calls(self):
+        a = FaultPlan.generate(7, num_disks=16, horizon=512)
+        b = FaultPlan.generate(7, num_disks=16, horizon=512)
+        assert a.events == b.events
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(7, num_disks=16, horizon=512)
+        b = FaultPlan.generate(8, num_disks=16, horizon=512)
+        assert a.events != b.events
+
+    def test_events_well_formed(self):
+        plan = FaultPlan.generate(3, num_disks=8, horizon=256)
+        assert len(plan) > 0
+        for e in plan.events:
+            assert 0 <= e.disk < 8
+            if isinstance(e, SilentCorruption):
+                assert 0 <= e.round < 256
+            else:
+                assert 0 <= e.start < e.end
+
+    def test_outage_cap_per_epoch(self):
+        plan = FaultPlan.generate(
+            5,
+            num_disks=32,
+            horizon=800,
+            epochs=8,
+            outage_rate=1.0,  # every disk wants to die...
+            max_down_per_epoch=2,  # ...but at most two per epoch may
+        )
+        epoch_len = 800 // 8
+        starts: dict = {}
+        for e in plan.events:
+            if isinstance(e, DiskOutage):
+                starts.setdefault(e.start // epoch_len, 0)
+                starts[e.start // epoch_len] += 1
+        assert starts and all(v <= 2 for v in starts.values())
+
+    def test_counts_partition_events(self):
+        plan = FaultPlan.generate(11, num_disks=16, horizon=512)
+        counts = plan.counts()
+        assert sum(counts.values()) == len(plan)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, num_disks=0, horizon=10)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, num_disks=4, horizon=0)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(0, num_disks=4, horizon=10, epochs=0)
+
+
+class TestTransforms:
+    def test_shifted_translates_every_window(self):
+        plan = FaultPlan.generate(9, num_disks=8, horizon=128)
+        moved = plan.shifted(1000)
+        assert len(moved) == len(plan)
+        for before, after in zip(plan.events, moved.events):
+            assert type(before) is type(after)
+            assert after.disk == before.disk
+            if isinstance(before, SilentCorruption):
+                assert after.round == before.round + 1000
+            else:
+                assert after.start == before.start + 1000
+                assert after.end == before.end + 1000
+            if isinstance(before, StragglerWindow):
+                assert after.extra_rounds == before.extra_rounds
+
+    def test_shifted_zero_is_identity(self):
+        plan = FaultPlan.generate(9, num_disks=8, horizon=128)
+        assert plan.shifted(0) is plan
+
+    def test_kill_disks(self):
+        plan = FaultPlan.kill_disks([2, 5], num_disks=8)
+        assert len(plan) == 2
+        for e in plan.events:
+            assert isinstance(e, DiskOutage)
+            assert e.start == 0 and e.end == FOREVER
+        assert [e.disk for e in plan.events] == [2, 5]
+
+    def test_merged_unions_events(self):
+        a = FaultPlan.kill_disks([1], num_disks=8)
+        b = FaultPlan.generate(2, num_disks=8, horizon=64)
+        merged = a.merged(b)
+        assert len(merged) == len(a) + len(b)
+        assert merged.horizon == max(a.horizon, b.horizon)
+
+    def test_transient_windows_present_at_default_rates(self):
+        plan = FaultPlan.generate(1, num_disks=16, horizon=512)
+        kinds = {type(e) for e in plan.events}
+        assert TransientWindow in kinds

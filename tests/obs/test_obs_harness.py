@@ -140,3 +140,18 @@ class TestCli:
         assert rc == 0
         assert (tmp_path / "t-basic.json").exists()
         assert (tmp_path / "t-dynamic.json").exists()
+
+    def test_operational_error_exits_two(self, tmp_path, capsys):
+        # An unwritable report path is an operational failure: the run
+        # produced no delivered verdict on the bounds, so exit 2, not 1.
+        rc = main(
+            [
+                "--structure", "basic", "--quiet",
+                "--disks", "8", "--block", "16",
+                "--universe", str(U),
+                "--capacity", "16", "--operations", "8",
+                "--json", str(tmp_path / "missing_dir" / "report.json"),
+            ]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,218 @@
+"""Properties of the cost algebra and the non-charging probe paths.
+
+Two contracts guard the accounting that every theorem check rests on:
+
+* :meth:`Disk.peek` / :meth:`ParallelDiskMachine.peek_at` are *free* probes —
+  they never materialise storage, so space audits (``touched_blocks``,
+  ``high_water``, footprint) and I/O counters are untouched by them;
+* :class:`OpCost` / :class:`IOStats` form the algebra the span tree and the
+  composite dictionaries rely on: ``+`` (sequential) is associative with
+  identity zero, :meth:`OpCost.parallel` is associative and commutative,
+  and the recovery counters (``retry_ios`` / ``repair_ios``) ride through
+  every combination the same way their parent counters do.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdm.disk import Disk
+from repro.pdm.iostats import IOStats, OpCost, measure
+from repro.pdm.machine import ParallelDiskMachine
+
+counter = st.integers(min_value=0, max_value=1_000)
+opcosts = st.builds(
+    OpCost,
+    read_ios=counter,
+    write_ios=counter,
+    blocks_read=counter,
+    blocks_written=counter,
+    retry_ios=counter,
+    repair_ios=counter,
+)
+
+FIELDS = (
+    "read_ios",
+    "write_ios",
+    "blocks_read",
+    "blocks_written",
+    "retry_ios",
+    "repair_ios",
+)
+
+
+def _stats(cost: OpCost) -> IOStats:
+    s = IOStats()
+    s.add(cost)
+    return s
+
+
+# -- free probes ---------------------------------------------------------------
+
+
+class TestPeekIsFree:
+    def test_disk_peek_never_materialises(self):
+        disk = Disk(0, 64)
+        assert disk.peek(17) is None
+        assert disk.touched_blocks == 0
+        assert disk.high_water == 0
+        # block() at the same index *does* materialise — peek stays exact.
+        disk.block(17)
+        assert disk.touched_blocks == 1
+        assert disk.high_water == 18
+        assert disk.peek(17) is not None
+
+    def test_machine_peek_at_charges_nothing(self, machine):
+        before = machine.stats.snapshot()
+        touched = machine.touched_blocks
+        for d in range(machine.num_disks):
+            assert machine.peek_at((d, 5)) is None
+        assert machine.touched_blocks == touched
+        assert all(disk.high_water == 0 for disk in machine.disks)
+        assert machine.stats.since(before) == OpCost.zero()
+
+    def test_peek_sees_written_data_without_io(self, machine):
+        payload = [7] + [None] * (machine.block_items - 1)
+        machine.write_blocks([((2, 3), payload, machine.block_bits)])
+        before = machine.stats.snapshot()
+        blk = machine.peek_at((2, 3))
+        assert blk is not None and blk.payload[0] == 7
+        assert machine.stats.since(before) == OpCost.zero()
+
+    def test_reading_unwritten_blocks_stays_unmaterialised(self, machine):
+        """The charged read path shares peek's discipline: a read of a
+        never-written block is charged as I/O but leaves no footprint."""
+        before = machine.stats.snapshot()
+        machine.read_blocks([(0, 9), (1, 9)])
+        assert machine.stats.since(before).read_ios == 1
+        assert machine.touched_blocks == 0
+
+
+# -- OpCost algebra ------------------------------------------------------------
+
+
+@given(opcosts, opcosts, opcosts)
+def test_sequential_add_is_associative(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(opcosts, opcosts)
+def test_sequential_add_is_commutative(a, b):
+    assert a + b == b + a
+
+
+@given(opcosts)
+def test_zero_is_identity_for_both_compositions(a):
+    assert a + OpCost.zero() == a
+    assert OpCost.parallel(a, OpCost.zero()) == a
+
+
+@given(opcosts, opcosts)
+def test_sub_inverts_add(a, b):
+    assert (a + b) - b == a
+
+
+@given(opcosts, opcosts, opcosts)
+def test_parallel_is_associative(a, b, c):
+    flat = OpCost.parallel(a, b, c)
+    assert OpCost.parallel(OpCost.parallel(a, b), c) == flat
+    assert OpCost.parallel(a, OpCost.parallel(b, c)) == flat
+
+
+@given(opcosts, opcosts)
+def test_parallel_is_commutative(a, b):
+    assert OpCost.parallel(a, b) == OpCost.parallel(b, a)
+
+
+@given(opcosts)
+def test_parallel_is_idempotent_on_rounds(a):
+    """Probing the same cost twice in parallel doubles data volume but not
+    rounds — the distinction the composite dictionaries exist to exploit."""
+    both = OpCost.parallel(a, a)
+    assert both.read_ios == a.read_ios
+    assert both.write_ios == a.write_ios
+    assert both.retry_ios == a.retry_ios
+    assert both.repair_ios == a.repair_ios
+    assert both.blocks_read == 2 * a.blocks_read
+    assert both.blocks_written == 2 * a.blocks_written
+
+
+@given(opcosts, opcosts)
+def test_recovery_ios_tracks_its_parents(a, b):
+    """``recovery_ios`` is derived, never double-counted: it composes under
+    ``+`` and ``parallel`` exactly as retry/repair themselves do."""
+    seq = a + b
+    assert seq.recovery_ios == a.recovery_ios + b.recovery_ios
+    par = OpCost.parallel(a, b)
+    assert par.retry_ios == max(a.retry_ios, b.retry_ios)
+    assert par.repair_ios == max(a.repair_ios, b.repair_ios)
+    assert par.recovery_ios <= seq.recovery_ios
+
+
+# -- IOStats merge / snapshot round-trips --------------------------------------
+
+
+@given(opcosts, opcosts)
+def test_merge_is_commutative(a, b):
+    left = _stats(a).merge(_stats(b))
+    right = _stats(b).merge(_stats(a))
+    assert all(getattr(left, f) == getattr(right, f) for f in FIELDS)
+
+
+@given(opcosts, opcosts, opcosts)
+def test_merge_is_associative(a, b, c):
+    sa, sb, sc = _stats(a), _stats(b), _stats(c)
+    left = sa.merge(sb).merge(sc)
+    right = sa.merge(sb.merge(sc))
+    assert all(getattr(left, f) == getattr(right, f) for f in FIELDS)
+
+
+@given(opcosts, opcosts)
+def test_merge_agrees_with_sequential_opcost(a, b):
+    """Merging two machines' histories is the sequential composition of
+    their costs — the documented convention."""
+    merged = _stats(a).merge(_stats(b))
+    seq = a + b
+    assert all(getattr(merged, f) == getattr(seq, f) for f in FIELDS)
+
+
+@given(opcosts, opcosts)
+def test_snapshot_since_add_round_trip(base, delta):
+    """since() recovers exactly what add() folded in after a snapshot —
+    including the recovery counters."""
+    stats = _stats(base)
+    snap = stats.snapshot()
+    stats.add(delta)
+    assert stats.since(snap) == delta
+    # And folding the recovered cost into the snapshot reproduces the stats.
+    snap.add(delta)
+    assert all(getattr(snap, f) == getattr(stats, f) for f in FIELDS)
+
+
+@given(opcosts)
+def test_snapshot_is_a_copy_not_a_view(a):
+    stats = _stats(a)
+    snap = stats.snapshot()
+    stats.add(OpCost(read_ios=1, retry_ios=1))
+    assert snap.read_ios == a.read_ios
+    assert snap.retry_ios == a.retry_ios
+
+
+# -- measure() over real machines ----------------------------------------------
+
+
+@settings(max_examples=25)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 15)),
+                min_size=1, max_size=20))
+def test_measure_across_machines_is_sequential_sum(batch):
+    m1 = ParallelDiskMachine(6, 8)
+    m2 = ParallelDiskMachine(6, 8)
+    with measure(m1, m2) as both:
+        m1.read_blocks(batch)
+        m2.read_blocks(batch)
+        m2.read_blocks(batch)
+    with measure(m1) as solo:
+        m1.read_blocks(batch)
+    assert both.cost == solo.cost + solo.cost + solo.cost
+    assert both.cost.recovery_ios == 0
