@@ -2,13 +2,24 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint baseline bench bench-report chaos examples figure1 profile clean
+.PHONY: install test test-model lint baseline bench bench-report bench-batch chaos coverage examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Model-based differential harness only: every dictionary variant driven
+# through random op interleavings against a plain-dict oracle.
+test-model:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/model/ -q
+
+# Coverage with the ratcheted minimum from .coverage-min (requires
+# pytest-cov; CI installs it — locally: pip install pytest-cov).
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ --cov=repro --cov-report=term \
+		--cov-fail-under=$$(cat .coverage-min)
 
 # detlint (the in-tree determinism & PDM-discipline linter) + ruff if present.
 lint:
@@ -21,6 +32,12 @@ baseline:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Round-packing payoff: sequential vs batched lookup rounds, written as
+# the machine-readable acceptance artefact BENCH_batch.json.
+bench-batch:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_batch.py -q --benchmark-disable
 
 # Instrumented smoke run: spans + metrics + theorem-bound monitors over both
 # dictionaries, written as a machine-readable report (and a Perfetto trace).

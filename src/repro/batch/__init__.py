@@ -1,0 +1,33 @@
+"""Batched round-packed dictionary operations.
+
+One parallel I/O round moves up to ``D`` blocks — one per disk — yet a
+stream of single-key operations pays a full round (or more) per key.  This
+package is the front door to the batched hot path: it drives the
+``batch_lookup`` / ``batch_insert`` / ``batch_delete`` methods the
+dictionaries in :mod:`repro.core` implement on top of the round-packing
+scheduler in :mod:`repro.pdm.machine` (``pack_rounds`` /
+``AbstractDiskMachine.plan_rounds``), and normalizes their per-key
+results-or-typed-errors maps into a :class:`BatchReport` that replay,
+benchmarks, and the obs CLI can consume uniformly.
+
+Contract (shared with :class:`repro.core.interface.Dictionary`): duplicate
+keys collapse, per-key fault conditions surface as exception *values* in
+the result map, and a batch never fails wholesale for a condition that
+only poisons some of its keys.
+"""
+
+from repro.batch.api import (
+    BatchReport,
+    batch_delete,
+    batch_insert,
+    batch_lookup,
+    chunked,
+)
+
+__all__ = [
+    "BatchReport",
+    "batch_delete",
+    "batch_insert",
+    "batch_lookup",
+    "chunked",
+]

@@ -1,0 +1,107 @@
+"""Uniform driver API over the dictionaries' batched operations.
+
+Every dictionary exposes ``batch_lookup(keys)``, ``batch_insert(items)``
+and ``batch_delete(keys)`` returning ``(per_key_outcomes, OpCost)``; the
+paper structures override the base loop with round-packed implementations.
+The helpers here add what callers above the core layer keep re-deriving:
+splitting outcomes from per-key errors, a summary object, and a chunker
+for feeding a long op stream through fixed-size batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping
+
+from repro.core.interface import Dictionary, LookupResult
+from repro.pdm.iostats import OpCost
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Outcome of one batched operation.
+
+    ``results`` holds the successful per-key outcomes (``LookupResult`` for
+    lookups, ``(was_present, old_value)`` for inserts, ``removed`` booleans
+    for deletes); ``errors`` the per-key typed exceptions.  The two key
+    sets are disjoint and together cover every distinct requested key.
+    """
+
+    op: str
+    results: Dict[int, Any] = field(default_factory=dict)
+    errors: Dict[int, Exception] = field(default_factory=dict)
+    cost: OpCost = field(default_factory=OpCost.zero)
+
+    @property
+    def size(self) -> int:
+        return len(self.results) + len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly summary (used by benchmarks and the obs CLI)."""
+        return {
+            "op": self.op,
+            "size": self.size,
+            "errors": len(self.errors),
+            "rounds": self.cost.total_ios,
+            "blocks": self.cost.blocks_read + self.cost.blocks_written,
+        }
+
+
+def _split(
+    op: str, outcomes: Mapping[int, Any], cost: OpCost
+) -> BatchReport:
+    results: Dict[int, Any] = {}
+    errors: Dict[int, Exception] = {}
+    for key, res in outcomes.items():
+        if isinstance(res, Exception):
+            errors[key] = res
+        else:
+            results[key] = res
+    return BatchReport(op=op, results=results, errors=errors, cost=cost)
+
+
+def batch_lookup(dictionary: Dictionary, keys: Iterable[int]) -> BatchReport:
+    """Look up many keys in one round-packed batch."""
+    outcomes, cost = dictionary.batch_lookup(keys)
+    return _split("lookup", outcomes, cost)
+
+
+def batch_insert(
+    dictionary: Dictionary, items: Mapping[int, Any]
+) -> BatchReport:
+    """Insert/upsert many keys in one round-packed batch."""
+    outcomes, cost = dictionary.batch_insert(items)
+    return _split("insert", outcomes, cost)
+
+
+def batch_delete(dictionary: Dictionary, keys: Iterable[int]) -> BatchReport:
+    """Delete many keys in one round-packed batch."""
+    outcomes, cost = dictionary.batch_delete(keys)
+    return _split("delete", outcomes, cost)
+
+
+def chunked(items: Iterable[Any], size: int) -> Iterator[List[Any]]:
+    """Yield consecutive chunks of at most ``size`` items (order kept)."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    chunk: List[Any] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) == size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+__all__ = [
+    "BatchReport",
+    "batch_delete",
+    "batch_insert",
+    "batch_lookup",
+    "chunked",
+]

@@ -20,6 +20,7 @@ this at the bit level; this package supplies the machinery:
 
 from repro.bits.bitvector import BitVector, BitReader
 from repro.bits.mix import derive, splitmix64, stable_hash
+from repro.bits.stream import MixStream
 from repro.bits.unary import encode_unary, decode_unary
 from repro.bits.fields import (
     ChainCapacityError,
@@ -42,4 +43,5 @@ __all__ = [
     "derive",
     "splitmix64",
     "stable_hash",
+    "MixStream",
 ]

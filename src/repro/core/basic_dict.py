@@ -33,9 +33,11 @@ from repro.core.interface import (
     DegradedModeError,
     Dictionary,
     LookupResult,
+    annotate_round_packing,
 )
 from repro.expanders.base import StripedExpander
 from repro.expanders.random_graph import SeededRandomExpander
+from repro.pdm.errors import DiskFailure
 from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
 from repro.pdm.spans import span
@@ -224,23 +226,40 @@ class BasicDictionary(Dictionary):
         )
 
     def lookup_batch(self, keys: Sequence[int]) -> Tuple[Dict[int, LookupResult], OpCost]:
-        """Answer many lookups in one batched probe.
+        """Strict batched lookup: like :meth:`batch_lookup` but an
+        undecidable key (first in key order) raises instead of appearing as
+        a per-key error value.  Kept for callers that prefer loud failure.
+        """
+        outcomes, cost = self.batch_lookup(keys)
+        out: Dict[int, LookupResult] = {}
+        for key, result in outcomes.items():
+            if isinstance(result, Exception):
+                raise result
+            out[key] = result
+        return out, cost
+
+    def _annotate_packing(self, m, all_locs, store) -> None:
+        annotate_round_packing(m, self.machine, store, all_locs.values())
+
+    def batch_lookup(self, keys):
+        """Answer many lookups in one round-packed probe.
 
         All requested buckets go to the machine as a single batch; the PDM
         prices it at the max per-disk multiplicity, so ``q`` *distinct*
         keys cost about ``q`` rounds — but repeated/overlapping keys
         deduplicate to shared blocks and cost less (a skewed read stream,
         the Section 1.2 webmail pattern, gains the most).  Per-key results
-        carry the whole batch's cost; the returned ``OpCost`` is the batch
-        total.
+        carry the whole batch's cost; undecidable keys under faults become
+        per-key :class:`DegradedLookupError` values (PR 3 semantics — the
+        batch itself never fails wholesale).
         """
         keys = list(keys)
         for key in keys:
             self._check_key(key)
         with span(
             self.machine,
-            "basic_dict.lookup_batch",
-            op="lookup_batch",
+            "basic_dict.batch_lookup",
+            op="batch_lookup",
             structure="basic_dict",
             blocks_per_bucket=self.buckets.blocks_per_bucket,
             batch_size=len(keys),
@@ -248,7 +267,9 @@ class BasicDictionary(Dictionary):
             all_locs = {}
             for key in dict.fromkeys(keys):
                 all_locs[key] = self.graph.striped_neighbors(key)
-            wanted = {loc for locs in all_locs.values() for loc in locs}
+            wanted = list(
+                dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
+            )
             if self.machine.faults is None:
                 contents = self.buckets.read_buckets(wanted)
                 failures: Dict[Tuple[int, int], Any] = {}
@@ -258,7 +279,8 @@ class BasicDictionary(Dictionary):
                     m.annotate(degraded=True, failed_buckets=len(failures))
             if m.span is not None:
                 m.annotate(distinct_keys=len(all_locs), buckets_read=len(wanted))
-        out: Dict[int, LookupResult] = {}
+            self._annotate_packing(m, all_locs, self.buckets)
+        out: Dict[int, Any] = {}
         for key, locs in all_locs.items():
             fragments = [
                 (t, frag)
@@ -268,17 +290,230 @@ class BasicDictionary(Dictionary):
                 if k2 == key
             ]
             if failures and any(loc in failures for loc in locs):
-                # Same soundness rule as the single-key path; the first
-                # undecidable key (insertion order) fails the whole batch.
-                self._settle_degraded(
-                    key, fragments, {l: failures[l] for l in locs if l in failures}
-                )
+                try:
+                    # Same soundness rule as the single-key path, applied
+                    # per key: a complete fragment set from the surviving
+                    # choices stays a sound positive answer.
+                    self._settle_degraded(
+                        key,
+                        fragments,
+                        {l: failures[l] for l in locs if l in failures},
+                    )
+                except DegradedLookupError as exc:
+                    out[key] = exc
+                    continue
             if fragments:
                 fragments.sort()
                 value = _join_fragments([f for _, f in fragments])
                 out[key] = LookupResult(True, value, m.cost)
             else:
                 out[key] = LookupResult(False, None, m.cost)
+        return out, m.cost
+
+    def batch_insert(self, items):
+        """Upsert many keys with one batched read and one batched write.
+
+        The candidate buckets of every key are fetched as a single
+        round-packed batch, the greedy ``d``-choice placements are computed
+        in arrival order against the staged in-memory contents (so earlier
+        keys' placements shape later keys' loads, exactly as if the inserts
+        ran sequentially), and every dirty bucket is written back in one
+        batch.  Per-key outcomes are ``(was_present, old_value)`` or a
+        typed error: keys with an unreadable candidate bucket refuse their
+        mutation upfront (:class:`DegradedModeError`), keys that would
+        overflow the structure or a bucket get :class:`CapacityExceeded`,
+        and neither poisons the rest of the batch.
+        """
+        items = dict(items)
+        for key in items:
+            self._check_key(key)
+        with span(
+            self.machine,
+            "basic_dict.batch_insert",
+            op="batch_insert",
+            structure="basic_dict",
+            blocks_per_bucket=self.buckets.blocks_per_bucket,
+            batch_size=len(items),
+        ) as m:
+            all_locs = {
+                key: self.graph.striped_neighbors(key) for key in items
+            }
+            wanted = list(
+                dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
+            )
+            if self.machine.faults is None:
+                contents = self.buckets.read_buckets(wanted)
+                failures: Dict[Tuple[int, int], Any] = {}
+            else:
+                contents, failures = self.buckets.read_buckets_degraded(wanted)
+                if failures and m.span is not None:
+                    m.annotate(degraded=True, failed_buckets=len(failures))
+            self._annotate_packing(m, all_locs, self.buckets)
+
+            out: Dict[int, Any] = {}
+            staged = dict(contents)
+            dirty: Dict[Tuple[int, int], List[Any]] = {}
+            new_keys = 0
+            for key, value in items.items():
+                locs = all_locs[key]
+                lost = {l: failures[l] for l in locs if l in failures}
+                if lost:
+                    out[key] = DegradedModeError(
+                        f"upsert of key {key}: {len(lost)} of {self.degree} "
+                        f"candidate buckets unreadable; refusing a placement "
+                        f"that could duplicate the key",
+                        key=key,
+                        op="upsert",
+                        failures=lost,
+                    )
+                    continue
+                trial = {loc: list(staged[loc]) for loc in locs}
+                old_fragments: List[Tuple[int, Any]] = []
+                for loc in locs:
+                    kept = [it for it in trial[loc] if it[0] != key]
+                    if len(kept) != len(trial[loc]):
+                        old_fragments.extend(
+                            (t, frag)
+                            for (k2, t, frag) in trial[loc]
+                            if k2 == key
+                        )
+                        trial[loc] = kept
+                was_present = bool(old_fragments)
+                if not was_present and self.size + new_keys >= self.capacity:
+                    out[key] = CapacityExceeded(
+                        f"dictionary at capacity N={self.capacity}"
+                    )
+                    continue
+                fragments = _split_value(value, self.k)
+                loads = {loc: len(trial[loc]) for loc in locs}
+                overflow = False
+                for t, frag in enumerate(fragments):
+                    target = min(locs, key=lambda loc: (loads[loc], loc))
+                    trial[target].append((key, t, frag))
+                    loads[target] += 1
+                    if loads[target] > self.buckets.capacity_items:
+                        overflow = True
+                        break
+                if overflow:
+                    out[key] = CapacityExceeded(
+                        f"bucket overflow placing key {key}; the "
+                        f"load-balancing guarantee needs a larger bucket "
+                        f"array (stripe_size) or larger blocks"
+                    )
+                    continue
+                for loc in locs:
+                    if trial[loc] != staged[loc]:
+                        staged[loc] = trial[loc]
+                        dirty[loc] = trial[loc]
+                    if len(staged[loc]) > self._max_load_seen:
+                        self._max_load_seen = len(staged[loc])
+                if was_present:
+                    old_fragments.sort()
+                    out[key] = (
+                        True,
+                        _join_fragments([f for _, f in old_fragments]),
+                    )
+                else:
+                    new_keys += 1
+                    out[key] = (False, None)
+            if dirty:
+                try:
+                    self.buckets.write_buckets(dirty)
+                except DiskFailure as exc:
+                    # write_blocks is atomic — nothing was mutated.  Every
+                    # key that thought it succeeded degrades, per key.
+                    for key, res in out.items():
+                        if not isinstance(res, Exception):
+                            out[key] = DegradedModeError(
+                                f"upsert of key {key}: batch write failed "
+                                f"({exc})",
+                                key=key,
+                                op="upsert",
+                                failures={key: exc},
+                            )
+                    new_keys = 0
+            self.size += new_keys
+            if m.span is not None:
+                m.annotate(
+                    size=self.size,
+                    max_load=self._max_load_seen,
+                    buckets_written=len(dirty),
+                )
+        return out, m.cost
+
+    def batch_delete(self, keys):
+        """Delete many keys with one batched read and one batched write.
+
+        Per-key outcomes are ``removed`` booleans; keys with unreadable
+        candidate buckets refuse upfront with :class:`DegradedModeError`
+        (a delete that cannot see every candidate might leave the key
+        alive in a failed bucket).
+        """
+        keys = list(dict.fromkeys(keys))
+        for key in keys:
+            self._check_key(key)
+        with span(
+            self.machine,
+            "basic_dict.batch_delete",
+            op="batch_delete",
+            structure="basic_dict",
+            blocks_per_bucket=self.buckets.blocks_per_bucket,
+            batch_size=len(keys),
+        ) as m:
+            all_locs = {key: self.graph.striped_neighbors(key) for key in keys}
+            wanted = list(
+                dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
+            )
+            if self.machine.faults is None:
+                contents = self.buckets.read_buckets(wanted)
+                failures: Dict[Tuple[int, int], Any] = {}
+            else:
+                contents, failures = self.buckets.read_buckets_degraded(wanted)
+                if failures and m.span is not None:
+                    m.annotate(degraded=True, failed_buckets=len(failures))
+            self._annotate_packing(m, all_locs, self.buckets)
+
+            out: Dict[int, Any] = {}
+            staged = dict(contents)
+            dirty: Dict[Tuple[int, int], List[Any]] = {}
+            removed_keys = 0
+            for key in keys:
+                locs = all_locs[key]
+                lost = {l: failures[l] for l in locs if l in failures}
+                if lost:
+                    out[key] = DegradedModeError(
+                        f"delete of key {key}: {len(lost)} of {self.degree} "
+                        f"candidate buckets unreadable",
+                        key=key,
+                        op="delete",
+                        failures=lost,
+                    )
+                    continue
+                removed = False
+                for loc in locs:
+                    kept = [it for it in staged[loc] if it[0] != key]
+                    if len(kept) != len(staged[loc]):
+                        staged[loc] = kept
+                        dirty[loc] = kept
+                        removed = True
+                out[key] = removed
+                if removed:
+                    removed_keys += 1
+            if dirty:
+                try:
+                    self.buckets.write_buckets(dirty)
+                except DiskFailure as exc:
+                    for key, res in out.items():
+                        if res is True:
+                            out[key] = DegradedModeError(
+                                f"delete of key {key}: batch write failed "
+                                f"({exc})",
+                                key=key,
+                                op="delete",
+                                failures={key: exc},
+                            )
+                    removed_keys = 0
+            self.size -= removed_keys
         return out, m.cost
 
     def insert(self, key: int, value: Any = None) -> OpCost:

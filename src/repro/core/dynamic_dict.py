@@ -27,15 +27,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bits import BitVector, decode_chain, encode_chain, required_field_bits
 from repro.core.basic_dict import BasicDictionary
 from repro.core.interface import (
     CapacityExceeded,
     DegradedLookupError,
+    DegradedModeError,
     Dictionary,
     LookupResult,
+    annotate_round_packing,
 )
 from repro.core.static_dict import fields_needed
 from repro.pdm.errors import DiskFailure
@@ -563,6 +565,405 @@ class DynamicDictionary(Dictionary):
             self.size -= 1
             root.annotate(found=True, level=level)
             return mem.cost + OpCost.parallel(clear.cost, del_cost)
+
+    # -- batched operations ----------------------------------------------------------
+    #
+    # The batch paths share the single-op fault discipline (membership-first
+    # deletes, fields-then-membership inserts, leak-never-lie) but pack all
+    # per-key probes of each phase into round-shared I/Os.  They do NOT
+    # update ``self.stats`` — OperationStats counts *single* operations so
+    # its per-op averages stay comparable across batch sizes; batches report
+    # through spans (``rounds_saved`` et al.) instead.
+
+    def _batch_read_level(self, level: int, keys, handle):
+        """One round-packed read of every key's fields on ``level``.
+
+        Returns ``(locs_map, fields, failures)`` where ``fields`` /
+        ``failures`` cover the union of all keys' locations.
+        """
+        locs_map = {
+            key: self.level_graphs[level].striped_neighbors(key)
+            for key in keys
+        }
+        wanted = list(
+            dict.fromkeys(loc for locs in locs_map.values() for loc in locs)
+        )
+        if self.machine.faults is None:
+            fields = self.levels[level].read_fields(wanted)
+            failures: Dict[Tuple[int, int], Exception] = {}
+        else:
+            fields, failures = self.levels[level].read_fields_degraded(wanted)
+            if failures and handle.span is not None:
+                handle.annotate(degraded=True, failed_fields=len(failures))
+        annotate_round_packing(
+            handle, self.machine, self.levels[level], locs_map.values()
+        )
+        return locs_map, fields, failures
+
+    def batch_lookup(self, keys):
+        """Answer many lookups with round-packed level reads.
+
+        Phase 1 runs the batched membership probe in parallel with one
+        speculative batched read of every key's level-1 fields; keys that
+        land on deeper levels are grouped and read level by level.  Per-key
+        undecidable outcomes become exception values (PR 3 semantics).
+        """
+        keys = list(dict.fromkeys(keys))
+        for key in keys:
+            self._check_key(key)
+        with span(
+            self.machine,
+            "dynamic_dict.batch_lookup",
+            op="batch_lookup",
+            structure="dynamic_dict",
+            num_levels=self.num_levels,
+            batch_size=len(keys),
+        ) as root:
+            with span(
+                self.machine, "dynamic_dict.batch_lookup.phase1", parallel=True
+            ):
+                mem_out, mem_cost = self.membership.batch_lookup(keys)
+                with span(
+                    self.machine, "dynamic_dict.speculative_read", level=0
+                ) as spec:
+                    locs0, fields0, fails0 = self._batch_read_level(
+                        0, keys, spec
+                    )
+            cost = OpCost.parallel(mem_cost, spec.cost)
+            deeper: Dict[int, List[int]] = {}
+            for key in keys:
+                mem = mem_out[key]
+                if isinstance(mem, Exception) or not mem.found:
+                    continue
+                level, _head = mem.value
+                if level != 0:
+                    deeper.setdefault(level, []).append(key)
+            level_data: Dict[int, Any] = {}
+            for level in sorted(deeper):
+                with span(
+                    self.machine, "dynamic_dict.level_read", level=level
+                ) as extra:
+                    level_data[level] = self._batch_read_level(
+                        level, deeper[level], extra
+                    )
+                cost = cost + extra.cost
+            out: Dict[int, Any] = {}
+            found = 0
+            for key in keys:
+                mem = mem_out[key]
+                if isinstance(mem, Exception):
+                    out[key] = mem
+                    continue
+                if not mem.found:
+                    out[key] = LookupResult(False, None, cost)
+                    continue
+                level, head = mem.value
+                if level == 0:
+                    locs, fields, fails = locs0[key], fields0, fails0
+                else:
+                    locs_map, fields, fails = level_data[level]
+                    locs = locs_map[key]
+                mine = {loc: fails[loc] for loc in locs if loc in fails}
+                try:
+                    value = self._chain_value_degraded(
+                        level, key, fields, locs, head, mine
+                    )
+                except DegradedLookupError as exc:
+                    out[key] = exc
+                else:
+                    out[key] = LookupResult(True, value, cost)
+                    found += 1
+            root.annotate(batch_found=found)
+        return out, cost
+
+    def batch_insert(self, items):
+        """Upsert many keys with round-packed level probes and writes.
+
+        First-fit runs level by level over the whole batch at once: one
+        batched read per level decides every still-unplaced key, with a
+        ``claimed`` set preventing two keys of the same batch from taking
+        the same free field.  Chains are written one batched write per
+        level, then membership records every pointer in one batched upsert,
+        then superseded chains are cleared.  Near capacity the batch admits
+        new keys in arrival order, so it can refuse a key a differently
+        ordered sequential run would have accepted — it never over-admits.
+        """
+        items = dict(items)
+        for key in items:
+            self._check_key(key)
+        for key, value in items.items():
+            if value is None or not 0 <= value < (1 << self.sigma):
+                raise ValueError(
+                    f"value must be an integer in [0, 2^{self.sigma}), "
+                    f"got {value!r}"
+                )
+        with span(
+            self.machine,
+            "dynamic_dict.batch_insert",
+            op="batch_insert",
+            structure="dynamic_dict",
+            num_levels=self.num_levels,
+            batch_size=len(items),
+        ) as root:
+            degraded = self.machine.faults is not None
+            mem_out, mem_cost = self.membership.batch_lookup(list(items))
+            cost = mem_cost
+            out: Dict[int, Any] = {}
+            admitted: List[int] = []
+            budget_used = 0
+            for key in items:
+                mem = mem_out[key]
+                if isinstance(mem, Exception):
+                    out[key] = DegradedModeError(
+                        f"insert of key {key}: membership probe undecidable "
+                        f"({mem})",
+                        key=key,
+                        op="insert",
+                        failures=getattr(mem, "failures", None) or {key: mem},
+                    )
+                    continue
+                if not mem.found:
+                    if self.size + budget_used >= self.capacity:
+                        out[key] = CapacityExceeded(
+                            f"dictionary at capacity N={self.capacity}"
+                        )
+                        continue
+                    budget_used += 1
+                admitted.append(key)
+
+            # First-fit over the whole batch, one packed read per level.
+            placements: Dict[int, Tuple[int, List[int], Dict[int, int]]] = {}
+            remaining = list(admitted)
+            claimed: set = set()
+            for level in range(self.num_levels):
+                if not remaining:
+                    break
+                with span(
+                    self.machine, "dynamic_dict.first_fit", level=level
+                ) as probe:
+                    locs_map, fields, fails = self._batch_read_level(
+                        level, remaining, probe
+                    )
+                cost = cost + probe.cost
+                still = []
+                for key in remaining:
+                    locs = locs_map[key]
+                    idx = {i: j for (i, j) in locs}
+                    free = sorted(
+                        stripe
+                        for (stripe, j) in locs
+                        if (stripe, j) not in fails
+                        and fields[(stripe, j)] is None
+                        and (level, stripe, j) not in claimed
+                    )
+                    if len(free) >= self.m_need:
+                        stripes = free[: self.m_need]
+                        placements[key] = (level, stripes, idx)
+                        claimed.update(
+                            (level, s, idx[s]) for s in stripes
+                        )
+                    else:
+                        still.append(key)
+                remaining = still
+            for key in remaining:
+                out[key] = CapacityExceeded(
+                    f"no level offers {self.m_need} free fields for key "
+                    f"{key}; increase stripe_slack or capacity headroom"
+                )
+
+            # Write chains, one batched write per level.  write_blocks is
+            # atomic per call, so a DiskFailure degrades every key of that
+            # level and leaks nothing.
+            by_level: Dict[int, List[int]] = {}
+            for key in placements:
+                by_level.setdefault(placements[key][0], []).append(key)
+            written: List[int] = []
+            for level in sorted(by_level):
+                writes: Dict[Tuple[int, int], Any] = {}
+                for key in by_level[level]:
+                    _, stripes, idx = placements[key]
+                    record = BitVector.from_int(items[key], self.sigma)
+                    encoded = encode_chain(record, stripes, self.field_bits)
+                    writes.update(
+                        {(s, idx[s]): bits for s, bits in encoded.items()}
+                    )
+                with span(
+                    self.machine, "dynamic_dict.batch_chain_write", level=level
+                ) as w:
+                    try:
+                        self.levels[level].write_fields(writes)
+                    except DiskFailure as exc:
+                        for key in by_level[level]:
+                            out[key] = DegradedModeError(
+                                f"insert of key {key}: chain write on level "
+                                f"{level} failed ({exc})",
+                                key=key,
+                                op="insert",
+                                failures={key: exc},
+                            )
+                    else:
+                        written.extend(by_level[level])
+                cost = cost + w.cost
+
+            # Membership phase: one batched upsert of the new pointers.
+            # A key whose membership update fails leaks its freshly written
+            # chain (fields busy, unreferenced) — capacity, never lies.
+            if written:
+                pointers = {
+                    key: (placements[key][0], placements[key][1][0])
+                    for key in written
+                }
+                up_out, up_cost = self.membership.batch_insert(pointers)
+                cost = cost + up_cost
+                new_keys = 0
+                to_clear: Dict[int, List[Tuple[int, int]]] = {}
+                for key in written:
+                    res = up_out[key]
+                    if isinstance(res, Exception):
+                        out[key] = DegradedModeError(
+                            f"insert of key {key}: membership update failed "
+                            f"({res}); the new chain is leaked, not visible",
+                            key=key,
+                            op="insert",
+                            failures=getattr(res, "failures", None)
+                            or {key: res},
+                        )
+                        continue
+                    was_present, old = res
+                    out[key] = (was_present, None)
+                    if was_present:
+                        old_level, old_head = old
+                        to_clear.setdefault(old_level, []).append(
+                            (key, old_head)
+                        )
+                    else:
+                        new_keys += 1
+                self.size += new_keys
+
+                # Clear superseded chains.  Membership already points at the
+                # new chains, so faults here only leak fields.
+                for old_level in sorted(to_clear):
+                    with span(
+                        self.machine,
+                        "dynamic_dict.clear_chain",
+                        level=old_level,
+                    ) as clear:
+                        if degraded:
+                            leaked_total = 0
+                            for key, old_head in to_clear[old_level]:
+                                leaked, _ = self._clear_chain_best_effort(
+                                    old_level, key, old_head
+                                )
+                                leaked_total += leaked
+                            if leaked_total:
+                                clear.annotate(
+                                    degraded=True, leaked_fields=leaked_total
+                                )
+                        else:
+                            lkeys = [k for k, _ in to_clear[old_level]]
+                            locs_map, fields, _ = self._batch_read_level(
+                                old_level, lkeys, clear
+                            )
+                            nones: Dict[Tuple[int, int], Any] = {}
+                            for key, old_head in to_clear[old_level]:
+                                locs = locs_map[key]
+                                idx = {i: j for (i, j) in locs}
+                                by_stripe = {
+                                    s: fields[(s, j)] for (s, j) in locs
+                                }
+                                for s in self._chain_stripes(
+                                    old_head, by_stripe
+                                ):
+                                    nones[(s, idx[s])] = None
+                            self.levels[old_level].write_fields(nones)
+                    cost = cost + clear.cost
+            root.annotate(
+                batch_placed=len(written), size=self.size
+            )
+        return out, cost
+
+    def batch_delete(self, keys):
+        """Delete many keys: one batched membership probe + delete, then
+        round-packed chain clears grouped by level.
+
+        Keeps the single-op fault ordering — membership entries retire
+        first, so a fault mid-clear leaks fields but no lookup can ever see
+        a half-cleared chain.
+        """
+        keys = list(dict.fromkeys(keys))
+        for key in keys:
+            self._check_key(key)
+        with span(
+            self.machine,
+            "dynamic_dict.batch_delete",
+            op="batch_delete",
+            structure="dynamic_dict",
+            num_levels=self.num_levels,
+            batch_size=len(keys),
+        ) as root:
+            degraded = self.machine.faults is not None
+            mem_out, mem_cost = self.membership.batch_lookup(keys)
+            cost = mem_cost
+            out: Dict[int, Any] = {}
+            present: Dict[int, Tuple[int, int]] = {}
+            for key in keys:
+                mem = mem_out[key]
+                if isinstance(mem, Exception):
+                    out[key] = mem
+                elif not mem.found:
+                    out[key] = False
+                else:
+                    present[key] = mem.value
+            removed = 0
+            if present:
+                del_out, del_cost = self.membership.batch_delete(
+                    list(present)
+                )
+                cost = cost + del_cost
+                to_clear: Dict[int, List[Tuple[int, int]]] = {}
+                for key in present:
+                    res = del_out[key]
+                    if isinstance(res, Exception):
+                        out[key] = res
+                        continue
+                    out[key] = True
+                    removed += 1
+                    level, head = present[key]
+                    to_clear.setdefault(level, []).append((key, head))
+                for level in sorted(to_clear):
+                    with span(
+                        self.machine, "dynamic_dict.clear_chain", level=level
+                    ) as clear:
+                        if degraded:
+                            leaked_total = 0
+                            for key, head in to_clear[level]:
+                                leaked, _ = self._clear_chain_best_effort(
+                                    level, key, head
+                                )
+                                leaked_total += leaked
+                            if leaked_total:
+                                clear.annotate(
+                                    degraded=True, leaked_fields=leaked_total
+                                )
+                        else:
+                            lkeys = [k for k, _ in to_clear[level]]
+                            locs_map, fields, _ = self._batch_read_level(
+                                level, lkeys, clear
+                            )
+                            nones: Dict[Tuple[int, int], Any] = {}
+                            for key, head in to_clear[level]:
+                                locs = locs_map[key]
+                                idx = {i: j for (i, j) in locs}
+                                by_stripe = {
+                                    s: fields[(s, j)] for (s, j) in locs
+                                }
+                                for s in self._chain_stripes(head, by_stripe):
+                                    nones[(s, idx[s])] = None
+                            self.levels[level].write_fields(nones)
+                    cost = cost + clear.cost
+            self.size -= removed
+            root.annotate(batch_removed=removed, size=self.size)
+        return out, cost
 
     # -- bulk construction ----------------------------------------------------------
 

@@ -136,6 +136,15 @@ class ParallelDiskDictionary(Dictionary):
     def delete(self, key: int) -> OpCost:
         return self._inner.delete(key)
 
+    def batch_lookup(self, keys):
+        return self._inner.batch_lookup(keys)
+
+    def batch_insert(self, items):
+        return self._inner.batch_insert(items)
+
+    def batch_delete(self, keys):
+        return self._inner.batch_delete(keys)
+
     def stored_keys(self):
         return self._inner.stored_keys()  # type: ignore[attr-defined]
 

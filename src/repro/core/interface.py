@@ -17,8 +17,9 @@ Keys are integers from the universe ``[0, universe_size)``; the type of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple, Union
 
+from repro.pdm.errors import IOFault
 from repro.pdm.iostats import OpCost
 
 
@@ -78,6 +79,27 @@ class LookupResult:
         return self.found
 
 
+def annotate_round_packing(handle, machine, store, per_key_locs) -> None:
+    """Record round-packing telemetry on a batch span.
+
+    ``rounds_batched`` is what the batch's block probes cost packed into
+    shared parallel rounds; ``rounds_sequential`` what the same probes cost
+    issued one key at a time.  ``store`` is any striped store exposing
+    ``block_addrs(locs)``.
+    """
+    if handle.span is None:
+        return
+    per_key = [store.block_addrs(locs) for locs in per_key_locs]
+    batched = machine.plan_rounds([a for addrs in per_key for a in addrs])
+    sequential = sum(machine.batch_rounds(addrs) for addrs in per_key)
+    handle.annotate(
+        rounds_batched=batched.num_rounds,
+        rounds_sequential=sequential,
+        rounds_saved=sequential - batched.num_rounds,
+        blocks_deduplicated=batched.duplicates,
+    )
+
+
 class Dictionary:
     """Abstract dictionary in the parallel disk model."""
 
@@ -121,6 +143,75 @@ class Dictionary:
     def get(self, key: int, default: Any = None) -> Any:
         result = self.lookup(key)
         return result.value if result.found else default
+
+    # -- batched operations --------------------------------------------------
+    #
+    # The contract shared by every implementation (and relied on by
+    # ``repro.batch``): duplicate keys collapse (one outcome per distinct
+    # key, last value wins for inserts), and *per-key* fault conditions
+    # (degraded reads, capacity, surviving I/O faults) surface as exception
+    # values in the result map — a batch never raises wholesale for a
+    # condition that only poisons some of its keys.  Programming errors
+    # (keys outside the universe) still raise eagerly.
+    #
+    # These base versions simply loop the single-key operations — correct
+    # for every structure, with no round savings.  The paper dictionaries
+    # override them with round-packed implementations that batch all
+    # per-key block probes into shared parallel I/Os.
+
+    #: exception types that are per-key *outcomes* in a batch, not aborts.
+    BATCH_KEY_ERRORS = (CapacityExceeded, DegradedModeError, IOFault)
+
+    def batch_lookup(
+        self, keys: Iterable[int]
+    ) -> Tuple[Dict[int, Union[LookupResult, Exception]], OpCost]:
+        out: Dict[int, Union[LookupResult, Exception]] = {}
+        total = OpCost.zero()
+        for key in dict.fromkeys(keys):
+            try:
+                result = self.lookup(key)
+            except self.BATCH_KEY_ERRORS as exc:
+                out[key] = exc
+            else:
+                out[key] = result
+                total = total + result.cost
+        return out, total
+
+    def batch_insert(
+        self, items: Mapping[int, Any]
+    ) -> Tuple[Dict[int, Union[Tuple[bool, Any], Exception]], OpCost]:
+        """Insert/upsert many keys; per-key outcome is ``(was_present,
+        old_value)`` or a typed exception."""
+        out: Dict[int, Union[Tuple[bool, Any], Exception]] = {}
+        total = OpCost.zero()
+        for key, value in dict(items).items():
+            try:
+                was_present = self.lookup(key).found
+                cost = self.insert(key, value)
+            except self.BATCH_KEY_ERRORS as exc:
+                out[key] = exc
+            else:
+                out[key] = (was_present, None)
+                total = total + cost
+        return out, total
+
+    def batch_delete(
+        self, keys: Iterable[int]
+    ) -> Tuple[Dict[int, Union[bool, Exception]], OpCost]:
+        """Delete many keys; per-key outcome is ``removed`` or a typed
+        exception."""
+        out: Dict[int, Union[bool, Exception]] = {}
+        total = OpCost.zero()
+        for key in dict.fromkeys(keys):
+            try:
+                found = self.lookup(key).found
+                cost = self.delete(key) if found else OpCost.zero()
+            except self.BATCH_KEY_ERRORS as exc:
+                out[key] = exc
+            else:
+                out[key] = found
+                total = total + cost
+        return out, total
 
     def items(self):
         """Iterate ``(key, value)`` pairs.  Keys come from the audit scan;

@@ -143,19 +143,24 @@ class RebuildingDictionary(Dictionary):
             at_capacity = (
                 len(self.active) >= self.active.capacity  # type: ignore[attr-defined]
             )
-            if at_capacity:
-                self._start_rebuild()
-        if self.building is not None:
-            # New keys go to the building structure; an update of a key that
-            # still sits in the old one must not leave a stale copy there.
-            old = self.active.lookup(key)
-            cost = cost + old.cost
-            if old.found:
-                cost = cost + self.active.delete(key)
-            cost = cost + self.building.insert(key, value)
-            cost = cost + self._migrate_some()
-        else:
-            cost = cost + self.active.insert(key, value)
+            if not at_capacity:
+                try:
+                    return cost + self.active.insert(key, value)
+                except CapacityExceeded:
+                    # Nominal capacity is only an upper bound: tight stripe
+                    # or bucket geometry can run out of free slots first
+                    # (e.g. an update needs room for a fresh chain before
+                    # the old one is cleared).  Unbounded means grow now.
+                    pass
+            self._start_rebuild()
+        # New keys go to the building structure; an update of a key that
+        # still sits in the old one must not leave a stale copy there.
+        old = self.active.lookup(key)
+        cost = cost + old.cost
+        if old.found:
+            cost = cost + self.active.delete(key)
+        cost = cost + self.building.insert(key, value)
+        cost = cost + self._migrate_some()
         return cost
 
     def delete(self, key: int) -> OpCost:

@@ -43,6 +43,7 @@ from repro.core.interface import (
     DegradedLookupError,
     Dictionary,
     LookupResult,
+    annotate_round_packing,
 )
 from repro.pdm.errors import BlockCorruption, DiskFailure
 from repro.expanders.base import StripedExpander
@@ -419,64 +420,82 @@ class StaticDictionary(Dictionary):
                 fields, failures = self.array.read_fields_degraded(locs)
                 if failures and m.span is not None:
                     m.annotate(degraded=True, failed_fields=len(failures))
-            counts: Dict[int, int] = {}
-            for loc in locs:
-                if loc in failures:
-                    continue
-                val = fields[loc]
-                if val is not None:
-                    ident = val[0]
-                    counts[ident] = counts.get(ident, 0) + 1
-            # Decode bar: a strict majority of the m = ceil(2d/3) *assigned*
-            # fields.  On intact data this answers identically to a
-            # majority-of-d bar (a present key holds all m > d/2 fields, an
-            # impostor at most eps*d < d/3 <= m/2), but it stays correct
-            # when fields are legitimately missing — after a fault, or after
-            # read-repair scrubbed a field's block slot.
-            bar = self.m_need / 2
-            majority = None
-            for ident, cnt in counts.items():
-                if cnt > bar:
-                    majority = ident
-                    break
-            if majority is None and failures:
-                if len(failures) > fault_tolerance(self.degree):
-                    # A present key could have lost its majority entirely:
-                    # a miss would be a guess, so fail loudly instead.
-                    raise DegradedLookupError(
-                        f"key {key}: {len(failures)} of {self.degree} fields "
-                        f"unreadable exceeds the tolerance of "
-                        f"{fault_tolerance(self.degree)}; membership "
-                        f"undecidable",
-                        key=key,
-                        failures=failures,
-                    )
-                # f <= floor((m-1)/2): even a present key keeps > m/2
-                # surviving votes, so the absence of a majority proves a
-                # genuine miss.
-            found = majority is not None
-            value: Optional[int] = None
-            if found:
-                frags = [
-                    (stripe, fields[(stripe, j)][1])
-                    for (stripe, j) in locs
-                    if (stripe, j) not in failures
-                    and fields[(stripe, j)] is not None
-                    and fields[(stripe, j)][0] == majority
-                ]
-                frags.sort()
-                if failures:
-                    value = self._decode_degraded(key, majority, frags, failures)
-                    self._read_repair(key, majority, value, failures, m)
-                elif self.sigma:
-                    record = BitVector()
-                    for _, frag in frags:
-                        record = record + frag
-                    value = record[: self.sigma].to_int()
+            found, value = self._settle_case_b(key, locs, fields, failures, m)
             if m.span is not None:
                 m.annotate(found=found)
         # m.cost is only final once the span has exited.
         return LookupResult(found, value, m.cost)
+
+    def _settle_case_b(
+        self,
+        key: int,
+        locs: List[Tuple[int, int]],
+        fields: Dict[Tuple[int, int], Any],
+        failures: Dict[Tuple[int, int], Exception],
+        m,
+    ) -> Tuple[bool, Optional[int]]:
+        """Decode one key from prefetched fields (single or batched read).
+
+        ``fields``/``failures`` may cover more locations than this key's;
+        only the key's own probes vote and only its own failures count
+        against the tolerance.
+        """
+        mine = {loc: failures[loc] for loc in locs if loc in failures}
+        counts: Dict[int, int] = {}
+        for loc in locs:
+            if loc in mine:
+                continue
+            val = fields[loc]
+            if val is not None:
+                ident = val[0]
+                counts[ident] = counts.get(ident, 0) + 1
+        # Decode bar: a strict majority of the m = ceil(2d/3) *assigned*
+        # fields.  On intact data this answers identically to a
+        # majority-of-d bar (a present key holds all m > d/2 fields, an
+        # impostor at most eps*d < d/3 <= m/2), but it stays correct
+        # when fields are legitimately missing — after a fault, or after
+        # read-repair scrubbed a field's block slot.
+        bar = self.m_need / 2
+        majority = None
+        for ident, cnt in counts.items():
+            if cnt > bar:
+                majority = ident
+                break
+        if majority is None and mine:
+            if len(mine) > fault_tolerance(self.degree):
+                # A present key could have lost its majority entirely:
+                # a miss would be a guess, so fail loudly instead.
+                raise DegradedLookupError(
+                    f"key {key}: {len(mine)} of {self.degree} fields "
+                    f"unreadable exceeds the tolerance of "
+                    f"{fault_tolerance(self.degree)}; membership "
+                    f"undecidable",
+                    key=key,
+                    failures=mine,
+                )
+            # f <= floor((m-1)/2): even a present key keeps > m/2
+            # surviving votes, so the absence of a majority proves a
+            # genuine miss.
+        found = majority is not None
+        value: Optional[int] = None
+        if found:
+            frags = [
+                (stripe, fields[(stripe, j)][1])
+                for (stripe, j) in locs
+                if (stripe, j) not in mine
+                and fields[(stripe, j)] is not None
+                and fields[(stripe, j)][0] == majority
+            ]
+            frags.sort()
+            if mine:
+                value = self._decode_degraded(key, majority, frags, mine)
+                self._read_repair(key, majority, value, mine, m)
+            elif self.sigma:
+                record = BitVector()
+                for _, frag in frags:
+                    record = record + frag
+                value = record[: self.sigma].to_int()
+        return found, value
 
     def _decode_degraded(
         self,
@@ -600,6 +619,132 @@ class StaticDictionary(Dictionary):
             by_stripe, head, self.field_bits, self.sigma, self.degree
         )
         return LookupResult(True, record.to_int(), cost)
+
+    def batch_lookup(self, keys):
+        """Answer many lookups with one round-packed field read.
+
+        The assigned fields of every key in the batch are fetched as a
+        single batch; shared blocks deduplicate, so ``m`` uniform one-probe
+        lookups cost ``⌈m/D⌉ + O(1)`` rounds instead of ``m``.  Per-key
+        undecidable outcomes under faults become :class:`DegradedLookupError`
+        values (PR 3 semantics); the batch never fails wholesale.
+        """
+        keys = list(dict.fromkeys(keys))
+        for key in keys:
+            self._check_key(key)
+        if self.case == "b":
+            return self._batch_lookup_case_b(keys)
+        return self._batch_lookup_case_a(keys)
+
+    def _batch_lookup_case_b(self, keys):
+        with span(
+            self.machine,
+            "static_dict.batch_lookup",
+            op="batch_lookup",
+            structure="static_dict",
+            case="b",
+            batch_size=len(keys),
+        ) as m:
+            all_locs = {key: self.graph.striped_neighbors(key) for key in keys}
+            wanted = list(
+                dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
+            )
+            if self.machine.faults is None:
+                fields = self.array.read_fields(wanted)
+                failures: Dict[Tuple[int, int], Exception] = {}
+            else:
+                fields, failures = self.array.read_fields_degraded(wanted)
+                if failures and m.span is not None:
+                    m.annotate(degraded=True, failed_fields=len(failures))
+            annotate_round_packing(m, self.machine, self.array, all_locs.values())
+            settled: Dict[int, Any] = {}
+            for key in keys:
+                try:
+                    settled[key] = self._settle_case_b(
+                        key, all_locs[key], fields, failures, m
+                    )
+                except DegradedLookupError as exc:
+                    settled[key] = exc
+        out: Dict[int, Any] = {}
+        for key, res in settled.items():
+            if isinstance(res, Exception):
+                out[key] = res
+            else:
+                found, value = res
+                out[key] = LookupResult(found, value, m.cost)
+        return out, m.cost
+
+    def _batch_lookup_case_a(self, keys):
+        with span(
+            self.machine,
+            "static_dict.batch_lookup",
+            op="batch_lookup",
+            structure="static_dict",
+            case="a",
+            batch_size=len(keys),
+            parallel=True,
+        ):
+            # Membership batches on its own; per-key undecidable probes come
+            # back as exception values from the basic dictionary.
+            mem_out, mem_cost = self.membership.batch_lookup(keys)
+            if self.array is None:
+                return mem_out, mem_cost
+            with span(self.machine, "static_dict.batch_field_read") as m:
+                all_locs = {
+                    key: self.graph.striped_neighbors(key) for key in keys
+                }
+                wanted = list(
+                    dict.fromkeys(
+                        loc for locs in all_locs.values() for loc in locs
+                    )
+                )
+                if self.machine.faults is None:
+                    fields = self.array.read_fields(wanted)
+                    failures: Dict[Tuple[int, int], Exception] = {}
+                else:
+                    fields, failures = self.array.read_fields_degraded(wanted)
+                    if failures and m.span is not None:
+                        m.annotate(degraded=True, failed_fields=len(failures))
+                annotate_round_packing(
+                    m, self.machine, self.array, all_locs.values()
+                )
+        cost = OpCost.parallel(mem_cost, m.cost)
+        out: Dict[int, Any] = {}
+        for key in keys:
+            mem = mem_out[key]
+            if isinstance(mem, Exception):
+                out[key] = mem
+                continue
+            if not mem.found:
+                # Sound regardless of field failures: membership alone
+                # decides absence on its own redundancy.
+                out[key] = LookupResult(False, None, cost)
+                continue
+            locs = all_locs[key]
+            mine = {loc: failures[loc] for loc in locs if loc in failures}
+            if mine:
+                assigned = set(self.assignment.get(key, ()))
+                lost = [loc for loc in mine if loc[0] in assigned]
+                if lost:
+                    out[key] = DegradedLookupError(
+                        f"key {key} is present but {len(lost)} of its "
+                        f"chained record fields are unreadable (case 'a' "
+                        f"unary chains keep no spare copies)",
+                        key=key,
+                        failures=mine,
+                        membership=True,
+                    )
+                    continue
+            by_stripe = {
+                stripe: fields[(stripe, j)]
+                for (stripe, j) in locs
+                if (stripe, j) not in failures
+            }
+            record = decode_chain(
+                by_stripe, mem.value, self.field_bits, self.sigma, self.degree
+            )
+            out[key] = LookupResult(True, record.to_int(), cost)
+        return out, cost
 
     def insert(self, key: int, value: int = None) -> OpCost:
         raise NotImplementedError(

@@ -65,6 +65,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay runs of same-kind operations through the round-packed "
+        "batch_* methods, up to N operations per batch; the report gains "
+        "batch.* metrics (rounds_saved et al.)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="raise on the first theorem-budget violation",
@@ -118,6 +127,7 @@ def _run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 trace=args.chrome_trace is not None,
                 strict=args.strict,
+                batch=args.batch,
             )
         except BoundViolationError as exc:
             # A strict-mode abort is still a *violation* verdict (exit 1);

@@ -20,6 +20,7 @@ from repro.core.dynamic_dict import DynamicDictionary
 from repro.obs.export import span_events
 from repro.obs.metrics import (
     MetricsRegistry,
+    collect_batches,
     collect_load_distribution,
     collect_machine,
     collect_spans,
@@ -173,13 +174,16 @@ def run_instrumented(
     trace: bool = False,
     strict: bool = False,
     monitors: Optional[MonitorSet] = None,
+    batch: Optional[int] = None,
 ) -> ObsReport:
     """Replay a generated workload under full instrumentation.
 
     Returns the spans, metrics and monitor verdicts of the run; with
     ``strict=True`` the first theorem-budget violation raises
     :class:`~repro.obs.monitors.BoundViolationError` instead of being
-    recorded.
+    recorded.  With ``batch=N`` the replay routes runs of same-kind
+    operations through the dictionary's round-packed batch methods and the
+    report gains ``batch.*`` metrics (``rounds_saved`` et al.).
     """
     machine = ParallelDiskMachine(num_disks, block_items)
     dictionary = build_structure(
@@ -203,11 +207,13 @@ def run_instrumented(
     recorder = attach_spans(machine)
     tracer = attach(machine) if trace else None
 
-    summary = replay(dictionary, workload)
+    summary = replay(dictionary, workload, batch=batch)
 
     registry = MetricsRegistry()
     collect_machine(registry, machine)
     collect_spans(registry, recorder)
+    if batch is not None:
+        collect_batches(registry, recorder)
     if structure == "basic":
         collect_load_distribution(
             registry, dictionary.load_histogram(), structure=structure
@@ -237,6 +243,8 @@ def run_instrumented(
         "sigma": sigma,
         "seed": seed,
     }
+    if batch is not None:
+        params["batch"] = batch
     return ObsReport(
         structure=structure,
         params=params,

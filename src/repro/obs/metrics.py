@@ -299,3 +299,34 @@ def collect_load_distribution(
     metric = registry.histogram(name, buckets, **labels)
     for load in sorted(histogram):
         metric.observe(load, count=histogram[load])
+
+
+def collect_batches(registry: MetricsRegistry, recorder) -> None:
+    """Aggregate round-packing telemetry from batch spans.
+
+    Every batched dictionary operation annotates its span with
+    ``rounds_batched`` / ``rounds_sequential`` / ``rounds_saved`` /
+    ``blocks_deduplicated`` (see
+    :func:`repro.core.interface.annotate_round_packing`); this folds them
+    into per-span-name counters so one run's total round savings are a
+    single registry read.
+    """
+    for s in recorder.iter_spans():
+        if "rounds_saved" not in s.attrs:
+            continue
+        registry.counter("batch.count", span=s.name).inc()
+        registry.counter("batch.ops", span=s.name).inc(
+            s.attrs.get("batch_size", 0)
+        )
+        registry.counter("batch.rounds_batched", span=s.name).inc(
+            s.attrs["rounds_batched"]
+        )
+        registry.counter("batch.rounds_sequential", span=s.name).inc(
+            s.attrs["rounds_sequential"]
+        )
+        registry.counter("batch.rounds_saved", span=s.name).inc(
+            s.attrs["rounds_saved"]
+        )
+        registry.counter("batch.blocks_deduplicated", span=s.name).inc(
+            s.attrs["blocks_deduplicated"]
+        )

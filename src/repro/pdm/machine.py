@@ -18,8 +18,10 @@ whole, as in the model.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
+from repro.bits.mix import derive
 from repro.pdm.block import Block
 from repro.pdm.disk import Disk
 from repro.pdm.errors import BlockCorruption, DiskFailure, IOFault, TransientIOError
@@ -27,6 +29,104 @@ from repro.pdm.iostats import IOStats
 from repro.pdm.memory import InternalMemory
 
 Addr = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """An explicit parallel-round schedule for one batched I/O.
+
+    ``rounds[r]`` lists the block requests served in parallel round ``r``.
+    Under the PDM discipline every round touches at most one block per disk
+    and at most ``D`` blocks total; under the head model only the ``D``-
+    blocks-per-round cap applies.  The plan is what the model's batch cost
+    *means* operationally: ``read_blocks`` charges exactly ``num_rounds``
+    rounds for the same address set (asserted by the round-packing tests).
+    """
+
+    rounds: Tuple[Tuple[Addr, ...], ...]
+    requested: int  # request count before dedup
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def unique_blocks(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    @property
+    def duplicates(self) -> int:
+        """Requests collapsed by dedup — blocks shared between batch keys."""
+        return self.requested - self.unique_blocks
+
+    @property
+    def max_width(self) -> int:
+        return max((len(r) for r in self.rounds), default=0)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requested": self.requested,
+            "unique_blocks": self.unique_blocks,
+            "duplicates": self.duplicates,
+            "num_rounds": self.num_rounds,
+            "max_width": self.max_width,
+        }
+
+
+def pack_rounds(
+    addrs: Iterable[Addr],
+    *,
+    num_disks: int,
+    distinct_disks: bool = True,
+    salt: int = 0,
+) -> RoundPlan:
+    """Pack block requests into parallel I/O rounds.
+
+    Duplicate addresses collapse first (a block is transferred once).  The
+    surviving requests are ordered deterministically by a
+    :func:`repro.bits.mix.derive`-keyed priority — the schedule depends only
+    on the address set and ``salt``, never on caller iteration order — and
+    placed greedily: each request goes to the earliest round that still has
+    a free slot, where *conflict* means the round already touches the same
+    disk (``distinct_disks=True``, the PDM rule) or is already ``num_disks``
+    wide (both models).  A conflicting request spills to the next round.
+
+    For the PDM the greedy schedule is optimal: disk ``i``'s requests
+    occupy a prefix of rounds, so ``num_rounds`` equals the max per-disk
+    multiplicity — exactly what :meth:`ParallelDiskMachine._batch_rounds`
+    charges.  For the head model it yields ``ceil(unique / D)``.
+    """
+    if num_disks <= 0:
+        raise ValueError(f"need at least one disk, got {num_disks}")
+    requests = [tuple(a) for a in addrs]
+    unique = list(dict.fromkeys(requests))
+    ordered = sorted(
+        unique, key=lambda a: (derive(salt, a[0], a[1]), a)
+    )
+    rounds: List[List[Addr]] = []
+    widths: List[int] = []
+    next_free: Dict[int, int] = {}
+    for addr in ordered:
+        if distinct_disks:
+            # Disk addr[0] occupies a prefix of rounds: its next free round
+            # is tracked directly (spilling past every same-disk conflict).
+            r = next_free.get(addr[0], 0)
+            while r < len(rounds) and widths[r] >= num_disks:
+                r += 1
+            next_free[addr[0]] = r + 1
+        else:
+            r = 0
+            while r < len(rounds) and widths[r] >= num_disks:
+                r += 1
+        while len(rounds) <= r:
+            rounds.append([])
+            widths.append(0)
+        rounds[r].append(addr)
+        widths[r] += 1
+    return RoundPlan(
+        rounds=tuple(tuple(r) for r in rounds),
+        requested=len(requests),
+    )
 
 
 class AbstractDiskMachine:
@@ -149,6 +249,52 @@ class AbstractDiskMachine:
 
     def _batch_rounds(self, addrs: Sequence[Addr]) -> int:
         raise NotImplementedError
+
+    def batch_rounds(self, addrs: Iterable[Addr]) -> int:
+        """Rounds one batched transfer of ``addrs`` would charge (after
+        dedup) — the model-specific cost without performing any I/O.
+        Batch schedulers use this to price the sequential baseline."""
+        unique = list(dict.fromkeys(tuple(a) for a in addrs))
+        if not unique:
+            return 0
+        return self._batch_rounds(unique)
+
+    def plan_rounds(self, addrs: Iterable[Addr], *, salt: int = 0) -> RoundPlan:
+        """Explicit round schedule for a batch under this cost model.
+
+        ``plan_rounds(addrs).num_rounds == batch_rounds(addrs)`` always —
+        the plan is the constructive witness of the charged cost."""
+        return pack_rounds(
+            addrs,
+            num_disks=self.num_disks,
+            distinct_disks=self.rounds_need_distinct_disks,
+            salt=salt,
+        )
+
+    #: PDM rounds may touch each disk once; the head model has no such rule.
+    rounds_need_distinct_disks = True
+
+    def read_rounds(
+        self, addrs: Iterable[Addr], *, salt: int = 0
+    ) -> Tuple[Dict[Addr, Block], RoundPlan]:
+        """Batched read returning both the blocks and the round schedule.
+
+        Identical cost and fault semantics to :meth:`read_blocks`; the plan
+        sees the raw request list so its ``duplicates`` counter reports the
+        dedup savings to the batch dictionary operations."""
+        requests = [tuple(a) for a in addrs]
+        plan = self.plan_rounds(requests, salt=salt)
+        return self.read_blocks(requests), plan
+
+    def read_rounds_degraded(
+        self, addrs: Iterable[Addr], *, salt: int = 0
+    ) -> Tuple[Dict[Addr, Block], Dict[Addr, "IOFault"], RoundPlan]:
+        """Fault-tolerant :meth:`read_rounds`; see
+        :meth:`read_blocks_degraded` for the ``(blocks, failures)`` split."""
+        requests = [tuple(a) for a in addrs]
+        plan = self.plan_rounds(requests, salt=salt)
+        blocks, failures = self.read_blocks_degraded(requests)
+        return blocks, failures, plan
 
     # -- I/O operations ----------------------------------------------------
 
@@ -375,6 +521,7 @@ class ParallelDiskHeadMachine(AbstractDiskMachine):
     """
 
     model_name = "parallel-disk-head"
+    rounds_need_distinct_disks = False
 
     def _batch_rounds(self, addrs: Sequence[Addr]) -> int:
         return math.ceil(len(addrs) / self.num_disks)

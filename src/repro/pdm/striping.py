@@ -93,6 +93,17 @@ class StripedFieldArray:
         slot = index % self.fields_per_block
         return (self.disk_offset + stripe, block_index), slot
 
+    def block_addrs(self, locs: Iterable[FieldLoc]) -> List[Tuple[int, int]]:
+        """Block addresses backing the given field locations (duplicates
+        preserved — round planners deduplicate).  Used by the batch layer
+        to price and pack multi-key probes."""
+        out = []
+        for loc in locs:
+            loc = tuple(loc)
+            self._check_loc(loc)
+            out.append(self._block_addr(loc)[0])
+        return out
+
     # -- I/O ------------------------------------------------------------------
 
     def read_fields(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, Any]:
@@ -291,6 +302,16 @@ class StripedItemBuckets:
         first = self._base[stripe] + index * self.blocks_per_bucket
         disk = self.disk_offset + stripe
         return [(disk, first + t) for t in range(self.blocks_per_bucket)]
+
+    def block_addrs(self, locs: Iterable[FieldLoc]) -> List[Tuple[int, int]]:
+        """Block addresses backing the given buckets (one per block, in
+        bucket order); the batch layer's pricing/packing input."""
+        out = []
+        for loc in locs:
+            loc = tuple(loc)
+            self._check_loc(loc)
+            out.extend(self._addrs(loc))
+        return out
 
     def read_buckets(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, List[Any]]:
         """Fetch bucket contents as item lists (empty list if untouched).

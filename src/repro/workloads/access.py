@@ -1,18 +1,32 @@
-"""Access-pattern generators."""
+"""Access-pattern generators.
+
+Every generator draws exclusively from a domain-separated
+:class:`~repro.bits.stream.MixStream` — the repository's canonical
+deterministic stream (counter-mode splitmix64) — so a ``(generator, seed)``
+pair denotes one exact key sequence forever, across processes, platforms
+and library upgrades.  The snapshot test in
+``tests/workloads/test_access_determinism.py`` pins the streams; changing
+them is a breaking change to every recorded workload.
+"""
 
 from __future__ import annotations
 
-import random
 from typing import List, Sequence
 
-import numpy as np
+from repro.bits.mix import stable_hash
+from repro.bits.stream import MixStream
+
+# Domain separators: each generator owns an independent stream per seed.
+_UNIFORM_TAG = stable_hash("workloads.access.uniform")
+_ZIPF_TAG = stable_hash("workloads.access.zipf")
+_HIT_MISS_TAG = stable_hash("workloads.access.hit_miss")
 
 
 def uniform_accesses(
     keys: Sequence[int], count: int, *, seed: int = 0
 ) -> List[int]:
     """``count`` lookups drawn uniformly from ``keys`` (with repetition)."""
-    rng = random.Random(seed)
+    rng = MixStream(seed, _UNIFORM_TAG)
     keys = list(keys)
     return [keys[rng.randrange(len(keys))] for _ in range(count)]
 
@@ -25,12 +39,14 @@ def zipf_accesses(
     Section 1.2 typically shows such skew."""
     keys = list(keys)
     n = len(keys)
-    rng = np.random.default_rng(seed)
-    # Normalised truncated zipf over ranks 1..n.
-    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
-    weights /= weights.sum()
-    idx = rng.choice(n, size=count, p=weights)
-    return [keys[i] for i in idx]
+    rng = MixStream(seed, _ZIPF_TAG)
+    # Cumulative truncated zipf over ranks 1..n; bisection per draw.
+    cumulative: List[float] = []
+    acc = 0.0
+    for rank in range(1, n + 1):
+        acc += 1.0 / rank**s
+        cumulative.append(acc)
+    return [keys[rng.weighted(cumulative)] for _ in range(count)]
 
 
 def hit_miss_mix(
@@ -47,7 +63,7 @@ def hit_miss_mix(
     """
     if not 0 <= hit_fraction <= 1:
         raise ValueError(f"hit_fraction must be in [0, 1], got {hit_fraction}")
-    rng = random.Random(seed)
+    rng = MixStream(seed, _HIT_MISS_TAG)
     present = list(present)
     present_set = set(present)
     out: List[int] = []

@@ -20,10 +20,17 @@ Op = Tuple[str, int, Optional[int]]  # (kind, key, value-or-None)
 
 @dataclass
 class ReplaySummary:
-    """Per-kind I/O statistics of one replay."""
+    """Per-kind I/O statistics of one replay.
+
+    In batched mode (``replay(..., batch=N)``) each batch's round cost is
+    amortized over its operations — integer shares whose sum is exact — so
+    ``avg`` / ``total_ios`` stay comparable with a sequential replay of the
+    same workload; ``batches`` counts the batched calls issued.
+    """
 
     operations: int = 0
     errors: int = 0
+    batches: int = 0
     ios_by_kind: Dict[str, List[int]] = field(default_factory=dict)
 
     def record(self, kind: str, ios: int) -> None:
@@ -105,40 +112,136 @@ def replay(
     workload: Workload,
     *,
     verify: bool = True,
+    batch: Optional[int] = None,
 ) -> ReplaySummary:
     """Drive ``dictionary`` through ``workload``.
 
     With ``verify=True`` every lookup is checked against a Python dict
     model; a mismatch raises immediately (the replay is also a conformance
     test).
+
+    With ``batch=N`` runs of consecutive same-kind operations are grouped
+    into batches of up to ``N`` and executed through the dictionary's
+    round-packed ``batch_*`` methods.  Verification still runs per
+    operation; per-key typed errors count into ``summary.errors`` (kind
+    ``"error"``) instead of aborting the replay.
     """
     if dictionary.universe_size < workload.universe_size:
         raise ValueError(
             "dictionary universe smaller than the workload's"
         )
+    if batch is not None and batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     model: Dict[int, Optional[int]] = {}
     summary = ReplaySummary()
-    for kind, key, value in workload.ops:
-        if kind == "insert":
-            cost = dictionary.insert(key, value)
-            model[key] = value
-            summary.record("insert", cost.total_ios)
-        elif kind == "delete":
-            cost = dictionary.delete(key)
-            model.pop(key, None)
-            summary.record("delete", cost.total_ios)
+    if batch is None:
+        for kind, key, value in workload.ops:
+            if kind == "insert":
+                cost = dictionary.insert(key, value)
+                model[key] = value
+                summary.record("insert", cost.total_ios)
+            elif kind == "delete":
+                cost = dictionary.delete(key)
+                model.pop(key, None)
+                summary.record("delete", cost.total_ios)
+            else:
+                result = dictionary.lookup(key)
+                if verify:
+                    expected = key in model
+                    if result.found != expected or (
+                        expected and result.value != model[key]
+                    ):
+                        raise AssertionError(
+                            f"replay mismatch on {kind} {key}: dictionary "
+                            f"says {result.found}/{result.value!r}, model "
+                            f"says {expected}/{model.get(key)!r}"
+                        )
+                kind_name = "hit" if result.found else "miss"
+                summary.record(kind_name, result.cost.total_ios)
+        return summary
+
+    for run in _same_kind_runs(workload.ops, batch):
+        _replay_batch(dictionary, run, model, summary, verify)
+    return summary
+
+
+def _same_kind_runs(
+    ops: Sequence[Op], batch: int
+) -> List[List[Op]]:
+    """Split an op stream into runs of consecutive same-kind operations,
+    each at most ``batch`` long (order preserved)."""
+    runs: List[List[Op]] = []
+    for op in ops:
+        if (
+            runs
+            and runs[-1][0][0] == op[0]
+            and len(runs[-1]) < batch
+        ):
+            runs[-1].append(op)
         else:
-            result = dictionary.lookup(key)
+            runs.append([op])
+    return runs
+
+
+def _amortize(total: int, n: int) -> List[int]:
+    """Split ``total`` rounds into ``n`` integer shares summing exactly."""
+    base, rem = divmod(total, n)
+    return [base + 1 if i < rem else base for i in range(n)]
+
+
+def _replay_batch(
+    dictionary: Dictionary,
+    run: List[Op],
+    model: Dict[int, Optional[int]],
+    summary: ReplaySummary,
+    verify: bool,
+) -> None:
+    kind = run[0][0]
+    summary.batches += 1
+    if kind == "insert":
+        items = {key: value for _, key, value in run}
+        outcomes, cost = dictionary.batch_insert(items)
+        shares = _amortize(cost.total_ios, len(run))
+        for (_, key, value), share in zip(run, shares):
+            res = outcomes[key]
+            if isinstance(res, Exception):
+                summary.errors += 1
+                summary.record("error", share)
+            else:
+                model[key] = items[key]  # batch applies last-value-wins
+                summary.record("insert", share)
+    elif kind == "delete":
+        outcomes, cost = dictionary.batch_delete(
+            [key for _, key, _ in run]
+        )
+        shares = _amortize(cost.total_ios, len(run))
+        for (_, key, _), share in zip(run, shares):
+            res = outcomes[key]
+            if isinstance(res, Exception):
+                summary.errors += 1
+                summary.record("error", share)
+            else:
+                model.pop(key, None)
+                summary.record("delete", share)
+    else:
+        outcomes, cost = dictionary.batch_lookup(
+            [key for _, key, _ in run]
+        )
+        shares = _amortize(cost.total_ios, len(run))
+        for (_, key, _), share in zip(run, shares):
+            res = outcomes[key]
+            if isinstance(res, Exception):
+                summary.errors += 1
+                summary.record("error", share)
+                continue
             if verify:
                 expected = key in model
-                if result.found != expected or (
-                    expected and result.value != model[key]
+                if res.found != expected or (
+                    expected and res.value != model[key]
                 ):
                     raise AssertionError(
-                        f"replay mismatch on {kind} {key}: dictionary says "
-                        f"{result.found}/{result.value!r}, model says "
+                        f"replay mismatch on lookup {key}: dictionary says "
+                        f"{res.found}/{res.value!r}, model says "
                         f"{expected}/{model.get(key)!r}"
                     )
-            kind_name = "hit" if result.found else "miss"
-            summary.record(kind_name, result.cost.total_ios)
-    return summary
+            summary.record("hit" if res.found else "miss", share)

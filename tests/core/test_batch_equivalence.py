@@ -1,0 +1,305 @@
+"""Batch/sequential equivalence: a batch is the same answers, cheaper.
+
+For every dictionary variant, ``batch_lookup(keys)`` must agree with the
+sequential ``lookup(k)`` results key by key — on a healthy machine
+(identical found/value) and under seeded fault plans (the same keys
+degrade, with the same typed error and the same preserved ``membership``
+knowledge).  Mutating batches must leave the structure in the state the
+sequential ops would have produced.  Fault plans use permanent outages
+(``FaultPlan.kill_disks``) because transient windows live on the I/O
+clock, which batching legitimately compresses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.dynamic_dict import DynamicDictionary
+from repro.core.interface import DegradedLookupError, LookupResult
+from repro.core.static_dict import StaticDictionary, fault_tolerance
+from repro.faults.plan import FaultPlan
+from repro.pdm.faults import attach_faults
+from repro.pdm.machine import ParallelDiskMachine
+
+U = 1 << 16
+
+
+def _items(n, *, stride=97, sigma=16):
+    return {(7 + i * stride) % U: (i * 31) % (1 << sigma) for i in range(n)}
+
+
+def _build_basic(num_disks=8, capacity=128, n=48):
+    machine = ParallelDiskMachine(num_disks, 16)
+    d = BasicDictionary(
+        machine, universe_size=U, capacity=capacity, degree=num_disks, seed=5
+    )
+    items = {k: f"v{k}" for k in sorted(_items(n))}
+    for k, v in items.items():
+        d.upsert(k, v)
+    return machine, d, items
+
+
+def _build_dynamic(num_disks=32, capacity=64, n=32):
+    machine = ParallelDiskMachine(num_disks, 32)
+    d = DynamicDictionary(
+        machine, universe_size=U, capacity=capacity, sigma=16, seed=9
+    )
+    items = _items(n)
+    for k, v in sorted(items.items()):
+        d.insert(k, v)
+    return machine, d, items
+
+
+def _build_static(num_disks=8, n=32, redundancy="replicate", case="b"):
+    machine = ParallelDiskMachine(num_disks, 16)
+    items = _items(n)
+    sd = StaticDictionary.build(
+        machine,
+        items,
+        universe_size=U,
+        sigma=16,
+        case=case,
+        redundancy=redundancy,
+        seed=3,
+    )
+    return machine, sd, items
+
+
+def _assert_same_outcome(key, batch_res, seq_outcome):
+    """Batch per-key outcome vs sequential result-or-raised-exception."""
+    if isinstance(seq_outcome, Exception):
+        assert isinstance(batch_res, Exception), (
+            f"key {key}: sequential raised {type(seq_outcome).__name__}, "
+            f"batch returned {batch_res!r}"
+        )
+        assert type(batch_res) is type(seq_outcome)
+        if isinstance(seq_outcome, DegradedLookupError):
+            assert batch_res.membership == seq_outcome.membership
+    else:
+        assert isinstance(batch_res, LookupResult), (
+            f"key {key}: sequential answered, batch errored {batch_res!r}"
+        )
+        assert batch_res.found == seq_outcome.found
+        assert batch_res.value == seq_outcome.value
+
+
+def _sequential_lookup(d, key):
+    try:
+        return d.lookup(key)
+    except Exception as exc:  # typed degraded errors are outcomes here
+        return exc
+
+
+# -- healthy equivalence (property-based) -------------------------------------
+
+
+class TestHealthyLookupEquivalence:
+    @given(st.lists(st.integers(0, U - 1), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_basic(self, probes):
+        machine, d, items = _build_basic()
+        probes = probes + list(items)[:5]  # always mix in some hits
+        outcomes, _cost = d.batch_lookup(probes)
+        assert set(outcomes) == set(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, outcomes[key], d.lookup(key))
+
+    @given(st.lists(st.integers(0, U - 1), max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_dynamic(self, probes):
+        machine, d, items = _build_dynamic()
+        probes = probes + list(items)[:5]
+        outcomes, _cost = d.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, outcomes[key], d.lookup(key))
+
+    @pytest.mark.parametrize(
+        "case,redundancy", [("b", "replicate"), ("b", "standard"), ("a", "standard")]
+    )
+    def test_static_all_layouts(self, case, redundancy):
+        machine, sd, items = _build_static(case=case, redundancy=redundancy)
+        probes = sorted(items) + [k + 1 for k in sorted(items)[:10]]
+        outcomes, _cost = sd.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, outcomes[key], sd.lookup(key))
+
+    def test_batch_is_cheaper_than_sequential(self):
+        machine, d, items = _build_basic()
+        keys = sorted(items)
+        seq = sum(d.lookup(k).cost.total_ios for k in keys)
+        _, cost = d.batch_lookup(keys)
+        assert cost.total_ios < seq
+
+
+# -- degraded equivalence (seeded fault plans) --------------------------------
+
+
+class TestDegradedLookupEquivalence:
+    def test_basic_per_key_errors_match(self):
+        machine, d, items = _build_basic()
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks([0, 1], num_disks=machine.num_disks).events,
+        )
+        probes = sorted(items) + [k + 1 for k in sorted(items)[:8]]
+        seq = {k: _sequential_lookup(d, k) for k in set(probes)}
+        outcomes, _cost = d.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, outcomes[key], seq[key])
+        # The plan must actually bite: at least one key degrades.
+        assert any(isinstance(r, Exception) for r in outcomes.values())
+
+    def test_static_replicate_within_tolerance_no_errors(self):
+        machine, sd, items = _build_static(redundancy="replicate")
+        tol = fault_tolerance(sd.degree)
+        key = sorted(items)[0]
+        doomed = sorted(sd.assignment[key])[:tol]
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks(doomed, num_disks=machine.num_disks).events,
+        )
+        probes = sorted(items)
+        seq = {k: _sequential_lookup(sd, k) for k in probes}
+        outcomes, _cost = sd.batch_lookup(probes)
+        for k in probes:
+            _assert_same_outcome(k, outcomes[k], seq[k])
+            assert isinstance(outcomes[k], LookupResult)  # within tolerance
+
+    def test_static_standard_membership_survives_value_loss(self):
+        machine, sd, items = _build_static(redundancy="standard")
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks([2], num_disks=machine.num_disks).events,
+        )
+        probes = sorted(items)
+        seq = {k: _sequential_lookup(sd, k) for k in probes}
+        outcomes, _cost = sd.batch_lookup(probes)
+        for k in probes:
+            _assert_same_outcome(k, outcomes[k], seq[k])
+        degraded = [
+            k for k, r in outcomes.items() if isinstance(r, Exception)
+        ]
+        assert degraded, "killing a stripe must cost some values"
+        assert all(outcomes[k].membership is True for k in degraded)
+
+    def test_dynamic_per_key_errors_match(self):
+        machine, d, items = _build_dynamic()
+        # Kill one retrieval disk of level 0: chains crossing it degrade,
+        # the rest answer normally — identically in both paths.
+        dead = d.levels[0].disk_offset
+        attach_faults(
+            machine, FaultPlan.kill_disks([dead], num_disks=32).events
+        )
+        probes = sorted(items) + [k + 1 for k in sorted(items)[:8]]
+        seq = {k: _sequential_lookup(d, k) for k in set(probes)}
+        outcomes, _cost = d.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, outcomes[key], seq[key])
+
+    def test_batch_never_fails_wholesale(self):
+        machine, d, items = _build_basic()
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks([0, 1, 2], num_disks=machine.num_disks).events,
+        )
+        outcomes, _cost = d.batch_lookup(sorted(items))
+        # Typed per-key outcomes — some degraded, but the call returned.
+        assert len(outcomes) == len(items)
+        assert any(isinstance(r, Exception) for r in outcomes.values())
+
+
+# -- mutation equivalence ------------------------------------------------------
+
+
+class TestMutationEquivalence:
+    def test_basic_batch_state_equals_sequential(self):
+        machine_a, a, _ = _build_basic(n=0)
+        machine_b, b, _ = _build_basic(n=0)
+        items = {k: f"v{k}" for k in sorted(_items(30))}
+        updates = {k: f"w{k}" for k in list(items)[:10]}
+        deletes = list(items)[10:20]
+
+        outcomes, _cost = a.batch_insert(items)
+        assert all(not isinstance(r, Exception) for r in outcomes.values())
+        out2, _cost = a.batch_insert(updates)
+        assert all(r[0] for r in out2.values())  # all were present
+        out3, _cost = a.batch_delete(deletes)
+        assert all(r is True for r in out3.values())
+
+        for k, v in items.items():
+            b.upsert(k, v)
+        for k, v in updates.items():
+            b.upsert(k, v)
+        for k in deletes:
+            b.delete(k)
+
+        assert len(a) == len(b)
+        reference = {**items, **updates}
+        for k in deletes:
+            reference.pop(k)
+        for k in items:
+            ra, rb = a.lookup(k), b.lookup(k)
+            assert ra.found == rb.found == (k in reference)
+            if ra.found:
+                assert ra.value == rb.value == reference[k]
+
+    def test_dynamic_batch_state_equals_sequential(self):
+        machine_a, a, _ = _build_dynamic(n=0)
+        machine_b, b, _ = _build_dynamic(n=0)
+        items = _items(28)
+        updates = {k: (v + 1) % (1 << 16) for k, v in list(items.items())[:9]}
+        deletes = list(items)[9:18]
+
+        assert all(
+            not isinstance(r, Exception)
+            for r in a.batch_insert(items)[0].values()
+        )
+        assert all(r[0] for r in a.batch_insert(updates)[0].values())
+        assert all(r is True for r in a.batch_delete(deletes)[0].values())
+
+        for k, v in sorted(items.items()):
+            b.insert(k, v)
+        for k, v in updates.items():
+            b.insert(k, v)
+        for k in deletes:
+            b.delete(k)
+
+        assert len(a) == len(b)
+        assert set(a.stored_keys()) == set(b.stored_keys())
+        for k in a.stored_keys():
+            assert a.lookup(k).value == b.lookup(k).value
+
+    def test_basic_duplicate_keys_last_value_wins(self):
+        machine, d, _ = _build_basic(n=0)
+        outcomes, _cost = d.batch_insert({10: "first"})
+        outcomes, _cost = d.batch_insert(
+            dict([(10, "second"), (10, "third")])
+        )
+        assert d.lookup(10).value == "third"
+        assert len(d) == 1
+
+    def test_basic_degraded_refuses_mutations_per_key(self):
+        machine, d, items = _build_basic()
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks([0], num_disks=machine.num_disks).events,
+        )
+        size_before = len(d)
+        outcomes, _cost = d.batch_insert({k: "x" for k in sorted(items)[:10]})
+        # degree == num_disks: every key has a candidate bucket on the dead
+        # disk, so every mutation is refused upfront — and state unchanged.
+        assert all(isinstance(r, Exception) for r in outcomes.values())
+        assert len(d) == size_before
+
+    def test_capacity_errors_are_per_key(self):
+        machine, d, _ = _build_basic(capacity=4, n=0)
+        outcomes, _cost = d.batch_insert({k: "v" for k in range(10, 90, 10)})
+        ok = [k for k, r in outcomes.items() if not isinstance(r, Exception)]
+        errs = [k for k, r in outcomes.items() if isinstance(r, Exception)]
+        assert len(ok) == 4 and len(errs) == 4
+        assert len(d) == 4
+        for k in ok:
+            assert d.lookup(k).found

@@ -1,0 +1,280 @@
+"""Model-based differential testing: every dictionary vs a plain dict.
+
+A Hypothesis :class:`RuleBasedStateMachine` drives random interleavings of
+``insert`` / ``delete`` / ``lookup`` and the batched ``batch_*``
+operations against each dictionary variant, checking every answer against
+a plain Python ``dict`` oracle.  The unbounded variants run with a tiny
+initial capacity so the interleavings constantly cross global-rebuild
+boundaries — the regime where a stale membership pointer or a dropped
+migration would surface as an oracle divergence.
+
+Oracle rules live in :class:`DictionaryOracleMachine`; to cover a new
+operation, add a ``@rule`` that applies it to both the dictionary and
+``self.oracle`` and asserts the outcomes agree (see ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.facade import ParallelDiskDictionary
+from repro.core.interface import LookupResult
+
+U = 1 << 12
+SIGMA = 16
+KEYS = st.integers(0, U - 1)
+VALUES = st.integers(0, (1 << SIGMA) - 1)
+
+# CI runs every variant at these settings: 6 variants x 40 examples = 240
+# stateful examples per run (the acceptance bar is >= 200).
+MODEL_SETTINGS = settings(
+    max_examples=40, stateful_step_count=12, deadline=None
+)
+
+
+class DictionaryOracleMachine(RuleBasedStateMachine):
+    """Differential state machine: dictionary vs plain-dict oracle."""
+
+    #: capacity bound the rules respect; None = unbounded (rebuilding).
+    capacity: int | None = 48
+
+    def build(self):
+        raise NotImplementedError
+
+    def __init__(self):
+        super().__init__()
+        self.d = self.build()
+        self.oracle: dict[int, int] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _room_for(self, new_keys: int) -> bool:
+        if self.capacity is None:
+            return True
+        return len(self.oracle) + new_keys <= self.capacity
+
+    def _present_key(self, data) -> int | None:
+        if not self.oracle:
+            return None
+        return data.draw(
+            st.sampled_from(sorted(self.oracle)), label="present key"
+        )
+
+    def _check_lookup(self, key: int, result: LookupResult) -> None:
+        assert result.found == (key in self.oracle), (
+            f"membership divergence on {key}: dictionary says "
+            f"{result.found}, oracle says {key in self.oracle}"
+        )
+        if result.found:
+            assert result.value == self.oracle[key], (
+                f"value divergence on {key}: dictionary {result.value!r}, "
+                f"oracle {self.oracle[key]!r}"
+            )
+
+    # -- single-key rules ------------------------------------------------
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key: int, value: int) -> None:
+        if key not in self.oracle and not self._room_for(1):
+            return
+        self.d.insert(key, value)
+        self.oracle[key] = value
+
+    @rule(data=st.data(), value=VALUES)
+    def update_present(self, data, value: int) -> None:
+        key = self._present_key(data)
+        if key is None:
+            return
+        self.d.insert(key, value)
+        self.oracle[key] = value
+
+    @rule(key=KEYS)
+    def delete_any(self, key: int) -> None:
+        self.d.delete(key)  # deleting an absent key is a no-op
+        self.oracle.pop(key, None)
+
+    @rule(data=st.data())
+    def delete_present(self, data) -> None:
+        key = self._present_key(data)
+        if key is None:
+            return
+        self.d.delete(key)
+        del self.oracle[key]
+
+    @rule(key=KEYS)
+    def lookup_any(self, key: int) -> None:
+        self._check_lookup(key, self.d.lookup(key))
+
+    @rule(data=st.data())
+    def lookup_present(self, data) -> None:
+        key = self._present_key(data)
+        if key is None:
+            return
+        self._check_lookup(key, self.d.lookup(key))
+
+    # -- batched rules ---------------------------------------------------
+
+    @rule(keys=st.lists(KEYS, max_size=10), data=st.data())
+    def batch_lookup(self, keys, data) -> None:
+        extra = self._present_key(data)
+        if extra is not None:
+            keys = keys + [extra]
+        if not keys:
+            return
+        outcomes, _cost = self.d.batch_lookup(keys)
+        assert set(outcomes) == set(keys)
+        for key in set(keys):
+            res = outcomes[key]
+            assert not isinstance(res, Exception), (
+                f"healthy batch_lookup errored on {key}: {res!r}"
+            )
+            self._check_lookup(key, res)
+
+    @rule(items=st.dictionaries(KEYS, VALUES, max_size=8))
+    def batch_insert(self, items) -> None:
+        if not items:
+            return
+        new = [k for k in items if k not in self.oracle]
+        if not self._room_for(len(new)):
+            # Trim to what fits; the capacity-edge behaviour has its own
+            # dedicated tests (per-key CapacityExceeded outcomes).
+            room = (
+                self.capacity - len(self.oracle)
+                if self.capacity is not None
+                else 0
+            )
+            drop = set(new[room:])
+            items = {k: v for k, v in items.items() if k not in drop}
+            if not items:
+                return
+        outcomes, _cost = self.d.batch_insert(items)
+        assert set(outcomes) == set(items)
+        for key, res in outcomes.items():
+            assert not isinstance(res, Exception), (
+                f"healthy batch_insert errored on {key}: {res!r}"
+            )
+            was_present, _old = res
+            assert was_present == (key in self.oracle)
+            self.oracle[key] = items[key]
+
+    @rule(keys=st.lists(KEYS, max_size=8), data=st.data())
+    def batch_delete(self, keys, data) -> None:
+        extra = self._present_key(data)
+        if extra is not None:
+            keys = keys + [extra]
+        if not keys:
+            return
+        outcomes, _cost = self.d.batch_delete(keys)
+        assert set(outcomes) == set(keys)
+        for key in set(keys):
+            res = outcomes[key]
+            assert not isinstance(res, Exception), (
+                f"healthy batch_delete errored on {key}: {res!r}"
+            )
+            assert res == (key in self.oracle), (
+                f"removed-flag divergence on {key}"
+            )
+            self.oracle.pop(key, None)
+
+    @rule()
+    def audit_all_present(self) -> None:
+        """Full sweep: every oracle key answers, via one batch."""
+        if not self.oracle:
+            return
+        outcomes, _cost = self.d.batch_lookup(sorted(self.oracle))
+        for key in self.oracle:
+            self._check_lookup(key, outcomes[key])
+
+    # -- invariants ------------------------------------------------------
+
+    @invariant()
+    def sizes_agree(self) -> None:
+        assert len(self.d) == len(self.oracle), (
+            f"size divergence: dictionary {len(self.d)}, "
+            f"oracle {len(self.oracle)}"
+        )
+
+
+class BasicModel(DictionaryOracleMachine):
+    capacity = 48
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=48, mode="basic", degree=8,
+            block_items=16, seed=1,
+        )
+
+
+class FullBandwidthModel(DictionaryOracleMachine):
+    capacity = 48
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=48, mode="full-bandwidth", degree=8,
+            sigma=SIGMA, block_items=16, seed=2,
+        )
+
+
+class HeadModelModel(DictionaryOracleMachine):
+    capacity = 48
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=48, mode="head-model", degree=8,
+            block_items=16, seed=3,
+        )
+
+
+class RecursiveModel(DictionaryOracleMachine):
+    capacity = 48
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=48, mode="one-probe-recursive",
+            degree=8, sigma=SIGMA, block_items=16, seed=4,
+        )
+
+
+class RebuildingBasicModel(DictionaryOracleMachine):
+    """Tiny initial capacity: every long interleaving crosses rebuilds."""
+
+    capacity = None
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=8, mode="basic", degree=8,
+            block_items=16, unbounded=True, seed=5,
+        )
+
+
+class RebuildingDynamicModel(DictionaryOracleMachine):
+    """The ISSUE's named target: dynamic-dict rebuild boundaries."""
+
+    capacity = None
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=8, mode="full-bandwidth", degree=8,
+            sigma=SIGMA, block_items=16, unbounded=True, seed=6,
+        )
+
+
+TestBasicModel = BasicModel.TestCase
+TestFullBandwidthModel = FullBandwidthModel.TestCase
+TestHeadModelModel = HeadModelModel.TestCase
+TestRecursiveModel = RecursiveModel.TestCase
+TestRebuildingBasicModel = RebuildingBasicModel.TestCase
+TestRebuildingDynamicModel = RebuildingDynamicModel.TestCase
+
+for _case in (
+    TestBasicModel,
+    TestFullBandwidthModel,
+    TestHeadModelModel,
+    TestRecursiveModel,
+    TestRebuildingBasicModel,
+    TestRebuildingDynamicModel,
+):
+    _case.settings = MODEL_SETTINGS
+del _case  # unittest TestCases are collected by reference, not just name

@@ -1,0 +1,117 @@
+"""Seed-stability snapshots for the access-pattern generators.
+
+The access generators draw from :class:`repro.bits.stream.MixStream`
+(counter-mode splitmix64), so a ``(generator, seed)`` pair is one exact
+key sequence forever.  These snapshots pin the streams across PRs: if one
+fails, a change broke every recorded workload — either revert it or bump
+the snapshots *deliberately*, in the same PR, with a changelog note.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.bits.stream import MixStream
+from repro.workloads.access import hit_miss_mix, uniform_accesses, zipf_accesses
+
+
+class TestSnapshots:
+    def test_mixstream_seed_42(self):
+        s = MixStream(42)
+        assert [s.next64() for _ in range(4)] == [
+            6332618229526065668,
+            18036798128018490698,
+            8238092213399105094,
+            7645025691661814288,
+        ]
+
+    def test_uniform_seed_0(self):
+        assert uniform_accesses(range(50), 8, seed=0) == [
+            27, 39, 30, 33, 11, 45, 21, 24,
+        ]
+
+    def test_uniform_seed_7(self):
+        assert uniform_accesses(range(100), 10, seed=7) == [
+            50, 67, 46, 82, 60, 34, 5, 11, 0, 80,
+        ]
+
+    def test_zipf_seed_0(self):
+        assert zipf_accesses(range(50), 8, seed=0) == [
+            0, 10, 5, 49, 40, 10, 1, 15,
+        ]
+
+    def test_zipf_seed_7(self):
+        assert zipf_accesses(range(100), 10, seed=7) == [
+            5, 95, 28, 57, 67, 1, 46, 0, 6, 1,
+        ]
+
+    def test_hit_miss_seed_0(self):
+        assert hit_miss_mix(range(0, 50, 2), 500, 8, seed=0) == [
+            98, 256, 251, 16, 42, 196, 51, 101,
+        ]
+
+    def test_hit_miss_seed_7(self):
+        assert hit_miss_mix(range(0, 100, 2), 1000, 10, seed=7) == [
+            317, 722, 12, 973, 62, 60, 730, 290, 52, 40,
+        ]
+
+
+class TestStreamProperties:
+    def test_same_seed_same_stream(self):
+        a, b = MixStream(5, 9), MixStream(5, 9)
+        assert [a.next64() for _ in range(32)] == [
+            b.next64() for _ in range(32)
+        ]
+
+    def test_generators_domain_separated(self):
+        # Same seed, different generators: independent streams.
+        keys = list(range(64))
+        assert uniform_accesses(keys, 16, seed=3) != zipf_accesses(
+            keys, 16, seed=3
+        )
+
+    def test_randrange_unbiased_range(self):
+        s = MixStream(0)
+        draws = [s.randrange(7) for _ in range(2000)]
+        assert set(draws) == set(range(7))
+        counts = Counter(draws)
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_random_unit_interval(self):
+        s = MixStream(1)
+        xs = [s.random() for _ in range(1000)]
+        assert all(0.0 <= x < 1.0 for x in xs)
+        assert 0.4 < sum(xs) / len(xs) < 0.6
+
+    def test_shuffle_is_permutation_and_deterministic(self):
+        items1 = list(range(20))
+        items2 = list(range(20))
+        MixStream(11).shuffle(items1)
+        MixStream(11).shuffle(items2)
+        assert items1 == items2
+        assert sorted(items1) == list(range(20))
+        assert items1 != list(range(20))
+
+    def test_weighted_skew(self):
+        s = MixStream(2)
+        cumulative = [8.0, 9.0, 10.0]  # weights 8, 1, 1
+        draws = Counter(s.weighted(cumulative) for _ in range(2000))
+        assert draws[0] > draws[1] + draws[2]
+        assert set(draws) <= {0, 1, 2}
+
+    def test_weighted_rejects_bad_table(self):
+        s = MixStream(3)
+        with pytest.raises(ValueError):
+            s.weighted([])
+        with pytest.raises(ValueError):
+            s.weighted([0.0])
+
+    def test_randrange_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MixStream(0).randrange(0)
+
+    def test_zipf_is_skewed(self):
+        counts = Counter(zipf_accesses(range(100), 5000, seed=1))
+        ranked = counts.most_common()
+        assert ranked[0][0] == 0  # rank-1 key dominates
+        assert ranked[0][1] > 3 * counts[10]
