@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-model lint baseline bench bench-report bench-batch chaos coverage examples figure1 profile clean
+.PHONY: install test test-model lint baseline bench bench-report bench-batch bench-throughput chaos coverage examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,16 @@ bench-batch:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_batch.py -q --benchmark-disable
 
+# Serving throughput under skew (rounds/op, ops/sec, buffer-pool hit rate),
+# written as BENCH_throughput.json and gated >20% against the checked-in
+# baseline (benchmarks/baselines/throughput.json).
+bench-throughput:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_throughput.py -q --benchmark-disable
+	$(PYTHON) scripts/check_throughput_regression.py \
+		benchmarks/results/BENCH_throughput.json \
+		benchmarks/baselines/throughput.json
+
 # Instrumented smoke run: spans + metrics + theorem-bound monitors over both
 # dictionaries, written as a machine-readable report (and a Perfetto trace).
 bench-report:
@@ -62,7 +72,10 @@ examples:
 figure1:
 	$(PYTHON) -m repro
 
+# cProfile over an instrumented replay: pstats dump + top-20 table.
 profile:
+	PYTHONPATH=src $(PYTHON) -m repro.obs --structure basic \
+		--operations 1024 --capacity 512 --quiet --profile
 	$(PYTHON) scripts/profile_simulation.py
 
 clean:

@@ -36,6 +36,7 @@ from repro.core.interface import (
     annotate_round_packing,
 )
 from repro.expanders.base import StripedExpander
+from repro.expanders.neighborhoods import NeighborhoodMemo
 from repro.expanders.random_graph import SeededRandomExpander
 from repro.pdm.errors import DiskFailure
 from repro.pdm.iostats import OpCost
@@ -133,6 +134,9 @@ class BasicDictionary(Dictionary):
                 seed=seed,
             )
         self.graph = graph
+        # Hot-path neighborhood evaluation, memoized into internal memory
+        # (the model grants M words; repeated Γ(key) evaluations are free).
+        self._neighborhoods = NeighborhoodMemo(graph, memory=machine.memory)
         self.buckets = StripedItemBuckets(
             machine,
             stripes=degree,
@@ -173,7 +177,7 @@ class BasicDictionary(Dictionary):
             structure="basic_dict",
             blocks_per_bucket=self.buckets.blocks_per_bucket,
         ) as m:
-            locs = self.graph.striped_neighbors(key)
+            locs = self._neighborhoods.striped(key)
             if self.machine.faults is None:
                 contents = self.buckets.read_buckets(locs)
                 failures: Dict[Tuple[int, int], Any] = {}
@@ -266,7 +270,7 @@ class BasicDictionary(Dictionary):
         ) as m:
             all_locs = {}
             for key in dict.fromkeys(keys):
-                all_locs[key] = self.graph.striped_neighbors(key)
+                all_locs[key] = self._neighborhoods.striped(key)
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
             )
@@ -336,7 +340,7 @@ class BasicDictionary(Dictionary):
             batch_size=len(items),
         ) as m:
             all_locs = {
-                key: self.graph.striped_neighbors(key) for key in items
+                key: self._neighborhoods.striped(key) for key in items
             }
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
@@ -460,7 +464,7 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
             batch_size=len(keys),
         ) as m:
-            all_locs = {key: self.graph.striped_neighbors(key) for key in keys}
+            all_locs = {key: self._neighborhoods.striped(key) for key in keys}
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
             )
@@ -530,7 +534,7 @@ class BasicDictionary(Dictionary):
             structure="basic_dict",
             blocks_per_bucket=self.buckets.blocks_per_bucket,
         ) as m:
-            locs = self.graph.striped_neighbors(key)
+            locs = self._neighborhoods.striped(key)
             if self.machine.faults is None:
                 contents = self.buckets.read_buckets(locs)
             else:
@@ -615,7 +619,7 @@ class BasicDictionary(Dictionary):
             structure="basic_dict",
             blocks_per_bucket=self.buckets.blocks_per_bucket,
         ) as m:
-            locs = self.graph.striped_neighbors(key)
+            locs = self._neighborhoods.striped(key)
             if self.machine.faults is None:
                 contents = self.buckets.read_buckets(locs)
             else:
@@ -676,7 +680,7 @@ class BasicDictionary(Dictionary):
         ) as m:
             for key in sorted(items):
                 self._check_key(key)
-                locs = self.graph.striped_neighbors(key)
+                locs = self._neighborhoods.striped(key)
                 fragments = _split_value(items[key], self.k)
                 loads = {
                     loc: len(contents.get(loc, ())) for loc in locs

@@ -45,6 +45,7 @@ class ParallelDiskDictionary(Dictionary):
         degree: Optional[int] = None,
         unbounded: bool = False,
         seed: int = 0,
+        cache_blocks: Optional[int] = None,
     ):
         if mode not in self.MODES:
             raise ValueError(
@@ -53,6 +54,9 @@ class ParallelDiskDictionary(Dictionary):
         self.universe_size = universe_size
         self.mode = mode
         self.seed = seed
+        #: buffer-pool size in blocks for every machine this facade creates
+        #: (``None`` = uncached; see :mod:`repro.pdm.cache`)
+        self.cache_blocks = cache_blocks
         # The paper's D = Omega(log u): default degree 2*ceil(log2 u),
         # at least 8.
         if degree is None:
@@ -65,7 +69,9 @@ class ParallelDiskDictionary(Dictionary):
         def make(cap: int, generation: int) -> Dictionary:
             inner_seed = seed + 1000 * generation
             if mode == "basic":
-                machine = ParallelDiskMachine(degree, block_items)
+                machine = ParallelDiskMachine(
+                    degree, block_items, cache_blocks=cache_blocks
+                )
                 self._machines.append(machine)
                 return BasicDictionary(
                     machine,
@@ -75,7 +81,9 @@ class ParallelDiskDictionary(Dictionary):
                     seed=inner_seed,
                 )
             if mode == "full-bandwidth":
-                machine = ParallelDiskMachine(2 * degree, block_items)
+                machine = ParallelDiskMachine(
+                    2 * degree, block_items, cache_blocks=cache_blocks
+                )
                 self._machines.append(machine)
                 return DynamicDictionary(
                     machine,
@@ -92,7 +100,8 @@ class ParallelDiskDictionary(Dictionary):
 
                 levels = 2
                 machine = ParallelDiskMachine(
-                    (levels + 1) * degree, block_items
+                    (levels + 1) * degree, block_items,
+                    cache_blocks=cache_blocks,
                 )
                 self._machines.append(machine)
                 return RecursiveLoadBalancedDictionary(
@@ -108,7 +117,9 @@ class ParallelDiskDictionary(Dictionary):
             from repro.core.head_model_dict import HeadModelDictionary
             from repro.pdm.machine import ParallelDiskHeadMachine
 
-            machine = ParallelDiskHeadMachine(degree, block_items)
+            machine = ParallelDiskHeadMachine(
+                degree, block_items, cache_blocks=cache_blocks
+            )
             self._machines.append(machine)
             return HeadModelDictionary(
                 machine,

@@ -13,15 +13,38 @@ from anywhere.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Mapping, Optional, Tuple
 
 from repro.lint.finding import Finding
 from repro.lint.rules.base import ModuleContext, Rule, register
 
 
 def _package_of(module: str) -> str:
-    """The layering unit: the first two dotted components."""
+    """The default layering unit: the first two dotted components."""
     return ".".join(module.split(".")[:2])
+
+
+def _layer_of(module: str, layers: Mapping[str, object]) -> str:
+    """The layering unit of ``module``: the *longest* configured layer key
+    that is a dotted prefix of it, falling back to the first two
+    components.  This lets ``[tool.detlint.layers]`` name sub-module
+    layers like ``repro.pdm.cache`` with their own edge sets."""
+    best = None
+    for key in layers:
+        if module == key or module.startswith(key + "."):
+            if best is None or len(key) > len(best):
+                best = key
+    return best if best is not None else _package_of(module)
+
+
+def _subtree(dep: str, pkg: str) -> bool:
+    """True when one layer is nested inside the other (a package and its
+    registered sub-layers always may import each other)."""
+    return (
+        dep == pkg
+        or dep.startswith(pkg + ".")
+        or pkg.startswith(dep + ".")
+    )
 
 
 def _imported_modules(tree: ast.Module, current: Optional[str]) -> Iterator[Tuple[ast.AST, str]]:
@@ -60,15 +83,16 @@ class LayeringRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if ctx.module is None:
             return
-        pkg = _package_of(ctx.module)
-        allowed: Optional[List[str]] = ctx.config.layers.get(pkg)
+        layers = ctx.config.layers
+        pkg = _layer_of(ctx.module, layers)
+        allowed = layers.get(pkg)
         if allowed is None or "*" in allowed:
             return
-        permitted = set(allowed) | set(ctx.config.arch_base) | {pkg}
+        permitted = set(allowed) | set(ctx.config.arch_base)
         for node, target in _imported_modules(ctx.tree, ctx.module):
             if not (target == "repro" or target.startswith("repro.")):
                 continue
-            dep = _package_of(target)
+            dep = _layer_of(target, layers)
             if dep == "repro":
                 # "from repro import x" — the root façade re-imports heavy
                 # subpackages; inside the library that is a cycle risk.
@@ -79,11 +103,15 @@ class LayeringRule(Rule):
                     f"specific submodule instead",
                 )
                 continue
-            if dep not in permitted:
-                yield ctx.finding(
-                    node,
-                    self.code,
-                    f"{pkg} may not import {dep} "
-                    f"(allowed: {', '.join(sorted(permitted - {pkg})) or 'nothing'}); "
-                    f"see [tool.detlint.layers]",
-                )
+            if _subtree(dep, pkg):
+                continue
+            # an allowed layer also permits its registered sub-layers
+            if any(dep == p or dep.startswith(p + ".") for p in permitted):
+                continue
+            yield ctx.finding(
+                node,
+                self.code,
+                f"{pkg} may not import {dep} "
+                f"(allowed: {', '.join(sorted(permitted)) or 'nothing'}); "
+                f"see [tool.detlint.layers]",
+            )

@@ -74,9 +74,30 @@ def build_parser() -> argparse.ArgumentParser:
         "batch.* metrics (rounds_saved et al.)",
     )
     parser.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the machine with an N-block buffer pool "
+        "(repro.pdm.cache); the report gains cache.* metrics",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="raise on the first theorem-budget violation",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the replay under cProfile; writes a pstats dump and "
+        "prints the top-20 cumulative-time table",
+    )
+    parser.add_argument(
+        "--profile-out",
+        type=pathlib.Path,
+        default=pathlib.Path("obs_profile.pstats"),
+        help="where --profile writes the pstats dump "
+        "(default: obs_profile.pstats)",
     )
     parser.add_argument(
         "--jsonl",
@@ -113,9 +134,17 @@ def _run(args: argparse.Namespace) -> int:
     structures = list(STRUCTURES) if args.structure == "both" else [args.structure]
     multi = len(structures) > 1
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     reports = []
     for structure in structures:
         try:
+            if profiler is not None:
+                profiler.enable()
             report = run_instrumented(
                 structure,
                 num_disks=args.disks,
@@ -128,12 +157,16 @@ def _run(args: argparse.Namespace) -> int:
                 trace=args.chrome_trace is not None,
                 strict=args.strict,
                 batch=args.batch,
+                cache_blocks=args.cache,
             )
         except BoundViolationError as exc:
             # A strict-mode abort is still a *violation* verdict (exit 1);
             # exit 2 is reserved for runs that produced no verdict at all.
             print(f"BOUND VIOLATION ({structure}): {exc}", file=sys.stderr)
             return 1
+        finally:
+            if profiler is not None:
+                profiler.disable()
         reports.append(report)
 
         if not args.quiet:
@@ -152,6 +185,17 @@ def _run(args: argparse.Namespace) -> int:
                 num_disks=args.disks,
             )
             print(f"wrote Chrome trace to {path}", file=sys.stderr)
+
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.dump_stats(args.profile_out)
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(f"wrote profile to {args.profile_out}", file=sys.stderr)
+        print(stream.getvalue())
 
     if args.json is not None:
         payload = {

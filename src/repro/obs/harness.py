@@ -175,6 +175,7 @@ def run_instrumented(
     strict: bool = False,
     monitors: Optional[MonitorSet] = None,
     batch: Optional[int] = None,
+    cache_blocks: Optional[int] = None,
 ) -> ObsReport:
     """Replay a generated workload under full instrumentation.
 
@@ -183,9 +184,15 @@ def run_instrumented(
     :class:`~repro.obs.monitors.BoundViolationError` instead of being
     recorded.  With ``batch=N`` the replay routes runs of same-kind
     operations through the dictionary's round-packed batch methods and the
-    report gains ``batch.*`` metrics (``rounds_saved`` et al.).
+    report gains ``batch.*`` metrics (``rounds_saved`` et al.).  With
+    ``cache_blocks=N`` the machine runs an ``N``-block buffer pool
+    (:mod:`repro.pdm.cache`) and the report gains ``cache.*`` metrics —
+    note the theorem-bound monitors assume the uncached cost model, so a
+    cached strict run may legitimately *under*-shoot the budgets.
     """
-    machine = ParallelDiskMachine(num_disks, block_items)
+    machine = ParallelDiskMachine(
+        num_disks, block_items, cache_blocks=cache_blocks
+    )
     dictionary = build_structure(
         structure,
         machine,
@@ -245,6 +252,8 @@ def run_instrumented(
     }
     if batch is not None:
         params["batch"] = batch
+    if cache_blocks is not None:
+        params["cache_blocks"] = cache_blocks
     return ObsReport(
         structure=structure,
         params=params,

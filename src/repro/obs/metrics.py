@@ -215,6 +215,33 @@ def collect_machine(
     registry.gauge(f"{prefix}.memory_peak_words").set(machine.memory.peak_words)
     registry.gauge(f"{prefix}.touched_blocks").set(machine.touched_blocks)
     registry.gauge(f"{prefix}.footprint_bits").set(machine.footprint_bits)
+    if getattr(machine, "cache", None) is not None:
+        collect_cache(registry, machine)
+
+
+def collect_cache(
+    registry: MetricsRegistry, machine, prefix: str = "cache"
+) -> None:
+    """Snapshot the machine's buffer-pool counters (:mod:`repro.pdm.cache`)
+    into the registry.  No-op on an uncached machine."""
+    pool = getattr(machine, "cache", None)
+    if pool is None:
+        return
+    s = pool.stats
+    registry.gauge(f"{prefix}.capacity_blocks").set(pool.capacity_blocks)
+    registry.gauge(f"{prefix}.occupancy_blocks").set(len(pool))
+    registry.gauge(f"{prefix}.hits").set(s.hits)
+    registry.gauge(f"{prefix}.misses").set(s.misses)
+    registry.gauge(f"{prefix}.fills").set(s.fills)
+    registry.gauge(f"{prefix}.evictions").set(s.evictions)
+    registry.gauge(f"{prefix}.flushed_blocks").set(s.flushed_blocks)
+    registry.gauge(f"{prefix}.invalidations").set(s.invalidations)
+    registry.gauge(f"{prefix}.absorbed_writes").set(s.absorbed_writes)
+    registry.gauge(f"{prefix}.write_through_writes").set(
+        s.write_through_writes
+    )
+    registry.gauge(f"{prefix}.hit_rate").set(s.hit_rate())
+    registry.gauge(f"{prefix}.write_through").set(int(pool.write_through))
 
 
 def collect_spans(

@@ -28,6 +28,12 @@ This package provides:
 * :class:`~repro.pdm.memory.InternalMemory` — word-granular accounting of
   internal memory (the paper assumes capacity for ``O(log n)`` keys, and
   Section 5 trades ``O(N^beta)`` words of internal memory for explicitness).
+* :class:`~repro.pdm.cache.BufferPool` — the M-bounded deterministic
+  write-back block cache (``⌊M/B⌋`` blocks charged against
+  :class:`~repro.pdm.memory.InternalMemory`): hits cost zero I/Os, misses
+  fetch-and-fill, dirty blocks flush as ordinary charged writes.  Off by
+  default (one ``None`` check); enable with ``cache_blocks=N`` on the
+  machine or :func:`~repro.pdm.cache.attach_cache`.
 * :class:`~repro.pdm.striping.StripedFieldArray` — an array of sub-block
   *fields* laid out in ``d`` stripes, one stripe per disk, so that reading
   one field per stripe is a single parallel I/O.  This is the storage layout
@@ -44,6 +50,13 @@ This package provides:
 """
 
 from repro.pdm.block import Block, BlockOverflowError, payload_fingerprint
+from repro.pdm.cache import (
+    BufferPool,
+    CacheStats,
+    attach_cache,
+    detach_cache,
+    max_cache_blocks,
+)
 from repro.pdm.disk import Disk
 from repro.pdm.errors import (
     BlockCorruption,
@@ -110,6 +123,11 @@ __all__ = [
     "ParallelDiskHeadMachine",
     "InternalMemory",
     "InternalMemoryExceeded",
+    "BufferPool",
+    "CacheStats",
+    "attach_cache",
+    "detach_cache",
+    "max_cache_blocks",
     "StripedFieldArray",
     "StripedItemBuckets",
     "SuperblockArray",

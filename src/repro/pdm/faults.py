@@ -256,6 +256,7 @@ class FaultInjector:
         if not due:
             return
         self._corruptions = [c for c in self._corruptions if c.round > clock]
+        cache = getattr(machine, "cache", None)
         for c in due:
             if not 0 <= c.disk < len(machine.disks):
                 continue
@@ -265,6 +266,13 @@ class FaultInjector:
             blk.payload = corrupt_payload(
                 blk.payload, splitmix64(c.salt ^ (c.disk << 20) ^ c.block)
             )
+            if cache is not None:
+                # A cached copy predates the corruption (payloads are
+                # replaced, never mutated, so the pool still holds clean
+                # data) — drop it so the next read re-fetches from the
+                # medium and the checksum verdict matches the uncached
+                # machine exactly.
+                cache.invalidate((c.disk, c.block))
             self.count("corruption")
 
     @property
@@ -296,6 +304,14 @@ def attach_faults(
     """
     if machine.faults is not None:
         raise RuntimeError("machine already has a fault injector attached")
+    cache = getattr(machine, "cache", None)
+    if cache is not None:
+        # Degraded-mode reasoning assumes the medium holds every datum:
+        # flush the pool's dirty blocks (ordinary charged writes, before
+        # the fault clock starts mattering) and run write-through while
+        # the injector is attached.
+        cache.flush(machine)
+        cache.write_through = True
     injector = FaultInjector(events)
     for event in injector.events:
         disk = getattr(event, "disk", None)
@@ -332,3 +348,6 @@ def detach_faults(machine) -> None:
         plain.append(d)
     machine.disks = plain
     machine.faults = None
+    cache = getattr(machine, "cache", None)
+    if cache is not None:
+        cache.write_through = False

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 
-@dataclass
+@dataclass(slots=True)
 class IOStats:
     """Cumulative I/O counters of one machine.
 
@@ -122,7 +122,7 @@ class IOStats:
         self.repair_ios = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpCost:
     """The parallel-I/O cost of a single (possibly composite) operation."""
 
@@ -199,7 +199,7 @@ class OpCost:
         return OpCost()
 
 
-@dataclass
+@dataclass(slots=True)
 class _CostBox:
     """Mutable holder filled in when a :func:`measure` block exits."""
 

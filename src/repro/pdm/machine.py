@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.bits.mix import derive
 from repro.pdm.block import Block
+from repro.pdm.cache import attach_cache
 from repro.pdm.disk import Disk
 from repro.pdm.errors import BlockCorruption, DiskFailure, IOFault, TransientIOError
 from repro.pdm.iostats import IOStats
@@ -31,7 +32,7 @@ from repro.pdm.memory import InternalMemory
 Addr = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundPlan:
     """An explicit parallel-round schedule for one batched I/O.
 
@@ -144,6 +145,13 @@ class AbstractDiskMachine:
     memory_words:
         Optional internal-memory capacity in items/words (``None`` means
         unbounded but still tracked).
+    cache_blocks:
+        Optional buffer-pool size in blocks (:mod:`repro.pdm.cache`).
+        Charged against internal memory at ``B`` words per block, so with
+        ``memory_words=M`` the pool is bounded by ``⌊M/B⌋`` blocks.  Cached
+        reads cost zero I/Os; writes are absorbed and flushed on eviction.
+        ``None`` (the default) keeps the machine uncached — the mode the
+        theorem-bound monitors assume.
     """
 
     model_name = "abstract"
@@ -155,6 +163,7 @@ class AbstractDiskMachine:
         *,
         item_bits: int = 64,
         memory_words: int | None = None,
+        cache_blocks: int | None = None,
     ):
         if num_disks <= 0:
             raise ValueError(f"need at least one disk, got {num_disks}")
@@ -181,6 +190,11 @@ class AbstractDiskMachine:
         #: :func:`repro.pdm.faults.attach_faults`); same one-``None``-check
         #: hot-path contract as ``tracer``/``spans``
         self.faults = None
+        #: optional :class:`repro.pdm.cache.BufferPool` (M-bounded write-back
+        #: block cache; attach with :func:`repro.pdm.cache.attach_cache` or
+        #: the ``cache_blocks`` constructor knob).  Same one-``None``-check
+        #: hot-path contract as ``tracer``/``spans``/``faults``.
+        self.cache = None
         #: when True, writes seal a per-block checksum and reads verify it
         #: (:mod:`repro.pdm.block`); silent corruption becomes a typed
         #: :class:`~repro.pdm.errors.BlockCorruption`
@@ -192,6 +206,8 @@ class AbstractDiskMachine:
         # inflate touched_blocks/footprint).  Callers treat read results as
         # immutable — all mutation goes through write_blocks.
         self._void_block = Block(self.block_bits)
+        if cache_blocks is not None:
+            attach_cache(self, cache_blocks)
 
     # -- allocation ---------------------------------------------------------
 
@@ -240,9 +256,19 @@ class AbstractDiskMachine:
     def peek_at(self, addr: Addr) -> Block | None:
         """Like :meth:`block_at` but returns ``None`` for a never-written
         block instead of materialising it — audits and read-modify-write
-        staging don't inflate ``touched_blocks``."""
+        staging don't inflate ``touched_blocks``.
+
+        With a buffer pool attached the pool is consulted first: under
+        write-back the pool holds the logical latest contents, so staging
+        and audits must see it.  The fault layer invalidates cached copies
+        it corrupts, so a peek never resurrects pre-corruption data."""
         self._check_addr(addr)
         disk_id, block_index = addr
+        cache = self.cache
+        if cache is not None:
+            blk = cache.peek((disk_id, block_index))
+            if blk is not None:
+                return blk
         return self.disks[disk_id].peek(block_index)
 
     # -- cost model (specialised by subclasses) ---------------------------
@@ -281,9 +307,12 @@ class AbstractDiskMachine:
 
         Identical cost and fault semantics to :meth:`read_blocks`; the plan
         sees the raw request list so its ``duplicates`` counter reports the
-        dedup savings to the batch dictionary operations."""
+        dedup savings to the batch dictionary operations.  With a buffer
+        pool attached, cached addresses are dropped from the plan *before*
+        rounds are packed — hits cost zero I/Os, so the schedule covers
+        only the misses the machine will actually charge."""
         requests = [tuple(a) for a in addrs]
-        plan = self.plan_rounds(requests, salt=salt)
+        plan = self.plan_rounds(self._plan_requests(requests), salt=salt)
         return self.read_blocks(requests), plan
 
     def read_rounds_degraded(
@@ -292,9 +321,17 @@ class AbstractDiskMachine:
         """Fault-tolerant :meth:`read_rounds`; see
         :meth:`read_blocks_degraded` for the ``(blocks, failures)`` split."""
         requests = [tuple(a) for a in addrs]
-        plan = self.plan_rounds(requests, salt=salt)
+        plan = self.plan_rounds(self._plan_requests(requests), salt=salt)
         blocks, failures = self.read_blocks_degraded(requests)
         return blocks, failures, plan
+
+    def _plan_requests(self, requests: List[Addr]) -> List[Addr]:
+        """The requests a round plan should cover: all of them uncached,
+        only the (to-be-charged) misses when a buffer pool is attached."""
+        cache = self.cache
+        if cache is None:
+            return requests
+        return [a for a in requests if not cache.contains(a)]
 
     # -- I/O operations ----------------------------------------------------
 
@@ -312,12 +349,41 @@ class AbstractDiskMachine:
         (first failing address in batch order).  Callers prepared to recover
         use :meth:`read_blocks_degraded` instead.
         """
+        cache = self.cache
+        if (
+            cache is None
+            and self.faults is None
+            and self.tracer is None
+            and not self.checksums
+        ):
+            # Fast path: nothing attached, so skip the retry/fault/fill
+            # machinery entirely.  Same charges as the general path —
+            # rounds for the deduped set, one blocks_read per block.
+            unique = dict.fromkeys(map(tuple, addrs))
+            if not unique:
+                return {}
+            blocks: Dict[Addr, Block] = {}
+            disks = self.disks
+            num_disks = self.num_disks
+            void = self._void_block
+            for addr in unique:
+                disk_id = addr[0]
+                if not 0 <= disk_id < num_disks or addr[1] < 0:
+                    self._check_addr(addr)
+                blk = disks[disk_id]._blocks.get(addr[1])
+                blocks[addr] = void if blk is None else blk
+            self.stats.read_ios += self._batch_rounds(list(unique))
+            self.stats.blocks_read += len(unique)
+            return blocks
         unique = list(dict.fromkeys(tuple(a) for a in addrs))
         if not unique:
             return {}
         for addr in unique:
             self._check_addr(addr)
-        blocks, failures = self._read_batch(unique)
+        if cache is not None:
+            blocks, failures = self._read_cached(unique)
+        else:
+            blocks, failures = self._read_batch(unique)
         if failures:
             for addr in unique:
                 fault = failures.get(addr)
@@ -340,7 +406,60 @@ class AbstractDiskMachine:
             return {}, {}
         for addr in unique:
             self._check_addr(addr)
+        if self.cache is not None:
+            return self._read_cached(unique)
         return self._read_batch(unique)
+
+    def _read_cached(
+        self, unique: List[Addr]
+    ) -> Tuple[Dict[Addr, Block], Dict[Addr, "IOFault"]]:
+        """Cache-aware batch read: hits are served from the pool for free,
+        misses go through the ordinary charged path and fill the pool.
+
+        Fault parity with the uncached machine: corruption due at this
+        round lands (and invalidates cached copies) *before* hits are
+        served, and a hit on a disk that is not ``"ok"`` right now is
+        discarded and re-requested through the charged fault machinery —
+        a cached copy must never mask an outage or a transient window.
+        """
+        cache = self.cache
+        faults = self.faults
+        hits: Dict[Addr, Block] = {}
+        misses: List[Addr] = []
+        if faults is None:
+            for addr in unique:
+                blk = cache.get(addr)
+                if blk is None:
+                    misses.append(addr)
+                else:
+                    hits[addr] = blk
+        else:
+            clock = self.stats.total_ios
+            faults.apply_due_corruption(clock, self)
+            disks = self.disks
+            for addr in unique:
+                if disks[addr[0]].status_at(clock) != "ok":
+                    cache.invalidate(addr)
+                    cache.stats.misses += 1
+                    misses.append(addr)
+                    continue
+                blk = cache.get(addr)
+                if blk is None:
+                    misses.append(addr)
+                else:
+                    hits[addr] = blk
+        if not misses:
+            return hits, {}
+        blocks, failures = self._read_batch(misses)
+        void = self._void_block
+        for addr in misses:
+            blk = blocks.get(addr)
+            if blk is not None and blk is not void:
+                # Install the fetched block; callers get the pool-owned
+                # copy so later in-place disk corruption can't reach them.
+                blocks[addr] = cache.fill(addr, blk, self)
+        blocks.update(hits)
+        return blocks, failures
 
     def _read_batch(
         self, unique: List[Addr]
@@ -427,6 +546,13 @@ class AbstractDiskMachine:
         :class:`~repro.pdm.errors.DiskFailure` *before* any mutation or
         charge — the batch is atomic.  ``repair=True`` marks the rounds as
         ``repair_ios`` (read-repair after detected corruption).
+
+        With a buffer pool attached (and healthy — no injector, so the pool
+        is in write-back mode) the batch is *absorbed*: stored in the pool,
+        marked dirty, charged nothing now.  The charged write happens when
+        the entry is evicted or flushed, through :meth:`flush_writes`.  In
+        write-through mode (fault injector attached) and for repair writes
+        the disk write happens immediately and cached copies are refreshed.
         """
         writes = list(writes)
         if not writes:
@@ -447,6 +573,44 @@ class AbstractDiskMachine:
                         f"at round {clock}",
                         addrs=[addr], disk=addr[0], clock=clock,
                     )
+        cache = self.cache
+        if cache is not None and not cache.write_through and not repair:
+            spill: List[Tuple[Addr, Any, int]] = []
+            absorbed: List[Addr] = []
+            for addr, (_, payload, used_bits) in zip(addrs, writes):
+                if cache.put(addr, payload, used_bits, self):
+                    absorbed.append(addr)
+                else:  # pool full of pinned entries: write through
+                    spill.append((addr, payload, used_bits))
+            if absorbed and self.tracer is not None:
+                # Zero-round event keeps the write-footprint analysis
+                # aware of every logical write, charged or absorbed.
+                self.tracer.record("write", absorbed, 0)
+            if spill:
+                self.flush_writes(spill)
+            return
+        self.flush_writes(writes, repair=repair)
+        if cache is not None:
+            for addr, (_, payload, used_bits) in zip(addrs, writes):
+                cache.refresh(addr, payload, used_bits)
+            cache.stats.write_through_writes += len(writes)
+
+    def flush_writes(
+        self, writes: Iterable[Tuple[Addr, Any, int]], *, repair: bool = False
+    ) -> None:
+        """The charged-write core: rounds, counters, trace event, store
+        (and seal under checksums).
+
+        :meth:`write_blocks` funnels here after its validation and cache
+        preamble, and the buffer pool calls it directly for evictions and
+        :meth:`~repro.pdm.cache.BufferPool.flush` — routing those back
+        through ``write_blocks`` would re-absorb the very blocks the pool
+        is cleaning.
+        """
+        writes = list(writes)
+        if not writes:
+            return
+        addrs = [tuple(w[0]) for w in writes]
         rounds = self._batch_rounds(addrs)
         self.stats.write_ios += rounds
         self.stats.blocks_written += len(addrs)

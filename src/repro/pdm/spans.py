@@ -23,14 +23,13 @@ span is just a snapshot/delta pair, the same work ``measure`` does).
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.pdm.iostats import OpCost
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One node of a span tree."""
 
@@ -102,7 +101,7 @@ class Span:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanHandle:
     """Yielded by :func:`span`; carries the measured cost (always) and the
     recorded tree node (only when a recorder is attached)."""
@@ -206,10 +205,7 @@ class SpanRecorder:
         return out
 
 
-@contextmanager
-def span(
-    machine, name: str, *, parallel: bool = False, **attrs: Any
-) -> Iterator[SpanHandle]:
+class span:
     """Measure the I/O cost of the block as a (possibly nested) span.
 
     Subsumes :func:`repro.pdm.iostats.measure` for the single-machine case:
@@ -218,24 +214,81 @@ def span(
     :class:`SpanRecorder` (if any).  ``parallel=True`` marks the *direct
     children* of this span as executing on disjoint disk groups.
 
+    A class-based context manager (not ``@contextmanager``): structures
+    open a span on *every* operation, recorded or not, so the enter/exit
+    pair is hot — this shape skips the generator machinery and the
+    intermediate :meth:`IOStats.snapshot` allocation.
+
     >>> with span(machine, "lookup", op="lookup") as h:
     ...     machine.read_blocks(addrs)
     >>> h.total_ios
     1
     """
-    recorder: Optional[SpanRecorder] = machine.spans
-    snap = machine.stats.snapshot()
-    handle = SpanHandle()
-    node: Optional[Span] = None
-    if recorder is not None:
-        node = recorder.enter(name, "parallel" if parallel else "seq", attrs)
-        handle.span = node
-    try:
-        yield handle
-    finally:
-        handle.cost = machine.stats.since(snap)
+
+    __slots__ = ("_machine", "_name", "_parallel", "_attrs",
+                 "_snap", "_cache_snap", "_handle", "_node", "_recorder")
+
+    def __init__(
+        self, machine, name: str, *, parallel: bool = False, **attrs: Any
+    ) -> None:
+        self._machine = machine
+        self._name = name
+        self._parallel = parallel
+        self._attrs = attrs
+
+    def __enter__(self) -> SpanHandle:
+        machine = self._machine
+        recorder: Optional[SpanRecorder] = machine.spans
+        self._recorder = recorder
+        stats = machine.stats
+        self._snap = (
+            stats.read_ios, stats.write_ios,
+            stats.blocks_read, stats.blocks_written,
+            stats.retry_ios, stats.repair_ios,
+        )
+        handle = SpanHandle()
+        self._handle = handle
+        if recorder is not None:
+            node = recorder.enter(
+                self._name, "parallel" if self._parallel else "seq",
+                self._attrs,
+            )
+            handle.span = node
+            self._node = node
+            cache = machine.cache
+            if cache is not None:
+                cs = cache.stats
+                self._cache_snap = (cs.hits, cs.misses, cs.evictions)
+            else:
+                self._cache_snap = None
+        else:
+            self._node = None
+            self._cache_snap = None
+        return handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stats = self._machine.stats
+        snap = self._snap
+        handle = self._handle
+        handle.cost = OpCost(
+            read_ios=stats.read_ios - snap[0],
+            write_ios=stats.write_ios - snap[1],
+            blocks_read=stats.blocks_read - snap[2],
+            blocks_written=stats.blocks_written - snap[3],
+            retry_ios=stats.retry_ios - snap[4],
+            repair_ios=stats.repair_ios - snap[5],
+        )
+        node = self._node
         if node is not None:
-            recorder.exit(node, handle.cost)
+            csnap = self._cache_snap
+            cache = self._machine.cache
+            if csnap is not None and cache is not None:
+                cs = cache.stats
+                node.attrs["cache.hits"] = cs.hits - csnap[0]
+                node.attrs["cache.misses"] = cs.misses - csnap[1]
+                node.attrs["cache.evictions"] = cs.evictions - csnap[2]
+            self._recorder.exit(node, handle.cost)
+        return False
 
 
 def attach_spans(machine) -> SpanRecorder:

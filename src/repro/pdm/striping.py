@@ -320,17 +320,35 @@ class StripedItemBuckets:
         ``blocks_per_bucket`` rounds — O(1) lookups but not one-probe,
         exactly the paper's small-``B`` trade-off.
         """
-        locs = [tuple(l) for l in locs]
+        locs = [l if type(l) is tuple else tuple(l) for l in locs]
+        if self.blocks_per_bucket == 1:
+            # Single-block buckets (the common one-probe layout): inline
+            # the address arithmetic — this is the dictionary probe path.
+            base = self._base
+            off = self.disk_offset
+            stripes = self.stripes
+            size = self.stripe_size
+            addr_of: Dict[FieldLoc, Tuple[int, int]] = {}
+            for loc in locs:
+                stripe, index = loc
+                if not (0 <= stripe < stripes and 0 <= index < size):
+                    self._check_loc(loc)
+                addr_of[loc] = (off + stripe, base[stripe] + index)
+            blocks = self.machine.read_blocks(addr_of.values())
+            out_fast: Dict[FieldLoc, List[Any]] = {}
+            for loc, addr in addr_of.items():
+                payload = blocks[addr].payload
+                out_fast[loc] = list(payload) if payload else []
+            return out_fast
         for loc in locs:
             self._check_loc(loc)
-        all_addrs = []
-        for loc in locs:
-            all_addrs.extend(self._addrs(loc))
+        per_loc = [self._addrs(loc) for loc in locs]
+        all_addrs = [a for addrs in per_loc for a in addrs]
         blocks = self.machine.read_blocks(all_addrs)
         out: Dict[FieldLoc, List[Any]] = {}
-        for loc in locs:
+        for loc, addrs in zip(locs, per_loc):
             items: List[Any] = []
-            for addr in self._addrs(loc):
+            for addr in addrs:
                 payload = blocks[addr].payload
                 if payload:
                     items.extend(payload)

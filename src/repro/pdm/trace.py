@@ -18,7 +18,7 @@ from typing import Dict, KeysView, List, Tuple
 Addr = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One batched I/O."""
 
@@ -27,7 +27,7 @@ class TraceEvent:
     rounds: int
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecorder:
     """Collects :class:`TraceEvent` objects from an attached machine."""
 

@@ -31,8 +31,8 @@ def _items(n, *, stride=97, sigma=16):
     return {(7 + i * stride) % U: (i * 31) % (1 << sigma) for i in range(n)}
 
 
-def _build_basic(num_disks=8, capacity=128, n=48):
-    machine = ParallelDiskMachine(num_disks, 16)
+def _build_basic(num_disks=8, capacity=128, n=48, cache_blocks=None):
+    machine = ParallelDiskMachine(num_disks, 16, cache_blocks=cache_blocks)
     d = BasicDictionary(
         machine, universe_size=U, capacity=capacity, degree=num_disks, seed=5
     )
@@ -42,8 +42,8 @@ def _build_basic(num_disks=8, capacity=128, n=48):
     return machine, d, items
 
 
-def _build_dynamic(num_disks=32, capacity=64, n=32):
-    machine = ParallelDiskMachine(num_disks, 32)
+def _build_dynamic(num_disks=32, capacity=64, n=32, cache_blocks=None):
+    machine = ParallelDiskMachine(num_disks, 32, cache_blocks=cache_blocks)
     d = DynamicDictionary(
         machine, universe_size=U, capacity=capacity, sigma=16, seed=9
     )
@@ -209,6 +209,68 @@ class TestDegradedLookupEquivalence:
         # Typed per-key outcomes — some degraded, but the call returned.
         assert len(outcomes) == len(items)
         assert any(isinstance(r, Exception) for r in outcomes.values())
+
+
+# -- cached equivalence (buffer pool attached) ---------------------------------
+
+
+class TestCachedEquivalence:
+    """A machine with a buffer pool must give the same *answers* as an
+    uncached one — batched and sequential — while charging no more rounds.
+    A tiny pool keeps evictions and write-backs constantly in play."""
+
+    @given(st.lists(st.integers(0, U - 1), max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_basic_cached_matches_uncached(self, probes):
+        _, plain, items = _build_basic()
+        cmachine, cached, _ = _build_basic(cache_blocks=8)
+        probes = probes + list(items)[:5]
+        plain_out, plain_cost = plain.batch_lookup(probes)
+        cached_out, cached_cost = cached.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, cached_out[key], plain_out[key])
+            _assert_same_outcome(key, cached_out[key], cached.lookup(key))
+        # Hits make read rounds only cheaper; write rounds may appear in
+        # the cached window (write-back deferring the build's writes).
+        assert cached_cost.read_ios <= plain_cost.read_ios
+        assert cmachine.cache is not None and len(cmachine.cache) <= 8
+
+    def test_dynamic_cached_matches_uncached(self):
+        _, plain, items = _build_dynamic()
+        _, cached, _ = _build_dynamic(cache_blocks=8)
+        probes = sorted(items) + [k + 1 for k in sorted(items)[:8]]
+        plain_out, _ = plain.batch_lookup(probes)
+        cached_out, _ = cached.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, cached_out[key], plain_out[key])
+
+    def test_cached_mutations_reach_same_state(self):
+        _, a, _ = _build_basic(n=0, cache_blocks=8)
+        _, b, _ = _build_basic(n=0)
+        items = {k: f"v{k}" for k in sorted(_items(30))}
+        deletes = list(items)[10:20]
+        a.batch_insert(items)
+        a.batch_delete(deletes)
+        b.batch_insert(items)
+        b.batch_delete(deletes)
+        assert len(a) == len(b)
+        for k in items:
+            ra, rb = a.lookup(k), b.lookup(k)
+            assert ra.found == rb.found
+            assert ra.value == rb.value
+
+    def test_cached_degraded_outcomes_match(self):
+        machine_p, plain, items = _build_basic()
+        machine_c, cached, _ = _build_basic(cache_blocks=8)
+        plan = FaultPlan.kill_disks([0, 1], num_disks=machine_p.num_disks)
+        attach_faults(machine_p, plan.events)
+        attach_faults(machine_c, plan.events)
+        probes = sorted(items) + [k + 1 for k in sorted(items)[:8]]
+        plain_out, _ = plain.batch_lookup(probes)
+        cached_out, _ = cached.batch_lookup(probes)
+        for key in set(probes):
+            _assert_same_outcome(key, cached_out[key], plain_out[key])
+        assert any(isinstance(r, Exception) for r in cached_out.values())
 
 
 # -- mutation equivalence ------------------------------------------------------

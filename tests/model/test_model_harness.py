@@ -27,7 +27,7 @@ SIGMA = 16
 KEYS = st.integers(0, U - 1)
 VALUES = st.integers(0, (1 << SIGMA) - 1)
 
-# CI runs every variant at these settings: 6 variants x 40 examples = 240
+# CI runs every variant at these settings: 8 variants x 40 examples = 320
 # stateful examples per run (the acceptance bar is >= 200).
 MODEL_SETTINGS = settings(
     max_examples=40, stateful_step_count=12, deadline=None
@@ -261,12 +261,41 @@ class RebuildingDynamicModel(DictionaryOracleMachine):
         )
 
 
+class CachedBasicModel(DictionaryOracleMachine):
+    """Buffer pool attached: a tiny pool keeps evictions and write-backs
+    constantly in play while every answer must still match the oracle."""
+
+    capacity = 48
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=48, mode="basic", degree=8,
+            block_items=16, seed=7, cache_blocks=6,
+        )
+
+
+class CachedRebuildingDynamicModel(DictionaryOracleMachine):
+    """Pool + global rebuilds: stale cached blocks across reallocated
+    address ranges would surface here as oracle divergences."""
+
+    capacity = None
+
+    def build(self):
+        return ParallelDiskDictionary(
+            universe_size=U, capacity=8, mode="full-bandwidth", degree=8,
+            sigma=SIGMA, block_items=16, unbounded=True, seed=8,
+            cache_blocks=6,
+        )
+
+
 TestBasicModel = BasicModel.TestCase
 TestFullBandwidthModel = FullBandwidthModel.TestCase
 TestHeadModelModel = HeadModelModel.TestCase
 TestRecursiveModel = RecursiveModel.TestCase
 TestRebuildingBasicModel = RebuildingBasicModel.TestCase
 TestRebuildingDynamicModel = RebuildingDynamicModel.TestCase
+TestCachedBasicModel = CachedBasicModel.TestCase
+TestCachedRebuildingDynamicModel = CachedRebuildingDynamicModel.TestCase
 
 for _case in (
     TestBasicModel,
@@ -275,6 +304,8 @@ for _case in (
     TestRecursiveModel,
     TestRebuildingBasicModel,
     TestRebuildingDynamicModel,
+    TestCachedBasicModel,
+    TestCachedRebuildingDynamicModel,
 ):
     _case.settings = MODEL_SETTINGS
 del _case  # unittest TestCases are collected by reference, not just name
