@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Refuse detlint baseline growth: the baseline may only shrink.
+
+Usage::
+
+    python scripts/check_lint_baseline.py [BASELINE] [--against REF]
+
+Compares the working-tree baseline (default ``.detlint-baseline.json``)
+against the committed version (``git show REF:<path>``, default ``HEAD``)
+and exits 1 when any entry grew or appeared.
+
+The detlint CLI already fails on findings the baseline does not cover, so
+the only way to sneak a new finding past CI is to *edit the baseline* —
+this gate closes that door.  Legitimate baseline changes are one-way:
+
+* entries shrink or disappear (debt paid down via ``make baseline``
+  after fixes) — accepted;
+* entries grow or appear — rejected.  Fix the finding or suppress it at
+  the site with a justified ``# detlint: off(CODE) -- why`` pragma, which
+  keeps the exception next to the code it excuses.
+
+A missing committed baseline (first introduction) accepts any content:
+there is nothing to ratchet against.  Exit 2 on operational errors
+(unreadable/malformed baseline, git failure), mirroring the linter's own
+exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+FORMAT_VERSION = 1
+
+
+def _entries(text: str, origin: str) -> dict:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"lint-baseline: malformed JSON in {origin}: {exc}")
+    if data.get("version") != FORMAT_VERSION:
+        raise SystemExit(
+            f"lint-baseline: unsupported version {data.get('version')!r} "
+            f"in {origin} (expected {FORMAT_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict) or not all(
+        isinstance(v, int) and v > 0 for v in entries.values()
+    ):
+        raise SystemExit(f"lint-baseline: malformed entries in {origin}")
+    return entries
+
+
+def _committed(path: str, ref: str) -> str | None:
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{path}"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        stderr = proc.stderr.lower()
+        if "exists on disk" in stderr or "does not exist" in stderr:
+            return None  # baseline is new in this change: nothing to ratchet
+        raise SystemExit(
+            f"lint-baseline: git show {ref}:{path} failed: "
+            f"{proc.stderr.strip()}"
+        )
+    return proc.stdout
+
+
+def main(argv: list[str]) -> int:
+    path = ".detlint-baseline.json"
+    ref = "HEAD"
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if arg == "--against":
+            if not args:
+                raise SystemExit("lint-baseline: --against needs a ref")
+            ref = args.pop(0)
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            path = arg
+
+    current_file = Path(path)
+    if not current_file.is_file():
+        # No baseline at all is the ideal end state: nothing grandfathered.
+        print(f"lint-baseline: OK ({path} absent; no grandfathered debt)")
+        return 0
+    current = _entries(
+        current_file.read_text(encoding="utf-8"), f"working tree {path}"
+    )
+
+    committed_text = _committed(path, ref)
+    if committed_text is None:
+        print(f"lint-baseline: OK ({path} not in {ref}; first introduction)")
+        return 0
+    committed = _entries(committed_text, f"{ref}:{path}")
+
+    grown = []
+    for key in sorted(current):
+        before = committed.get(key, 0)
+        if current[key] > before:
+            grown.append((key, before, current[key]))
+    if grown:
+        print(
+            f"lint-baseline: REJECTED — baseline grew vs {ref} "
+            f"({len(grown)} entr{'y' if len(grown) == 1 else 'ies'}):"
+        )
+        for key, before, after in grown:
+            print(f"  {key}: {before} -> {after}")
+        print(
+            "lint-baseline: the baseline only ratchets down; fix the "
+            "finding or add a justified site pragma instead"
+        )
+        return 1
+
+    shrunk = sum(
+        1 for k, v in committed.items() if current.get(k, 0) < v
+    )
+    total = sum(current.values())
+    print(
+        f"lint-baseline: OK ({total} grandfathered finding(s), "
+        f"{shrunk} entr{'y' if shrunk == 1 else 'ies'} paid down vs {ref})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -426,7 +426,7 @@ class BasicDictionary(Dictionary):
                 except DiskFailure as exc:
                     # write_blocks is atomic — nothing was mutated.  Every
                     # key that thought it succeeded degrades, per key.
-                    for key, res in out.items():
+                    for key, res in list(out.items()):
                         if not isinstance(res, Exception):
                             out[key] = DegradedModeError(
                                 f"upsert of key {key}: batch write failed "
@@ -507,7 +507,7 @@ class BasicDictionary(Dictionary):
                 try:
                     self.buckets.write_buckets(dirty)
                 except DiskFailure as exc:
-                    for key, res in out.items():
+                    for key, res in list(out.items()):
                         if res is True:
                             out[key] = DegradedModeError(
                                 f"delete of key {key}: batch write failed "

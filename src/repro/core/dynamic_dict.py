@@ -875,7 +875,15 @@ class DynamicDictionary(Dictionary):
                                     old_head, by_stripe
                                 ):
                                     nones[(s, idx[s])] = None
-                            self.levels[old_level].write_fields(nones)
+                            try:
+                                self.levels[old_level].write_fields(nones)
+                            except DiskFailure:
+                                # The new chains and membership entries are
+                                # already committed: the upserts stand, the
+                                # old fields leak — capacity, never lies.
+                                clear.annotate(
+                                    degraded=True, leaked_fields=len(nones)
+                                )
                     cost = cost + clear.cost
             root.annotate(
                 batch_placed=len(written), size=self.size
@@ -959,7 +967,15 @@ class DynamicDictionary(Dictionary):
                                 }
                                 for s in self._chain_stripes(head, by_stripe):
                                     nones[(s, idx[s])] = None
-                            self.levels[level].write_fields(nones)
+                            try:
+                                self.levels[level].write_fields(nones)
+                            except DiskFailure:
+                                # Membership already retired these keys: the
+                                # deletes stand, the fields leak (capacity,
+                                # never correctness).
+                                clear.annotate(
+                                    degraded=True, leaked_fields=len(nones)
+                                )
                     cost = cost + clear.cost
             self.size -= removed
             root.annotate(batch_removed=removed, size=self.size)

@@ -23,6 +23,7 @@ from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.expanders.base import Expander
 from repro.expanders.random_graph import SeededFlatExpander
 from repro.pdm.iostats import OpCost, measure
+from repro.pdm.spans import span
 from repro.pdm.machine import AbstractDiskMachine
 
 
@@ -103,7 +104,12 @@ class HeadModelDictionary(Dictionary):
 
     def lookup(self, key: int) -> LookupResult:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "head_model_dict.lookup",
+            op="lookup",
+            structure="head_model_dict",
+        ) as m:
             ys = list(dict.fromkeys(self.graph.neighbors(key)))
             contents = self._read(ys)
         for y in ys:
@@ -114,7 +120,12 @@ class HeadModelDictionary(Dictionary):
 
     def insert(self, key: int, value: Any = None) -> OpCost:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "head_model_dict.insert",
+            op="insert",
+            structure="head_model_dict",
+        ) as m:
             ys = list(dict.fromkeys(self.graph.neighbors(key)))
             contents = self._read(ys)
             dirty = {}
@@ -139,7 +150,12 @@ class HeadModelDictionary(Dictionary):
 
     def delete(self, key: int) -> OpCost:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "head_model_dict.delete",
+            op="delete",
+            structure="head_model_dict",
+        ) as m:
             ys = list(dict.fromkeys(self.graph.neighbors(key)))
             contents = self._read(ys)
             dirty = {}

@@ -76,7 +76,7 @@ class DChoiceLoadBalancer:
         self.graph = graph
         self.k = k
         self.loads = np.zeros(graph.right_size, dtype=np.int64)
-        self.placements: Dict[int, Tuple[int, ...]] = {}
+        self.placements: Dict[int, Tuple[int, ...]] = {}  # detlint: guarded(owner-lane) -- balancer is confined to its structure's executor lane
 
     @property
     def n_vertices(self) -> int:

@@ -47,7 +47,7 @@ class MultiInstanceDictionary(Dictionary):
             inst.universe_size != self.universe_size for inst in self.instances
         ):
             raise ValueError("instances must share one universe")
-        self._guard: Set[int] = set()
+        self._guard: Set[int] = set()  # detlint: guarded(owner-lane) -- reentrancy guard; one batch runs per wrapper at a time
 
     @property
     def c(self) -> int:

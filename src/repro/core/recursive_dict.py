@@ -38,6 +38,7 @@ from repro.core.interface import CapacityExceeded, Dictionary, LookupResult
 from repro.core.static_dict import fields_needed
 from repro.expanders.random_graph import SeededRandomExpander
 from repro.pdm.iostats import OpCost, measure
+from repro.pdm.spans import span
 from repro.pdm.machine import AbstractDiskMachine
 from repro.pdm.striping import StripedItemBuckets
 
@@ -221,7 +222,12 @@ class RecursiveLoadBalancedDictionary(Dictionary):
 
     def lookup(self, key: int) -> LookupResult:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "recursive_dict.lookup",
+            op="lookup",
+            structure="recursive_dict",
+        ) as m:
             per_level, brute = self._read_everything(key)
         # Brute-force area first (whole records).
         for (k2, value) in brute:
@@ -248,7 +254,12 @@ class RecursiveLoadBalancedDictionary(Dictionary):
                 f"value must be an integer in [0, 2^{self.sigma}), got "
                 f"{value!r}"
             )
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "recursive_dict.insert",
+            op="insert",
+            structure="recursive_dict",
+        ) as m:
             # One parallel read fetches current state everywhere (this is
             # also what makes the update correct under upsert semantics).
             per_level, brute = self._read_everything(key)
@@ -320,7 +331,12 @@ class RecursiveLoadBalancedDictionary(Dictionary):
 
     def delete(self, key: int) -> OpCost:
         self._check_key(key)
-        with measure(self.machine) as m:
+        with span(
+            self.machine,
+            "recursive_dict.delete",
+            op="delete",
+            structure="recursive_dict",
+        ) as m:
             per_level, brute = self._read_everything(key)
             removed = self._clear_inline(key, per_level, brute)
         if removed:

@@ -157,7 +157,7 @@ def is_irreducible(e: Sequence[int], p: int) -> bool:
         f += 1
     if m > 1:
         factors.add(m)
-    for t in factors:
+    for t in sorted(factors):
         g = _poly_gcd(_poly_sub(x_pow_p_i(n // t), x, p), e, p)
         if len(g) - 1 != 0:
             return False
@@ -218,7 +218,7 @@ class GUVExpander(StripedExpander):
         self.degree = p
         self.stripe_size = p**m
         self.right_size = self.degree * self.stripe_size
-        self._cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}  # detlint: guarded(owner-lane) -- idempotent memo of a pure function; recompute races are benign but the lane owns it
         self._cache_size = cache_size
 
     # -- guarantees ----------------------------------------------------------

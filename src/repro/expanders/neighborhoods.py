@@ -78,12 +78,12 @@ class NeighborhoodMemo:
         self.misses = 0
         self.resets = 0
         #: key -> the exact tuple the expander returned (hot-path store)
-        self._tuples: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._tuples: Dict[int, Tuple[Tuple[int, int], ...]] = {}  # detlint: guarded(owner-lane) -- memo + memory charge must stay single-writer; see docs/static_analysis.md
         #: key -> offset of its ``degree`` local indices in ``_flat``
-        self._offsets: Dict[int, int] = {}
+        self._offsets: Dict[int, int] = {}  # detlint: guarded(owner-lane) -- indexes _flat; consistent only under the same single writer
         #: flat local-index store — ``degree`` entries per memoized key, in
         #: memoization order; the array-shaped view batch planners consume
-        self._flat = array("I")
+        self._flat = array("I")  # detlint: guarded(owner-lane) -- append-only under the owner; readers see a prefix
         self._charged_words = 0
         self._frozen = self.max_keys == 0
 

@@ -62,7 +62,7 @@ class SeededRandomExpander(StripedExpander):
         self.right_size = degree * stripe_size
         self.seed = seed
         self._base = splitmix64(seed ^ 0xA5A5_A5A5_DEAD_BEEF)
-        self._cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}  # detlint: guarded(owner-lane) -- idempotent memo of a seeded pure function
         self._cache_size = cache_size
 
     def striped_neighbors(self, x: int) -> Tuple[Tuple[int, int], ...]:
@@ -115,7 +115,7 @@ class SeededFlatExpander(Expander):
         self.right_size = right_size
         self.seed = seed
         self._base = splitmix64(seed ^ 0x0F0F_F0F0_1234_5678)
-        self._cache: Dict[int, Tuple[int, ...]] = {}
+        self._cache: Dict[int, Tuple[int, ...]] = {}  # detlint: guarded(owner-lane) -- idempotent memo of a seeded pure function
         self._cache_size = cache_size
 
     def neighbors(self, x: int) -> Tuple[int, ...]:

@@ -69,7 +69,7 @@ class CuckooDictionary(Dictionary):
         machine.memory.charge(2 * self.hashes[0].description_words)
         self.size = 0
         self.rehashes = 0
-        self.walk_histogram: Dict[int, int] = {}
+        self.walk_histogram: Dict[int, int] = {}  # detlint: guarded(owner-lane) -- instrumentation counters; updates are owner-serialized
 
     def _new_hashes(self, attempt: int) -> None:
         cells = self.tables[0].num_superblocks

@@ -64,7 +64,7 @@ class StripedHashTable(Dictionary):
         )
         machine.memory.charge(self.hash.description_words)
         self.size = 0
-        self.probe_histogram: dict[int, int] = {}
+        self.probe_histogram: dict[int, int] = {}  # detlint: guarded(owner-lane) -- instrumentation counters; updates are owner-serialized
 
     def _probe(self, key: int):
         """Yield superblock indices in probe order (linear probing)."""

@@ -53,6 +53,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the current findings and exit 0",
     )
     p.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="skip the cross-module flow pass (COST/RACE/DET101)",
+    )
+    p.add_argument(
         "--format", choices=("text", "json"), default="text", dest="fmt"
     )
     p.add_argument(
@@ -67,7 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
 def _list_rules() -> str:
     lines = []
     for rule in all_rules():
-        scope = "everywhere" if rule.scope == "all" else "deterministic modules"
+        if rule.project_scope:
+            scope = "project-wide (flow)"
+        elif rule.scope == "all":
+            scope = "everywhere"
+        else:
+            scope = "deterministic modules"
         lines.append(f"{rule.code}  {rule.name:<24} [{scope}] {rule.summary}")
     lines.append(
         f"{engine.SYNTAX_ERROR_CODE}  {'syntax-error':<24} [everywhere] "
@@ -125,9 +135,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         report = engine.run(config, args.paths or None)
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, OSError, UnicodeDecodeError) as exc:
         print(f"detlint: {exc}", file=sys.stderr)
         return 2
+
+    flow_files = 0
+    if not args.no_flow:
+        from repro.lint import flow
+
+        try:
+            flow_findings, flow_files, flow_suppressed = flow.run_flow(
+                config, args.paths or None
+            )
+        except (FileNotFoundError, OSError, UnicodeDecodeError) as exc:
+            print(f"detlint: flow pass failed: {exc}", file=sys.stderr)
+            return 2
+        report.findings.extend(flow_findings)
+        report.findings.sort()
+        report.pragma_suppressed += flow_suppressed
 
     baseline_path = args.baseline or config.baseline_path
     if args.update_baseline:
@@ -158,6 +183,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 {
                     "findings": [f.to_json() for f in findings],
                     "files_checked": report.files_checked,
+                    "flow_files_indexed": flow_files,
                     "baseline_suppressed": suppressed,
                     "pragma_suppressed": report.pragma_suppressed,
                     "stale_baseline_keys": stale,

@@ -26,6 +26,16 @@ Keys (all optional):
     Baseline file path, relative to the project root.
 ``arch-base``
     Packages importable from anywhere (the bottom layer).
+``race-scope``
+    Dotted package prefixes whose classes face the pluggable executors
+    (thread-per-disk / process-pool): the RACE2xx shared-state rules apply
+    to state defined here.  Module-level state (RACE201) is checked in
+    every deterministic module regardless.
+``span-scope``
+    Dotted package prefixes whose :class:`repro.core.interface.Dictionary`
+    subclasses must open cost spans on every public operation (COST102).
+    Defaults to ``repro.core`` — the randomized baselines are measured
+    externally via ``measure()``.
 ``[tool.detlint.layers]``
     Map of package -> list of packages it may import (``"*"`` = any).
     Packages absent from the map are unconstrained.
@@ -55,6 +65,16 @@ DEFAULT_EXCLUDE = [
 ]
 DEFAULT_BASELINE = ".detlint-baseline.json"
 DEFAULT_ARCH_BASE = ["repro.bits", "repro.bounds"]
+DEFAULT_RACE_SCOPE = [
+    "repro.pdm",
+    "repro.core",
+    "repro.expanders",
+    "repro.extsort",
+    "repro.batch",
+    "repro.hashing",
+    "repro.btree",
+]
+DEFAULT_SPAN_SCOPE = ["repro.core"]
 DEFAULT_LAYERS: Dict[str, List[str]] = {
     "repro.pdm": [],
     "repro.expanders": ["repro.pdm"],
@@ -96,6 +116,8 @@ class Config:
     select: Optional[Set[str]] = None  # None = all registered rules
     baseline: Optional[str] = DEFAULT_BASELINE
     arch_base: List[str] = field(default_factory=lambda: list(DEFAULT_ARCH_BASE))
+    race_scope: List[str] = field(default_factory=lambda: list(DEFAULT_RACE_SCOPE))
+    span_scope: List[str] = field(default_factory=lambda: list(DEFAULT_SPAN_SCOPE))
     layers: Dict[str, List[str]] = field(
         default_factory=lambda: {k: list(v) for k, v in DEFAULT_LAYERS.items()}
     )
@@ -169,6 +191,8 @@ def load_config(root: Optional[Path] = None) -> Config:
     cfg.exclude = _strlist("exclude", cfg.exclude)
     cfg.ignore = {c.upper() for c in _strlist("ignore", [])}
     cfg.arch_base = _strlist("arch-base", cfg.arch_base)
+    cfg.race_scope = _strlist("race-scope", cfg.race_scope)
+    cfg.span_scope = _strlist("span-scope", cfg.span_scope)
     if "baseline" in table:
         raw_baseline = table["baseline"]
         if raw_baseline is not None and not isinstance(raw_baseline, str):

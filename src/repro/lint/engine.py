@@ -99,6 +99,8 @@ def lint_source(
     findings: List[Finding] = []
     suppressed = 0
     for rule in rules if rules is not None else all_rules():
+        if rule.project_scope:
+            continue  # needs the cross-module index; repro.lint.flow runs it
         if not config.rule_enabled(rule.code) or not rule.applies(ctx):
             continue
         for f in rule.check(ctx):

@@ -1,0 +1,109 @@
+"""``repro.lint.flow``: cross-module analysis over the whole project.
+
+The per-file engine (:mod:`repro.lint.engine`) sees one module at a time;
+the rules here (COST1xx, RACE2xx, DET101) need a project-wide symbol
+table and call graph — built by :class:`repro.lint.flow.project.Project`
+— to follow values through aliases, helper calls, and delegation.
+
+:func:`run_flow` is the driver the CLI calls after the per-file pass.  It
+indexes *every* strict file under the configured src roots (the analysis
+is only sound over the whole project: a caller outside the requested
+paths may reach state inside them), runs each registered
+``project_scope`` rule, applies the same pragma machinery as the engine,
+and — when the caller restricted the paths — filters the findings to the
+requested files so CLI invocations on a subdirectory stay scoped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint import pragmas
+from repro.lint.config import Config
+from repro.lint.finding import Finding
+from repro.lint.flow.project import Project
+
+__all__ = ["Project", "run_flow", "check_sources"]
+
+
+def _project_rules(config: Config, select: Optional[Sequence[str]] = None):
+    # imported lazily: repro.lint.rules imports the flow rule modules,
+    # which import this package — a top-level import would see the rules
+    # package half-initialised.
+    from repro.lint.rules import all_rules
+
+    out = []
+    for rule in all_rules():
+        if not rule.project_scope:
+            continue
+        if select is not None and rule.code not in select:
+            continue
+        if not config.rule_enabled(rule.code):
+            continue
+        out.append(rule)
+    return out
+
+
+def check_sources(
+    config: Config,
+    sources: Iterable[Tuple[str, str]],
+    select: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Run the flow rules over in-memory ``(rel_path, source)`` pairs.
+
+    Returns ``(findings, pragma_suppressed)``.  This is the testable core:
+    :func:`run_flow` feeds it files, the golden-fixture tests feed it
+    strings.
+    """
+    project = Project.build(config, sources)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in _project_rules(config, select):
+        for f in rule.check_project(project):
+            info = project.modules.get(config.module_name(f.path) or "")
+            sup = info.suppressions if info is not None else pragmas.Suppressions()
+            if sup.is_suppressed(f.line, f.code):
+                suppressed += 1
+            else:
+                findings.append(f)
+    findings.sort()
+    return findings, suppressed
+
+
+def run_flow(
+    config: Config,
+    paths: Optional[Sequence[str]] = None,
+) -> Tuple[List[Finding], int, int]:
+    """Run the flow pass.  Returns (findings, files_indexed, suppressed).
+
+    The project index always covers every non-excluded module under the
+    configured src roots; ``paths`` only filters which files' findings are
+    *reported*.
+    """
+    from repro.lint.engine import collect_files  # lazy: see _project_rules
+
+    universe = collect_files(config, config.src_roots)
+    sources: List[Tuple[str, str]] = []
+    for f in universe:
+        rel = (
+            f.relative_to(config.root).as_posix()
+            if f.is_relative_to(config.root)
+            else f.as_posix()
+        )
+        if config.module_name(rel) is None:
+            continue
+        sources.append((rel, f.read_text(encoding="utf-8")))
+
+    findings, suppressed = check_sources(config, sources)
+
+    if paths is not None:
+        requested = set()
+        for f in collect_files(config, paths):
+            rel = (
+                f.relative_to(config.root).as_posix()
+                if f.is_relative_to(config.root)
+                else f.as_posix()
+            )
+            requested.add(rel)
+        findings = [f for f in findings if f.path in requested]
+    return findings, len(sources), suppressed

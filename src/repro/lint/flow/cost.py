@@ -1,0 +1,340 @@
+"""COST rules: the charged-I/O discipline, checked across modules.
+
+The PDM cost model only means something if every byte that reaches a disk
+travels through the charged interface (``machine.read_blocks`` /
+``write_blocks`` / ``flush_writes`` and the striping layers above them).
+The per-file PDM rules catch *syntactic* escapes (``.disks``,
+``block_at``); these rules catch what syntax alone cannot:
+
+* COST101 — a write that reaches storage internals through an alias
+  (``blocks = machine.disks[0]._blocks`` … ``blocks[addr] = b``) or a
+  mutator call on a storage-derived object (``machine.block_at(a).store``),
+  bypassing the charge entirely;
+* COST102 — a public dictionary operation with no cost span anywhere in
+  its call closure, making its I/O invisible to attribution;
+* COST103 — a batch operation that stages writes without the rollback
+  contract (``try/except DiskFailure``), so one bad disk fails the whole
+  batch instead of degrading per-key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.finding import Finding
+from repro.lint.flow import exprs
+from repro.lint.flow.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    in_packages,
+)
+from repro.lint.rules.base import Rule, register
+
+#: packages that ARE the charged implementation — escapes are their job
+_CHARGED_IMPL = ["repro.pdm", "repro.lint"]
+
+#: attribute reads that reach raw storage
+_STORAGE_ATTRS = {"disks", "_blocks"}
+#: uncharged audit calls that return live storage objects
+_STORAGE_CALLS = {"block_at", "peek_at"}
+
+_DICTIONARY_ROOT = "repro.core.interface.Dictionary"
+_SPAN_FUNCTIONS = {"repro.pdm.spans.span"}
+_PUBLIC_OPS = ("lookup", "insert", "delete",
+               "batch_lookup", "batch_insert", "batch_delete")
+_CORE_OPS = ("lookup", "insert", "delete")
+
+#: staged-write surfaces a batch op must protect (syntactic, by attr name —
+#: receiver types vary but these names are unique to the write path)
+_STAGED_WRITE_ATTRS = {"write_buckets", "write_fields", "write_blocks"}
+#: exception names that satisfy the rollback contract when caught
+_FAULT_HANDLERS = {"DiskFailure", "IOFault", "Exception", "BaseException"}
+
+
+def _touches_storage(node: ast.AST, tainted: Set[str]) -> bool:
+    """True when the *spine* of ``node`` passes through raw storage or a
+    storage-tainted local (see :func:`repro.lint.flow.exprs.spine`)."""
+    for step in exprs.spine(node):
+        if isinstance(step, ast.Attribute) and step.attr in _STORAGE_ATTRS:
+            return True
+        if (
+            isinstance(step, ast.Call)
+            and isinstance(step.func, ast.Attribute)
+            and step.func.attr in _STORAGE_CALLS
+        ):
+            return True
+        if isinstance(step, ast.Name) and step.id in tainted:
+            return True
+    return False
+
+
+def _storage_tainted_locals(fn_node: ast.AST) -> Set[str]:
+    """Names bound (directly on the spine) to storage-derived objects.
+
+    ``blocks = machine.disks[0]._blocks`` taints ``blocks``;
+    ``n = len(machine.disks)`` does not — ``len`` returns a fresh object.
+    Iterated to a fixpoint so aliases of aliases are found.
+    """
+    tainted: Set[str] = set()
+    for _ in range(10):
+        before = len(tainted)
+        for node in ast.walk(fn_node):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                # for blk in machine.disks[0]._blocks.values(): ...
+                targets, value = [node.target], node.iter
+            if value is None or not _touches_storage(value, tainted):
+                continue
+            for tgt in targets:
+                if isinstance(tgt, ast.Name):
+                    tainted.add(tgt.id)
+        if len(tainted) == before:
+            break
+    return tainted
+
+
+@register
+class UnchargedStorageEscapeRule(Rule):
+    code = "COST101"
+    name = "uncharged-storage-escape"
+    summary = (
+        "storage internals are mutated without going through the charged "
+        "I/O interface"
+    )
+    rationale = (
+        "Every reported I/O count assumes writes travel through "
+        "machine.write_blocks / flush_writes (or the striping layers over "
+        "them).  A write through an alias of .disks/._blocks or a "
+        "store()/seal() on a block_at() result changes disk state with "
+        "zero charged cost, silently falsifying theorem-level guarantees.  "
+        "Route the write through the machine, or move the code into "
+        "repro.pdm where it is the implementation."
+    )
+    project_scope = True
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info in project.strict_modules():
+            if in_packages(info.module, _CHARGED_IMPL):
+                continue
+            for fn in info.functions.values():
+                yield from self._check_function(info, fn)
+
+    def _check_function(
+        self, info: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        tainted = _storage_tainted_locals(fn.node)
+        seen: Set[int] = set()
+        for node in ast.walk(fn.node):
+            receiver = None
+            kind = ""
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for tgt in targets:
+                    if isinstance(tgt, (ast.Subscript, ast.Attribute)):
+                        if _touches_storage(tgt.value, tainted):
+                            receiver, kind = tgt, "write"
+                            break
+            elif isinstance(node, ast.Delete):
+                for tgt in node.targets:
+                    if isinstance(tgt, (ast.Subscript, ast.Attribute)):
+                        if _touches_storage(tgt.value, tainted):
+                            receiver, kind = tgt, "delete"
+                            break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in exprs.MUTATOR_METHODS
+                and _touches_storage(node.func.value, tainted)
+            ):
+                receiver, kind = node, f".{node.func.attr}()"
+            if receiver is None or receiver.lineno in seen:
+                continue
+            seen.add(receiver.lineno)
+            yield info.finding(
+                receiver,
+                self.code,
+                f"uncharged {kind or 'mutation'} reaches storage internals "
+                f"(via .disks/._blocks/block_at alias) in {fn.qualname}; "
+                f"route it through machine.write_blocks so the I/O is "
+                f"charged",
+            )
+
+
+def _opens_span(project: Project, fn: FunctionInfo) -> bool:
+    info = project.modules[fn.module]
+    var_types = None
+    for node in ast.walk(fn.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Call):
+                continue
+            if var_types is None:
+                var_types = project._local_var_types(fn)
+            callee = project.resolve_call(fn, expr, var_types)
+            if callee in _SPAN_FUNCTIONS:
+                return True
+            # unresolved but literally named span(...): accept — the
+            # import may be aliased through a package __init__
+            chain = info.imports.resolve_chain(expr.func)
+            if chain is not None and chain.split(".")[-1] == "span":
+                return True
+    return False
+
+
+def _concrete_dict_classes(
+    project: Project, packages
+) -> Iterator[Tuple[ModuleInfo, ClassInfo]]:
+    root = project.resolve_export(_DICTIONARY_ROOT)
+    if root is None:
+        return
+    for ci in project.classes.values():
+        if ci.qualname == root or not project.is_subclass(ci.qualname, root):
+            continue
+        if not in_packages(ci.module, packages):
+            continue
+        concrete = True
+        for op in _CORE_OPS:
+            m = project.lookup_method(ci.qualname, op)
+            if m is None or exprs.is_abstract(m.node):
+                concrete = False
+                break
+        if concrete:
+            yield project.modules[ci.module], ci
+
+
+@register
+class MissingCostSpanRule(Rule):
+    code = "COST102"
+    name = "missing-cost-span"
+    summary = (
+        "public dictionary operation opens no cost span anywhere in its "
+        "call closure"
+    )
+    rationale = (
+        "Spans are how a measured I/O count is attributed to the paper's "
+        "phases; an uninstrumented operation contributes anonymous I/O "
+        "that cannot be audited against the claimed bounds.  Every public "
+        "op of a concrete Dictionary in span-scope must open "
+        "repro.pdm.spans.span itself, reach a callee that does, or "
+        "delegate through the Dictionary interface (whose concrete target "
+        "is checked in its own class)."
+    )
+    project_scope = True
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        root = project.resolve_export(_DICTIONARY_ROOT)
+        for info, ci in _concrete_dict_classes(
+            project, project.config.span_scope
+        ):
+            for op in _PUBLIC_OPS:
+                method = ci.methods.get(op)
+                if method is None or exprs.is_abstract(method.node):
+                    continue
+                closure = project.reachable_from(method.qualname)
+                satisfied = False
+                for qual in closure:
+                    target = project.functions.get(qual)
+                    if target is None:
+                        continue
+                    if (
+                        target.cls == root
+                        and target.name in _PUBLIC_OPS
+                        and exprs.is_abstract(target.node)
+                    ):
+                        satisfied = True  # polymorphic delegation: the
+                        break  # concrete target is checked in its class
+                    if _opens_span(project, target):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    yield info.finding(
+                        method.node,
+                        self.code,
+                        f"{ci.name}.{op}() opens no cost span in its call "
+                        f"closure; wrap the operation in "
+                        f"`with span(self.machine, \"{ci.name}.{op}\", "
+                        f"op=\"{op}\")` so its I/O is attributable",
+                    )
+
+
+def _protected_calls(method_node: ast.AST) -> Set[int]:
+    """Line numbers of calls lexically inside a ``try`` whose handlers
+    catch a disk-fault type (the rollback contract)."""
+    out: Set[int] = set()
+    for node in ast.walk(method_node):
+        if not isinstance(node, ast.Try):
+            continue
+        if not any(_handler_catches_faults(h) for h in node.handlers):
+            continue
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    out.add(sub.lineno)
+    return out
+
+
+def _handler_catches_faults(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        name = t.attr if isinstance(t, ast.Attribute) else getattr(t, "id", None)
+        if name in _FAULT_HANDLERS:
+            return True
+    return False
+
+
+@register
+class UnprotectedStagedWriteRule(Rule):
+    code = "COST103"
+    name = "unprotected-staged-write"
+    summary = (
+        "batch operation stages writes without the DiskFailure rollback "
+        "contract"
+    )
+    rationale = (
+        "Batch operations stage per-key mutations and commit them with one "
+        "write_buckets/write_blocks call.  Without try/except DiskFailure "
+        "around the commit, a single failed disk aborts the whole batch "
+        "mid-flight — violating the per-key outcome contract (successes "
+        "become DegradedModeError, never a wholesale exception) and "
+        "leaving callers unable to tell what was applied."
+    )
+    project_scope = True
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for info, ci in _concrete_dict_classes(project, ["repro"]):
+            for name, method in ci.methods.items():
+                if not name.startswith("batch_"):
+                    continue
+                protected = _protected_calls(method.node)
+                for node in ast.walk(method.node):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _STAGED_WRITE_ATTRS
+                        and node.lineno not in protected
+                    ):
+                        yield info.finding(
+                            node,
+                            self.code,
+                            f"{ci.name}.{name}() commits staged writes via "
+                            f".{node.func.attr}() outside try/except "
+                            f"DiskFailure; wrap the commit and convert "
+                            f"per-key successes to DegradedModeError (the "
+                            f"PR 4 rollback contract)",
+                        )

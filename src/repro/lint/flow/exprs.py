@@ -1,0 +1,196 @@
+"""Expression-level helpers shared by the flow rules.
+
+The flow rules reason about *object derivation*: whether an expression
+denotes (a view of) the same underlying object as some root of interest —
+a disk's block table, a module-level registry, a per-instance cache.  The
+``spine`` of an expression is the chain of ``.attr`` / ``[index]`` /
+``(...)`` steps down to its root name: mutating anything on the spine of
+``machine.disks[0]._blocks`` mutates storage, while ``len(machine.disks)``
+merely *mentions* storage — ``len``'s result is a fresh object.  Keeping
+to the spine is what lets these rules flag real escapes without drowning
+in false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+#: method names that mutate their receiver in place (containers + Block)
+MUTATOR_METHODS: Set[str] = {
+    "store",
+    "seal",
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "insert",
+    "remove",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "discard",
+    "sort",
+    "reverse",
+    "move_to_end",
+    "frombytes",
+    "fromlist",
+    "write",
+    "writelines",
+}
+
+#: constructors producing plain mutable containers (shared-state hazards)
+_MUTABLE_CTOR_SUFFIXES = (
+    "dict",
+    "list",
+    "set",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "collections.deque",
+    "collections.ChainMap",
+    "bytearray",
+    "array.array",
+)
+
+
+def spine(node: ast.AST) -> Iterator[ast.AST]:
+    """The derivation chain of an expression, outermost first, ending at
+    its root: ``a.b[0].c()`` yields Call, Attribute(c), Subscript,
+    Attribute(b), Name(a).  Arguments and subscript indices are *not* on
+    the spine — they denote different objects."""
+    while True:
+        yield node
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Starred):
+            node = node.value
+        else:
+            return
+
+
+def spine_root(node: ast.AST) -> ast.AST:
+    for n in spine(node):
+        pass
+    return n
+
+
+def chain_str(node: ast.AST) -> Optional[str]:
+    """Stable text for a pure attribute chain (``self._tuples``,
+    ``_REGISTRY``); None when the chain goes through a call or subscript —
+    those denote elements, not the container itself."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def mutated_containers(stmt: ast.AST) -> Iterator[ast.AST]:
+    """Expressions denoting containers mutated by ``stmt`` (and its
+    children): the ``X`` of ``X[k] = v``, ``X.attr = v``, ``X += ...`` on
+    a subscript/attribute, ``del X[k]``, and ``X.append(...)``-style
+    mutator calls.  Yields the receiver expression; the caller decides
+    whether its spine is interesting."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for tgt in targets:
+                for t in _flatten_targets(tgt):
+                    if isinstance(t, (ast.Subscript, ast.Attribute)):
+                        yield t.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, (ast.Subscript, ast.Attribute)):
+                yield node.target.value
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if isinstance(tgt, (ast.Subscript, ast.Attribute)):
+                    yield tgt.value
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+        ):
+            yield node.func.value
+
+
+def _flatten_targets(tgt: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(tgt, (ast.Tuple, ast.List)):
+        for elt in tgt.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield tgt
+
+
+def is_mutable_container_expr(imports, node: ast.AST) -> bool:
+    """True when ``node`` evaluates to a plain mutable container: a
+    dict/list/set literal or comprehension, or a call to a known container
+    constructor (``imports`` is the module's ImportMap, for resolving
+    aliased constructors like ``OrderedDict``)."""
+    if isinstance(
+        node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.SetComp, ast.DictComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        chain = imports.resolve_chain(node.func)
+        if chain is None:
+            return False
+        return chain in _MUTABLE_CTOR_SUFFIXES or any(
+            chain.endswith("." + s) or chain == s for s in _MUTABLE_CTOR_SUFFIXES
+        )
+    return False
+
+
+def parent_map(root: ast.AST) -> dict:
+    """Child node -> parent node, for walking enclosing expressions."""
+    out = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            out[child] = node
+    return out
+
+
+def body_statements(fn_node: ast.AST) -> List[ast.stmt]:
+    """Function body minus the docstring expression."""
+    body = list(fn_node.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    return body
+
+
+def is_abstract(fn_node: ast.AST) -> bool:
+    """A body that is only ``raise NotImplementedError`` / ``...`` /
+    ``pass`` (after the docstring) — the method is a protocol slot, not an
+    implementation."""
+    body = body_statements(fn_node)
+    if not body:
+        return True
+    if len(body) != 1:
+        return False
+    stmt = body[0]
+    if isinstance(stmt, ast.Pass):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return stmt.value.value is Ellipsis
+    if isinstance(stmt, ast.Raise):
+        exc = stmt.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+    return False

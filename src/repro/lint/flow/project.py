@@ -1,0 +1,535 @@
+"""Project-wide symbol table and call graph.
+
+The per-file rules of :mod:`repro.lint.rules` see one module at a time;
+the flow rules (COST1xx, RACE2xx, DET101) need to know what a dotted name
+*is* across module boundaries: which class a ``self._neighborhoods``
+attribute holds, which project function a call lands in, whether a class
+is a :class:`repro.core.interface.Dictionary`.  This module builds that
+index once per lint run, stdlib-only like the rest of the linter.
+
+Resolution is deliberately conservative: anything that cannot be resolved
+stays unresolved (``None``) and the rules treat it as unknown rather than
+guessing — a linter that speculates produces false positives, and the
+baseline ratchet makes false positives expensive.
+
+What is resolved:
+
+* imports (via :class:`repro.lint.rules.base.ImportMap`), chased through
+  package re-exports (``from repro.pdm import InternalMemory`` finds the
+  class defined in ``repro.pdm.memory``);
+* module-level functions and classes, methods, class bases (giving a
+  project-local MRO and ``is_subclass``);
+* ``self.<attr>`` types, inferred from ``self.attr = ClassName(...)``
+  constructor assignments anywhere in the class;
+* local variable types from constructor calls and parameter annotations;
+* call edges: ``caller qualname -> callee qualname`` for every call the
+  above machinery can resolve, plus the reverse map.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint import pragmas
+from repro.lint.config import Config
+from repro.lint.finding import Finding
+from repro.lint.rules.base import ImportMap
+
+_MAX_EXPORT_CHASE = 8
+
+
+def in_packages(module: Optional[str], prefixes: Sequence[str]) -> bool:
+    """True when ``module`` lies inside any of the dotted ``prefixes``."""
+    if module is None:
+        return False
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # e.g. "repro.core.basic_dict.BasicDictionary.lookup"
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    cls: Optional[str] = None  # owning class qualname, if a method
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its resolved base names."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)  # dotted, best-effort
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class-level ``NAME = <expr>`` statements (shared across instances)
+    class_assigns: List[Tuple[str, ast.stmt, ast.expr]] = field(
+        default_factory=list
+    )
+    #: attr name -> class qualname, from ``self.attr = ClassName(...)``
+    #: constructor calls and ``self.attr: ClassName`` annotations
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: attr name -> element class qualname, from ``self.attr: List[C]``
+    attr_elem_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the flow rules may inspect about one module."""
+
+    module: str
+    rel_path: str
+    tree: ast.Module
+    source: str
+    strict: bool
+    imports: ImportMap
+    suppressions: pragmas.Suppressions
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``NAME = <expr>`` statements
+    global_assigns: List[Tuple[str, ast.stmt, ast.expr]] = field(
+        default_factory=list
+    )
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+
+def _assign_names(stmt: ast.stmt) -> List[Tuple[str, ast.expr]]:
+    """``NAME = value`` pairs of a simple (Ann)Assign statement."""
+    out: List[Tuple[str, ast.expr]] = []
+    if isinstance(stmt, ast.Assign):
+        for tgt in stmt.targets:
+            if isinstance(tgt, ast.Name):
+                out.append((tgt.id, stmt.value))
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        if isinstance(stmt.target, ast.Name):
+            out.append((stmt.target.id, stmt.value))
+    return out
+
+
+class Project:
+    """The cross-module index the flow rules run against."""
+
+    def __init__(self, config: Config):
+        self.config = config
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: caller qualname -> set of callee qualnames (resolved calls only)
+        self.calls: Dict[str, Set[str]] = {}
+        self.callers: Dict[str, Set[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        config: Config,
+        sources: Iterable[Tuple[str, str]],
+    ) -> "Project":
+        """Index ``sources`` — ``(rel_path, source)`` pairs.  Files that do
+        not parse, or lie outside a src root, are skipped (the per-file
+        engine reports LINT001 for the former)."""
+        project = cls(config)
+        for rel_path, source in sources:
+            module = config.module_name(rel_path)
+            if module is None:
+                continue
+            sup = pragmas.scan(source)
+            if sup.skip_file:
+                continue
+            try:
+                tree = ast.parse(source, filename=rel_path)
+            except (SyntaxError, ValueError):
+                continue
+            info = ModuleInfo(
+                module=module,
+                rel_path=rel_path,
+                tree=tree,
+                source=source,
+                strict=config.is_strict(rel_path),
+                imports=ImportMap.collect(tree),
+                suppressions=sup,
+            )
+            project.modules[module] = info
+            project._index_module(info)
+        project._resolve_bases()
+        project._infer_attr_types()
+        project._link_calls()
+        return project
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        for stmt in info.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    qualname=f"{info.module}.{stmt.name}",
+                    module=info.module,
+                    name=stmt.name,
+                    node=stmt,
+                )
+                info.functions[fn.qualname] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(stmt, ast.ClassDef):
+                ci = ClassInfo(
+                    qualname=f"{info.module}.{stmt.name}",
+                    module=info.module,
+                    name=stmt.name,
+                    node=stmt,
+                )
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = FunctionInfo(
+                            qualname=f"{ci.qualname}.{sub.name}",
+                            module=info.module,
+                            name=sub.name,
+                            node=sub,
+                            cls=ci.qualname,
+                        )
+                        ci.methods[sub.name] = fn
+                        info.functions[fn.qualname] = fn
+                        self.functions[fn.qualname] = fn
+                    else:
+                        for name, value in _assign_names(sub):
+                            ci.class_assigns.append((name, sub, value))
+                info.classes[ci.qualname] = ci
+                self.classes[ci.qualname] = ci
+            else:
+                for name, value in _assign_names(stmt):
+                    info.global_assigns.append((name, stmt, value))
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_export(self, dotted: str) -> Optional[str]:
+        """Canonical qualname of ``dotted``, chasing package re-exports.
+
+        ``repro.pdm.InternalMemory`` -> ``repro.pdm.memory.InternalMemory``
+        when the ``repro.pdm`` package ``__init__`` re-imports it.  Returns
+        the input unchanged when it already names a project entity, and
+        ``None`` when nothing in the project matches.
+        """
+        seen: Set[str] = set()
+        for _ in range(_MAX_EXPORT_CHASE):
+            if dotted in seen:
+                return None
+            seen.add(dotted)
+            if dotted in self.functions or dotted in self.classes:
+                return dotted
+            # method of a project class?
+            head, _, leaf = dotted.rpartition(".")
+            if head in self.classes:
+                method = self.lookup_method(head, leaf)
+                if method is not None:
+                    return method.qualname
+                return None
+            # find the longest module prefix
+            parts = dotted.split(".")
+            mod = None
+            for i in range(len(parts) - 1, 0, -1):
+                candidate = ".".join(parts[:i])
+                if candidate in self.modules:
+                    mod = candidate
+                    rest = parts[i:]
+                    break
+            if mod is None:
+                return None
+            info = self.modules[mod]
+            name = rest[0]
+            local = f"{mod}.{name}"
+            if local in info.functions or local in info.classes:
+                return self.resolve_export(".".join([local] + rest[1:]))
+            if name in info.imports.from_imports:
+                src, orig = info.imports.from_imports[name]
+                dotted = ".".join([src, orig] + rest[1:])
+                continue
+            if name in info.imports.module_aliases:
+                dotted = ".".join(
+                    [info.imports.module_aliases[name]] + rest[1:]
+                )
+                continue
+            return None
+        return None
+
+    def resolve_chain(
+        self, info: ModuleInfo, node: ast.AST
+    ) -> Optional[str]:
+        """Dotted path of an attribute/name chain seen from ``info``, with
+        the root resolved through its imports *and* module-local
+        definitions, then chased through re-exports."""
+        chain = info.imports.resolve_chain(node)
+        if chain is None:
+            return None
+        root = chain.split(".", 1)[0]
+        if (
+            root not in info.imports.module_aliases
+            and root not in info.imports.from_imports
+        ):
+            local = f"{info.module}.{root}"
+            if local in info.functions or local in info.classes:
+                chain = f"{info.module}.{chain}"
+        return self.resolve_export(chain)
+
+    # -- class machinery ----------------------------------------------------
+
+    def _resolve_bases(self) -> None:
+        for ci in self.classes.values():
+            info = self.modules[ci.module]
+            for base in ci.node.bases:
+                chain = info.imports.resolve_chain(base)
+                if chain is None:
+                    continue
+                root = chain.split(".", 1)[0]
+                if (
+                    root not in info.imports.module_aliases
+                    and root not in info.imports.from_imports
+                ):
+                    local_chain = f"{ci.module}.{chain}"
+                    resolved = self.resolve_export(local_chain)
+                else:
+                    resolved = self.resolve_export(chain)
+                ci.bases.append(resolved if resolved is not None else chain)
+
+    def mro(self, cls_qualname: str) -> List[str]:
+        """Project-local linearisation: the class, then its bases depth-
+        first (good enough for method lookup — the repo has no diamonds)."""
+        out: List[str] = []
+        stack = [cls_qualname]
+        while stack:
+            cur = stack.pop(0)
+            if cur in out or cur not in self.classes:
+                continue
+            out.append(cur)
+            stack.extend(self.classes[cur].bases)
+        return out
+
+    def is_subclass(self, cls_qualname: str, base_qualname: str) -> bool:
+        return base_qualname in self.mro(cls_qualname)
+
+    def lookup_method(
+        self, cls_qualname: str, name: str
+    ) -> Optional[FunctionInfo]:
+        for cur in self.mro(cls_qualname):
+            method = self.classes[cur].methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def _resolve_annotation(
+        self, info: ModuleInfo, ann: ast.AST
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """``(direct, element)`` class qualnames of a type annotation.
+
+        ``C`` -> (C, None); ``Optional[C]`` -> (C, None);
+        ``List[C]`` / ``Sequence[C]`` / ``Tuple[C, ...]`` -> (None, C).
+        Strings (forward refs) are parsed; anything unresolvable is None.
+        """
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None, None
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            direct = self.resolve_chain(info, ann)
+            return (direct, None) if direct in self.classes else (None, None)
+        if isinstance(ann, ast.Subscript):
+            outer = ann.value
+            outer_name = (
+                outer.id if isinstance(outer, ast.Name) else getattr(outer, "attr", "")
+            )
+            inner = ann.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            if outer_name == "Optional" or outer_name == "Union":
+                return self._resolve_annotation(info, inner)[0], None
+            if outer_name in {"List", "Sequence", "Iterable", "Iterator",
+                              "Tuple", "Set", "FrozenSet", "Collection",
+                              "list", "tuple", "set", "frozenset"}:
+                return None, self._resolve_annotation(info, inner)[0]
+        return None, None
+
+    def _infer_attr_types(self) -> None:
+        """Fix ``self.attr`` types for receiver resolution, from (in
+        priority order) ``self.attr: C`` annotations, ``self.attr =
+        ClassName(...)`` constructor calls, and ``self.attr = param`` where
+        the parameter is annotated."""
+        for ci in self.classes.values():
+            info = self.modules[ci.module]
+            for method in ci.methods.values():
+                param_types: Dict[str, str] = {}
+                margs = method.node.args
+                for a in (*margs.posonlyargs, *margs.args, *margs.kwonlyargs):
+                    if a.annotation is not None:
+                        direct, _elem = self._resolve_annotation(info, a.annotation)
+                        if direct is not None:
+                            param_types[a.arg] = direct
+                for node in ast.walk(method.node):
+                    attr: Optional[str] = None
+                    direct: Optional[str] = None
+                    elem: Optional[str] = None
+                    annotated = False
+                    if isinstance(node, ast.AnnAssign):
+                        tgt = node.target
+                        if self._is_self_attr(tgt):
+                            attr = tgt.attr  # type: ignore[union-attr]
+                            direct, elem = self._resolve_annotation(
+                                info, node.annotation
+                            )
+                            annotated = True
+                    elif isinstance(node, ast.Assign):
+                        for tgt in node.targets:
+                            if self._is_self_attr(tgt):
+                                attr = tgt.attr  # type: ignore[union-attr]
+                                break
+                        if attr is not None:
+                            if isinstance(node.value, ast.Call):
+                                cls = self.resolve_chain(info, node.value.func)
+                                if cls in self.classes:
+                                    direct = cls
+                            elif isinstance(node.value, ast.Name):
+                                direct = param_types.get(node.value.id)
+                    if attr is None:
+                        continue
+                    # annotations are the declared contract: let them win
+                    if direct is not None and (
+                        annotated or attr not in ci.attr_types
+                    ):
+                        ci.attr_types[attr] = direct
+                    if elem is not None and (
+                        annotated or attr not in ci.attr_elem_types
+                    ):
+                        ci.attr_elem_types[attr] = elem
+
+    @staticmethod
+    def _is_self_attr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    # -- call graph ---------------------------------------------------------
+
+    def _local_var_types(self, fn: FunctionInfo) -> Dict[str, str]:
+        """Variable name -> class qualname, from parameter annotations and
+        constructor-call assignments (first binding wins)."""
+        info = self.modules[fn.module]
+        out: Dict[str, str] = {}
+        node = fn.node
+        args = node.args
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if a.annotation is not None:
+                direct, _elem = self._resolve_annotation(info, a.annotation)
+                if direct is not None:
+                    out[a.arg] = direct
+        cls_info = self.classes.get(fn.cls) if fn.cls is not None else None
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Call):
+                cls = self.resolve_chain(info, sub.value.func)
+                if cls in self.classes:
+                    for tgt in sub.targets:
+                        if isinstance(tgt, ast.Name) and tgt.id not in out:
+                            out[tgt.id] = cls
+            elif isinstance(sub, (ast.For, ast.comprehension)):
+                # ``for x in self.attr`` types x from the attr's element type
+                tgt, it = sub.target, sub.iter
+                if (
+                    cls_info is not None
+                    and isinstance(tgt, ast.Name)
+                    and Project._is_self_attr(it)
+                    and tgt.id not in out
+                ):
+                    elem = cls_info.attr_elem_types.get(it.attr)  # type: ignore[union-attr]
+                    if elem is not None:
+                        out[tgt.id] = elem
+        return out
+
+    def resolve_call(
+        self, fn: FunctionInfo, call: ast.Call, var_types: Optional[Dict[str, str]] = None
+    ) -> Optional[str]:
+        """Callee qualname of ``call`` as seen from inside ``fn``.
+
+        Resolves module-level names, imported names, ``self.method``,
+        ``self.attr.method`` via inferred attribute types, and
+        ``var.method`` via constructor/annotation types.  A resolved class
+        name means "constructor of that class"."""
+        info = self.modules[fn.module]
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self.resolve_chain(info, func)
+        if not isinstance(func, ast.Attribute):
+            return None
+        # receiver-based resolution: self.m, self.attr.m, var.m
+        recv = func.value
+        method = func.attr
+        cls: Optional[str] = None
+        if isinstance(recv, ast.Name):
+            if recv.id == "self" and fn.cls is not None:
+                cls = fn.cls
+            elif var_types is not None and recv.id in var_types:
+                cls = var_types[recv.id]
+        elif (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and fn.cls is not None
+        ):
+            cls = self.classes[fn.cls].attr_types.get(recv.attr)
+        if cls is not None:
+            target = self.lookup_method(cls, method)
+            if target is not None:
+                return target.qualname
+            return None
+        # plain dotted chain (module.func, Class.method, import alias)
+        return self.resolve_chain(info, func)
+
+    def _link_calls(self) -> None:
+        for fn in self.functions.values():
+            var_types = self._local_var_types(fn)
+            edges = self.calls.setdefault(fn.qualname, set())
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(fn, node, var_types)
+                if callee is None:
+                    continue
+                if callee in self.classes:
+                    init = self.lookup_method(callee, "__init__")
+                    callee = init.qualname if init is not None else callee
+                edges.add(callee)
+                self.callers.setdefault(callee, set()).add(fn.qualname)
+
+    def reachable_from(self, qualname: str, *, limit: int = 10000) -> Set[str]:
+        """Transitive callee closure of one function (itself included)."""
+        out: Set[str] = set()
+        stack = [qualname]
+        while stack and len(out) < limit:
+            cur = stack.pop()
+            if cur in out:
+                continue
+            out.add(cur)
+            stack.extend(self.calls.get(cur, ()))
+        return out
+
+    # -- findings plumbing --------------------------------------------------
+
+    def strict_modules(self) -> List[ModuleInfo]:
+        return [
+            m for m in sorted(self.modules.values(), key=lambda m: m.module)
+            if m.strict
+        ]

@@ -1,0 +1,306 @@
+"""DET101: flow-sensitive taint from entropy sources to deterministic code.
+
+The per-file DET rules flag *direct* calls to nondeterministic sources;
+this rule follows the value.  Three leaks they cannot see:
+
+* a source call hidden behind an alias (``now = time.monotonic`` …
+  ``now()`` resolves to nothing the per-file rules recognise);
+* a helper whose internal source call was pragma-excused ("timing is fine
+  *here*") being called from code where the excuse does not hold — the
+  taint survives the pragma and must be re-justified at every call site;
+* ``id()`` and iteration over a variable *bound* to a set, both of which
+  vary across processes without any call the per-file rules match.
+
+Sanitizers: the ``repro.bits.mix`` derivations (``splitmix64``,
+``derive``, ``stable_hash``).  Mixing entropy still yields entropy, so
+these are not magic cleansers — they sanitize in the sense this rule
+cares about: a value that flows through a mix call is *declared* as a
+seed derivation at a single auditable point, which is the repository's
+convention for every intentional entropy intake.  The rule therefore
+reports only the flows that bypass that convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.lint.finding import Finding
+from repro.lint.flow import exprs
+from repro.lint.flow.project import FunctionInfo, ModuleInfo, Project
+from repro.lint.rules.base import Rule, register
+from repro.lint.rules.det import _ENTROPY, _WALL_CLOCK, _is_set_producing
+
+_SANITIZERS = {
+    "repro.bits.mix.splitmix64",
+    "repro.bits.mix.derive",
+    "repro.bits.mix.stable_hash",
+}
+
+#: chains whose call result is nondeterministic across runs/processes
+_SOURCE_CHAINS = frozenset(_WALL_CLOCK) | frozenset(_ENTROPY) | {
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+
+def _is_source_chain(chain: Optional[str]) -> bool:
+    if chain is None:
+        return False
+    if chain in _SOURCE_CHAINS:
+        return True
+    if chain.startswith("secrets."):
+        return True
+    if chain.startswith("random.") and "." not in chain[len("random.") :]:
+        # random.Random is DET001's business: seeded it is deterministic,
+        # unseeded the per-file rule flags the construction itself.
+        return chain != "random.Random"
+    return chain == "id"
+
+
+def _source_aliases(info: ModuleInfo, fn_node: Optional[ast.AST]) -> Set[str]:
+    """Names bound to a source *function object* (``now = time.monotonic``)
+    at module level and, when ``fn_node`` is given, function-locally."""
+    out: Set[str] = set()
+    for name, _stmt, value in info.global_assigns:
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            if _is_source_chain(info.imports.resolve_chain(value)):
+                out.add(name)
+    if fn_node is not None:
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, (ast.Name, ast.Attribute)
+            ):
+                chain = info.imports.resolve_chain(node.value)
+                is_src = _is_source_chain(chain)
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        if is_src:
+                            out.add(tgt.id)
+                        else:
+                            out.discard(tgt.id)  # rebound to something clean
+    return out
+
+
+class _TaintScan:
+    """One pass over a function: find tainted expressions and whether the
+    function's return value is tainted."""
+
+    def __init__(
+        self,
+        project: Project,
+        info: ModuleInfo,
+        fn: FunctionInfo,
+        tainted_functions: Dict[str, str],
+    ):
+        self.project = project
+        self.info = info
+        self.fn = fn
+        self.tainted_functions = tainted_functions  # qualname -> source desc
+        self.aliases = _source_aliases(info, fn.node)
+        self.var_types = project._local_var_types(fn)
+        self.parents = exprs.parent_map(fn.node)
+        self.tainted_locals: Dict[str, str] = {}
+        self.returns_tainted: Optional[str] = None
+        #: (node, description) pairs of taint introductions in this fn
+        self.taints: List = []
+        self._run()
+
+    # -- classification ------------------------------------------------
+
+    def _call_taint(self, node: ast.Call) -> Optional[str]:
+        """Why this call's result is tainted, or None."""
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.aliases:
+            return f"alias of a nondeterministic source ({func.id})"
+        chain = self.info.imports.resolve_chain(func)
+        if _is_source_chain(chain):
+            return f"{chain}()"
+        callee = self.project.resolve_call(self.fn, node, self.var_types)
+        if callee in self.tainted_functions:
+            return (
+                f"{callee.rsplit('.', 1)[-1]}() returns a value derived "
+                f"from {self.tainted_functions[callee]}"
+            )
+        return None
+
+    def _expr_taint(self, node: ast.AST) -> Optional[str]:
+        """Why the object this expression evaluates to is tainted."""
+        for step in exprs.spine(node):
+            if isinstance(step, ast.Call):
+                why = self._call_taint(step)
+                if why is not None:
+                    return why
+            elif isinstance(step, ast.Name):
+                if step.id in self.tainted_locals:
+                    return self.tainted_locals[step.id]
+        return None
+
+    def _is_sanitized(self, node: ast.AST) -> bool:
+        """The value flows directly into a repro.bits.mix derivation."""
+        cur = node
+        while cur in self.parents:
+            parent = self.parents[cur]
+            if isinstance(parent, ast.Call) and cur is not parent.func:
+                chain = self.info.imports.resolve_chain(parent.func)
+                if chain is not None and (
+                    chain in _SANITIZERS
+                    or self.project.resolve_export(chain) in _SANITIZERS
+                ):
+                    return True
+            if isinstance(parent, (ast.stmt, ast.FunctionDef, ast.Lambda)):
+                return False
+            cur = parent
+        return False
+
+    # -- the pass ------------------------------------------------------
+
+    def _run(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                why = self._expr_taint(node.value)
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name):
+                        if why is not None and not self._is_sanitized(node.value):
+                            self.tainted_locals[tgt.id] = why
+                        else:
+                            self.tainted_locals.pop(tgt.id, None)
+            elif isinstance(node, ast.Call):
+                why = self._call_taint(node)
+                if why is not None and not self._is_sanitized(node):
+                    self.taints.append((node, why))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                why = self._expr_taint(node.value)
+                if why is not None and not self._is_sanitized(node.value):
+                    self.returns_tainted = why
+
+
+def _set_typed_locals(fn_node: ast.AST) -> Set[str]:
+    """Names every binding of which is visibly set-producing."""
+    set_bound: Set[str] = set()
+    other_bound: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    if _is_set_producing(node.value):
+                        set_bound.add(tgt.id)
+                    else:
+                        other_bound.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                if _is_set_producing(node.value):
+                    set_bound.add(node.target.id)
+                else:
+                    other_bound.add(node.target.id)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                other_bound.add(node.target.id)  # conservative
+    return set_bound - other_bound
+
+
+@register
+class TaintedValueFlowRule(Rule):
+    code = "DET101"
+    name = "tainted-value-flow"
+    summary = (
+        "a nondeterministic value flows into deterministic code (via "
+        "alias, excused helper, id(), or set-order iteration)"
+    )
+    rationale = (
+        "A pragma on a source call excuses the *call site*, not the "
+        "value: code that consumes the helper's result is still "
+        "nondeterministic, and aliases/id()/set iteration produce entropy "
+        "with no syntactic source at all.  Every flow must end in a "
+        "repro.bits.mix derivation (making the dependence explicit and "
+        "auditable) or carry its own justification pragma."
+    )
+    project_scope = True
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        tainted_functions = self._tainted_functions(project)
+        for info in project.strict_modules():
+            for fn in info.functions.values():
+                scan = _TaintScan(project, info, fn, tainted_functions)
+                for node, why in scan.taints:
+                    # direct source calls are the per-file rules' findings
+                    # (DET004/005...); report only the flows they miss
+                    if self._is_per_file_territory(info, node):
+                        continue
+                    yield info.finding(
+                        node,
+                        self.code,
+                        f"value derived from {why} flows into "
+                        f"{fn.qualname} unsanitized; pass it through "
+                        f"repro.bits.mix (splitmix64/derive/stable_hash) "
+                        f"or justify with a pragma",
+                    )
+                yield from self._check_set_iteration(info, fn)
+
+    def _tainted_functions(self, project: Project) -> Dict[str, str]:
+        """qualname -> source description, for project functions whose
+        return value derives from a source, to a fixpoint so taint crosses
+        helper chains."""
+        out: Dict[str, str] = {}
+        for _ in range(6):
+            changed = False
+            for info in project.modules.values():
+                for fn in info.functions.values():
+                    if fn.qualname in out:
+                        continue
+                    scan = _TaintScan(project, info, fn, out)
+                    if scan.returns_tainted is not None:
+                        out[fn.qualname] = scan.returns_tainted
+                        changed = True
+            if not changed:
+                break
+        return out
+
+    def _is_per_file_territory(
+        self, info: ModuleInfo, node: ast.Call
+    ) -> bool:
+        """True when a per-file DET rule already covers this exact call —
+        an un-aliased direct source call.  If it was pragma-suppressed
+        there, the *flow* consequences surface at call sites of the
+        enclosing function instead, not as a duplicate here."""
+        chain = info.imports.resolve_chain(node.func)
+        if chain is None or chain == "id":
+            return False  # aliases and id() are this rule's territory
+        return _is_source_chain(chain)
+
+    #: reducers whose result cannot depend on iteration order
+    _ORDER_FREE = {"any", "all", "sum", "min", "max", "len",
+                   "sorted", "set", "frozenset"}
+
+    def _check_set_iteration(
+        self, info: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        set_locals = _set_typed_locals(fn.node)
+        if not set_locals:
+            return
+        parents = exprs.parent_map(fn.node)
+        for node in ast.walk(fn.node):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, ast.comprehension):
+                owner = parents.get(node)
+                reducer = parents.get(owner) if owner is not None else None
+                if (
+                    isinstance(owner, (ast.GeneratorExp, ast.SetComp))
+                    and isinstance(reducer, ast.Call)
+                    and isinstance(reducer.func, ast.Name)
+                    and reducer.func.id in self._ORDER_FREE
+                ):
+                    continue  # e.g. any(x in s for ...): order-free
+                iters.append(node.iter)
+            for it in iters:
+                if isinstance(it, ast.Name) and it.id in set_locals:
+                    yield info.finding(
+                        it,
+                        self.code,
+                        f"`{it.id}` holds a set; iterating it in "
+                        f"{fn.qualname} leaks hash order into the result "
+                        f"— iterate sorted({it.id}) or dedup with "
+                        f"dict.fromkeys",
+                    )

@@ -1,11 +1,16 @@
 """Suppression pragmas.
 
-Two forms, both as comments:
+Three forms, all as comments:
 
 * ``# detlint: ignore[CODE1,CODE2]`` — suppress those codes on this line;
   ``# detlint: ignore`` with no bracket suppresses every code on the line.
   Anything after ``--`` inside the comment is free-form justification.
 * ``# detlint: skip-file`` — anywhere in the file: skip the whole file.
+* ``# detlint: guarded(<lock>)`` — declares that the shared mutable state
+  defined on this line is protected by the named lock (or discipline, e.g.
+  ``guarded(import-time)`` for registries only written while modules load).
+  Suppresses the RACE2xx family on the line *and* records the intended
+  synchronisation vocabulary for the executor split.
 
 Comments are found with :mod:`tokenize`, so pragma-looking text inside
 string literals is never honoured (a plain regex over lines would be
@@ -21,8 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
 _PRAGMA_RE = re.compile(
-    r"#\s*detlint:\s*(?P<kind>skip-file|ignore)"
+    r"#\s*detlint:\s*(?P<kind>skip-file|ignore|guarded)"
     r"(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?"
+    r"(?:\((?P<lock>[^)]*)\))?"
 )
 
 
@@ -33,14 +39,22 @@ class Suppressions:
     skip_file: bool = False
     #: line -> frozenset of codes, or None meaning "all codes"
     by_line: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+    #: line -> declared lock name from ``guarded(<lock>)``
+    guarded: Dict[int, str] = field(default_factory=dict)
 
     def is_suppressed(self, line: int, code: str) -> bool:
         if self.skip_file:
+            return True
+        if code.startswith("RACE") and line in self.guarded:
             return True
         if line not in self.by_line:
             return False
         codes = self.by_line[line]
         return codes is None or code in codes
+
+    def guard_of(self, line: int) -> Optional[str]:
+        """The declared lock for shared state defined on ``line``."""
+        return self.guarded.get(line)
 
 
 def scan(source: str) -> Suppressions:
@@ -59,6 +73,10 @@ def scan(source: str) -> Suppressions:
             continue
         if m.group("kind") == "skip-file":
             out.skip_file = True
+            continue
+        if m.group("kind") == "guarded":
+            lock = (m.group("lock") or "").strip()
+            out.guarded[tok.start[0]] = lock or "unnamed"
             continue
         raw = m.group("codes")
         line = tok.start[0]

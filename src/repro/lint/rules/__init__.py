@@ -1,6 +1,7 @@
 """Rule registry.  Importing this package registers every rule family."""
 
 from repro.lint.rules import arch, det, pdm  # noqa: F401  (registration side effect)
+from repro.lint.flow import cost, race, taint  # noqa: F401  (flow rule registration)
 from repro.lint.rules.base import (
     ImportMap,
     ModuleContext,

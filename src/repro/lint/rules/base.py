@@ -51,6 +51,10 @@ class Rule:
     #: "strict" rules run only on deterministic modules; "all" rules run on
     #: every linted file (tests and benchmarks included).
     scope: str = "strict"
+    #: project-scope rules need the cross-module index (symbol table + call
+    #: graph) of :mod:`repro.lint.flow`; the per-file engine skips them and
+    #: the flow driver calls :meth:`check_project` instead of :meth:`check`.
+    project_scope: bool = False
 
     def applies(self, ctx: ModuleContext) -> bool:
         return ctx.strict or self.scope == "all"
@@ -58,8 +62,13 @@ class Rule:
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
 
+    def check_project(self, project) -> Iterator[Finding]:
+        """Project-wide check (``project_scope`` rules only); ``project`` is
+        a :class:`repro.lint.flow.project.Project`."""
+        raise NotImplementedError
 
-_REGISTRY: Dict[str, Type[Rule]] = {}
+
+_REGISTRY: Dict[str, Type[Rule]] = {}  # detlint: guarded(import-time) -- written only while rule modules import, sealed before any lint run
 
 
 def register(cls: Type[Rule]) -> Type[Rule]:

@@ -159,7 +159,7 @@ class BufferPool:
         self.memory = memory
         self.write_through = False
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Addr, _Entry]" = OrderedDict()
+        self._entries: "OrderedDict[Addr, _Entry]" = OrderedDict()  # detlint: guarded(pool-lock) -- LRU order mutates on every read; executor split must serialize the pool
         self._charged_words = 0
         if memory is not None:
             words = capacity_blocks * words_per_block

@@ -22,7 +22,7 @@ class Disk:
         self.block_bits = block_bits
         # Sparse map: untouched blocks cost no host memory.  ``high_water``
         # is one past the largest block index ever touched.
-        self._blocks: Dict[int, Block] = {}
+        self._blocks: Dict[int, Block] = {}  # detlint: guarded(disk-lane) -- each Disk is owned by exactly one executor lane (thread-per-disk)
         self.high_water = 0
 
     def block(self, index: int) -> Block:

@@ -218,7 +218,7 @@ class FaultInjector:
             e for e in self.events if isinstance(e, SilentCorruption)
         ]
         #: injection counters by fault kind, for ``repro.obs`` collectors
-        self.injected: Dict[str, int] = {
+        self.injected: Dict[str, int] = {  # detlint: guarded(machine-op) -- mutated only inside machine operations, which serialize per machine
             "disk_failure": 0,
             "transient": 0,
             "corruption": 0,

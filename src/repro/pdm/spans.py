@@ -138,7 +138,7 @@ class SpanRecorder:
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._stack: List[Span] = []  # detlint: guarded(machine-op) -- spans strictly nest within one machine operation
         self._next_index = 0
 
     def enter(self, name: str, mode: str, attrs: Dict[str, Any]) -> Span:

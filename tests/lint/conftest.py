@@ -39,4 +39,36 @@ def codes(check):
     return _codes
 
 
+@pytest.fixture
+def flow_check(strict_config):
+    """flow_check({module: source}, select=...) -> list of 'CODE:path:line'.
+
+    Modules are given as dotted names under ``repro`` ("repro.core.mod")
+    and placed at the matching ``src/`` path, so the shipped strict and
+    scope defaults apply exactly as they do to the real tree.
+    """
+    from repro.lint import flow
+
+    def _flow_check(modules, select=None):
+        sources = [
+            (f"src/{mod.replace('.', '/')}.py", src)
+            for mod, src in modules.items()
+        ]
+        findings, _ = flow.check_sources(strict_config, sources, select=select)
+        return [f"{f.code}:{f.path}:{f.line}" for f in findings]
+
+    return _flow_check
+
+
+@pytest.fixture
+def flow_codes(flow_check):
+    """Like ``flow_check`` but just the set of codes."""
+
+    def _flow_codes(modules, **kw):
+        return {entry.split(":")[0] for entry in _check(modules, **kw)}
+
+    _check = flow_check
+    return _flow_codes
+
+
 PROJECT_ROOT = Path(__file__).resolve().parents[2]

@@ -1,0 +1,308 @@
+"""Golden fixtures for the COST1xx flow rules.
+
+Each rule gets the four canonical cases: a true positive, an *aliased*
+positive (the flow-sensitive reason these rules exist), a compliant
+negative, and a pragma-suppressed site.
+"""
+
+import pytest
+
+#: minimal charged-interface scaffolding shared by the fixtures
+SPANS = (
+    "class span:\n"
+    "    def __init__(self, machine, name, **labels):\n"
+    "        self.machine = machine\n"
+    "    def __enter__(self):\n"
+    "        return self\n"
+    "    def __exit__(self, *exc):\n"
+    "        return False\n"
+)
+
+INTERFACE = (
+    "class Dictionary:\n"
+    "    def lookup(self, key):\n"
+    "        raise NotImplementedError\n"
+    "\n"
+    "    def insert(self, key, value):\n"
+    "        raise NotImplementedError\n"
+    "\n"
+    "    def delete(self, key):\n"
+    "        raise NotImplementedError\n"
+)
+
+SCAFFOLD = {
+    "repro.pdm.spans": SPANS,
+    "repro.core.interface": INTERFACE,
+}
+
+
+def with_scaffold(modules):
+    out = dict(SCAFFOLD)
+    out.update(modules)
+    return out
+
+
+class TestCost101UnchargedEscape:
+    def test_direct_write_through_storage_attrs(self, flow_check):
+        hits = flow_check({
+            "repro.core.esc": (
+                "def poke(machine):\n"
+                "    machine.disks[0]._blocks[3] = b'x'\n"
+            ),
+        }, select=["COST101"])
+        assert hits == ["COST101:src/repro/core/esc.py:2"]
+
+    def test_aliased_write_is_still_caught(self, flow_check):
+        hits = flow_check({
+            "repro.core.esc": (
+                "def poke(machine):\n"
+                "    blocks = machine.disks[0]._blocks\n"
+                "    view = blocks\n"
+                "    view[3] = b'x'\n"
+            ),
+        }, select=["COST101"])
+        assert hits == ["COST101:src/repro/core/esc.py:4"]
+
+    def test_mutator_call_on_audit_handle(self, flow_check):
+        hits = flow_check({
+            "repro.core.esc": (
+                "def poke(machine):\n"
+                "    machine.block_at(0, 3).store(b'x')\n"
+            ),
+        }, select=["COST101"])
+        assert hits == ["COST101:src/repro/core/esc.py:2"]
+
+    def test_charged_interface_and_reads_are_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.esc": (
+                "def write(machine, addr, block):\n"
+                "    machine.write_blocks([(addr, block)])\n"
+                "    machine.flush_writes()\n"
+                "\n"
+                "def audit(machine):\n"
+                "    n = len(machine.disks)\n"
+                "    blk = machine.block_at(0, 3)\n"
+                "    return n, blk.payload\n"
+            ),
+        }, select=["COST101"])
+        assert hits == []
+
+    def test_pdm_is_the_implementation_not_an_escape(self, flow_check):
+        hits = flow_check({
+            "repro.pdm.machine": (
+                "def commit(self, addr, block):\n"
+                "    self.disks[0]._blocks[addr] = block\n"
+            ),
+        }, select=["COST101"])
+        assert hits == []
+
+    def test_pragma_suppresses_with_justification(self, flow_check):
+        hits = flow_check({
+            "repro.core.esc": (
+                "def poke(machine):\n"
+                "    machine.disks[0]._blocks[3] = b'x'"
+                "  # detlint: ignore[COST101] -- test fixture\n"
+            ),
+        }, select=["COST101"])
+        assert hits == []
+
+
+class TestCost102MissingSpan:
+    UNINSTRUMENTED = (
+        "from repro.core.interface import Dictionary\n"
+        "\n"
+        "class Bare(Dictionary):\n"
+        "    def lookup(self, key):\n"
+        "        return None\n"
+        "\n"
+        "    def insert(self, key, value):\n"
+        "        return True\n"
+        "\n"
+        "    def delete(self, key):\n"
+        "        return False\n"
+    )
+
+    def test_every_uninstrumented_public_op_is_flagged(self, flow_check):
+        hits = flow_check(
+            with_scaffold({"repro.core.bare": self.UNINSTRUMENTED}),
+            select=["COST102"],
+        )
+        assert hits == [
+            "COST102:src/repro/core/bare.py:4",
+            "COST102:src/repro/core/bare.py:7",
+            "COST102:src/repro/core/bare.py:10",
+        ]
+
+    def test_span_in_the_op_itself_satisfies(self, flow_check):
+        hits = flow_check(with_scaffold({
+            "repro.core.good": (
+                "from repro.core.interface import Dictionary\n"
+                "from repro.pdm.spans import span\n"
+                "\n"
+                "class Good(Dictionary):\n"
+                "    def lookup(self, key):\n"
+                "        with span(self.machine, 'Good.lookup', op='lookup'):\n"
+                "            return None\n"
+                "\n"
+                "    def insert(self, key, value):\n"
+                "        with span(self.machine, 'Good.insert', op='insert'):\n"
+                "            return True\n"
+                "\n"
+                "    def delete(self, key):\n"
+                "        with span(self.machine, 'Good.delete', op='delete'):\n"
+                "            return False\n"
+            ),
+        }), select=["COST102"])
+        assert hits == []
+
+    def test_span_in_a_transitively_called_helper_satisfies(self, flow_check):
+        hits = flow_check(with_scaffold({
+            "repro.core.helper": (
+                "from repro.pdm.spans import span\n"
+                "\n"
+                "def run_op(machine, name):\n"
+                "    with span(machine, name):\n"
+                "        return None\n"
+            ),
+            "repro.core.indirect": (
+                "from repro.core.interface import Dictionary\n"
+                "from repro.core.helper import run_op\n"
+                "\n"
+                "class Indirect(Dictionary):\n"
+                "    def lookup(self, key):\n"
+                "        return self._op(key)\n"
+                "\n"
+                "    def insert(self, key, value):\n"
+                "        return self._op(key)\n"
+                "\n"
+                "    def delete(self, key):\n"
+                "        return self._op(key)\n"
+                "\n"
+                "    def _op(self, key):\n"
+                "        return run_op(self.machine, 'op')\n"
+            ),
+        }), select=["COST102"])
+        assert hits == []
+
+    def test_delegation_through_the_interface_satisfies(self, flow_check):
+        # A facade whose ops call ``self._inner.lookup`` where ``_inner``
+        # is annotated as the abstract Dictionary: the concrete target is
+        # checked in its own class, not re-checked through the facade.
+        hits = flow_check(with_scaffold({
+            "repro.core.facade": (
+                "from repro.core.interface import Dictionary\n"
+                "\n"
+                "class Facade(Dictionary):\n"
+                "    def __init__(self, inner):\n"
+                "        self._inner: Dictionary = inner\n"
+                "\n"
+                "    def lookup(self, key):\n"
+                "        return self._inner.lookup(key)\n"
+                "\n"
+                "    def insert(self, key, value):\n"
+                "        return self._inner.insert(key, value)\n"
+                "\n"
+                "    def delete(self, key):\n"
+                "        return self._inner.delete(key)\n"
+            ),
+        }), select=["COST102"])
+        assert hits == []
+
+    def test_abstract_and_out_of_scope_classes_are_not_checked(self, flow_check):
+        hits = flow_check(with_scaffold({
+            # partial subclass (insert/delete abstract): not concrete
+            "repro.core.partial": (
+                "from repro.core.interface import Dictionary\n"
+                "\n"
+                "class Partial(Dictionary):\n"
+                "    def lookup(self, key):\n"
+                "        return None\n"
+            ),
+            # concrete but outside span-scope (repro.hashing)
+            "repro.hashing.table": (
+                "from repro.core.interface import Dictionary\n"
+                "\n"
+                "class Table(Dictionary):\n"
+                "    def lookup(self, key):\n"
+                "        return None\n"
+                "\n"
+                "    def insert(self, key, value):\n"
+                "        return True\n"
+                "\n"
+                "    def delete(self, key):\n"
+                "        return False\n"
+            ),
+        }), select=["COST102"])
+        assert hits == []
+
+
+class TestCost103UnprotectedStagedWrite:
+    def _dict_with_batch(self, batch_body):
+        return with_scaffold({
+            "repro.core.batched": (
+                "from repro.core.interface import Dictionary\n"
+                "\n"
+                "class Batched(Dictionary):\n"
+                "    def lookup(self, key):\n"
+                "        return None\n"
+                "\n"
+                "    def insert(self, key, value):\n"
+                "        return True\n"
+                "\n"
+                "    def delete(self, key):\n"
+                "        return False\n"
+                "\n"
+                "    def batch_insert(self, items):\n"
+                + batch_body
+            ),
+        })
+
+    def test_unprotected_commit_is_flagged(self, flow_check):
+        hits = flow_check(self._dict_with_batch(
+            "        staged = list(items)\n"
+            "        self.level.write_buckets(staged)\n"
+        ), select=["COST103"])
+        assert hits == ["COST103:src/repro/core/batched.py:15"]
+
+    def test_commit_inside_diskfailure_handler_is_clean(self, flow_check):
+        hits = flow_check(self._dict_with_batch(
+            "        staged = list(items)\n"
+            "        try:\n"
+            "            self.level.write_buckets(staged)\n"
+            "        except DiskFailure:\n"
+            "            return None\n"
+        ), select=["COST103"])
+        assert hits == []
+
+    def test_handler_for_unrelated_exception_does_not_count(self, flow_check):
+        hits = flow_check(self._dict_with_batch(
+            "        staged = list(items)\n"
+            "        try:\n"
+            "            self.level.write_buckets(staged)\n"
+            "        except KeyError:\n"
+            "            return None\n"
+        ), select=["COST103"])
+        assert hits == ["COST103:src/repro/core/batched.py:16"]
+
+    def test_non_batch_methods_are_not_checked(self, flow_check):
+        hits = flow_check(with_scaffold({
+            "repro.core.single": (
+                "from repro.core.interface import Dictionary\n"
+                "\n"
+                "class Single(Dictionary):\n"
+                "    def lookup(self, key):\n"
+                "        return None\n"
+                "\n"
+                "    def insert(self, key, value):\n"
+                "        self.level.write_buckets([(key, value)])\n"
+                "        return True\n"
+                "\n"
+                "    def delete(self, key):\n"
+                "        return False\n"
+            ),
+        }), select=["COST103"])
+        assert hits == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,241 @@
+"""Unit tests for the project index: symbol table, type inference, and
+call graph (:mod:`repro.lint.flow.project`).
+
+The flow rules are only as good as this index, so its behaviours are
+pinned directly: export chasing through package ``__init__`` re-exports,
+method resolution through bases, ``self.attr`` typing from constructor
+assignments and annotations, and the transitive callee closure.
+"""
+
+import pytest
+
+from repro.lint.config import Config
+from repro.lint.flow.project import Project, in_packages
+
+
+def build(tmp_path, modules):
+    """Project over {dotted module: source} placed under src/."""
+    config = Config(root=tmp_path)
+    sources = []
+    for mod, src in modules.items():
+        rel = "src/" + mod.replace(".", "/")
+        if mod.endswith("__init__"):
+            rel = rel  # already explicit
+        sources.append((rel + ".py", src))
+    return Project.build(config, sources)
+
+
+class TestIndexing:
+    def test_functions_classes_and_methods_get_qualnames(self, tmp_path):
+        project = build(tmp_path, {
+            "repro.core.mod": (
+                "def helper():\n"
+                "    return 1\n"
+                "\n"
+                "class Thing:\n"
+                "    LIMIT = 4\n"
+                "    def run(self):\n"
+                "        return helper()\n"
+            ),
+        })
+        assert "repro.core.mod.helper" in project.functions
+        assert "repro.core.mod.Thing" in project.classes
+        run = project.functions["repro.core.mod.Thing.run"]
+        assert run.cls == "repro.core.mod.Thing"
+        ci = project.classes["repro.core.mod.Thing"]
+        assert [name for name, _stmt, _v in ci.class_assigns] == ["LIMIT"]
+
+    def test_files_outside_src_roots_are_skipped(self, tmp_path):
+        config = Config(root=tmp_path)
+        project = Project.build(
+            config, [("tests/test_x.py", "def f():\n    return 1\n")]
+        )
+        assert project.modules == {}
+
+    def test_syntax_errors_are_skipped_not_fatal(self, tmp_path):
+        project = build(tmp_path, {
+            "repro.core.bad": "def broken(:\n",
+            "repro.core.good": "def fine():\n    return 1\n",
+        })
+        assert "repro.core.bad" not in project.modules
+        assert "repro.core.good.fine" in project.functions
+
+    def test_in_packages_prefix_semantics(self):
+        assert in_packages("repro.pdm.disk", ["repro.pdm"])
+        assert in_packages("repro.pdm", ["repro.pdm"])
+        assert not in_packages("repro.pdmx", ["repro.pdm"])
+        assert not in_packages(None, ["repro.pdm"])
+
+
+class TestResolveExport:
+    MODULES = {
+        "repro.pdm.memory": "class InternalMemory:\n    pass\n",
+        "repro.pdm.__init__": "from repro.pdm.memory import InternalMemory\n",
+        "repro.core.user": (
+            "from repro.pdm import InternalMemory\n"
+            "\n"
+            "def make():\n"
+            "    return InternalMemory()\n"
+        ),
+    }
+
+    def test_chases_package_reexport(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert (
+            project.resolve_export("repro.pdm.InternalMemory")
+            == "repro.pdm.memory.InternalMemory"
+        )
+
+    def test_direct_qualname_resolves_to_itself(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert (
+            project.resolve_export("repro.pdm.memory.InternalMemory")
+            == "repro.pdm.memory.InternalMemory"
+        )
+
+    def test_unknown_name_is_none_not_a_guess(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert project.resolve_export("repro.pdm.NoSuchThing") is None
+        assert project.resolve_export("numpy.ndarray") is None
+
+    def test_import_cycle_terminates(self, tmp_path):
+        project = build(tmp_path, {
+            "repro.core.a": "from repro.core.b import thing\n",
+            "repro.core.b": "from repro.core.a import thing\n",
+        })
+        assert project.resolve_export("repro.core.a.thing") is None
+
+
+class TestClassMachinery:
+    MODULES = {
+        "repro.core.base": (
+            "class Base:\n"
+            "    def shared(self):\n"
+            "        return 0\n"
+        ),
+        "repro.core.derived": (
+            "from repro.core.base import Base\n"
+            "\n"
+            "class Derived(Base):\n"
+            "    def own(self):\n"
+            "        return 1\n"
+        ),
+    }
+
+    def test_is_subclass_across_modules(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert project.is_subclass(
+            "repro.core.derived.Derived", "repro.core.base.Base"
+        )
+        assert not project.is_subclass(
+            "repro.core.base.Base", "repro.core.derived.Derived"
+        )
+
+    def test_lookup_method_walks_the_mro(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        shared = project.lookup_method("repro.core.derived.Derived", "shared")
+        assert shared is not None
+        assert shared.qualname == "repro.core.base.Base.shared"
+        assert project.lookup_method("repro.core.derived.Derived", "nope") is None
+
+    def test_attr_types_from_constructor_and_annotation(self, tmp_path):
+        project = build(tmp_path, {
+            "repro.core.helper": "class Helper:\n    def go(self):\n        return 1\n",
+            "repro.core.owner": (
+                "from typing import List\n"
+                "from repro.core.helper import Helper\n"
+                "\n"
+                "class Owner:\n"
+                "    def __init__(self):\n"
+                "        self.h = Helper()\n"
+                "        self.many: List[Helper] = []\n"
+            ),
+        })
+        ci = project.classes["repro.core.owner.Owner"]
+        assert ci.attr_types["h"] == "repro.core.helper.Helper"
+        assert ci.attr_elem_types["many"] == "repro.core.helper.Helper"
+
+
+class TestCallGraph:
+    MODULES = {
+        "repro.core.helper": (
+            "class Helper:\n"
+            "    def go(self):\n"
+            "        return leaf()\n"
+            "\n"
+            "def leaf():\n"
+            "    return 1\n"
+        ),
+        "repro.core.owner": (
+            "from repro.core.helper import Helper\n"
+            "\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self.h = Helper()\n"
+            "    def run(self):\n"
+            "        return self.h.go()\n"
+            "    def run_local(self):\n"
+            "        h = Helper()\n"
+            "        return h.go()\n"
+        ),
+    }
+
+    def test_self_attr_receiver_resolves_via_inferred_type(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert (
+            "repro.core.helper.Helper.go"
+            in project.calls["repro.core.owner.Owner.run"]
+        )
+
+    def test_local_var_receiver_resolves_via_constructor(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert (
+            "repro.core.helper.Helper.go"
+            in project.calls["repro.core.owner.Owner.run_local"]
+        )
+
+    def test_reachable_from_is_transitive_and_reflexive(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        closure = project.reachable_from("repro.core.owner.Owner.run")
+        assert "repro.core.owner.Owner.run" in closure
+        assert "repro.core.helper.Helper.go" in closure
+        assert "repro.core.helper.leaf" in closure  # two hops
+
+    def test_callers_is_the_reverse_map(self, tmp_path):
+        project = build(tmp_path, self.MODULES)
+        assert (
+            "repro.core.helper.Helper.go"
+            in project.callers["repro.core.helper.leaf"]
+        )
+
+    def test_recursion_terminates(self, tmp_path):
+        project = build(tmp_path, {
+            "repro.core.rec": (
+                "def ping():\n"
+                "    return pong()\n"
+                "\n"
+                "def pong():\n"
+                "    return ping()\n"
+            ),
+        })
+        closure = project.reachable_from("repro.core.rec.ping")
+        assert closure == {"repro.core.rec.ping", "repro.core.rec.pong"}
+
+
+class TestStrictness:
+    def test_strict_modules_follow_config_patterns(self, tmp_path):
+        config = Config(root=tmp_path)
+        project = Project.build(config, [
+            ("src/repro/core/a.py", "x = 1\n"),
+        ])
+        assert [m.module for m in project.strict_modules()] == ["repro.core.a"]
+
+    def test_skip_file_pragma_excludes_the_module(self, tmp_path):
+        project = build(tmp_path, {
+            "repro.core.skipped": "# detlint: skip-file\nx = {}\n",
+        })
+        assert "repro.core.skipped" not in project.modules
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,217 @@
+"""Golden fixtures for the RACE2xx flow rules.
+
+The RACE family polices shared mutable Python objects ahead of the
+pluggable-executor split; the ``# detlint: guarded(<lock>)`` pragma on a
+definition line is the sanctioned escape hatch and doubles as the
+synchronisation inventory.
+"""
+
+import pytest
+
+
+class TestRace201ModuleState:
+    def test_module_level_dict_mutated_by_function(self, flow_check):
+        hits = flow_check({
+            "repro.core.reg": (
+                "_REGISTRY = {}\n"
+                "\n"
+                "def register(name, obj):\n"
+                "    _REGISTRY[name] = obj\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == ["RACE201:src/repro/core/reg.py:1"]
+
+    def test_read_only_module_dict_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.reg": (
+                "_TABLE = {'a': 1}\n"
+                "\n"
+                "def lookup(name):\n"
+                "    return _TABLE.get(name)\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == []
+
+    def test_local_shadow_is_not_a_mutation_of_the_global(self, flow_check):
+        hits = flow_check({
+            "repro.core.reg": (
+                "_CACHE = {}\n"
+                "\n"
+                "def build(_CACHE=None):\n"
+                "    _CACHE = {}\n"
+                "    _CACHE['k'] = 1\n"
+                "    return _CACHE\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == []
+
+    def test_global_statement_rebind_is_flagged(self, flow_check):
+        hits = flow_check({
+            "repro.core.reg": (
+                "_STATE = {}\n"
+                "\n"
+                "def reset():\n"
+                "    global _STATE\n"
+                "    _STATE = {}\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == ["RACE201:src/repro/core/reg.py:1"]
+
+    def test_mutable_class_attribute_mutated_via_self(self, flow_check):
+        hits = flow_check({
+            "repro.core.cls": (
+                "class Walker:\n"
+                "    seen = set()\n"
+                "\n"
+                "    def visit(self, node):\n"
+                "        self.seen.add(node)\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == ["RACE201:src/repro/core/cls.py:2"]
+
+    def test_instance_rebind_makes_the_class_attr_a_default(self, flow_check):
+        hits = flow_check({
+            "repro.core.cls": (
+                "class Walker:\n"
+                "    seen = set()\n"
+                "\n"
+                "    def visit(self, node):\n"
+                "        self.seen = set(self.seen)\n"
+                "        self.seen.add(node)\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == []
+
+    def test_guarded_pragma_on_the_definition_suppresses(self, flow_check):
+        hits = flow_check({
+            "repro.core.reg": (
+                "_REGISTRY = {}  # detlint: guarded(import-time)\n"
+                "\n"
+                "def register(name, obj):\n"
+                "    _REGISTRY[name] = obj\n"
+            ),
+        }, select=["RACE201"])
+        assert hits == []
+
+
+class TestRace202SharedCache:
+    MEMO = (
+        "class Memo:\n"
+        "    def __init__(self):\n"
+        "        self._memo = {}\n"
+        "\n"
+        "    def value(self, key):\n"
+        "        if key in self._memo:\n"
+        "            return self._memo[key]\n"
+        "        result = key * 2\n"
+        "        self._memo[key] = result\n"
+        "        return result\n"
+    )
+
+    def test_check_then_act_is_anchored_at_the_definition(self, flow_check):
+        hits = flow_check(
+            {"repro.core.memo": self.MEMO}, select=["RACE202"]
+        )
+        # anchored at the __init__ assignment so one guarded() pragma
+        # covers every access path
+        assert hits == ["RACE202:src/repro/core/memo.py:3"]
+
+    def test_check_then_act_split_across_helpers(self, flow_check):
+        hits = flow_check({
+            "repro.core.memo": (
+                "class Memo:\n"
+                "    def __init__(self):\n"
+                "        self._memo = {}\n"
+                "\n"
+                "    def value(self, key):\n"
+                "        hit = self._probe(key)\n"
+                "        if hit is not None:\n"
+                "            return hit\n"
+                "        return self._fill(key)\n"
+                "\n"
+                "    def _probe(self, key):\n"
+                "        return self._memo.get(key)\n"
+                "\n"
+                "    def _fill(self, key):\n"
+                "        self._memo[key] = key * 2\n"
+                "        return self._memo[key]\n"
+            ),
+        }, select=["RACE202"])
+        assert "RACE202:src/repro/core/memo.py:3" in hits
+
+    def test_write_only_log_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.log": (
+                "class Log:\n"
+                "    def __init__(self):\n"
+                "        self._events = []\n"
+                "\n"
+                "    def record(self, event):\n"
+                "        self._events.append(event)\n"
+            ),
+        }, select=["RACE202"])
+        assert hits == []
+
+    def test_outside_race_scope_is_not_checked(self, flow_check):
+        hits = flow_check(
+            {"repro.workloads.memo": self.MEMO}, select=["RACE202"]
+        )
+        assert hits == []
+
+    def test_guarded_pragma_on_the_init_line_suppresses(self, flow_check):
+        guarded = self.MEMO.replace(
+            "self._memo = {}",
+            "self._memo = {}  # detlint: guarded(pool-lock)",
+        )
+        hits = flow_check(
+            {"repro.core.memo": guarded}, select=["RACE202"]
+        )
+        assert hits == []
+
+
+class TestRace203MutationDuringIteration:
+    def test_del_inside_the_loop(self, flow_check):
+        hits = flow_check({
+            "repro.core.prune": (
+                "def prune(table):\n"
+                "    for key in table:\n"
+                "        if key > 2:\n"
+                "            del table[key]\n"
+            ),
+        }, select=["RACE203"])
+        assert hits == ["RACE203:src/repro/core/prune.py:4"]
+
+    def test_items_view_is_unwrapped(self, flow_check):
+        hits = flow_check({
+            "repro.core.prune": (
+                "def rescale(table):\n"
+                "    for key, value in table.items():\n"
+                "        table[key] = value + 1\n"
+            ),
+        }, select=["RACE203"])
+        assert hits == ["RACE203:src/repro/core/prune.py:3"]
+
+    def test_snapshot_before_the_loop_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.prune": (
+                "def prune(table):\n"
+                "    for key in list(table):\n"
+                "        if key > 2:\n"
+                "            del table[key]\n"
+            ),
+        }, select=["RACE203"])
+        assert hits == []
+
+    def test_mutating_a_different_container_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.prune": (
+                "def collect(table, out):\n"
+                "    for key in table:\n"
+                "        out[key] = table[key]\n"
+            ),
+        }, select=["RACE203"])
+        assert hits == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,211 @@
+"""The flow pass on this repository itself, plus CLI integration.
+
+Mirrors ``test_cli_selfcheck`` for the flow families: ``src/repro`` must
+be flow-clean with the shipped configuration, seeded violations in a real
+core module must trip the right rules, and the CLI must carry the flow
+findings through its exit-code and JSON contracts.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import flow, load_config
+
+PROJECT_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(args, cwd):
+    env = dict(os.environ)
+    src = str(PROJECT_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def _repro_sources(extra=()):
+    """(rel_path, source) for every module under src/repro, plus
+    overrides/additions from ``extra`` (doctored copies never touch the
+    working tree)."""
+    config = load_config(PROJECT_ROOT)
+    sources = {}
+    for path in sorted((PROJECT_ROOT / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(PROJECT_ROOT).as_posix()
+        sources[rel] = path.read_text(encoding="utf-8")
+    for rel, src in extra:
+        sources[rel] = src
+    return config, list(sources.items())
+
+
+class TestRepositoryIsFlowClean:
+    def test_src_repro_has_no_unsuppressed_flow_findings(self):
+        config, sources = _repro_sources()
+        findings, _suppressed = flow.check_sources(config, sources)
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_the_pragma_inventory_is_in_use(self):
+        # the guarded()/ignore pragmas must actually be load-bearing:
+        # the flow pass suppresses a non-trivial number of declared sites
+        config, sources = _repro_sources()
+        _findings, suppressed = flow.check_sources(config, sources)
+        assert suppressed >= 10
+
+    def test_flow_output_is_deterministic(self):
+        config, sources = _repro_sources()
+        a = flow.check_sources(config, sources)
+        b = flow.check_sources(config, sources)
+        assert [f.format() for f in a[0]] == [f.format() for f in b[0]]
+        assert a[1] == b[1]
+
+
+class TestSeededMutations:
+    """The acceptance scenarios: doctor a real module in memory and
+    verify the intended rule fires at the intended place."""
+
+    def test_direct_blocks_write_in_a_dictionary_trips_cost101(self):
+        rel = "src/repro/core/basic_dict.py"
+        source = (PROJECT_ROOT / rel).read_text(encoding="utf-8")
+        doctored = source + textwrap.dedent("""\n
+            def _backdoor(machine, addr, block):
+                table = machine.disks[0]._blocks
+                table[addr] = block
+        """)
+        config, sources = _repro_sources(extra=[(rel, doctored)])
+        findings, _ = flow.check_sources(config, sources, select=["COST101"])
+        assert [f.code for f in findings] == ["COST101"]
+        assert findings[0].path == rel
+        assert findings[0].line == doctored.rstrip().count("\n") + 1
+
+    def test_unguarded_module_memo_trips_race201_and_202(self):
+        rel = "src/repro/core/basic_dict.py"
+        source = (PROJECT_ROOT / rel).read_text(encoding="utf-8")
+        doctored = source + textwrap.dedent("""\n
+            _BUCKET_MEMO = {}
+
+            def _memo_bucket(key, capacity):
+                if key in _BUCKET_MEMO:
+                    return _BUCKET_MEMO[key]
+                _BUCKET_MEMO[key] = key % capacity
+                return _BUCKET_MEMO[key]
+        """)
+        config, sources = _repro_sources(extra=[(rel, doctored)])
+        findings, _ = flow.check_sources(config, sources, select=["RACE201"])
+        assert [f.code for f in findings] == ["RACE201"]
+        assert findings[0].path == rel
+
+    def test_shared_cache_check_then_act_trips_race202(self):
+        rel = "src/repro/core/memo_cache.py"
+        doctored = textwrap.dedent("""\
+            class BucketMemo:
+                def __init__(self):
+                    self._memo = {}
+
+                def bucket(self, key, capacity):
+                    if key in self._memo:
+                        return self._memo[key]
+                    self._memo[key] = key % capacity
+                    return self._memo[key]
+        """)
+        config, sources = _repro_sources(extra=[(rel, doctored)])
+        findings, _ = flow.check_sources(config, sources, select=["RACE202"])
+        assert [f"{f.code}:{f.path}:{f.line}" for f in findings] == [
+            f"RACE202:{rel}:3"
+        ]
+
+
+class TestCliIntegration:
+    def _project(self, tmp_path, modules):
+        (tmp_path / "pyproject.toml").write_text(
+            textwrap.dedent("""\
+                [tool.detlint]
+                paths = ["src"]
+                src-roots = ["src"]
+                strict = ["src/repro/**"]
+                baseline = ".detlint-baseline.json"
+                """)
+        )
+        for mod, src in modules.items():
+            path = tmp_path / "src" / mod.replace(".", "/")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.with_suffix(".py").write_text(src)
+        return tmp_path
+
+    RACY = "_REG = {}\n\n\ndef add(k, v):\n    _REG[k] = v\n"
+
+    def test_flow_finding_sets_exit_one_with_location(self, tmp_path):
+        proj = self._project(tmp_path, {"repro.core.reg": self.RACY})
+        res = run_cli(["src"], cwd=proj)
+        assert res.returncode == 1, res.stderr
+        assert "src/repro/core/reg.py:1:0: RACE201" in res.stdout
+
+    def test_json_format_covers_flow_families(self, tmp_path):
+        proj = self._project(tmp_path, {"repro.core.reg": self.RACY})
+        res = run_cli(["src", "--format", "json"], cwd=proj)
+        assert res.returncode == 1
+        payload = json.loads(res.stdout)
+        [finding] = payload["findings"]
+        assert finding["code"] == "RACE201"
+        assert finding["path"] == "src/repro/core/reg.py"
+        assert payload["flow_files_indexed"] == 1
+
+    def test_no_flow_skips_the_pass(self, tmp_path):
+        proj = self._project(tmp_path, {"repro.core.reg": self.RACY})
+        res = run_cli(["src", "--no-flow"], cwd=proj)
+        assert res.returncode == 0, res.stdout + res.stderr
+        payload = json.loads(
+            run_cli(["src", "--no-flow", "--format", "json"], cwd=proj).stdout
+        )
+        assert payload["flow_files_indexed"] == 0
+
+    def test_flow_findings_can_be_baselined_then_ratchet(self, tmp_path):
+        proj = self._project(tmp_path, {"repro.core.reg": self.RACY})
+        assert run_cli(["src", "--update-baseline"], cwd=proj).returncode == 0
+        assert run_cli(["src"], cwd=proj).returncode == 0
+        reg = proj / "src" / "repro" / "core" / "reg.py"
+        reg.write_text(self.RACY + "\n_MORE = {}\n\n\ndef grow(k):\n    _MORE[k] = k\n")
+        res = run_cli(["src"], cwd=proj)
+        assert res.returncode == 1
+        assert res.stdout.count("RACE201") == 1  # only the new finding
+
+    def test_select_restricts_to_one_flow_family(self, tmp_path):
+        proj = self._project(tmp_path, {
+            "repro.core.reg": self.RACY,
+            "repro.core.t": "def key_of(obj):\n    return id(obj)\n",
+        })
+        res = run_cli(["src", "--select", "DET101"], cwd=proj)
+        assert res.returncode == 1
+        assert "DET101" in res.stdout
+        assert "RACE201" not in res.stdout
+
+    def test_operational_error_is_exit_two(self, tmp_path):
+        proj = self._project(tmp_path, {"repro.core.reg": "x = 1\n"})
+        assert run_cli(["no/such/dir"], cwd=proj).returncode == 2
+
+    def test_list_rules_includes_flow_families(self, tmp_path):
+        proj = self._project(tmp_path, {"repro.core.reg": "x = 1\n"})
+        listing = run_cli(["--list-rules"], cwd=proj)
+        assert listing.returncode == 0
+        for code in ("COST101", "COST102", "COST103",
+                     "RACE201", "RACE202", "RACE203", "DET101"):
+            assert code in listing.stdout
+        assert "project-wide (flow)" in listing.stdout
+        explain = run_cli(["--explain", "COST101"], cwd=proj)
+        assert explain.returncode == 0
+        assert "charged" in explain.stdout
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,209 @@
+"""Golden fixtures for DET101, the flow-sensitive taint rule.
+
+DET101 exists for the leaks the per-file DET rules cannot see: source
+calls hidden behind aliases, taint laundered through helper functions,
+``id()``, and iteration over set-typed locals.  The sanctioned sink is a
+``repro.bits.mix`` derivation.
+"""
+
+import pytest
+
+
+class TestDet101Aliases:
+    def test_module_level_alias_of_a_clock(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "import time\n"
+                "\n"
+                "now = time.monotonic\n"
+                "\n"
+                "def stamp():\n"
+                "    return now()\n"
+            ),
+        }, select=["DET101"])
+        assert hits == ["DET101:src/repro/core/t.py:6"]
+
+    def test_function_local_alias(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    clock = time.monotonic\n"
+                "    return clock()\n"
+            ),
+        }, select=["DET101"])
+        assert hits == ["DET101:src/repro/core/t.py:5"]
+
+    def test_direct_source_call_is_per_file_territory(self, flow_check):
+        # the per-file DET004 covers the un-aliased call; DET101 must not
+        # duplicate it
+        hits = flow_check({
+            "repro.core.t": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.monotonic()\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+
+class TestDet101HelperLaundering:
+    def test_taint_crosses_the_call_graph(self, flow_check):
+        hits = flow_check({
+            "repro.pdm.clock": (
+                "import time\n"
+                "\n"
+                "def wall_seed():\n"
+                "    return time.time_ns()\n"
+            ),
+            "repro.core.t": (
+                "from repro.pdm.clock import wall_seed\n"
+                "\n"
+                "def layout():\n"
+                "    seed = wall_seed()\n"
+                "    return seed % 64\n"
+            ),
+        }, select=["DET101"])
+        assert "DET101:src/repro/core/t.py:4" in hits
+
+    def test_taint_crosses_two_helper_hops(self, flow_check):
+        hits = flow_check({
+            "repro.pdm.clock": (
+                "import time\n"
+                "\n"
+                "def wall_seed():\n"
+                "    return time.time_ns()\n"
+                "\n"
+                "def wrapped_seed():\n"
+                "    return wall_seed()\n"
+            ),
+            "repro.core.t": (
+                "from repro.pdm.clock import wrapped_seed\n"
+                "\n"
+                "def layout():\n"
+                "    return wrapped_seed() % 64\n"
+            ),
+        }, select=["DET101"])
+        assert any(h.startswith("DET101:src/repro/core/t.py") for h in hits)
+
+    def test_sanitized_flow_through_mix_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.pdm.clock": (
+                "import time\n"
+                "\n"
+                "def wall_seed():\n"
+                "    return time.time_ns()\n"
+            ),
+            "repro.core.t": (
+                "from repro.bits.mix import splitmix64\n"
+                "from repro.pdm.clock import wall_seed\n"
+                "\n"
+                "def layout():\n"
+                "    seed = splitmix64(wall_seed())\n"
+                "    return seed % 64\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+    def test_helper_returning_clean_value_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.pdm.clock": (
+                "def fixed_seed():\n"
+                "    return 42\n"
+            ),
+            "repro.core.t": (
+                "from repro.pdm.clock import fixed_seed\n"
+                "\n"
+                "def layout():\n"
+                "    return fixed_seed() % 64\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+
+class TestDet101IdAndSets:
+    def test_id_is_a_source(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "def key_of(obj):\n"
+                "    return id(obj)\n"
+            ),
+        }, select=["DET101"])
+        assert hits == ["DET101:src/repro/core/t.py:2"]
+
+    def test_iterating_a_set_local_leaks_hash_order(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "def emit(xs):\n"
+                "    pending = set(xs)\n"
+                "    out = []\n"
+                "    for x in pending:\n"
+                "        out.append(x)\n"
+                "    return out\n"
+            ),
+        }, select=["DET101"])
+        assert hits == ["DET101:src/repro/core/t.py:4"]
+
+    def test_sorted_iteration_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "def emit(xs):\n"
+                "    pending = set(xs)\n"
+                "    return [x for x in sorted(pending)]\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+    def test_order_free_reducers_are_clean(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "def probe(xs, target):\n"
+                "    pending = set(xs)\n"
+                "    return any(x == target for x in pending)\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+    def test_seeded_random_is_not_a_source(self, flow_check):
+        # random.Random(seed) is deterministic; unseeded construction is
+        # DET001's finding, not a taint source
+        hits = flow_check({
+            "repro.core.t": (
+                "import random\n"
+                "\n"
+                "def keys(seed, n):\n"
+                "    rng = random.Random(seed)\n"
+                "    return [rng.randrange(2**30) for _ in range(n)]\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+
+class TestDet101Suppression:
+    def test_ignore_pragma_on_the_flow_site(self, flow_check):
+        hits = flow_check({
+            "repro.core.t": (
+                "import time\n"
+                "\n"
+                "now = time.monotonic\n"
+                "\n"
+                "def stamp():\n"
+                "    return now()  # detlint: ignore[DET101] -- fixture\n"
+            ),
+        }, select=["DET101"])
+        assert hits == []
+
+    def test_non_strict_modules_are_not_checked(self, flow_check, strict_config):
+        from repro.lint import flow
+
+        findings, _ = flow.check_sources(strict_config, [(
+            "src/tools/t.py",
+            "import time\nnow = time.monotonic\n\ndef stamp():\n    return now()\n",
+        )], select=["DET101"])
+        assert findings == []
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
