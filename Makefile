@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-model test-sanitize lint lint-report baseline bench bench-report bench-batch bench-throughput chaos coverage examples figure1 profile clean
+.PHONY: install test test-model test-sanitize lint lint-report baseline bench bench-report bench-batch bench-throughput bench-latency bench-history chaos coverage examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -68,6 +68,22 @@ bench-throughput:
 		benchmarks/results/BENCH_throughput.json \
 		benchmarks/baselines/throughput.json
 
+# Wall-clock latency percentiles per op class/layer, per-disk utilization,
+# and the always-on tracker's self-measured overhead, written as
+# BENCH_latency.json and gated <=5% by scripts/check_obs_overhead.py.
+bench-latency:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_latency.py -q --benchmark-disable
+	$(PYTHON) scripts/check_obs_overhead.py benchmarks/results/BENCH_latency.json
+
+# Merge every BENCH_*.json under benchmarks/results into the committed
+# bench trajectory (benchmarks/results/trajectory.json) with per-metric
+# regression attribution.  LABEL names the entry (default: local).
+bench-history:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.history \
+		--label $(or $(LABEL),local) \
+		--seed-baseline benchmarks/baselines/throughput.json
+
 # Instrumented smoke run: spans + metrics + theorem-bound monitors over both
 # dictionaries, written as a machine-readable report (and a Perfetto trace).
 bench-report:
@@ -97,6 +113,9 @@ profile:
 		--operations 1024 --capacity 512 --quiet --profile
 	$(PYTHON) scripts/profile_simulation.py
 
+# benchmarks/results is cleared file-by-file: trajectory.json is the
+# committed cross-PR bench trajectory and must survive a clean.
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find benchmarks/results -type f ! -name trajectory.json -delete 2>/dev/null || true
 	find . -name __pycache__ -type d -exec rm -rf {} +

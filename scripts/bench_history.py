@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Merge this run's ``BENCH_*.json`` artifacts into the bench trajectory.
+
+Thin wrapper over ``python -m repro.obs.history`` for environments that
+invoke scripts rather than modules (CI, Makefile)::
+
+    python scripts/bench_history.py --label pr7 \
+        [--results benchmarks/results] \
+        [--out benchmarks/results/trajectory.json] \
+        [--seed-baseline benchmarks/baselines/throughput.json]
+
+Everything — artifact extractors, the entry/attribution schema, exit
+codes (0 wrote, 2 operational error) — lives in
+``src/repro/obs/history.py``; this file only fixes up ``sys.path`` so the
+module resolves from a source checkout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.history import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Gate the always-on telemetry's self-measured overhead.
+
+Usage::
+
+    python scripts/check_obs_overhead.py \
+        benchmarks/results/BENCH_latency.json [max_fraction]
+
+Reads the ``overhead`` section that ``benchmarks/bench_latency.py``
+writes — interleaved best-of-N throughput of plain vs
+LatencyTracker-instrumented uncached lookups on the runner itself — and
+fails when the measured overhead fraction exceeds the budget (default
+5%).
+
+Exit codes: ``0`` — within budget; ``1`` — overhead above budget (the
+"always-on" claim is broken, the PR must fix the hot path or stop
+claiming always-on); ``2`` — operational error (missing or unreadable
+artifact, malformed numbers: no verdict).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+DEFAULT_MAX_FRACTION = 0.05
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(open(argv[1]).read())
+        budget = float(argv[2]) if len(argv) == 3 else DEFAULT_MAX_FRACTION
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overhead = payload.get("overhead")
+    if not isinstance(overhead, dict):
+        print(f"error: no 'overhead' section in {argv[1]}", file=sys.stderr)
+        return 2
+    try:
+        fraction = float(overhead["overhead_fraction"])
+        plain = float(overhead["plain_ops_per_sec"])
+        inst = float(overhead["instrumented_ops_per_sec"])
+        ops = int(overhead["operations"])
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: malformed overhead section: {exc}", file=sys.stderr)
+        return 2
+    if plain <= 0 or inst <= 0 or ops <= 0:
+        print(
+            f"error: degenerate measurement (plain={plain}, "
+            f"instrumented={inst}, operations={ops})",
+            file=sys.stderr,
+        )
+        return 2
+
+    print("instrumentation overhead gate")
+    print(
+        f"  plain: {plain:,.0f} ops/sec  instrumented: {inst:,.0f} ops/sec "
+        f"({ops} ops x {overhead.get('repeats', '?')} interleaved passes)"
+    )
+    verdict = "FAIL" if fraction > budget else "ok"
+    print(
+        f"  [{verdict}] overhead_fraction: {fraction:.2%} "
+        f"(budget <= {budget:.2%})"
+    )
+    if fraction > budget:
+        print(
+            "OVERHEAD: the always-on latency tracker costs more than "
+            f"{budget:.0%} of uncached-lookup throughput"
+        )
+        return 1
+    print("always-on telemetry within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -12,7 +12,16 @@ counters and turns them into:
 * :mod:`repro.obs.export` — JSON Lines, Chrome trace-event JSON (Perfetto),
   and plain-text table artefacts;
 * :mod:`repro.obs.harness` — instrumented workload replay behind the
-  ``python -m repro.obs`` CLI.
+  ``python -m repro.obs`` CLI;
+* :mod:`repro.obs.wallclock` — the *nondeterministic* wall channel: real
+  time and executor lanes, kept strictly beside (never inside) the
+  deterministic record;
+* :mod:`repro.obs.latency` — wall-latency histograms with p50/p95/p99,
+  per-layer attribution, per-disk utilization timelines, and the
+  always-on :class:`~repro.obs.latency.LatencyTracker`;
+* :mod:`repro.obs.history` — the bench trajectory: every ``BENCH_*.json``
+  merged into ``benchmarks/results/trajectory.json`` with per-metric
+  regression attribution (``python -m repro.obs.history``).
 
 Everything here is off the hot path: with no recorder attached, the
 simulator pays a single ``is None`` check per operation.
@@ -27,8 +36,17 @@ from repro.obs.export import (
     write_table_artifact,
 )
 from repro.obs.harness import ObsReport, report_events, run_instrumented
+from repro.obs.latency import (
+    DiskTimeline,
+    LatencyTracker,
+    classify_layer,
+    collect_latency,
+    percentile_rows,
+)
 from repro.obs.metrics import (
     DEFAULT_IO_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+    DEFAULT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
@@ -49,29 +67,54 @@ from repro.obs.monitors import (
     theorem7_lookup_monitor,
     theorem7_update_monitor,
 )
+from repro.obs.wallclock import (
+    LANES,
+    OverheadReport,
+    current_lane,
+    disable_wall_clock,
+    enable_wall_clock,
+    lane,
+    measure_overhead,
+    wall_enabled,
+)
 
 __all__ = [
     "BoundMonitor",
     "BoundViolationError",
     "Counter",
     "DEFAULT_IO_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "DEFAULT_QUANTILES",
+    "DiskTimeline",
     "Gauge",
     "Histogram",
+    "LANES",
+    "LatencyTracker",
     "MetricsRegistry",
     "MonitorSet",
     "ObsReport",
+    "OverheadReport",
     "SpanBudgetMonitor",
     "Violation",
     "chrome_trace",
     "chrome_trace_events",
+    "classify_layer",
+    "collect_latency",
     "collect_load_distribution",
     "collect_machine",
     "collect_spans",
+    "current_lane",
     "default_monitors",
+    "disable_wall_clock",
+    "enable_wall_clock",
+    "lane",
     "lemma3_load_monitor",
+    "measure_overhead",
+    "percentile_rows",
     "report_events",
     "run_instrumented",
     "span_events",
+    "wall_enabled",
     "theorem6_lookup_monitor",
     "theorem7_lookup_monitor",
     "theorem7_update_monitor",

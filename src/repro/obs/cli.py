@@ -11,6 +11,7 @@ Examples::
     python -m repro.obs --structure basic --operations 512
     python -m repro.obs --structure both --chrome-trace trace.json
     python -m repro.obs --structure dynamic --strict --json report.json
+    python -m repro.obs --percentiles --cache 64
 
 Exit codes:
 
@@ -87,6 +88,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="raise on the first theorem-budget violation",
     )
     parser.add_argument(
+        "--wall",
+        action="store_true",
+        help="also record the wall-clock channel (real time + lanes); "
+        "prints the latency/utilization addendum and adds the real-time "
+        "track group to --chrome-trace. Charged costs are unaffected.",
+    )
+    parser.add_argument(
+        "--percentiles",
+        action="store_true",
+        help="print the p50/p95/p99 wall-latency table and per-disk "
+        "utilization summary (implies --wall and I/O tracing)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the replay under cProfile; writes a pstats dump and "
@@ -133,6 +147,7 @@ def _suffixed(path: pathlib.Path, tag: str, multi: bool) -> pathlib.Path:
 def _run(args: argparse.Namespace) -> int:
     structures = list(STRUCTURES) if args.structure == "both" else [args.structure]
     multi = len(structures) > 1
+    wall = args.wall or args.percentiles
 
     profiler = None
     if args.profile:
@@ -154,10 +169,11 @@ def _run(args: argparse.Namespace) -> int:
                 operations=args.operations,
                 sigma=args.sigma,
                 seed=args.seed,
-                trace=args.chrome_trace is not None,
+                trace=args.chrome_trace is not None or args.percentiles,
                 strict=args.strict,
                 batch=args.batch,
                 cache_blocks=args.cache,
+                wall=wall,
             )
         except BoundViolationError as exc:
             # A strict-mode abort is still a *violation* verdict (exit 1);
@@ -171,6 +187,9 @@ def _run(args: argparse.Namespace) -> int:
 
         if not args.quiet:
             print(report.render_text())
+            if wall:
+                print()
+                print(report.render_wall_text())
             print()
         if args.jsonl is not None:
             path = _suffixed(args.jsonl, structure, multi)
@@ -183,6 +202,7 @@ def _run(args: argparse.Namespace) -> int:
                 report.recorder,
                 report.tracer,
                 num_disks=args.disks,
+                wall=wall,
             )
             print(f"wrote Chrome trace to {path}", file=sys.stderr)
 

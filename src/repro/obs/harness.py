@@ -18,6 +18,7 @@ from repro.analysis.reporting import render_table
 from repro.core.basic_dict import BasicDictionary
 from repro.core.dynamic_dict import DynamicDictionary
 from repro.obs.export import span_events
+from repro.obs.latency import DiskTimeline, collect_latency, percentile_rows
 from repro.obs.metrics import (
     MetricsRegistry,
     collect_batches,
@@ -26,6 +27,7 @@ from repro.obs.metrics import (
     collect_spans,
 )
 from repro.obs.monitors import MonitorSet, default_monitors
+from repro.obs.wallclock import enable_wall_clock
 from repro.pdm.machine import ParallelDiskMachine
 from repro.pdm.spans import SpanRecorder, attach_spans
 from repro.pdm.trace import TraceRecorder, attach
@@ -48,6 +50,12 @@ class ObsReport:
     machine: Any = None
     dictionary: Any = None
     notes: List[str] = field(default_factory=list)
+    #: wall-clock channel, populated only by ``run_instrumented(wall=True)``.
+    #: Deliberately a *separate* registry and deliberately absent from
+    #: :meth:`to_dict`: the committed report stays byte-identical whether
+    #: or not the run was timed.
+    wall_registry: Optional[MetricsRegistry] = None
+    timeline: Optional[DiskTimeline] = None
 
     @property
     def ok(self) -> bool:
@@ -128,6 +136,43 @@ class ObsReport:
             )
         return "\n".join(lines)
 
+    def render_wall_text(self) -> str:
+        """The wall-clock addendum (``--wall`` / ``--percentiles``):
+        latency percentile tables per op class / layer / lane, and the
+        per-disk utilization summary when the run was traced.  All values
+        here are real time — machine-dependent by design."""
+        if self.wall_registry is None:
+            return "(wall-clock channel not enabled; rerun with --wall)"
+        lines: List[str] = []
+        lines.append("-- wall latency (us, measured; varies run to run) --")
+        for family, label in (
+            ("latency.op_us", "op"),
+            ("latency.layer_us", "layer"),
+            ("latency.lane_us", "lane"),
+        ):
+            rows = percentile_rows(self.wall_registry, family)
+            if not rows:
+                continue
+            lines.append(
+                render_table(
+                    [label, "count", "p50", "p95", "p99", "max"], rows
+                )
+            )
+        if self.timeline is not None:
+            lines.append("")
+            lines.append("-- per-disk utilization (logical rounds) --")
+            lines.append(
+                render_table(
+                    ["disk", "busy", "idle", "utilization"],
+                    self.timeline.summary_rows(),
+                )
+            )
+            lines.append(
+                f"mean utilization: {self.timeline.mean_utilization:.1%} "
+                f"over {self.timeline.total_rounds} rounds"
+            )
+        return "\n".join(lines)
+
 
 def build_structure(
     structure: str,
@@ -176,6 +221,7 @@ def run_instrumented(
     monitors: Optional[MonitorSet] = None,
     batch: Optional[int] = None,
     cache_blocks: Optional[int] = None,
+    wall: bool = False,
 ) -> ObsReport:
     """Replay a generated workload under full instrumentation.
 
@@ -189,6 +235,13 @@ def run_instrumented(
     (:mod:`repro.pdm.cache`) and the report gains ``cache.*`` metrics —
     note the theorem-bound monitors assume the uncached cost model, so a
     cached strict run may legitimately *under*-shoot the budgets.
+
+    With ``wall=True`` the span recorder (and tracer, if tracing) also
+    run with the wall-clock channel attached: the report gains a separate
+    ``wall_registry`` of latency histograms and, when traced, a
+    ``timeline`` of per-disk utilization.  The deterministic outputs —
+    ``to_dict()``, every metric in ``registry``, every monitor verdict —
+    are byte-identical with ``wall`` on or off.
     """
     machine = ParallelDiskMachine(
         num_disks, block_items, cache_blocks=cache_blocks
@@ -213,6 +266,10 @@ def run_instrumented(
     )
     recorder = attach_spans(machine)
     tracer = attach(machine) if trace else None
+    if wall:
+        enable_wall_clock(recorder)
+        if tracer is not None:
+            enable_wall_clock(tracer)
 
     summary = replay(dictionary, workload, batch=batch)
 
@@ -241,6 +298,14 @@ def run_instrumented(
     )
     monitor_set.check_recorder(recorder)
 
+    wall_registry: Optional[MetricsRegistry] = None
+    timeline = None
+    if wall:
+        wall_registry = MetricsRegistry()
+        collect_latency(wall_registry, recorder)
+        if tracer is not None:
+            timeline = DiskTimeline.from_tracer(tracer, machine.num_disks)
+
     params = {
         "num_disks": num_disks,
         "block_items": block_items,
@@ -264,6 +329,8 @@ def run_instrumented(
         tracer=tracer,
         machine=machine,
         dictionary=dictionary,
+        wall_registry=wall_registry,
+        timeline=timeline,
     )
 
 

@@ -15,6 +15,19 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 #: Default histogram bucket upper bounds for per-operation I/O rounds.
 DEFAULT_IO_BUCKETS: Tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
 
+#: Default bucket upper bounds for per-operation wall latency, in
+#: microseconds.  Roughly 1-2-5 per decade from 1 us to 100 ms: wide
+#: enough that a cache hit (sub-us) and a fault-retry storm (tens of ms)
+#: land inside the range, fixed so histograms from different runs and
+#: different PRs always merge bucket-for-bucket.
+DEFAULT_LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+)
+
+#: The percentile panel every latency table reports.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
 MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
 
@@ -95,6 +108,36 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        Standard cumulative-bucket estimation with linear interpolation
+        inside the bucket holding the target rank (the Prometheus
+        ``histogram_quantile`` rule), clamped to the observed maximum.
+        Observations in the overflow bucket report :attr:`max` — the
+        tightest statement the histogram can make above its last bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        cum = 0
+        for i, count in enumerate(self.counts[:-1]):
+            cum += count
+            if count and cum >= target:
+                hi = self.bounds[i]
+                lo = self.bounds[i - 1] if i else 0.0
+                frac = (target - (cum - count)) / count
+                return min(lo + (hi - lo) * frac, self.max)
+        return self.max
+
+    def percentiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` via :meth:`quantile`."""
+        return {f"p{q * 100:g}": self.quantile(q) for q in qs}
 
     def as_dict(self) -> Dict[str, Any]:
         return {

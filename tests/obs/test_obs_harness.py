@@ -155,3 +155,59 @@ class TestCli:
         )
         assert rc == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_percentiles_prints_latency_and_utilization(self, capsys):
+        rc = main(
+            [
+                "--structure", "basic",
+                "--disks", "8", "--block", "16",
+                "--universe", str(U),
+                "--capacity", "64", "--operations", "80",
+                "--percentiles",
+            ]
+        )
+        assert rc == 0  # exit codes unchanged by the wall flags
+        out = capsys.readouterr().out
+        assert "wall latency" in out
+        assert "p50" in out and "p99" in out
+        assert "lookup" in out
+        assert "utilization" in out
+
+    def test_wall_flag_report_json_identical(self, tmp_path):
+        def run(extra):
+            out = tmp_path / f"r{len(extra)}.json"
+            rc = main(
+                [
+                    "--structure", "basic", "--quiet",
+                    "--disks", "8", "--block", "16",
+                    "--universe", str(U),
+                    "--capacity", "64", "--operations", "80",
+                    "--json", str(out),
+                ]
+                + extra
+            )
+            assert rc == 0
+            return out.read_text()
+
+        # --wall changes stdout only; the machine-readable report (the
+        # BENCH_smoke.json shape) stays byte-identical.
+        assert run([]) == run(["--wall"])
+
+    def test_wall_chrome_trace_gains_process3(self, tmp_path):
+        trace = tmp_path / "t.json"
+        rc = main(
+            [
+                "--structure", "basic", "--quiet",
+                "--disks", "8", "--block", "16",
+                "--universe", str(U),
+                "--capacity", "64", "--operations", "80",
+                "--wall",
+                "--chrome-trace", str(trace),
+            ]
+        )
+        assert rc == 0
+        pids = {
+            e["pid"]
+            for e in json.loads(trace.read_text())["traceEvents"]
+        }
+        assert 3 in pids

@@ -1,0 +1,152 @@
+"""Tests for the wall-clock channel (repro.obs.wallclock)."""
+
+import threading
+
+import pytest
+
+from repro.obs.wallclock import (
+    DEFAULT_LANE,
+    LANES,
+    OverheadReport,
+    current_lane,
+    disable_wall_clock,
+    enable_wall_clock,
+    lane,
+    measure_overhead,
+    wall_enabled,
+)
+from repro.pdm.spans import attach_spans, span
+from repro.pdm.trace import attach
+
+
+class FakeClock:
+    """Deterministic monotonic ns clock: +step per read."""
+
+    def __init__(self, step=1000):
+        self.now = 0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestLanes:
+    def test_default_lane(self):
+        assert current_lane() == DEFAULT_LANE
+
+    def test_lane_context_nests_and_restores(self):
+        with lane("pool-lock"):
+            assert current_lane() == "pool-lock"
+            with lane("disk-lane", tag=3):
+                assert current_lane() == "disk-lane:3"
+            assert current_lane() == "pool-lock"
+        assert current_lane() == DEFAULT_LANE
+
+    def test_unknown_lane_rejected(self):
+        with pytest.raises(ValueError, match="unknown lane"):
+            lane("fast-lane")
+
+    def test_every_inventory_lane_accepted(self):
+        for name in LANES:
+            with lane(name):
+                assert current_lane() == name
+
+    def test_lane_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["before"] = current_lane()
+            with lane("machine-op"):
+                seen["inside"] = current_lane()
+
+        with lane("pool-lock"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            assert current_lane() == "pool-lock"
+        assert seen == {"before": DEFAULT_LANE, "inside": "machine-op"}
+
+
+class TestEnableDisable:
+    def test_span_recorder_stamps_wall_and_lane(self, machine):
+        recorder = attach_spans(machine)
+        clock = FakeClock()
+        enable_wall_clock(recorder, clock)
+        assert wall_enabled(recorder)
+        assert recorder.wall_origin_ns == 1000
+        with lane("disk-lane", tag=1):
+            with span(machine, "op"):
+                machine.read_blocks([(0, 0)])
+        (root,) = recorder.roots
+        assert root.lane == "disk-lane:1"
+        assert root.wall_start_ns is not None
+        assert root.wall_ns is not None and root.wall_ns > 0
+
+    def test_disable_keeps_old_stamps_stops_new_ones(self, machine):
+        recorder = attach_spans(machine)
+        enable_wall_clock(recorder, FakeClock())
+        with span(machine, "timed"):
+            pass
+        disable_wall_clock(recorder)
+        assert not wall_enabled(recorder)
+        with span(machine, "untimed"):
+            pass
+        timed, untimed = recorder.roots
+        assert timed.wall_ns is not None
+        assert untimed.wall_ns is None and untimed.lane is None
+
+    def test_without_clock_no_stamps(self, machine):
+        recorder = attach_spans(machine)
+        with span(machine, "op"):
+            machine.read_blocks([(0, 0)])
+        (root,) = recorder.roots
+        assert root.wall_start_ns is None
+        assert root.wall_ns is None
+        assert root.lane is None
+
+    def test_tracer_walls_parallel_to_events(self, machine):
+        tracer = attach(machine)
+        machine.read_blocks([(0, 0)])  # before the clock: no wall stamp
+        enable_wall_clock(tracer, FakeClock())
+        machine.read_blocks([(1, 0)])
+        machine.read_blocks([(2, 0)])
+        assert len(tracer.events) == 3
+        assert len(tracer.walls) == 2
+        assert tracer.walls == sorted(tracer.walls)
+        tracer.clear()
+        assert tracer.events == [] and tracer.walls == []
+
+
+class TestOverhead:
+    def test_measure_overhead_interleaves_and_reports(self):
+        clock = FakeClock(step=1)
+        calls = []
+        report = measure_overhead(
+            lambda: calls.append("p"),
+            lambda: calls.append("i"),
+            operations=10,
+            repeats=3,
+            clock=clock,
+        )
+        assert calls == ["p", "i"] * 3
+        assert report.operations == 10 and report.repeats == 3
+        assert report.plain_ops_per_sec > 0
+        assert report.instrumented_ops_per_sec > 0
+
+    def test_overhead_fraction_clamped_nonnegative(self):
+        faster_instrumented = OverheadReport(
+            plain_ops_per_sec=100.0,
+            instrumented_ops_per_sec=120.0,
+            operations=1,
+            repeats=1,
+        )
+        assert faster_instrumented.overhead_fraction == 0.0
+        slower = OverheadReport(
+            plain_ops_per_sec=100.0,
+            instrumented_ops_per_sec=95.0,
+            operations=1,
+            repeats=1,
+        )
+        assert slower.overhead_fraction == pytest.approx(0.05)
+        assert slower.to_dict()["overhead_fraction"] == 0.05
