@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-model test-sanitize lint lint-report baseline bench bench-report bench-batch bench-throughput bench-latency bench-history chaos coverage examples figure1 profile clean
+.PHONY: install test test-model test-sanitize lint lint-report baseline bench bench-report bench-batch bench-throughput bench-latency bench-recovery bench-history chaos coverage examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -75,6 +75,13 @@ bench-latency:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_latency.py -q --benchmark-disable
 	$(PYTHON) scripts/check_obs_overhead.py benchmarks/results/BENCH_latency.json
+
+# Self-healing under rolling failures: time-to-heal, degraded-read
+# fraction, and foreground p99 impact per structure (BENCH_recovery.json,
+# merged into the bench trajectory by bench-history).
+bench-recovery:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fault_recovery.py -q --benchmark-disable
 
 # Merge every BENCH_*.json under benchmarks/results into the committed
 # bench trajectory (benchmarks/results/trajectory.json) with per-metric

@@ -11,9 +11,18 @@ benchmarks put numbers on the two halves of that contract:
 2. **Chaos recovery overhead**: run the seeded chaos harness per structure
    and tabulate survival rates and the recovery I/O (retries + repairs)
    that degraded operation charges on top of the healthy run.
+3. **Self-healing under rolling failures**: attach the recovery stack
+   (health tracker, budgeted rebuild manager, scrubber) and roll seeded
+   failures through the disks while the workload keeps running; measure
+   time-to-heal, the fraction of operations that ran degraded, and the
+   foreground p99 impact.
 
-Outputs: ``benchmarks/results/fault_recovery_*.txt`` (+ .json sidecars).
+Outputs: ``benchmarks/results/fault_recovery_*.txt`` (+ .json sidecars)
+and ``benchmarks/results/BENCH_recovery.json`` (ingested into the
+committed bench trajectory by ``scripts/bench_history.py``).
 """
+
+import json
 
 from repro.analysis.reporting import render_table
 from repro.core.interface import DegradedLookupError
@@ -126,4 +135,98 @@ def test_chaos_recovery_overhead(benchmark, save_table):
     # Degradation must be visible, not free: the seeded plan injects
     # transients and stragglers, so recovery rounds are non-zero somewhere.
     assert any(int(r[4]) > 0 for r in rows)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+_OP_SUFFIXES = (".lookup", ".insert", ".upsert", ".delete", ".contains")
+
+
+def _op_p99(recorder):
+    """p99 effective round cost of the foreground operation spans."""
+    costs = sorted(
+        s.effective_cost.total_ios
+        for s in recorder.iter_spans()
+        if s.name.endswith(_OP_SUFFIXES)
+    )
+    if not costs:
+        return 0
+    return costs[min(len(costs) - 1, (len(costs) * 99) // 100)]
+
+
+def test_rolling_failure_recovery(benchmark, save_table, results_dir):
+    """Live workload + rolling failures + the self-healing stack."""
+    scenarios = []
+    rows = []
+    configs = [
+        # static: permanent kills, rebuild onto spares, scrub in between.
+        ("static", dict(rolling=2, repair_budget=6, spares=4, scrub_rate=2)),
+        # mutable dicts: rolling transient windows, retry + verify heal.
+        ("basic", dict(rolling=3, repair_budget=4)),
+        ("dynamic", dict(rolling=3, repair_budget=4)),
+    ]
+    common = dict(operations=128, capacity=96, num_disks=16)
+    for structure, kw in configs:
+        # Baseline pass with an empty plan: same build, same workload,
+        # same instrumentation — healthy per-op span costs.
+        baseline = run_chaos(
+            structure,
+            plan=FaultPlan(seed=0, num_disks=16, horizon=1, events=()),
+            **common,
+        )
+        report = run_chaos(structure, **kw, **common)
+        assert report.ok and report.healed is True
+        assert report.wrong_answers == 0
+        healthy_p99 = _op_p99(baseline.recorder)
+        chaos_p99 = _op_p99(report.recorder)
+        p99_overhead = (
+            chaos_p99 / healthy_p99 - 1.0 if healthy_p99 else 0.0
+        )
+        degraded_fraction = report.degraded_spans / report.operations
+        blocks_lost = report.recovery["stats"]["blocks_lost"]
+        scenarios.append(
+            {
+                "structure": structure,
+                "params": dict(kw),
+                "time_to_heal_rounds": report.heal_rounds,
+                "degraded_read_fraction": degraded_fraction,
+                "foreground_p99_overhead": p99_overhead,
+                "wrong_answers": report.wrong_answers,
+                "blocks_lost": blocks_lost,
+                "rebuilds_completed": report.recovery["stats"][
+                    "rebuilds_completed"
+                ],
+                "blocks_rebuilt": report.recovery["stats"]["blocks_rebuilt"],
+                "repair_ios": report.repair_ios,
+                "retry_ios": report.retry_ios,
+            }
+        )
+        rows.append(
+            [
+                structure,
+                report.heal_rounds,
+                f"{degraded_fraction:.1%}",
+                f"{p99_overhead:+.1%}",
+                report.recovery["stats"]["rebuilds_completed"],
+                blocks_lost,
+                report.repair_ios,
+            ]
+        )
+        # The healing contract the chaos suite enforces, re-checked at
+        # bench scale: everything heals, nothing is lost.
+        assert blocks_lost == 0
+
+    payload = {
+        "benchmark": "recovery",
+        "config": common,
+        "scenarios": scenarios,
+    }
+    out = results_dir / "BENCH_recovery.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    table = render_table(
+        ["structure", "heal rounds", "degraded ops", "p99 impact",
+         "rebuilds", "blocks lost", "repair I/Os"],
+        rows,
+    )
+    save_table("fault_recovery_healing", table)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -713,6 +713,9 @@ class BasicDictionary(Dictionary):
                     seen.add(k2)
                     yield k2
 
+    def recovery_extents(self):
+        return self.buckets.extents()
+
     def current_max_load(self) -> int:
         loads = self.buckets.loads()
         return max(loads.values()) if loads else 0

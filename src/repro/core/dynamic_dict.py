@@ -1037,6 +1037,12 @@ class DynamicDictionary(Dictionary):
     def stored_keys(self):
         return self.membership.stored_keys()
 
+    def recovery_extents(self):
+        ext = self.membership.recovery_extents()
+        for arr in self.levels:
+            ext.extend(arr.extents())
+        return ext
+
     def level_occupancy(self) -> List[int]:
         """Occupied fields per level (audit; no I/O)."""
         return [arr.occupied_fields() for arr in self.levels]

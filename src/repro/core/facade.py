@@ -159,6 +159,15 @@ class ParallelDiskDictionary(Dictionary):
     def stored_keys(self):
         return self._inner.stored_keys()  # type: ignore[attr-defined]
 
+    def recovery_extents(self):
+        return self._inner.recovery_extents()
+
+    def reconstruct_block(self, addr):
+        return self._inner.reconstruct_block(addr)
+
+    def reconstruct_round_bound(self):
+        return self._inner.reconstruct_round_bound()
+
     def __len__(self) -> int:
         return len(self._inner)  # type: ignore[arg-type]
 

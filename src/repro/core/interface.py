@@ -219,6 +219,32 @@ class Dictionary:
         for key in self.stored_keys():  # type: ignore[attr-defined]
             yield key, self.lookup(key).value
 
+    # -- recovery hooks ------------------------------------------------------
+    #
+    # The self-healing layer (repro.recovery) asks a registered structure
+    # two things: which block ranges it owns (so a rebuild or scrub knows
+    # what to walk), and — where redundancy allows — how to reconstruct a
+    # single lost block from surviving replicas.  Structures without
+    # redundancy return extents only; their blocks survive transient
+    # windows (storage is shared with the wrapper) but a permanently
+    # failed disk loses them, which the loud-failure contract reports.
+
+    def recovery_extents(self):
+        """Owned block ranges as ``(disk, first_block, count)`` triples.
+        Base dictionaries own no registered storage."""
+        return []
+
+    def reconstruct_block(self, addr):
+        """Rebuild one lost block's ``(payload, used_bits)`` from
+        redundancy, or ``None`` when this structure cannot (no replicas,
+        or the block is outside its extents)."""
+        return None
+
+    def reconstruct_round_bound(self):
+        """Upper bound on the read rounds one :meth:`reconstruct_block`
+        may charge — the recovery monitor's per-block budget term."""
+        return 1
+
     def _check_key(self, key: int) -> None:
         if not isinstance(key, int):
             raise TypeError(f"keys are integers, got {type(key).__name__}")

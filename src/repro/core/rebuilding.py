@@ -182,6 +182,24 @@ class RebuildingDictionary(Dictionary):
                     seen.add(key)
                     yield key
 
+    def recovery_extents(self):
+        ext = list(self.active.recovery_extents())
+        if self.building is not None:
+            ext.extend(self.building.recovery_extents())
+        return ext
+
+    def reconstruct_block(self, addr):
+        out = self.active.reconstruct_block(addr)
+        if out is None and self.building is not None:
+            out = self.building.reconstruct_block(addr)
+        return out
+
+    def reconstruct_round_bound(self):
+        bound = self.active.reconstruct_round_bound()
+        if self.building is not None:
+            bound = max(bound, self.building.reconstruct_round_bound())
+        return bound
+
     def __len__(self) -> int:
         return self._live_size()
 

@@ -361,6 +361,12 @@ class RecursiveLoadBalancedDictionary(Dictionary):
                         seen.add(k2)
                         yield k2
 
+    def recovery_extents(self):
+        ext = []
+        for store in self.levels_store:
+            ext.extend(store.extents())
+        return ext
+
     def __len__(self) -> int:
         return self.size
 

@@ -752,6 +752,114 @@ class StaticDictionary(Dictionary):
             "or rebuild"
         )
 
+    # -- recovery hooks -----------------------------------------------------
+
+    def recovery_extents(self):
+        ext = []
+        if self.array is not None:
+            ext.extend(self.array.extents())
+        if self.membership is not None:
+            ext.extend(self.membership.recovery_extents())
+        return ext
+
+    def reconstruct_round_bound(self):
+        if (
+            self.case == "b"
+            and self.redundancy == "replicate"
+            and self.array is not None
+        ):
+            # One reconstruction batch touches at most every block of a
+            # replica stripe on each surviving disk.
+            return self.array.blocks_per_stripe
+        return 1
+
+    def _field_owners(self) -> Dict[Tuple[int, int], int]:
+        """Reverse of the construction fill: ``(stripe, index) -> key``.
+        Built lazily — only recovery walks it, never the one-probe path."""
+        owners = getattr(self, "_owner_map", None)
+        if owners is None:
+            owners = {}
+            simap = self._stripe_index_map()
+            self._simap = simap
+            for key, stripes in self.assignment.items():
+                for s in stripes:
+                    owners[(s, simap[key][s])] = key
+            self._owner_map = owners
+        return owners
+
+    def reconstruct_block(self, addr):
+        """Rebuild one lost field-array block from replica majority.
+
+        Only the replicated case-'b' layout keeps spare copies: each slot
+        of the lost block held some key's full ``(ident, record)`` field,
+        and the same pair lives on every *other* stripe the assignment
+        gave that key.  Reads go through the degraded path (surviving
+        replicas may themselves be faulted) and each slot is restored
+        only when an identifier wins a strict majority of the key's
+        ``m`` assigned fields — the same decode bar as a lookup, so a
+        reconstructed block can never contain data a lookup would not
+        have vouched for.  Slots with no surviving majority stay empty
+        (loud data loss on next lookup, never silent garbage).
+
+        Callers charge the reads as repair I/O
+        (:meth:`~repro.pdm.machine.AbstractDiskMachine.attribute_repair`).
+        Returns ``(payload, used_bits)`` or ``None`` if the block is not
+        reconstructible from this structure.
+        """
+        if (
+            self.case != "b"
+            or self.redundancy != "replicate"
+            or self.array is None
+        ):
+            return None
+        arr = self.array
+        disk, block_index = addr
+        stripe = disk - arr.disk_offset
+        if not 0 <= stripe < arr.stripes:
+            return None
+        base = arr._base[stripe]
+        if not base <= block_index < base + arr.blocks_per_stripe:
+            return None
+        owners = self._field_owners()
+        fpb = arr.fields_per_block
+        slot_plan: List[Tuple[int, int, List[Tuple[int, int]]]] = []
+        wanted: Dict[Tuple[int, int], None] = {}
+        for slot in range(fpb):
+            index = (block_index - base) * fpb + slot
+            if index >= arr.stripe_size:
+                break
+            key = owners.get((stripe, index))
+            if key is None:
+                continue
+            simap = self._simap[key]
+            locs = [
+                (s, simap[s]) for s in self.assignment[key] if s != stripe
+            ]
+            slot_plan.append((slot, key, locs))
+            for loc in locs:
+                wanted[loc] = None
+        if not slot_plan:
+            return [None] * fpb, 0
+        values, _failures = arr.read_fields_degraded(wanted)
+        payload: List[Any] = [None] * fpb
+        bar = self.m_need / 2
+        for slot, key, locs in slot_plan:
+            counts: Dict[int, int] = {}
+            sample: Dict[int, Any] = {}
+            for loc in locs:
+                val = values.get(loc)
+                if val is None:
+                    continue
+                ident = val[0]
+                counts[ident] = counts.get(ident, 0) + 1
+                sample[ident] = val
+            for ident, cnt in counts.items():
+                if cnt > bar:
+                    payload[slot] = (ident, sample[ident][1])
+                    break
+        used = sum(1 for v in payload if v is not None) * arr.field_bits
+        return payload, used
+
     # -- audits -------------------------------------------------------------------------
 
     @property

@@ -16,7 +16,7 @@ that finds a bug is its own reproducer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.bits.mix import derive
 from repro.core.interface import CapacityExceeded, DegradedModeError
@@ -30,8 +30,10 @@ from repro.obs.metrics import (
 )
 from repro.pdm.errors import IOFault
 from repro.pdm.faults import attach_faults
+from repro.pdm.health import attach_health
 from repro.pdm.machine import ParallelDiskMachine
 from repro.pdm.spans import attach_spans
+from repro.recovery import RecoveryManager, Scrubber, SparePool
 from repro.workloads.replay import Workload, replay
 
 from repro.faults.plan import FaultPlan
@@ -64,6 +66,16 @@ class ChaosReport:
     degraded_spans: int = 0
     injected: Dict[str, int] = field(default_factory=dict)
     registry: Optional[MetricsRegistry] = None
+    #: The faulted pass's span recorder — lets callers audit e.g. the
+    #: ``recovery.rebuild`` summary spans with the monitor panel.  Like
+    #: ``registry`` it stays out of :meth:`to_dict`.
+    recorder: Optional[Any] = None
+    #: None when no recovery manager ran; else whether every disk returned
+    #: to healthy with no rebuild left in flight.
+    healed: Optional[bool] = None
+    #: Logical rounds from the start of the faulted pass to full health.
+    heal_rounds: int = 0
+    recovery: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def failed_total(self) -> int:
@@ -71,8 +83,9 @@ class ChaosReport:
 
     @property
     def ok(self) -> bool:
-        """Loud failures are acceptable chaos outcomes; silence is not."""
-        return self.wrong_answers == 0
+        """Loud failures are acceptable chaos outcomes; silence is not.
+        A recovery run that failed to heal is equally a broken contract."""
+        return self.wrong_answers == 0 and self.healed is not False
 
     @property
     def overhead(self) -> float:
@@ -98,6 +111,9 @@ class ChaosReport:
             "overhead": self.overhead,
             "injected": dict(self.injected),
             "metrics": self.registry.as_dict() if self.registry else {},
+            "healed": self.healed,
+            "heal_rounds": self.heal_rounds,
+            "recovery": dict(self.recovery),
             "ok": self.ok,
         }
 
@@ -124,7 +140,20 @@ class ChaosReport:
             "injected: "
             + " ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
         )
-        lines.append("verdict: " + ("OK" if self.ok else "SILENT WRONG ANSWER"))
+        if self.healed is not None:
+            stats = self.recovery.get("stats", {})
+            lines.append(
+                f"recovery: healed={self.healed} heal-rounds={self.heal_rounds} "
+                f"rebuilds={stats.get('rebuilds_completed', 0)}"
+                f"/{stats.get('rebuilds_started', 0)} "
+                f"blocks={stats.get('blocks_rebuilt', 0)}"
+            )
+        verdict = "OK"
+        if self.wrong_answers:
+            verdict = "SILENT WRONG ANSWER"
+        elif self.healed is False:
+            verdict = "FAILED TO HEAL"
+        lines.append("verdict: " + verdict)
         return "\n".join(lines)
 
 
@@ -202,6 +231,7 @@ def chaos_replay(
     *,
     model: Optional[Dict[int, int]] = None,
     verify: bool = True,
+    on_op: Optional[Callable[[], None]] = None,
 ) -> Tuple[int, int, Dict[str, int]]:
     """Drive ``dictionary`` through ``ops``, absorbing typed failures.
 
@@ -212,6 +242,10 @@ def chaos_replay(
     refuses before changing visible state, so later verified lookups stay
     meaningful.  A lookup that *returns* but disagrees with the model is a
     silent wrong answer, the outcome chaos runs exist to rule out.
+
+    ``on_op``, when given, runs between operations (and before the
+    first) — the hook the self-healing harness uses to interleave
+    recovery-manager and scrubber steps with live traffic.
     """
     if model is None:
         model = {}
@@ -219,6 +253,8 @@ def chaos_replay(
     wrong = 0
     failed: Dict[str, int] = {}
     for kind, key, value in ops:
+        if on_op is not None:
+            on_op()
         try:
             if kind == "insert":
                 dictionary.insert(key, value)
@@ -265,6 +301,12 @@ def run_chaos(
     transient_rate: float = 0.15,
     corruption_rate: float = 0.02,
     straggler_rate: float = 0.10,
+    rolling: int = 0,
+    rolling_every: int = 0,
+    rolling_kind: Optional[str] = None,
+    repair_budget: int = 0,
+    spares: int = 0,
+    scrub_rate: int = 0,
 ) -> ChaosReport:
     """One healthy pass, one faulted pass, one verdict.
 
@@ -275,10 +317,29 @@ def run_chaos(
     one (e.g. :meth:`FaultPlan.kill_disks` for targeted adversaries) and
     is *not* shifted — targeted plans use :data:`~repro.faults.plan.
     FOREVER` windows that cover any clock.
+
+    ``rolling=N`` replaces the generated plan with
+    :meth:`FaultPlan.rolling`: ``N`` failures, one every ``rolling_every``
+    rounds (default: the healthy run spread over ``N+1`` slots).  The
+    failure mode defaults to permanent kills when a ``spares`` pool is
+    available and transient windows otherwise.
+
+    ``repair_budget=K`` attaches the self-healing stack: a health tracker,
+    a :class:`~repro.recovery.manager.RecoveryManager` metered at ``K``
+    repair rounds per step (plus a scrubber when ``scrub_rate > 0``),
+    stepped between every two workload operations and drained after the
+    last.  The report then carries ``healed`` / ``heal_rounds`` /
+    ``recovery`` and ``ok`` additionally requires full healing.
     """
     if structure not in STRUCTURES:
         raise ValueError(
             f"unknown structure {structure!r}; choose from {STRUCTURES}"
+        )
+    if rolling < 0:
+        raise ValueError(f"rolling must be non-negative, got {rolling}")
+    if repair_budget < 0:
+        raise ValueError(
+            f"repair-budget must be non-negative, got {repair_budget}"
         )
 
     def fresh(machine):
@@ -341,22 +402,74 @@ def run_chaos(
     dictionary, items = fresh(machine)
     model: Dict[int, int] = dict(items) if items is not None else {}
     if plan is None:
-        plan = FaultPlan.generate(
-            fault_seed,
-            num_disks=num_disks,
-            horizon=max(16, healthy_ios),
-            outage_rate=outage_rate,
-            transient_rate=transient_rate,
-            corruption_rate=corruption_rate,
-            straggler_rate=straggler_rate,
-        ).shifted(machine.stats.total_ios)
+        if rolling > 0:
+            kind = rolling_kind or ("kill" if spares > 0 else "transient")
+            every = rolling_every or max(8, healthy_ios // (rolling + 1))
+            plan = FaultPlan.rolling(
+                fault_seed,
+                num_disks=num_disks,
+                failures=rolling,
+                every=every,
+                kind=kind,
+            ).shifted(machine.stats.total_ios)
+        else:
+            plan = FaultPlan.generate(
+                fault_seed,
+                num_disks=num_disks,
+                horizon=max(16, healthy_ios),
+                outage_rate=outage_rate,
+                transient_rate=transient_rate,
+                corruption_rate=corruption_rate,
+                straggler_rate=straggler_rate,
+            ).shifted(machine.stats.total_ios)
     injector = attach_faults(
         machine, plan.events, checksums=checksums, retry_budget=retry_budget
     )
+
+    manager: Optional[RecoveryManager] = None
+    scrubber: Optional[Scrubber] = None
+    on_op: Optional[Callable[[], None]] = None
+    if repair_budget > 0:
+        tracker = attach_health(machine)
+        manager = RecoveryManager(
+            machine,
+            tracker,
+            repair_budget=repair_budget,
+            spares=SparePool(spares) if spares > 0 else None,
+        )
+        manager.register(dictionary)
+        if scrub_rate > 0:
+            scrubber = Scrubber(machine, rate=scrub_rate)
+            scrubber.register(dictionary)
+
+        def on_op() -> None:
+            manager.step()
+            if scrubber is not None:
+                scrubber.step()
+
     chaos_before = machine.stats.total_ios
     survived, wrong, failed = chaos_replay(
-        dictionary, ops, model=model, verify=True
+        dictionary, ops, model=model, verify=True, on_op=on_op
     )
+    healed: Optional[bool] = None
+    heal_rounds = 0
+    recovery: Dict[str, Any] = {}
+    if manager is not None:
+        manager.run_until_idle()
+        healed = manager.all_healed
+        end_clock = manager.heal_clock
+        if end_clock is None or not healed:
+            end_clock = machine.stats.total_ios
+        heal_rounds = end_clock - chaos_before
+        recovery = {
+            "stats": dict(manager.stats),
+            "health": manager.tracker.counts(),
+            "transitions": manager.tracker.transitions,
+            "heal_clock": manager.heal_clock,
+            "journal_entries": len(manager.journal),
+        }
+        if scrubber is not None:
+            recovery["scrub"] = dict(scrubber.stats)
     chaos_ios = machine.stats.total_ios - chaos_before
 
     registry = MetricsRegistry()
@@ -379,6 +492,12 @@ def run_chaos(
         "checksums": checksums,
         "retry_budget": retry_budget,
     }
+    if rolling > 0:
+        params["rolling"] = rolling
+    if repair_budget > 0:
+        params["repair_budget"] = repair_budget
+        params["spares"] = spares
+        params["scrub_rate"] = scrub_rate
     if structure == "static":
         params["fault_tolerance"] = fault_tolerance(dictionary.degree)
     return ChaosReport(
@@ -396,4 +515,8 @@ def run_chaos(
         degraded_spans=degraded_spans,
         injected=dict(injector.injected),
         registry=registry,
+        recorder=recorder,
+        healed=healed,
+        heal_rounds=heal_rounds,
+        recovery=recovery,
     )

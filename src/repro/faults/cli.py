@@ -65,6 +65,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="transient-read retries before TransientIOError",
     )
     parser.add_argument(
+        "--rolling",
+        type=int,
+        default=0,
+        metavar="N",
+        help="replace the generated plan with N rolling failures, one "
+        "disk at a time (permanent kills when --spares > 0, transient "
+        "windows otherwise)",
+    )
+    parser.add_argument(
+        "--rolling-every",
+        type=int,
+        default=0,
+        metavar="R",
+        help="rounds between rolling failures (default: spread over the "
+        "healthy run)",
+    )
+    parser.add_argument(
+        "--rolling-kind",
+        choices=("transient", "outage", "kill"),
+        default=None,
+        help="failure kind for --rolling (default: kill when --spares "
+        "> 0, transient otherwise)",
+    )
+    parser.add_argument(
+        "--repair-budget",
+        type=int,
+        default=0,
+        metavar="K",
+        help="attach the self-healing stack, metering rebuilds at K "
+        "repair rounds per step (0: no recovery manager)",
+    )
+    parser.add_argument(
+        "--spares",
+        type=int,
+        default=0,
+        help="replacement disks available to the recovery manager",
+    )
+    parser.add_argument(
+        "--scrub-rate",
+        type=int,
+        default=0,
+        help="blocks scrubbed between operations (0: no scrubber)",
+    )
+    parser.add_argument(
         "--no-checksums",
         action="store_true",
         help="disable verify-on-read (silent corruption stays silent; "
@@ -116,6 +160,12 @@ def _run(args: argparse.Namespace) -> int:
             transient_rate=args.transient_rate,
             corruption_rate=args.corruption_rate,
             straggler_rate=args.straggler_rate,
+            rolling=args.rolling,
+            rolling_every=args.rolling_every,
+            rolling_kind=args.rolling_kind,
+            repair_budget=args.repair_budget,
+            spares=args.spares,
+            scrub_rate=args.scrub_rate,
         )
         reports.append(report)
         if not args.quiet:

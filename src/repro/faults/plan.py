@@ -36,6 +36,7 @@ _TAG_OUTAGE = 0x0F01
 _TAG_TRANSIENT = 0x0F02
 _TAG_STRAGGLER = 0x0F03
 _TAG_CORRUPT = 0x0F04
+_TAG_ROLLING = 0x0F06
 
 
 def _unit(x: int) -> float:
@@ -151,6 +152,104 @@ class FaultPlan:
         failing exactly the stripes that hold a key's fields."""
         events = tuple(DiskOutage(d, start, end) for d in disks)
         return cls(seed=0, num_disks=num_disks, horizon=end, events=events)
+
+    @classmethod
+    def rolling(
+        cls,
+        seed: int,
+        *,
+        num_disks: int,
+        failures: int,
+        every: int,
+        start: int = 0,
+        outage_len: int = 8,
+        kind: str = "transient",
+    ) -> "FaultPlan":
+        """Rolling failures: one disk fails every ``every`` rounds.
+
+        The victim order is a seeded permutation of the disks, so no disk
+        is hit twice before every other disk has had its turn — the
+        schedule a self-healing run must survive: each failure lands while
+        the previous one's rebuild may still be in flight.
+
+        ``kind`` selects the failure mode: ``"transient"`` windows of
+        ``outage_len`` rounds (heal in place once the window passes),
+        ``"outage"`` hard down-windows of ``outage_len`` rounds, or
+        ``"kill"`` — permanent loss (:data:`FOREVER`), the spare-rebuild
+        scenario.
+        """
+        if failures < 0:
+            raise ValueError(f"failures must be non-negative, got {failures}")
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        if kind not in ("transient", "outage", "kill"):
+            raise ValueError(f"unknown rolling failure kind {kind!r}")
+        # Seeded Fisher-Yates permutation of the disk indices.
+        perm = list(range(num_disks))
+        for i in range(num_disks - 1, 0, -1):
+            j = derive(seed, _TAG_ROLLING, i) % (i + 1)
+            perm[i], perm[j] = perm[j], perm[i]
+        events: List[FaultEvent] = []
+        horizon = start + 1
+        for i in range(failures):
+            disk = perm[i % num_disks]
+            t = start + i * every
+            if kind == "kill":
+                events.append(DiskOutage(disk, t, FOREVER))
+                horizon = max(horizon, t + every)
+            elif kind == "outage":
+                events.append(DiskOutage(disk, t, t + outage_len))
+                horizon = max(horizon, t + outage_len)
+            else:
+                events.append(TransientWindow(disk, t, t + outage_len))
+                horizon = max(horizon, t + outage_len)
+        return cls(
+            seed=seed,
+            num_disks=num_disks,
+            horizon=horizon,
+            events=tuple(events),
+        )
+
+    @classmethod
+    def repair_race(
+        cls,
+        seed: int,
+        *,
+        num_disks: int,
+        repeats: int = 3,
+        every: int = 24,
+        outage_len: int = 8,
+        start: int = 0,
+        disk: "int | None" = None,
+    ) -> "FaultPlan":
+        """The repair-race adversary: one disk fails *again* while its
+        rebuild is still in flight, ``repeats`` times over.
+
+        Finite down-windows of ``outage_len`` rounds recur every ``every``
+        rounds on the same disk; a recovery manager that restarts from
+        scratch each time can be starved forever, while journal-backed
+        resume converges — exactly the property the crash-consistency
+        tests pin down.
+        """
+        if repeats <= 0:
+            raise ValueError(f"repeats must be positive, got {repeats}")
+        if every <= outage_len:
+            raise ValueError(
+                f"every ({every}) must exceed outage_len ({outage_len}) or "
+                f"the windows merge into one long outage"
+            )
+        if disk is None:
+            disk = derive(seed, _TAG_ROLLING, 0, 1) % num_disks
+        events = tuple(
+            DiskOutage(disk, start + i * every, start + i * every + outage_len)
+            for i in range(repeats)
+        )
+        return cls(
+            seed=seed,
+            num_disks=num_disks,
+            horizon=start + (repeats - 1) * every + outage_len,
+            events=events,
+        )
 
     def shifted(self, offset: int) -> "FaultPlan":
         """The same schedule, translated ``offset`` logical rounds later.

@@ -73,6 +73,7 @@ DEFAULT_RACE_SCOPE = [
     "repro.batch",
     "repro.hashing",
     "repro.btree",
+    "repro.recovery",
 ]
 DEFAULT_SPAN_SCOPE = ["repro.core"]
 DEFAULT_LAYERS: Dict[str, List[str]] = {
@@ -84,6 +85,7 @@ DEFAULT_LAYERS: Dict[str, List[str]] = {
     "repro.core": ["repro.pdm", "repro.expanders", "repro.extsort"],
     "repro.workloads": ["repro.core"],
     "repro.fs": ["repro.pdm", "repro.core", "repro.workloads"],
+    "repro.recovery": ["repro.pdm", "repro.core"],
     "repro.analysis": ["*"],
     "repro.lint": [],
 }

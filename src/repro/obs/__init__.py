@@ -53,12 +53,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     collect_load_distribution,
     collect_machine,
+    collect_recovery,
     collect_spans,
 )
 from repro.obs.monitors import (
     BoundMonitor,
     BoundViolationError,
     MonitorSet,
+    RecoveryMonitor,
     SpanBudgetMonitor,
     Violation,
     default_monitors,
@@ -94,6 +96,7 @@ __all__ = [
     "MonitorSet",
     "ObsReport",
     "OverheadReport",
+    "RecoveryMonitor",
     "SpanBudgetMonitor",
     "Violation",
     "chrome_trace",
@@ -102,6 +105,7 @@ __all__ = [
     "collect_latency",
     "collect_load_distribution",
     "collect_machine",
+    "collect_recovery",
     "collect_spans",
     "current_lane",
     "default_monitors",

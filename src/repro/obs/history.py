@@ -62,6 +62,7 @@ _HIGHER_IS_BETTER = (
 _LOWER_IS_BETTER = (
     "rounds_per_op", "_us", "overhead", "total_ios", "avg_ios",
     "worst_ios", "wrong_answers", "violations", "errors", "_rounds",
+    "degraded_read_fraction", "blocks_lost",
 )
 
 
@@ -177,6 +178,23 @@ def extract_latency(payload: Dict[str, Any]) -> Dict[str, float]:
     return out
 
 
+def extract_recovery(payload: Dict[str, Any]) -> Dict[str, float]:
+    """``BENCH_recovery.json``: self-healing under rolling failures."""
+    out: Dict[str, float] = {}
+    for sc in payload.get("scenarios", ()):
+        label = _slug(sc.get("structure", "?"))
+        for key in (
+            "time_to_heal_rounds",
+            "degraded_read_fraction",
+            "foreground_p99_overhead",
+            "wrong_answers",
+            "blocks_lost",
+        ):
+            if key in sc and sc[key] is not None:
+                out[f"recovery.{label}.{key}"] = sc[key]
+    return out
+
+
 #: artifact stem -> extractor; ``ingest_results`` globs ``BENCH_*.json``
 #: and dispatches here (unknown stems are reported, not silently dropped).
 EXTRACTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, float]]] = {
@@ -185,6 +203,7 @@ EXTRACTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, float]]] = {
     "BENCH_chaos": extract_chaos,
     "BENCH_smoke": extract_smoke,
     "BENCH_latency": extract_latency,
+    "BENCH_recovery": extract_recovery,
 }
 
 

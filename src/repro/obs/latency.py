@@ -37,7 +37,17 @@ from repro.obs.wallclock import DEFAULT_CLOCK
 from repro.pdm.spans import Span, SpanRecorder
 
 #: Layer labels, in attribution-priority order.
-LAYERS: Tuple[str, ...] = ("fault-retry", "cache-hit", "cache-miss", "uncached")
+LAYERS: Tuple[str, ...] = (
+    "repair",
+    "fault-retry",
+    "cache-hit",
+    "cache-miss",
+    "uncached",
+)
+
+#: Root-span name prefixes owned by the self-healing layer
+#: (``repro.recovery``): rebuild scheduling and scrub passes.
+_REPAIR_PREFIXES: Tuple[str, ...] = ("recovery.", "scrub.")
 
 
 def op_class(span: Span) -> str:
@@ -49,6 +59,9 @@ def op_class(span: Span) -> str:
 def classify_layer(span: Span) -> str:
     """Which layer served a root span, by priority:
 
+    * ``repair`` — the span *is* background recovery work (a
+      ``recovery.*`` or ``scrub.*`` root), as opposed to a foreground op
+      that merely paid for retries;
     * ``fault-retry`` — recovery I/O happened (``retry_ios``/
       ``repair_ios`` in the raw cost, or the span ran degraded);
     * ``cache-hit`` — the buffer pool answered every read (hits recorded,
@@ -57,6 +70,8 @@ def classify_layer(span: Span) -> str:
       happened;
     * ``uncached`` — no pool in the loop.
     """
+    if span.name.startswith(_REPAIR_PREFIXES):
+        return "repair"
     cost = span.cost
     if cost.retry_ios or cost.repair_ios or span.attrs.get("degraded"):
         return "fault-retry"

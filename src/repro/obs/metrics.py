@@ -352,6 +352,40 @@ def collect_faults(
         registry.gauge(f"{prefix}.degraded_spans").set(degraded)
 
 
+def collect_recovery(
+    registry: MetricsRegistry,
+    machine,
+    manager=None,
+    prefix: str = "recovery",
+) -> None:
+    """Self-healing telemetry: health states and rebuild progress.
+
+    With a health tracker attached (``machine.health``), exports one
+    gauge per state (``recovery.disks{state=...}``) plus the transition
+    count.  With a :class:`~repro.recovery.manager.RecoveryManager`,
+    exports its counters (rebuilds started/completed/aborted, blocks
+    rebuilt/verified/lost, spare starvation, idle-wait rounds) and the
+    journal length.  No-op gauges are still emitted for attached
+    components so dashboards see explicit zeros, matching
+    :func:`collect_faults`.
+    """
+    tracker = getattr(machine, "health", None)
+    if tracker is not None:
+        for state, count in sorted(tracker.counts().items()):
+            registry.gauge(f"{prefix}.disks", state=state).set(count)
+        registry.gauge(f"{prefix}.transitions").set(tracker.transitions)
+    if manager is not None:
+        for key, value in sorted(manager.stats.items()):
+            registry.counter(f"{prefix}.{key}").inc(value)
+        registry.gauge(f"{prefix}.active_rebuilds").set(
+            manager.active_rebuilds
+        )
+        registry.gauge(f"{prefix}.journal_entries").set(len(manager.journal))
+        registry.gauge(f"{prefix}.spares_available").set(
+            manager.spares.available
+        )
+
+
 def collect_load_distribution(
     registry: MetricsRegistry,
     histogram: Mapping[int, int],

@@ -307,11 +307,51 @@ class DegradationMonitor(BoundMonitor):
         )
 
 
+@dataclass
+class RecoveryMonitor(BoundMonitor):
+    """Bounds online rebuild work against its declared budget.
+
+    Every completed rebuild emits a zero-cost ``recovery.rebuild``
+    summary span carrying ``rounds_used`` (repair rounds actually spent)
+    and ``budget_rounds`` (the closed form
+    :func:`~repro.recovery.manager.rebuild_budget_rounds` — one write
+    plus at most ``read_bound`` reconstruction reads per block, plus
+    constant slack).  A rebuild that overruns its budget means repair
+    work is leaking I/O somewhere the per-block accounting cannot see —
+    the recovery-layer analogue of a theorem-bound violation.
+    """
+
+    name: str = "recovery.rebuild_budget"
+
+    def check(self, span: Span) -> Optional[Violation]:
+        if span.name != "recovery.rebuild":
+            return None
+        attrs = span.attrs
+        if "rounds_used" not in attrs or "budget_rounds" not in attrs:
+            return None
+        observed = float(attrs["rounds_used"])
+        limit = float(attrs["budget_rounds"])
+        if observed <= limit:
+            return None
+        return Violation(
+            monitor=self.name,
+            span_name=span.name,
+            span_index=span.index,
+            observed=observed,
+            budget=limit,
+            detail=(
+                f"rebuild of disk {attrs.get('disk')} "
+                f"({attrs.get('mode')}, {attrs.get('blocks')} blocks) "
+                f"overran its repair-round budget"
+            ),
+        )
+
+
 def default_monitors(
     *, eps: float = 1 / 12, delta: float = 0.5
 ) -> List[BoundMonitor]:
     """The full panel: Lemma 3, Theorem 6, Theorem 7, degraded-mode
-    recovery overhead."""
+    recovery overhead, rebuild budgets."""
     return [
         theorem6_lookup_monitor(),
         basic_update_monitor(),
@@ -321,6 +361,7 @@ def default_monitors(
         theorem7_delete_monitor(),
         lemma3_load_monitor(eps=eps, delta=delta),
         DegradationMonitor(),
+        RecoveryMonitor(),
     ]
 
 

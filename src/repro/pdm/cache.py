@@ -350,6 +350,27 @@ class BufferPool:
         self.stats.invalidations += count
         return count
 
+    def invalidate_disk(self, disk_id: int) -> int:
+        """Drop every *clean* cached block of one disk without flushing.
+
+        The health tracker calls this on every state transition: a disk
+        healing from a transient window must not keep serving entries
+        staged before the window, and a failed disk's stale copies must
+        not survive into its rebuilt replacement.  Dirty entries are kept
+        — under write-back the pool copy is the authoritative one, so
+        dropping it would lose the write (with fault injection attached
+        the pool runs write-through and every entry is clean).  Returns
+        the number of entries dropped."""
+        doomed = [
+            addr
+            for addr, entry in self._entries.items()
+            if addr[0] == disk_id and not entry.dirty
+        ]
+        for addr in doomed:
+            del self._entries[addr]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
     def release(self) -> None:
         """Return the pool's charged words to internal memory (detach)."""
         if self.memory is not None and self._charged_words:

@@ -199,6 +199,24 @@ class FaultyDisk(Disk):
                 extra = rounds
         return extra
 
+    def respawn(self, storage: Disk, clock: int) -> "FaultyDisk":
+        """The wrapper for this slot after a rebuild onto ``storage``.
+
+        The physical device was replaced, so fault windows already begun
+        die with it; windows scheduled to *start* after ``clock`` belong
+        to the slot's future (the chaos plan keeps applying to whatever
+        disk sits there) and carry over.  Storage is shared with the
+        spare, not copied — same contract as :meth:`wrap`."""
+        fd = FaultyDisk(self.disk_id, self.block_bits)
+        fd._blocks = storage._blocks
+        fd.high_water = storage.high_water
+        fd.outages = [(s, e) for s, e in self.outages if s > clock]
+        fd.transients = [(s, e) for s, e in self.transients if s > clock]
+        fd.stragglers = [
+            (s, e, r) for s, e, r in self.stragglers if s > clock
+        ]
+        return fd
+
 
 # -- the injector -------------------------------------------------------------
 

@@ -1,0 +1,311 @@
+"""Per-disk health state machine and deterministic retry/backoff policies.
+
+Mechanism for the self-healing layer (:mod:`repro.recovery` holds the
+policy).  Two pieces live here because they sit on the machine's hot
+path:
+
+* :class:`RetryPolicy` — replaces the old flat ``retry_budget`` integer.
+  Budgeted retries plus an optional exponential backoff *in logical
+  rounds*: waiting is modelled as idle rounds charged to ``retry_ios``
+  (the round clock advances, so a transient window expires "while we
+  wait" — exactly what wall-clock backoff buys a real system, but
+  deterministic and replayable).  The default policy has zero backoff
+  and three attempts, reproducing the legacy accounting bit-for-bit.
+* :class:`HealthTracker` — a per-disk state machine
+
+  ``healthy → transient → suspect``, ``* → failed → rebuilding → healthy``
+
+  driven by the typed fault observations the machine already makes in
+  ``_read_batch``/``write_blocks``.  Error-driven transitions (degrade on
+  ``down``/``transient``, recover on a clean round) happen inline;
+  ``failed → rebuilding → healthy`` is owned by the
+  :class:`repro.recovery.manager.RecoveryManager`, which is the only
+  caller of :meth:`HealthTracker.begin_rebuild` /
+  :meth:`HealthTracker.complete_rebuild`.
+
+Every transition is validated against :data:`ALLOWED_TRANSITIONS` (the
+Hypothesis property tests drive arbitrary observation sequences and
+assert no illegal edge is ever taken) and — closing a latent PR 3 gap —
+invalidates the buffer pool's entries for that disk: a disk that heals
+from a transient window must not keep serving cached blocks staged
+before the window, and a disk that fails must not have its stale copies
+resurrected after rebuild.
+
+Attachment follows the machine's one-``None``-check contract:
+``machine.health`` is ``None`` by default; :func:`attach_health` installs
+a tracker and the fault paths feed it only when present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bits.mix import derive
+
+#: canonical state names, in degradation order
+HEALTHY = "healthy"
+TRANSIENT = "transient"
+SUSPECT = "suspect"
+FAILED = "failed"
+REBUILDING = "rebuilding"
+
+STATES: Tuple[str, ...] = (HEALTHY, TRANSIENT, SUSPECT, FAILED, REBUILDING)
+
+#: the complete edge set of the health state machine; every transition a
+#: tracker performs is checked against this (identity edges are no-ops,
+#: not transitions).
+ALLOWED_TRANSITIONS = frozenset(
+    {
+        (HEALTHY, TRANSIENT),   # first transient error in a clean run
+        (HEALTHY, FAILED),      # hard failure with no warning
+        (TRANSIENT, HEALTHY),   # a clean round clears the window
+        (TRANSIENT, SUSPECT),   # errors keep coming: escalate
+        (TRANSIENT, FAILED),    # hard failure mid-window
+        (SUSPECT, HEALTHY),     # clean round clears even a suspect disk
+        (SUSPECT, FAILED),      # suspect confirmed dead
+        (FAILED, REBUILDING),   # recovery manager starts a rebuild
+        (REBUILDING, HEALTHY),  # rebuild committed
+        (REBUILDING, FAILED),   # rebuild aborted (e.g. spare lost)
+    }
+)
+
+# Domain tag for backoff jitter rolls (same register as the
+# repro.faults.plan tags; disjoint value).
+_TAG_BACKOFF = 0x0F05
+
+
+class IllegalTransition(RuntimeError):
+    """An edge outside :data:`ALLOWED_TRANSITIONS` was requested."""
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Deterministic retry/backoff policy for transient read faults.
+
+    ``max_attempts`` is the number of *extra* attempts after the first
+    (the old ``retry_budget`` semantics, preserved exactly).  After a
+    failed attempt ``i`` (0-based) the machine waits
+    ``min(backoff_cap, backoff_base * backoff_factor**i)`` idle rounds
+    before re-issuing; the wait is charged to ``read_ios`` *and*
+    ``retry_ios``, so foreground charged-cost identities are unchanged
+    (the theorem monitors subtract ``retry_ios``).  ``backoff_base=0``
+    (the default) disables waiting entirely — no extra charges, the
+    legacy behaviour.
+
+    With ``jitter_seed`` set, up to half of each wait is shaved off by a
+    :func:`repro.bits.mix.derive` roll keyed on the attempt index —
+    deterministic jitter, so replays of the same seed are identical.
+    """
+
+    max_attempts: int = 3
+    backoff_base: int = 0
+    backoff_factor: int = 2
+    backoff_cap: int = 64
+    jitter_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError(
+                f"retry budget must be non-negative, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise ValueError(
+                f"backoff base must be non-negative, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1:
+            raise ValueError(
+                f"backoff factor must be at least 1, got {self.backoff_factor}"
+            )
+        if self.backoff_cap < 0:
+            raise ValueError(
+                f"backoff cap must be non-negative, got {self.backoff_cap}"
+            )
+
+    def backoff_rounds(self, attempt: int) -> int:
+        """Idle rounds to wait after failed attempt ``attempt`` (0-based)."""
+        if self.backoff_base <= 0:
+            return 0
+        wait = self.backoff_base * (self.backoff_factor ** attempt)
+        if wait > self.backoff_cap:
+            wait = self.backoff_cap
+        if self.jitter_seed is not None and wait > 1:
+            wait -= derive(self.jitter_seed, _TAG_BACKOFF, attempt) % (
+                wait // 2 + 1
+            )
+        return wait
+
+    @classmethod
+    def flat(cls, budget: int) -> "RetryPolicy":
+        """The legacy policy: ``budget`` extra attempts, no backoff."""
+        return cls(max_attempts=budget)
+
+    @classmethod
+    def exponential(
+        cls,
+        *,
+        max_attempts: int = 5,
+        base: int = 1,
+        factor: int = 2,
+        cap: int = 64,
+        jitter_seed: Optional[int] = None,
+    ) -> "RetryPolicy":
+        """Exponential backoff: waits ``base, base*factor, ...`` rounds
+        (capped), advancing the logical clock so bounded transient
+        windows expire within the attempt budget."""
+        return cls(
+            max_attempts=max_attempts,
+            backoff_base=base,
+            backoff_factor=factor,
+            backoff_cap=cap,
+            jitter_seed=jitter_seed,
+        )
+
+
+@dataclass(slots=True)
+class DiskHealth:
+    """Tracked health of one disk."""
+
+    disk: int
+    state: str = HEALTHY
+    #: errors observed since the last clean round (any kind)
+    consecutive_errors: int = 0
+    #: logical round of the last state change
+    since_clock: int = 0
+    #: full transition log: ``(clock, old_state, new_state)``
+    transitions: List[Tuple[int, str, str]] = field(default_factory=list)
+
+
+class HealthTracker:
+    """Per-disk health state machine for one machine.
+
+    Error-driven edges fire from the machine's fault paths via
+    :meth:`observe_error` / :meth:`observe_ok`; rebuild edges are driven
+    by the recovery manager via :meth:`begin_rebuild` /
+    :meth:`complete_rebuild` / :meth:`fail`.  All clocks are the logical
+    round clock (``machine.stats.total_ios``).
+    """
+
+    def __init__(self, machine, *, suspect_after: int = 3) -> None:
+        if suspect_after <= 0:
+            raise ValueError(
+                f"suspect threshold must be positive, got {suspect_after}"
+            )
+        self.machine = machine
+        self.suspect_after = suspect_after
+        self.disks: Dict[int, DiskHealth] = {
+            i: DiskHealth(i) for i in range(machine.num_disks)
+        }
+        #: total transitions performed (all disks)
+        self.transitions = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def state(self, disk: int) -> str:
+        return self.disks[disk].state
+
+    def states(self) -> Dict[int, str]:
+        return {i: h.state for i, h in self.disks.items()}
+
+    def counts(self) -> Dict[str, int]:
+        """Number of disks in each state (every state always present)."""
+        out = {s: 0 for s in STATES}
+        for h in self.disks.values():
+            out[h.state] += 1
+        return out
+
+    def all_healthy(self) -> bool:
+        return all(h.state == HEALTHY for h in self.disks.values())
+
+    def in_state(self, state: str) -> List[int]:
+        return [i for i, h in self.disks.items() if h.state == state]
+
+    # -- transitions -------------------------------------------------------
+
+    def _transition(self, h: DiskHealth, new: str, clock: int) -> None:
+        old = h.state
+        if old == new:
+            return
+        if (old, new) not in ALLOWED_TRANSITIONS:
+            raise IllegalTransition(
+                f"disk {h.disk}: {old} -> {new} at round {clock} is not an "
+                f"edge of the health state machine"
+            )
+        h.state = new
+        h.since_clock = clock
+        h.transitions.append((clock, old, new))
+        self.transitions += 1
+        # Any state change invalidates cached blocks for the disk: a heal
+        # must not serve entries staged before the fault window, and a
+        # failure must not resurrect stale copies after rebuild.
+        cache = self.machine.cache
+        if cache is not None:
+            cache.invalidate_disk(h.disk)
+
+    def observe_error(self, disk: int, kind: str, clock: int) -> None:
+        """Feed one observed fault.  ``kind`` is ``"down"``,
+        ``"transient"`` or ``"corruption"`` (corruption counts toward the
+        error streak but does not change state — the scrubber and
+        read-repair own it)."""
+        h = self.disks[disk]
+        h.consecutive_errors += 1
+        if kind == "down":
+            if h.state == REBUILDING:
+                # A rebuilding disk is expected to be unreadable; the
+                # recovery manager owns its exit from this state.
+                return
+            self._transition(h, FAILED, clock)
+        elif kind == "transient":
+            if h.state == HEALTHY:
+                self._transition(h, TRANSIENT, clock)
+            elif (
+                h.state == TRANSIENT
+                and h.consecutive_errors >= self.suspect_after
+            ):
+                self._transition(h, SUSPECT, clock)
+        elif kind != "corruption":
+            raise ValueError(f"unknown error kind {kind!r}")
+
+    def observe_ok(self, disk: int, clock: int) -> None:
+        """A clean round on ``disk``: reset the streak and clear a
+        transient/suspect state.  Ignored for failed/rebuilding disks
+        (those exit only through the recovery manager)."""
+        h = self.disks[disk]
+        h.consecutive_errors = 0
+        if h.state in (TRANSIENT, SUSPECT):
+            self._transition(h, HEALTHY, clock)
+
+    def begin_rebuild(self, disk: int, clock: int) -> None:
+        """Recovery manager: start rebuilding a failed disk."""
+        self._transition(self.disks[disk], REBUILDING, clock)
+
+    def complete_rebuild(self, disk: int, clock: int) -> None:
+        """Recovery manager: rebuild committed, disk fully healed."""
+        h = self.disks[disk]
+        self._transition(h, HEALTHY, clock)
+        h.consecutive_errors = 0
+
+    def fail(self, disk: int, clock: int) -> None:
+        """Force a disk to ``failed`` (rebuild abort, external signal)."""
+        h = self.disks[disk]
+        if h.state != FAILED:
+            self._transition(h, FAILED, clock)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "transitions": self.transitions,
+            "counts": self.counts(),
+            "states": {str(i): s for i, s in sorted(self.states().items())},
+        }
+
+
+def attach_health(machine, *, suspect_after: int = 3) -> HealthTracker:
+    """Attach a fresh :class:`HealthTracker` to ``machine`` (replacing
+    any existing one) and return it."""
+    tracker = HealthTracker(machine, suspect_after=suspect_after)
+    machine.health = tracker
+    return tracker
+
+
+def detach_health(machine) -> None:
+    machine.health = None

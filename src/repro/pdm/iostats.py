@@ -42,8 +42,10 @@ class IOStats:
     #: rounds are *also* counted in ``read_ios`` (they are real I/O); this
     #: field isolates how much of the total is recovery overhead.
     retry_ios: int = 0
-    #: Rounds spent re-writing blocks to heal detected corruption
-    #: (read-repair).  Also counted in ``write_ios``; see ``retry_ios``.
+    #: Rounds spent on repair work: re-writing blocks to heal detected
+    #: corruption (read-repair), rebuild reads/writes metered by the
+    #: recovery manager, and scrub passes.  Also counted in ``read_ios``
+    #: or ``write_ios`` as appropriate; see ``retry_ios``.
     repair_ios: int = 0
 
     @property

@@ -18,14 +18,16 @@ whole, as in the model.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.bits.mix import derive
 from repro.pdm.block import Block
 from repro.pdm.cache import attach_cache
 from repro.pdm.disk import Disk
 from repro.pdm.errors import BlockCorruption, DiskFailure, IOFault, TransientIOError
+from repro.pdm.health import RetryPolicy
 from repro.pdm.iostats import IOStats
 from repro.pdm.memory import InternalMemory
 
@@ -199,8 +201,20 @@ class AbstractDiskMachine:
         #: (:mod:`repro.pdm.block`); silent corruption becomes a typed
         #: :class:`~repro.pdm.errors.BlockCorruption`
         self.checksums = False
-        #: extra read attempts allowed per batch when transient faults hit
-        self.retry_budget = 3
+        #: deterministic retry/backoff policy for transient read faults
+        #: (:class:`repro.pdm.health.RetryPolicy`).  The default — three
+        #: extra attempts, zero backoff — reproduces the legacy flat
+        #: ``retry_budget`` accounting exactly.
+        self.retry_policy = RetryPolicy()
+        #: optional :class:`repro.pdm.health.HealthTracker` (attach with
+        #: :func:`repro.pdm.health.attach_health`); same one-``None``-check
+        #: contract as ``tracer``/``spans``/``faults``/``cache``
+        self.health = None
+        #: optional ``{disk_id: Disk}`` rebuild mirror installed by the
+        #: recovery manager: while a failed disk rebuilds onto a spare,
+        #: foreground writes addressed to it land on the spare (same
+        #: charges) instead of raising, so the swapped-in disk is current
+        self.rebuild_mirror = None
         # Shared stand-in for reads of never-written blocks: read paths use
         # Disk.peek so read-only probes don't materialise storage (and don't
         # inflate touched_blocks/footprint).  Callers treat read results as
@@ -208,6 +222,61 @@ class AbstractDiskMachine:
         self._void_block = Block(self.block_bits)
         if cache_blocks is not None:
             attach_cache(self, cache_blocks)
+
+    # -- retry policy ------------------------------------------------------
+
+    @property
+    def retry_budget(self) -> int:
+        """Extra read attempts allowed per batch (compatibility view of
+        :attr:`retry_policy`'s ``max_attempts``)."""
+        return self.retry_policy.max_attempts
+
+    @retry_budget.setter
+    def retry_budget(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"retry budget must be non-negative, got {value}")
+        self.retry_policy = replace(self.retry_policy, max_attempts=value)
+
+    # -- repair attribution ------------------------------------------------
+
+    @contextmanager
+    def attribute_repair(self) -> Iterator[None]:
+        """Charge every fresh round inside the block to ``repair_ios``.
+
+        Rounds already attributed (``retry_ios`` from retries/backoff,
+        ``repair_ios`` from explicit repair writes) are not double-
+        counted.  This is how recovery work — rebuild reads, scrub
+        passes, journal replays — stays inside the fault-attributable
+        overhead channel: the theorem monitors subtract ``retry_ios`` and
+        ``repair_ios`` from foreground budgets, so repair I/O metered
+        through this context never inflates a charged-cost bound.
+        """
+        stats = self.stats
+        before_total = stats.read_ios + stats.write_ios
+        before_attr = stats.retry_ios + stats.repair_ios
+        try:
+            yield
+        finally:
+            fresh = (stats.read_ios + stats.write_ios - before_total) - (
+                stats.retry_ios + stats.repair_ios - before_attr
+            )
+            if fresh > 0:
+                stats.repair_ios += fresh
+
+    def repair_read_blocks(
+        self, addrs: Iterable[Addr]
+    ) -> Tuple[Dict[Addr, Block], Dict[Addr, "IOFault"]]:
+        """Degraded batch read whose rounds are charged as repair I/O —
+        the read half of rebuild and scrubbing."""
+        with self.attribute_repair():
+            return self.read_blocks_degraded(addrs)
+
+    def provision_spare(self, disk_id: int) -> Disk:
+        """A fresh, empty disk with this machine's block geometry, taking
+        over ``disk_id``'s address slot.  Provisioning itself is free; the
+        rebuild that populates the spare pays for every block through
+        ``write_blocks(repair=True)``."""
+        return Disk(disk_id, self.block_bits)
 
     # -- allocation ---------------------------------------------------------
 
@@ -489,6 +558,8 @@ class AbstractDiskMachine:
             self.stats.retry_ios += extra + (rounds if attempt > 0 else 0)
             if self.tracer is not None:
                 self.tracer.record("read", pending, rounds + extra)
+            health = self.health
+            err_kinds: Dict[int, str] = {}
             retry: List[Addr] = []
             fetched = 0
             for addr in pending:
@@ -497,6 +568,8 @@ class AbstractDiskMachine:
                     status = disk.status_at(clock)
                     if status == "down":
                         faults.count("disk_failure")
+                        if health is not None:
+                            err_kinds[addr[0]] = "down"
                         failures[addr] = DiskFailure(
                             f"disk {addr[0]} is down at round {clock}",
                             addrs=[addr], disk=addr[0], clock=clock,
@@ -504,6 +577,8 @@ class AbstractDiskMachine:
                         continue
                     if status == "transient":
                         faults.count("transient")
+                        if health is not None:
+                            err_kinds[addr[0]] = "transient"
                         if attempt < self.retry_budget:
                             retry.append(addr)
                         else:
@@ -520,6 +595,8 @@ class AbstractDiskMachine:
                     blocks[addr] = self._void_block
                     continue
                 if checksums and not blk.verify():
+                    if health is not None:
+                        err_kinds.setdefault(addr[0], "corruption")
                     failures[addr] = BlockCorruption(
                         f"block {addr} failed checksum verification at "
                         f"round {clock}",
@@ -528,8 +605,24 @@ class AbstractDiskMachine:
                     continue
                 blocks[addr] = blk
             self.stats.blocks_read += fetched
+            if health is not None:
+                # One observation per disk per round: errors by priority
+                # (down > transient > corruption), a clean round otherwise.
+                for d, kind in err_kinds.items():
+                    health.observe_error(d, kind, clock)
+                for d in dict.fromkeys(a[0] for a in pending):
+                    if d not in err_kinds:
+                        health.observe_ok(d, clock)
             pending = retry
             attempt += 1
+            if pending:
+                # Deterministic backoff: idle rounds advance the logical
+                # clock (so a bounded transient window can expire before
+                # the next attempt), charged entirely as retry overhead.
+                wait = self.retry_policy.backoff_rounds(attempt - 1)
+                if wait:
+                    self.stats.read_ios += wait
+                    self.stats.retry_ios += wait
         return blocks, failures
 
     def write_blocks(
@@ -565,9 +658,17 @@ class AbstractDiskMachine:
         faults = self.faults
         if faults is not None:
             clock = self.stats.total_ios
+            mirror = self.rebuild_mirror
             for addr in addrs:
                 if self.disks[addr[0]].status_at(clock) == "down":
+                    if mirror is not None and addr[0] in mirror:
+                        # Disk is rebuilding onto a spare: the write is
+                        # diverted there by flush_writes (same charges),
+                        # keeping the swapped-in disk current.
+                        continue
                     faults.count("disk_failure")
+                    if self.health is not None:
+                        self.health.observe_error(addr[0], "down", clock)
                     raise DiskFailure(
                         f"cannot write block {addr}: disk {addr[0]} is down "
                         f"at round {clock}",
@@ -619,8 +720,15 @@ class AbstractDiskMachine:
         if self.tracer is not None:
             self.tracer.record("write", addrs, rounds)
         checksums = self.checksums
+        mirror = self.rebuild_mirror
         for (addr, payload, used_bits) in writes:
-            blk = self.disks[addr[0]].block(addr[1])
+            target = self.disks[addr[0]]
+            if mirror is not None:
+                spare = mirror.get(addr[0])
+                if spare is not None:
+                    # Rebuild in progress: the live copy is the spare.
+                    target = spare
+            blk = target.block(addr[1])
             blk.store(payload, used_bits)
             if checksums:
                 blk.seal()

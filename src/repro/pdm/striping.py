@@ -104,6 +104,15 @@ class StripedFieldArray:
             out.append(self._block_addr(loc)[0])
         return out
 
+    def extents(self) -> List[Tuple[int, int, int]]:
+        """Owned block ranges as ``(disk, first_block, count)`` — the
+        registration unit of the recovery layer (rebuild and scrub walk
+        these ranges)."""
+        return [
+            (self.disk_offset + s, self._base[s], self.blocks_per_stripe)
+            for s in range(self.stripes)
+        ]
+
     # -- I/O ------------------------------------------------------------------
 
     def read_fields(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, Any]:
@@ -312,6 +321,18 @@ class StripedItemBuckets:
             self._check_loc(loc)
             out.extend(self._addrs(loc))
         return out
+
+    def extents(self) -> List[Tuple[int, int, int]]:
+        """Owned block ranges as ``(disk, first_block, count)`` — the
+        registration unit of the recovery layer."""
+        return [
+            (
+                self.disk_offset + s,
+                self._base[s],
+                self.stripe_size * self.blocks_per_bucket,
+            )
+            for s in range(self.stripes)
+        ]
 
     def read_buckets(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, List[Any]]:
         """Fetch bucket contents as item lists (empty list if untouched).

@@ -1,0 +1,35 @@
+"""Self-healing recovery: budgeted online rebuild, journaling, scrubbing.
+
+The policy half of the fault-tolerance story.  :mod:`repro.pdm.health`
+(mechanism) tracks per-disk health and retry/backoff on the machine's hot
+path; this package decides *what to do about it*:
+
+* :mod:`repro.recovery.journal` — crash-consistent rebuild journal:
+  block-granularity entries so an interrupted rebuild resumes
+  idempotently instead of restarting.
+* :mod:`repro.recovery.manager` — the online rebuild scheduler: detects
+  failed disks, rebuilds them from replica majority onto spares (or
+  verifies them in place after a transient outage clears), metered by a
+  per-step repair-I/O budget so rebuild rounds interleave with live
+  traffic.  All repair I/O is charged to ``repair_ios``, never to the
+  foreground budgets the theorem monitors check.
+* :mod:`repro.recovery.scrubber` — background checksum scrubbing at a
+  bounded rate, promoting latent corruption into repair work before a
+  foreground read trips over it.
+
+Layering: imports :mod:`repro.pdm` (machine, health, faults mechanism)
+and :mod:`repro.core` (the recovery hooks ``recovery_extents`` /
+``reconstruct_block``); :mod:`repro.faults` sits above and wires chaos
+scenarios to this package.
+"""
+
+from repro.recovery.journal import RebuildJournal
+from repro.recovery.manager import RecoveryManager, SparePool
+from repro.recovery.scrubber import Scrubber
+
+__all__ = [
+    "RebuildJournal",
+    "RecoveryManager",
+    "SparePool",
+    "Scrubber",
+]

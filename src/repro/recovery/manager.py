@@ -1,0 +1,455 @@
+"""The online rebuild scheduler.
+
+:class:`RecoveryManager` turns detected disk failures into bounded
+background repair work:
+
+* A disk inside a *permanent* outage (the chaos plans' ``FOREVER``
+  windows — a dead device) is rebuilt **onto a spare** from replica
+  majority: each lost block is reconstructed through the owning
+  structure's ``reconstruct_block`` hook, written to the spare via the
+  machine's rebuild mirror, and journaled.  When the last block lands,
+  the spare is swapped into the disk slot
+  (:meth:`repro.pdm.faults.FaultyDisk.respawn`) and the health tracker
+  walks ``rebuilding → healthy``.
+* A disk whose *finite* outage has expired is **verified in place**: its
+  storage survived (faults model the I/O channel), so the manager walks
+  the owned blocks through checksum-verified repair reads, healing any
+  corruption it finds from redundancy.
+
+Work is metered: one :meth:`RecoveryManager.step` spends at most
+``repair_budget`` I/O rounds (overshoot bounded by one block), so rebuild
+rounds interleave with live traffic instead of stalling it.  Every round
+spent here is charged to ``repair_ios`` — through
+:meth:`~repro.pdm.machine.AbstractDiskMachine.attribute_repair` for
+reconstruction reads and ``repair=True`` writes for restored blocks — so
+the theorem monitors' foreground budgets never see recovery overhead.
+
+Each completed rebuild emits a zero-cost ``recovery.rebuild`` summary
+span carrying ``rounds_used`` and ``budget_rounds`` attributes; the
+:class:`repro.obs.monitors.RecoveryMonitor` asserts the former stays
+within the latter (rebuild cost is linear in lost blocks).  Summary spans
+are used because rebuild slices interleave with foreground operations and
+spans must strictly nest.
+
+Single-writer discipline: a manager belongs to one machine and runs
+between that machine's operations, so its mutable state shares the
+machine-op serialization domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.pdm.errors import BlockCorruption, DiskFailure
+from repro.pdm.health import (
+    FAILED,
+    HealthTracker,
+    REBUILDING,
+    attach_health,
+)
+from repro.pdm.spans import span
+from repro.recovery.journal import RebuildJournal
+
+#: an outage window ending at or beyond this round is a dead device, not
+#: a temporary condition (chaos plans use ``FOREVER = 1 << 62``).
+PERMANENT_END = 1 << 60
+
+#: slack rounds granted to a rebuild beyond its per-block core — covers
+#: retries on the surviving replicas and the odd straggler.
+REBUILD_BUDGET_SLACK = 8
+
+
+def rebuild_budget_rounds(blocks: int, read_bound: int = 1) -> int:
+    """The RecoveryMonitor bound for rebuilding ``blocks`` blocks: each
+    block costs at most one reconstruction read batch (``read_bound``
+    rounds, advised by the owning structure's
+    ``reconstruct_round_bound``) plus one write round."""
+    return (read_bound + 1) * blocks + REBUILD_BUDGET_SLACK
+
+
+class SparePool:
+    """A bounded pool of replacement devices.
+
+    Spares are materialised on demand as fresh empty
+    :class:`~repro.pdm.disk.Disk` objects taking over the failed slot's
+    ``disk_id``; the pool only counts them.
+    """
+
+    def __init__(self, count: int):
+        if count < 0:
+            raise ValueError(f"spare count must be non-negative, got {count}")
+        self.count = count
+        self.used = 0  # detlint: guarded(machine-op) -- manager mutates between machine ops only
+
+    @property
+    def available(self) -> int:
+        return self.count - self.used
+
+    def acquire(self, machine, disk_id: int) -> Optional["Disk"]:
+        if self.used >= self.count:
+            return None
+        self.used += 1
+        return machine.provision_spare(disk_id)
+
+
+@dataclass
+class _Rebuild:
+    """In-flight rebuild of one disk."""
+
+    disk: int
+    generation: int
+    mode: str  # "spare" | "verify"
+    pending: List[int]
+    total: int
+    spare: Optional["Disk"] = None
+    cursor: int = 0
+    rounds_used: int = 0
+    blocks_done: int = 0
+    blocks_lost: int = 0
+    blocks_live: int = 0
+
+
+class RecoveryManager:
+    """Budgeted self-healing scheduler for one machine (see module
+    docstring)."""
+
+    def __init__(
+        self,
+        machine,
+        tracker: Optional[HealthTracker] = None,
+        *,
+        repair_budget: int = 8,
+        journal: Optional[RebuildJournal] = None,
+        spares: Optional[SparePool] = None,
+    ):
+        if repair_budget <= 0:
+            raise ValueError(
+                f"repair budget must be positive, got {repair_budget}"
+            )
+        self.machine = machine
+        if tracker is None:
+            tracker = machine.health
+        if tracker is None:
+            tracker = attach_health(machine)
+        self.tracker = tracker
+        self.repair_budget = repair_budget
+        self.journal = journal if journal is not None else RebuildJournal()
+        self.spares = spares if spares is not None else SparePool(0)
+        self.structures: List[object] = []  # detlint: guarded(machine-op) -- registration precedes traffic; steps run between machine ops
+        self._active: Dict[int, _Rebuild] = {}  # detlint: guarded(machine-op) -- manager steps serialize with machine ops
+        self.stats: Dict[str, int] = {  # detlint: guarded(machine-op) -- same serialization domain as _active
+            "rebuilds_started": 0,
+            "rebuilds_completed": 0,
+            "rebuilds_aborted": 0,
+            "blocks_rebuilt": 0,
+            "blocks_verified": 0,
+            "blocks_lost": 0,
+            "blocks_live_skipped": 0,
+            "corrupt_repaired": 0,
+            "spare_starved": 0,
+            "idle_wait_rounds": 0,
+        }
+        #: round at which the machine last returned to fully-healed
+        self.heal_clock: Optional[int] = None
+        self._was_unhealthy = False
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, structure) -> None:
+        """Register a structure exposing ``recovery_extents()`` (and,
+        where redundancy allows, ``reconstruct_block(addr)``)."""
+        self.structures.append(structure)
+
+    def owned_blocks(self, disk: int) -> List[int]:
+        """All registered block indices on ``disk`` (sorted, deduped).
+        Recomputed per rebuild — rebuilding dictionaries grow extents."""
+        idx = set()
+        for s in self.structures:
+            for d, first, count in s.recovery_extents():
+                if d == disk:
+                    idx.update(range(first, first + count))
+        return sorted(idx)
+
+    # -- detection ---------------------------------------------------------
+
+    def poll(self) -> None:
+        """Notice disks that went down without any foreground traffic
+        touching them (the tracker otherwise only hears about disks the
+        workload reads)."""
+        machine = self.machine
+        if machine.faults is None:
+            return
+        clock = machine.stats.total_ios
+        for d, disk in enumerate(machine.disks):
+            if disk.status_at(clock) == "down":
+                if self.tracker.state(d) not in (FAILED, REBUILDING):
+                    self.tracker.fail(d, clock)
+
+    def _permanently_down(self, disk_obj, clock: int) -> bool:
+        for start, end in getattr(disk_obj, "outages", ()):
+            if start <= clock < end and end >= PERMANENT_END:
+                return True
+        return False
+
+    # -- the budgeted step -------------------------------------------------
+
+    def step(self) -> int:
+        """One bounded slice of recovery work; returns rounds spent.
+
+        Detects new failures, starts rebuilds for eligible failed disks,
+        then advances active rebuilds until ``repair_budget`` rounds are
+        spent (overshoot at most one block).  If recovery is blocked
+        purely on the clock (a finite outage still running), one idle
+        round is charged — attributed to ``repair_ios`` — so the logical
+        clock always makes progress toward the window's end.
+        """
+        machine = self.machine
+        start = machine.stats.total_ios
+        self.poll()
+        if not self.tracker.all_healthy() or self._active:
+            self._was_unhealthy = True
+        with span(machine, "recovery.step") as h:
+            waiting = self._start_rebuilds()
+            self._advance(start)
+            if (
+                waiting
+                and not self._active
+                and machine.stats.total_ios == start
+            ):
+                # Blocked on the clock: model waiting as one idle round
+                # of fault-attributable overhead.
+                machine.stats.read_ios += 1
+                machine.stats.repair_ios += 1
+                self.stats["idle_wait_rounds"] += 1
+        if self._was_unhealthy and self.all_healed:
+            self.heal_clock = machine.stats.total_ios
+            self._was_unhealthy = False
+        return h.cost.total_ios
+
+    def _start_rebuilds(self) -> bool:
+        """Open a rebuild for every eligible failed disk.  Returns True
+        if some failed disk is still waiting on its outage window."""
+        machine = self.machine
+        waiting = False
+        for d in sorted(self.tracker.in_state(FAILED)):
+            clock = machine.stats.total_ios
+            disk_obj = machine.disks[d]  # detlint: ignore[PDM102] -- status probe only, no payload access
+            status = (
+                disk_obj.status_at(clock)
+                if machine.faults is not None
+                else "ok"
+            )
+            permanent = self._permanently_down(disk_obj, clock)
+            if status == "down" and not permanent:
+                waiting = True  # finite outage still running; wait it out
+                continue
+            mode = "spare" if permanent else "verify"
+            spare: Optional["Disk"] = None
+            if mode == "spare":
+                mirror = machine.rebuild_mirror
+                spare = mirror.get(d) if mirror else None
+                if spare is None:
+                    spare = self.spares.acquire(machine, d)
+                    if spare is None:
+                        self.stats["spare_starved"] += 1
+                        continue
+                    if machine.rebuild_mirror is None:
+                        machine.rebuild_mirror = {}
+                    machine.rebuild_mirror[d] = spare
+            blocks = self.owned_blocks(d)
+            resume = self.journal.open_rebuild(d)
+            if resume is not None and resume[1] == mode:
+                gen = resume[0]
+                done = self.journal.copied_blocks(d, gen)
+                blocks = [b for b in blocks if b not in done]
+            else:
+                gen = self.journal.next_generation(d)
+                self.journal.begin(d, gen, mode, len(blocks))
+            self.tracker.begin_rebuild(d, clock)
+            self._active[d] = _Rebuild(
+                disk=d,
+                generation=gen,
+                mode=mode,
+                pending=blocks,
+                total=len(blocks),
+                spare=spare,
+            )
+            self.stats["rebuilds_started"] += 1
+        return waiting
+
+    def _advance(self, start: int) -> None:
+        machine = self.machine
+        for d in sorted(self._active):
+            rb = self._active[d]
+            aborted = False
+            while (
+                rb.cursor < len(rb.pending)
+                and machine.stats.total_ios - start < self.repair_budget
+            ):
+                block = rb.pending[rb.cursor]
+                before = machine.stats.total_ios
+                aborted = self._restore_block(rb, block)
+                rb.rounds_used += machine.stats.total_ios - before
+                if aborted:
+                    break
+                rb.cursor += 1
+                self.journal.copied(d, rb.generation, block)
+            if aborted:
+                self._abort(rb)
+            elif rb.cursor >= len(rb.pending):
+                self._finish(rb)
+            if machine.stats.total_ios - start >= self.repair_budget:
+                break
+
+    def _reconstruct_bound(self) -> int:
+        bound = 1
+        for s in self.structures:
+            fn = getattr(s, "reconstruct_round_bound", None)
+            if fn is not None:
+                b = fn()
+                if b > bound:
+                    bound = b
+        return bound
+
+    def _reconstruct(self, addr) -> Optional[Tuple[object, int]]:
+        with self.machine.attribute_repair():
+            for s in self.structures:
+                out = s.reconstruct_block(addr)
+                if out is not None:
+                    return out
+        return None
+
+    def _restore_block(self, rb: _Rebuild, block: int) -> bool:
+        """Restore/verify one block.  Returns True if the rebuild must
+        abort (the disk failed again mid-verify)."""
+        machine = self.machine
+        addr = (rb.disk, block)
+        if rb.mode == "spare":
+            if rb.spare.peek(block) is not None:
+                # A foreground write already landed the live copy on the
+                # spare (rebuild-mirror divert); reconstruction from
+                # replicas would resurrect the pre-write state.
+                rb.blocks_live += 1
+                self.stats["blocks_live_skipped"] += 1
+                return False
+            out = self._reconstruct(addr)
+            if out is None:
+                # No redundancy covers this block: loud data loss — the
+                # block stays empty and the owning structure's degraded
+                # contract reports it on next touch.
+                rb.blocks_lost += 1
+                self.stats["blocks_lost"] += 1
+                return False
+            payload, used = out
+            machine.write_blocks([(addr, payload, used)], repair=True)
+            rb.blocks_done += 1
+            self.stats["blocks_rebuilt"] += 1
+            return False
+        # verify mode: storage survived the outage; checksum-walk it.
+        blocks, failures = machine.repair_read_blocks([addr])
+        fault = failures.get(addr)
+        if fault is None:
+            rb.blocks_done += 1
+            self.stats["blocks_verified"] += 1
+            return False
+        if isinstance(fault, BlockCorruption):
+            out = self._reconstruct(addr)
+            if out is None:
+                rb.blocks_lost += 1
+                self.stats["blocks_lost"] += 1
+                return False
+            payload, used = out
+            machine.write_blocks([(addr, payload, used)], repair=True)
+            rb.blocks_done += 1
+            self.stats["corrupt_repaired"] += 1
+            return False
+        if isinstance(fault, DiskFailure):
+            return True  # went down again mid-verify: abort, resume later
+        # Transient that survived retries: count the block as pending
+        # again next step rather than aborting the whole rebuild.
+        return True
+
+    def _abort(self, rb: _Rebuild) -> None:
+        clock = self.machine.stats.total_ios
+        del self._active[rb.disk]
+        # Journal stays open: the resume path skips already-copied
+        # blocks.  The spare (if any) stays mirrored for the same reason.
+        self.tracker.fail(rb.disk, clock)
+        self.stats["rebuilds_aborted"] += 1
+
+    def _finish(self, rb: _Rebuild) -> None:
+        machine = self.machine
+        clock = machine.stats.total_ios
+        if rb.mode == "spare":
+            old = machine.disks[rb.disk]  # detlint: ignore[PDM102] -- structural swap, no payload access
+            machine.disks[rb.disk] = old.respawn(rb.spare, clock)  # detlint: ignore[PDM102,COST101] -- swap rebuilt spare in; every block on it was charged via write_blocks(repair=True)
+            del machine.rebuild_mirror[rb.disk]
+        self.journal.commit(rb.disk, rb.generation)
+        self.tracker.complete_rebuild(rb.disk, clock)
+        del self._active[rb.disk]
+        self.stats["rebuilds_completed"] += 1
+        # Zero-cost summary span: rebuild slices interleave with
+        # foreground spans, so totals ride on attributes instead of
+        # nesting (the RecoveryMonitor reads these).
+        with span(
+            machine,
+            "recovery.rebuild",
+            disk=rb.disk,
+            mode=rb.mode,
+            blocks=rb.total,
+            blocks_done=rb.blocks_done,
+            blocks_lost=rb.blocks_lost,
+            rounds_used=rb.rounds_used,
+            budget_rounds=rebuild_budget_rounds(
+                rb.total, self._reconstruct_bound()
+            ),
+        ):
+            pass
+
+    # -- driving -----------------------------------------------------------
+
+    @property
+    def active_rebuilds(self) -> int:
+        return len(self._active)
+
+    @property
+    def all_healed(self) -> bool:
+        return self.tracker.all_healthy() and not self._active
+
+    def run_until_idle(self, *, max_steps: int = 10_000) -> bool:
+        """Step until fully healed (or until progress is impossible —
+        spare starvation, a permanent outage with no redundancy — or
+        ``max_steps``).  Returns :attr:`all_healed`."""
+        steps = 0
+        stalled = 0
+        # Always step at least once: a fault window may already cover the
+        # clock without the tracker having observed it yet, and only
+        # step() polls.
+        while steps < max_steps:
+            before = (
+                self.machine.stats.total_ios,
+                self.tracker.transitions,
+            )
+            self.step()
+            steps += 1
+            if self.all_healed:
+                break
+            after = (
+                self.machine.stats.total_ios,
+                self.tracker.transitions,
+            )
+            stalled = stalled + 1 if after == before else 0
+            if stalled >= 3:
+                break  # no clock and no state progress: wedged for good
+        return self.all_healed
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stats": dict(self.stats),
+            "active_rebuilds": self.active_rebuilds,
+            "heal_clock": self.heal_clock,
+            "spares_used": self.spares.used,
+            "journal_entries": len(self.journal),
+            "health": self.tracker.to_dict(),
+        }

@@ -21,13 +21,17 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core.facade import ParallelDiskDictionary
 from repro.core.interface import LookupResult
+from repro.faults.plan import FaultPlan
+from repro.pdm.faults import attach_faults
+from repro.pdm.health import RetryPolicy, attach_health
+from repro.recovery import RecoveryManager
 
 U = 1 << 12
 SIGMA = 16
 KEYS = st.integers(0, U - 1)
 VALUES = st.integers(0, (1 << SIGMA) - 1)
 
-# CI runs every variant at these settings: 8 variants x 40 examples = 320
+# CI runs every variant at these settings: 9 variants x 40 examples = 360
 # stateful examples per run (the acceptance bar is >= 200).
 MODEL_SETTINGS = settings(
     max_examples=40, stateful_step_count=12, deadline=None
@@ -288,6 +292,46 @@ class CachedRebuildingDynamicModel(DictionaryOracleMachine):
         )
 
 
+class RecoveringBasicModel(DictionaryOracleMachine):
+    """Self-healing under live traffic: a rolling transient-failure plan
+    runs through the whole interleaving while a recovery manager steps
+    between rules.  The exponential retry policy's backoff idle rounds
+    outlast every 3-round window, so each answer must *still* match the
+    oracle exactly — transparent degraded-mode recovery, not loud
+    failure."""
+
+    capacity = 48
+
+    def build(self):
+        d = ParallelDiskDictionary(
+            universe_size=U, capacity=48, mode="basic", degree=8,
+            block_items=16, seed=9,
+        )
+        machine = d._machines[0]
+        plan = FaultPlan.rolling(
+            97, num_disks=machine.num_disks, failures=6, every=10,
+            outage_len=3, kind="transient",
+        ).shifted(machine.stats.total_ios)
+        attach_faults(machine, plan.events)
+        machine.retry_policy = RetryPolicy.exponential(
+            max_attempts=6, base=1, factor=2, cap=8
+        )
+        tracker = attach_health(machine)
+        self.manager = RecoveryManager(machine, tracker, repair_budget=4)
+        self.manager.register(d)
+        return d
+
+    @rule()
+    def recovery_tick(self) -> None:
+        self.manager.step()
+
+    @invariant()
+    def never_stuck_failed(self) -> None:
+        # Transient windows heal in place: no disk may end up FAILED
+        # (that state is reserved for hard outages).
+        assert not self.manager.tracker.in_state("failed")
+
+
 TestBasicModel = BasicModel.TestCase
 TestFullBandwidthModel = FullBandwidthModel.TestCase
 TestHeadModelModel = HeadModelModel.TestCase
@@ -296,6 +340,7 @@ TestRebuildingBasicModel = RebuildingBasicModel.TestCase
 TestRebuildingDynamicModel = RebuildingDynamicModel.TestCase
 TestCachedBasicModel = CachedBasicModel.TestCase
 TestCachedRebuildingDynamicModel = CachedRebuildingDynamicModel.TestCase
+TestRecoveringBasicModel = RecoveringBasicModel.TestCase
 
 for _case in (
     TestBasicModel,
@@ -306,6 +351,7 @@ for _case in (
     TestRebuildingDynamicModel,
     TestCachedBasicModel,
     TestCachedRebuildingDynamicModel,
+    TestRecoveringBasicModel,
 ):
     _case.settings = MODEL_SETTINGS
 del _case  # unittest TestCases are collected by reference, not just name

@@ -1,0 +1,198 @@
+"""Acceptance: self-healing under live chaos traffic.
+
+For every dictionary variant, a seeded rolling-failure plan runs against
+live operations with the recovery stack attached.  The contract:
+
+* zero silent wrong answers and a full heal (``report.ok``),
+* rebuilds finish inside the :class:`RecoveryMonitor` budget,
+* the foreground charged-cost identity holds exactly —
+  ``chaos_ios − retry_ios − repair_ios == healthy_ios`` — i.e. every
+  round of recovery overhead is attributed, none leaks into the costs
+  the theorems meter.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+from repro.faults.cli import main
+
+COMMON = dict(operations=64, capacity=48, num_disks=16)
+
+
+class TestChaosRecovery:
+    @pytest.mark.parametrize("structure", ["static", "basic", "dynamic"])
+    def test_rolling_transients_heal_with_exact_attribution(self, structure):
+        report = run_chaos(
+            structure, rolling=3, repair_budget=4, **COMMON
+        )
+        assert report.ok
+        assert report.healed is True
+        assert report.wrong_answers == 0
+        assert report.recovery["health"]["healthy"] == 16
+        # Attribution: stripping the two overhead channels from the
+        # degraded run never leaves MORE foreground I/O than the healthy
+        # run — recovery work cannot leak into charged costs.  (Loudly
+        # failed ops abort early, so the residue can be smaller.)
+        residue = report.chaos_ios - report.retry_ios - report.repair_ios
+        assert residue <= report.healthy_ios
+        if report.failed_total == 0:
+            # Every op completed: the identity is exact, round for round.
+            assert residue == report.healthy_ios
+
+    def test_rolling_kills_rebuild_onto_spares(self):
+        report = run_chaos(
+            "static",
+            rolling=2,
+            repair_budget=6,
+            spares=4,
+            scrub_rate=2,
+            **COMMON,
+        )
+        assert report.ok and report.healed is True
+        rec = report.recovery
+        assert rec["stats"]["rebuilds_completed"] >= 2
+        assert rec["stats"]["blocks_rebuilt"] > 0
+        assert rec["stats"]["blocks_lost"] == 0
+        assert rec["health"]["healthy"] == 16
+        assert rec["scrub"]["scanned"] > 0
+        # Replicated static lookups retry onto surviving replicas, so
+        # every op completes and the attribution identity is exact.
+        assert report.failed_total == 0
+        assert (
+            report.chaos_ios - report.retry_ios - report.repair_ios
+            == report.healthy_ios
+        )
+
+    def test_rebuilds_stay_inside_monitor_budget(self):
+        report = run_chaos(
+            "static", rolling=2, repair_budget=6, spares=4, **COMMON
+        )
+        assert report.healed is True
+        assert report.heal_rounds > 0
+        # The recorder kept every recovery.rebuild summary span; the
+        # default monitor panel (which includes RecoveryMonitor) must
+        # pass over all of them.
+        from repro.obs.monitors import MonitorSet, RecoveryMonitor
+
+        monitors = MonitorSet(monitors=[RecoveryMonitor()])
+        violations = monitors.check_recorder(report.recorder)
+        assert violations == []
+        rebuilds = [
+            s
+            for s in report.recorder.iter_spans()
+            if s.name == "recovery.rebuild"
+        ]
+        assert len(rebuilds) >= 2
+        for s in rebuilds:
+            assert s.attrs["rounds_used"] <= s.attrs["budget_rounds"]
+
+    def test_recovery_runs_are_deterministic(self):
+        kw = dict(rolling=2, repair_budget=4, spares=2, **COMMON)
+        a = run_chaos("basic", **kw).to_dict()
+        b = run_chaos("basic", **kw).to_dict()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_chaos("static", rolling=-1, **COMMON)
+        with pytest.raises(ValueError):
+            run_chaos("static", repair_budget=-1, **COMMON)
+
+
+class TestRecoveryCli:
+    def test_rolling_with_repair_budget_heals_and_exits_zero(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        code = main(
+            [
+                "--structure",
+                "basic",
+                "--operations",
+                "64",
+                "--capacity",
+                "48",
+                "--rolling",
+                "3",
+                "--repair-budget",
+                "4",
+                "--quiet",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        run = payload["runs"][0]
+        assert run["ok"] is True
+        assert run["healed"] is True
+        assert run["params"]["rolling"] == 3
+        assert run["params"]["repair_budget"] == 4
+
+    def test_spares_and_scrub_flags(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        code = main(
+            [
+                "--structure",
+                "static",
+                "--operations",
+                "64",
+                "--capacity",
+                "48",
+                "--rolling",
+                "2",
+                "--repair-budget",
+                "6",
+                "--spares",
+                "4",
+                "--scrub-rate",
+                "2",
+                "--quiet",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        run = json.loads(out.read_text())["runs"][0]
+        assert run["healed"] is True
+        assert run["recovery"]["stats"]["rebuilds_completed"] >= 2
+        assert run["recovery"]["stats"]["blocks_lost"] == 0
+
+    def test_rolling_kills_without_spares_fail_to_heal(self):
+        # Dead disks and nothing to rebuild onto: the run must report
+        # the broken contract through the exit code (1 = chaos verdict),
+        # not crash.
+        code = main(
+            [
+                "--structure",
+                "static",
+                "--operations",
+                "64",
+                "--capacity",
+                "48",
+                "--rolling",
+                "2",
+                "--rolling-kind",
+                "kill",
+                "--repair-budget",
+                "4",
+                "--quiet",
+            ]
+        )
+        assert code == 1
+
+    def test_bad_flag_values_exit_two(self):
+        assert (
+            main(
+                [
+                    "--structure",
+                    "static",
+                    "--rolling",
+                    "-3",
+                    "--quiet",
+                ]
+            )
+            == 2
+        )
