@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-model test-sanitize lint lint-report baseline bench bench-report bench-batch bench-throughput bench-latency bench-recovery bench-history chaos coverage examples figure1 profile clean
+.PHONY: install test test-model test-sanitize lint lint-report baseline bench bench-report bench-batch bench-throughput bench-latency bench-recovery bench-executors bench-history chaos coverage examples figure1 profile clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -82,6 +82,14 @@ bench-latency:
 bench-recovery:
 	mkdir -p benchmarks/results
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_fault_recovery.py -q --benchmark-disable
+
+# Executor scaling: wall-clock round time per backend (simulated /
+# file / file workers=1 / process pool) with identical charged rounds
+# asserted, and the file backend's parallel-over-sequential speedup
+# gated >= 2x at D=8 (BENCH_executors.json, merged by bench-history).
+bench-executors:
+	mkdir -p benchmarks/results
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_executors.py -q --benchmark-disable
 
 # Merge every BENCH_*.json under benchmarks/results into the committed
 # bench trajectory (benchmarks/results/trajectory.json) with per-metric

@@ -21,10 +21,14 @@ from __future__ import annotations
 import math
 from typing import Any, Optional
 
+import os
+
 from repro.core.basic_dict import BasicDictionary
 from repro.core.dynamic_dict import DynamicDictionary
 from repro.core.interface import Dictionary, LookupResult
 from repro.core.rebuilding import RebuildingDictionary
+from repro.pdm.executors import create_executor
+from repro.pdm.executors.base import RoundExecutor
 from repro.pdm.iostats import IOStats, OpCost
 from repro.pdm.machine import ParallelDiskMachine
 
@@ -46,7 +50,20 @@ class ParallelDiskDictionary(Dictionary):
         unbounded: bool = False,
         seed: int = 0,
         cache_blocks: Optional[int] = None,
+        executor: Any = None,
+        executor_dir: Optional[str] = None,
+        executor_options: Optional[dict] = None,
     ):
+        """``executor`` selects the physical backend for every machine the
+        facade creates (:mod:`repro.pdm.executors`): ``None`` for the
+        in-memory simulator, an executor *name* (``"file"``/``"process"``,
+        with per-machine subdirectories of the required ``executor_dir``
+        and ``executor_options`` passed through), a zero/one-argument
+        *factory* called per machine, or a ready ``RoundExecutor``
+        *instance* (single-machine facades only — executors bind once).
+        File-backed facades must be :meth:`close`\\ d before their
+        directory goes away.
+        """
         if mode not in self.MODES:
             raise ValueError(
                 f"mode must be one of {self.MODES}, got {mode!r}"
@@ -65,12 +82,41 @@ class ParallelDiskDictionary(Dictionary):
         self.block_items = block_items
         self.sigma = sigma
         self._machines = []
+        if isinstance(executor, str):
+            if executor != "simulated" and executor_dir is None:
+                raise ValueError(
+                    f"executor {executor!r} needs executor_dir"
+                )
+        elif executor_dir is not None or executor_options:
+            raise ValueError(
+                "executor_dir/executor_options only apply when executor "
+                "is selected by name"
+            )
+
+        def new_executor() -> Optional[RoundExecutor]:
+            if executor is None:
+                return None
+            if isinstance(executor, RoundExecutor):
+                return executor  # binds once; rebuilds need a factory
+            if isinstance(executor, str):
+                if executor == "simulated":
+                    return create_executor("simulated")
+                # One subdirectory per machine: generations of an
+                # unbounded dictionary each get a fresh physical image.
+                sub = os.path.join(
+                    str(executor_dir), f"m{len(self._machines):03d}"
+                )
+                return create_executor(
+                    executor, directory=sub, **(executor_options or {})
+                )
+            return executor()  # factory
 
         def make(cap: int, generation: int) -> Dictionary:
             inner_seed = seed + 1000 * generation
             if mode == "basic":
                 machine = ParallelDiskMachine(
-                    degree, block_items, cache_blocks=cache_blocks
+                    degree, block_items, cache_blocks=cache_blocks,
+                    executor=new_executor(),
                 )
                 self._machines.append(machine)
                 return BasicDictionary(
@@ -82,7 +128,8 @@ class ParallelDiskDictionary(Dictionary):
                 )
             if mode == "full-bandwidth":
                 machine = ParallelDiskMachine(
-                    2 * degree, block_items, cache_blocks=cache_blocks
+                    2 * degree, block_items, cache_blocks=cache_blocks,
+                    executor=new_executor(),
                 )
                 self._machines.append(machine)
                 return DynamicDictionary(
@@ -102,6 +149,7 @@ class ParallelDiskDictionary(Dictionary):
                 machine = ParallelDiskMachine(
                     (levels + 1) * degree, block_items,
                     cache_blocks=cache_blocks,
+                    executor=new_executor(),
                 )
                 self._machines.append(machine)
                 return RecursiveLoadBalancedDictionary(
@@ -118,7 +166,8 @@ class ParallelDiskDictionary(Dictionary):
             from repro.pdm.machine import ParallelDiskHeadMachine
 
             machine = ParallelDiskHeadMachine(
-                degree, block_items, cache_blocks=cache_blocks
+                degree, block_items, cache_blocks=cache_blocks,
+                executor=new_executor(),
             )
             self._machines.append(machine)
             return HeadModelDictionary(
@@ -170,6 +219,20 @@ class ParallelDiskDictionary(Dictionary):
 
     def __len__(self) -> int:
         return len(self._inner)  # type: ignore[arg-type]
+
+    def close(self) -> None:
+        """Close every machine ever created (releasing executor-held
+        threads and file descriptors).  A no-op for simulated backends;
+        file-backed facades must be closed before their ``executor_dir``
+        goes away.  Idempotent."""
+        for machine in self._machines:
+            machine.close()
+
+    def __enter__(self) -> "ParallelDiskDictionary":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- accounting ---------------------------------------------------------------
 

@@ -34,6 +34,7 @@ from typing import List, Optional
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.harness import STRUCTURES, report_events, run_instrumented
 from repro.obs.monitors import BoundViolationError
+from repro.pdm.executors import EXECUTOR_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +82,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run the machine with an N-block buffer pool "
         "(repro.pdm.cache); the report gains cache.* metrics",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_NAMES,
+        default="simulated",
+        help="physical backend (repro.pdm.executors): the in-memory "
+        "simulator, thread-per-disk real files, or a process pool. Every "
+        "deterministic output is identical across backends; with --wall "
+        "the file backends add executor.* transfer metrics",
+    )
+    parser.add_argument(
+        "--executor-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="directory for the file backends' per-disk block logs "
+        "(default: a temporary directory removed after the run)",
     )
     parser.add_argument(
         "--strict",
@@ -174,6 +192,11 @@ def _run(args: argparse.Namespace) -> int:
                 batch=args.batch,
                 cache_blocks=args.cache,
                 wall=wall,
+                executor=args.executor,
+                executor_dir=(
+                    None if args.executor_dir is None
+                    else str(args.executor_dir)
+                ),
             )
         except BoundViolationError as exc:
             # A strict-mode abort is still a *violation* verdict (exit 1);
@@ -205,6 +228,10 @@ def _run(args: argparse.Namespace) -> int:
                 wall=wall,
             )
             print(f"wrote Chrome trace to {path}", file=sys.stderr)
+        # Releases executor-held threads/descriptors (and the throwaway
+        # image when --executor ran without --executor-dir); a no-op for
+        # the default simulated backend.
+        report.machine.close()
 
     if profiler is not None:
         import io

@@ -11,12 +11,15 @@ this function.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.reporting import render_table
 from repro.core.basic_dict import BasicDictionary
 from repro.core.dynamic_dict import DynamicDictionary
+from repro.obs import wallclock
 from repro.obs.export import span_events
 from repro.obs.latency import DiskTimeline, collect_latency, percentile_rows
 from repro.obs.metrics import (
@@ -28,12 +31,25 @@ from repro.obs.metrics import (
 )
 from repro.obs.monitors import MonitorSet, default_monitors
 from repro.obs.wallclock import enable_wall_clock
+from repro.pdm.executors import create_executor
 from repro.pdm.machine import ParallelDiskMachine
 from repro.pdm.spans import SpanRecorder, attach_spans
 from repro.pdm.trace import TraceRecorder, attach
 from repro.workloads.replay import ReplaySummary, Workload, replay
 
 STRUCTURES = ("basic", "dynamic")
+
+
+def _cleanup_on_close(machine: ParallelDiskMachine, directory: str) -> None:
+    """Arrange for ``machine.close()`` to also remove ``directory`` (the
+    throwaway image backing an ``executor_dir``-less file-backed run)."""
+    inner = machine.close
+
+    def close() -> None:
+        inner()
+        shutil.rmtree(directory, ignore_errors=True)
+
+    machine.close = close  # type: ignore[method-assign]
 
 
 @dataclass
@@ -222,6 +238,8 @@ def run_instrumented(
     batch: Optional[int] = None,
     cache_blocks: Optional[int] = None,
     wall: bool = False,
+    executor: str = "simulated",
+    executor_dir: Optional[str] = None,
 ) -> ObsReport:
     """Replay a generated workload under full instrumentation.
 
@@ -242,10 +260,39 @@ def run_instrumented(
     ``timeline`` of per-disk utilization.  The deterministic outputs —
     ``to_dict()``, every metric in ``registry``, every monitor verdict —
     are byte-identical with ``wall`` on or off.
+
+    ``executor`` selects the physical backend (:mod:`repro.pdm.executors`):
+    ``"simulated"`` (default, in-memory), or ``"file"``/``"process"`` over
+    real per-disk logs in ``executor_dir`` (a temporary directory when
+    ``None``, removed when the run's machine is closed by the caller).
+    The executor-equivalence invariant means every deterministic output is
+    byte-identical across backends; with ``wall=True`` the file backends
+    additionally receive the injected wall clock and the lane factory, so
+    their worker threads stamp ``disk-lane:<disk>`` spans and the report
+    gains ``executor.*`` transfer metrics in ``wall_registry``.
     """
+    temp_dir: Optional[str] = None
+    if executor == "simulated":
+        engine = None
+    else:
+        if executor_dir is None:
+            temp_dir = tempfile.mkdtemp(prefix="repro-executor-")
+            executor_dir = temp_dir
+        options: Dict[str, Any] = {}
+        if wall:
+            options["clock"] = wallclock.DEFAULT_CLOCK
+            if executor == "file":
+                options["lane_factory"] = wallclock.lane
+        engine = create_executor(
+            executor, directory=executor_dir, **options
+        )
     machine = ParallelDiskMachine(
-        num_disks, block_items, cache_blocks=cache_blocks
+        num_disks, block_items, cache_blocks=cache_blocks, executor=engine
     )
+    if temp_dir is not None:
+        # The machine owns the throwaway image: closing it removes the
+        # logs (callers that want to inspect them pass executor_dir).
+        _cleanup_on_close(machine, temp_dir)
     dictionary = build_structure(
         structure,
         machine,
@@ -305,6 +352,16 @@ def run_instrumented(
         collect_latency(wall_registry, recorder)
         if tracer is not None:
             timeline = DiskTimeline.from_tracer(tracer, machine.num_disks)
+        obs = machine.executor.observations
+        if obs.read_batches or obs.write_batches:
+            for key, value in obs.to_dict().items():
+                if key == "per_disk_wall_ns":
+                    for disk_id, ns in enumerate(value):
+                        wall_registry.gauge(
+                            "executor.disk_wall_ns", disk=disk_id
+                        ).set(ns)
+                else:
+                    wall_registry.gauge(f"executor.{key}").set(value)
 
     params = {
         "num_disks": num_disks,
@@ -319,6 +376,10 @@ def run_instrumented(
         params["batch"] = batch
     if cache_blocks is not None:
         params["cache_blocks"] = cache_blocks
+    if executor != "simulated":
+        # Executor equivalence: the backend changes no deterministic
+        # output, but the report should say how the bytes really moved.
+        params["executor"] = executor
     return ObsReport(
         structure=structure,
         params=params,

@@ -195,6 +195,21 @@ def extract_recovery(payload: Dict[str, Any]) -> Dict[str, float]:
     return out
 
 
+def extract_executors(payload: Dict[str, Any]) -> Dict[str, float]:
+    """``BENCH_executors.json``: wall-clock round time per backend and the
+    file backend's parallel-over-sequential speedup (charged rounds are
+    asserted identical by the benchmark itself)."""
+    out: Dict[str, float] = {}
+    for sc in payload.get("scenarios", ()):
+        label = f"{_slug(sc.get('executor', '?'))}.d{sc.get('disks', 0)}"
+        for key in ("elapsed_ms", "round_us"):
+            if key in sc and sc[key] is not None:
+                out[f"executors.{label}.{key}"] = sc[key]
+    for key, value in payload.get("speedups", {}).items():
+        out[f"executors.speedup.{_slug(key)}"] = value
+    return out
+
+
 #: artifact stem -> extractor; ``ingest_results`` globs ``BENCH_*.json``
 #: and dispatches here (unknown stems are reported, not silently dropped).
 EXTRACTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, float]]] = {
@@ -204,6 +219,7 @@ EXTRACTORS: Dict[str, Callable[[Dict[str, Any]], Dict[str, float]]] = {
     "BENCH_smoke": extract_smoke,
     "BENCH_latency": extract_latency,
     "BENCH_recovery": extract_recovery,
+    "BENCH_executors": extract_executors,
 }
 
 

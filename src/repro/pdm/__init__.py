@@ -41,6 +41,12 @@ This package provides:
 * :class:`~repro.pdm.superblocks.SuperblockArray` — the disks "considered
   as a single disk with block size BD" (Section 1.1): the layout beneath
   the hashing baselines, the pointer store and the B-tree.
+* :mod:`~repro.pdm.executors` — the pluggable physical backend seam:
+  round planning and charging stay in the machine, while a
+  :class:`~repro.pdm.executors.base.RoundExecutor` moves the bytes — the
+  default in-memory :class:`~repro.pdm.executors.base.SimulatedExecutor`,
+  a thread-per-disk real-file backend, or a process-pool backend, all
+  bit-identical in charged accounting (see ``docs/executors.md``).
 * :mod:`~repro.pdm.faults` / :mod:`~repro.pdm.errors` — deterministic fault
   injection (disk outages, transient read errors, silent corruption,
   stragglers, all scheduled by logical round) plus the typed
@@ -63,6 +69,13 @@ from repro.pdm.errors import (
     DiskFailure,
     IOFault,
     TransientIOError,
+)
+from repro.pdm.executors import (
+    EXECUTOR_NAMES,
+    ExecutorObservations,
+    RoundExecutor,
+    SimulatedExecutor,
+    create_executor,
 )
 from repro.pdm.faults import (
     DiskOutage,
@@ -121,6 +134,11 @@ __all__ = [
     "AbstractDiskMachine",
     "ParallelDiskMachine",
     "ParallelDiskHeadMachine",
+    "EXECUTOR_NAMES",
+    "ExecutorObservations",
+    "RoundExecutor",
+    "SimulatedExecutor",
+    "create_executor",
     "InternalMemory",
     "InternalMemoryExceeded",
     "BufferPool",

@@ -1,0 +1,74 @@
+"""Pluggable physical backends for the PDM machines.
+
+The machine plans and charges rounds; a :class:`RoundExecutor` moves the
+bytes.  Three implementations:
+
+* :class:`SimulatedExecutor` — in-memory, the default, zero overhead;
+* ``FileExecutor`` (:mod:`repro.pdm.executors.filebacked`) — real files,
+  one worker thread per disk;
+* ``ProcessExecutor`` (:mod:`repro.pdm.executors.procpool`) — same file
+  image, reads on a process pool.
+
+This package ``__init__`` imports only the seam (:mod:`.base`): the file
+backends pull in :mod:`repro.fs`, whose package import reaches back up
+through :mod:`repro.core` to the machine — importing them lazily via
+:func:`create_executor` keeps the cycle broken no matter which module is
+imported first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pdm.executors.base import (
+    ExecutorObservations,
+    ReadResult,
+    RoundExecutor,
+    SimulatedExecutor,
+)
+
+EXECUTOR_NAMES = ("simulated", "file", "process")
+
+
+def create_executor(
+    name: str, *, directory: Optional[str] = None, **options
+) -> RoundExecutor:
+    """Build an executor by name.
+
+    ``directory`` is required for the file-backed executors and rejected
+    for ``"simulated"``-with-options misuse is surfaced by the underlying
+    constructors.  Extra keyword ``options`` pass through (``workers``,
+    ``fsync``, ``transfer_delay_ns``, ``clock``, ``lane_factory``,
+    ``pool`` — whichever the chosen backend accepts).
+    """
+    if name == "simulated":
+        if directory is not None or options:
+            raise ValueError(
+                "the simulated executor takes no directory or options"
+            )
+        return SimulatedExecutor()
+    if name == "file":
+        if directory is None:
+            raise ValueError("the file executor needs a directory")
+        from repro.pdm.executors.filebacked import FileExecutor
+
+        return FileExecutor(directory, **options)
+    if name == "process":
+        if directory is None:
+            raise ValueError("the process executor needs a directory")
+        from repro.pdm.executors.procpool import ProcessExecutor
+
+        return ProcessExecutor(directory, **options)
+    raise ValueError(
+        f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
+    )
+
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "ExecutorObservations",
+    "ReadResult",
+    "RoundExecutor",
+    "SimulatedExecutor",
+    "create_executor",
+]

@@ -1,0 +1,257 @@
+"""Process-pool executor: GIL-free parallel block transfers.
+
+Same on-disk image as :class:`~repro.pdm.executors.filebacked.FileExecutor`
+(one :class:`~repro.fs.blockfile.BlockLogFile` per disk — the two file
+backends are interchangeable over the same directory), but a round's
+per-disk fetches are dispatched to a ``ProcessPoolExecutor``: each worker
+task is *stateless* — ``(path, [(index, offset, length)]) -> raw frame
+bytes`` — so one long-lived pool serves any number of machines, and no
+picklable executor state ever crosses the process boundary.  Frames are
+CRC-checked and unpickled in the parent; writes and index maintenance
+stay in the parent (single-writer, exactly as the thread backend's
+per-disk lanes).
+
+The pool uses the ``spawn`` start method: fork-after-threads is unsafe
+(and warns on modern interpreters), and the thread backend runs in the
+same process.  Spawn start-up is paid once per pool — share one via
+:func:`shared_process_pool` (tests and benchmarks do) rather than paying
+it per machine.
+
+Charged costs are computed above the executor seam, so this backend is
+bit-identical in ``IOStats``/``OpCost``/``RoundPlan`` to the simulated
+and threaded executors — the differential suites assert it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fs.blockfile import BlockLogFile, decode_frame
+from repro.pdm.block import Block, BlockOverflowError
+from repro.pdm.errors import BlockCorruption, DiskFailure, IOFault
+from repro.pdm.executors.base import Addr, ReadResult, RoundExecutor
+from repro.pdm.executors.filebacked import disk_log_path
+
+#: default pool width: bounded — the pool is shared, not per-machine.
+DEFAULT_POOL_WORKERS = 8
+
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_lock = threading.Lock()
+
+
+def shared_process_pool(
+    max_workers: int = DEFAULT_POOL_WORKERS,
+) -> ProcessPoolExecutor:
+    """The process pool shared by every :class:`ProcessExecutor` that was
+    not handed its own.  Created lazily (spawn start method), reused until
+    :func:`shutdown_shared_pool`."""
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is None:
+            _shared_pool = ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return _shared_pool
+
+
+def shutdown_shared_pool() -> None:
+    global _shared_pool
+    with _shared_pool_lock:
+        if _shared_pool is not None:
+            _shared_pool.shutdown(wait=True)
+            _shared_pool = None
+
+
+def _serve_extents(
+    path: str,
+    requests: Sequence[Tuple[int, int, int]],
+    delay_ns: int,
+) -> List[Tuple[int, bytes]]:
+    """Worker-side task: pread each ``(block_index, offset, length)``
+    extent of ``path``.  Stateless by design — any pool process can serve
+    any disk; raw ``OSError`` crosses back and is typed in the parent."""
+    if delay_ns:
+        time.sleep(delay_ns * len(requests) / 1e9)
+    out: List[Tuple[int, bytes]] = []
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        for block_index, offset, length in requests:
+            out.append((block_index, os.pread(fd, length, offset)))
+    finally:
+        os.close(fd)
+    return out
+
+
+class ProcessExecutor(RoundExecutor):
+    """File-backed executor whose reads run on a process pool.
+
+    Parameters mirror :class:`~repro.pdm.executors.filebacked.FileExecutor`
+    where they overlap; ``pool`` injects a long-lived
+    ``ProcessPoolExecutor`` (``None`` uses :func:`shared_process_pool`,
+    which ``close()`` deliberately leaves running)."""
+
+    name = "process"
+    inline = False
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        fsync: bool = False,
+        transfer_delay_ns: int = 0,
+        clock: Optional[Callable[[], int]] = None,
+        pool: Optional[ProcessPoolExecutor] = None,
+    ):
+        super().__init__()
+        self.directory = str(directory)
+        self.fsync = fsync
+        self.transfer_delay_ns = transfer_delay_ns
+        self.clock = clock
+        self._pool = pool
+        self._logs: List[BlockLogFile] = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self, machine) -> None:
+        super().bind(machine)
+        os.makedirs(self.directory, exist_ok=True)
+        self._logs = [
+            BlockLogFile(disk_log_path(self.directory, i), fsync=self.fsync)
+            for i in range(machine.num_disks)
+        ]
+        if self._pool is None:
+            self._pool = shared_process_pool()
+
+    def flush(self) -> None:
+        for log in self._logs:
+            if not log.closed:
+                log.sync()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for log in self._logs:
+            log.close()
+        # The pool is shared (or caller-owned) long-lived infrastructure;
+        # shutdown_shared_pool() ends it explicitly.
+        self._pool = None
+
+    # -- physical transfer -------------------------------------------------
+
+    def run_read(self, addrs: Sequence[Addr]) -> Dict[Addr, ReadResult]:
+        clock = self.clock
+        t0 = clock() if clock is not None else 0
+        out: Dict[Addr, ReadResult] = {}
+        jobs: List[Tuple[int, List[Addr], object]] = []
+        for addr in addrs:
+            out.setdefault(addr, None)
+        by_disk: Dict[int, List[Tuple[Addr, Tuple[int, int]]]] = {}
+        for addr in addrs:
+            log = self._logs[addr[0]]
+            try:
+                extent = log.frame_extent(addr[1])
+            except IOFault as fault:
+                out[addr] = fault
+                continue
+            if extent is None:
+                continue  # never written: stays None
+            by_disk.setdefault(addr[0], []).append((addr, extent))
+        for disk_id, entries in by_disk.items():
+            requests = [
+                (addr[1], offset, length)
+                for addr, (offset, length) in entries
+            ]
+            future = self._pool.submit(
+                _serve_extents,
+                self._logs[disk_id].path,
+                requests,
+                self.transfer_delay_ns,
+            )
+            jobs.append((disk_id, [addr for addr, _ in entries], future))
+        block_bits = self.machine.block_bits
+        for disk_id, disk_addrs, future in jobs:
+            try:
+                frames = future.result()
+            except OSError as exc:
+                fault = DiskFailure(
+                    f"process read of disk {disk_id} "
+                    f"({self._logs[disk_id].path}) failed: {exc}",
+                    disk=disk_id,
+                )
+                for addr in disk_addrs:
+                    out[addr] = fault
+                continue
+            except BrokenProcessPool as exc:
+                raise DiskFailure(
+                    f"process pool died serving disk {disk_id}: {exc}"
+                ) from exc
+            for addr, (_, data) in zip(disk_addrs, frames):
+                try:
+                    payload, used_bits, checksum = decode_frame(
+                        data,
+                        path=self._logs[disk_id].path,
+                        block_index=addr[1],
+                    )
+                    blk = Block(block_bits)
+                    blk.store(payload, used_bits)
+                except IOFault as fault:
+                    out[addr] = fault
+                    continue
+                except (BlockOverflowError, ValueError) as exc:
+                    out[addr] = BlockCorruption(
+                        f"frame for block {addr} does not fit this "
+                        f"machine's geometry: {exc}",
+                        addrs=[addr], disk=addr[0],
+                    )
+                    continue
+                blk.checksum = checksum
+                out[addr] = blk
+        self.observations.note_read(
+            len(addrs), (clock() - t0) if clock is not None else 0
+        )
+        return out
+
+    def run_write(self, stored: Sequence[Tuple[Addr, Block]]) -> None:
+        clock = self.clock
+        t0 = clock() if clock is not None else 0
+        by_disk: Dict[int, List[Tuple[int, Block]]] = {}
+        for addr, blk in stored:
+            by_disk.setdefault(addr[0], []).append((addr[1], blk))
+        for disk_id, entries in by_disk.items():
+            self._logs[disk_id].append_many(
+                (index, blk.payload, blk.used_bits, blk.checksum)
+                for index, blk in entries
+            )
+        self.observations.note_write(
+            len(stored), (clock() - t0) if clock is not None else 0
+        )
+
+    # -- physical consistency hooks ----------------------------------------
+
+    def sync_block(self, addr: Addr) -> None:
+        blk = self.machine.disks[addr[0]].peek(addr[1])
+        if blk is not None:
+            self._logs[addr[0]].append_block(
+                addr[1], blk.payload, blk.used_bits, blk.checksum
+            )
+
+    def resync_disk(self, disk_id: int) -> None:
+        log = self._logs[disk_id]
+        log.reset()
+        disk = self.machine.disks[disk_id]
+        log.append_many(
+            (index, blk.payload, blk.used_bits, blk.checksum)
+            for index, blk in sorted(disk._blocks.items())
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessExecutor({self.directory!r})"

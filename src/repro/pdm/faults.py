@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.bits.mix import splitmix64
+from repro.pdm.block import Block
 from repro.pdm.disk import Disk
 
 Addr = Tuple[int, int]
@@ -263,10 +264,14 @@ class FaultInjector:
     def apply_due_corruption(self, clock: int, machine) -> None:
         """Fire every corruption event whose round has arrived.
 
-        Mutates the target block's payload in place on the medium *without*
-        resealing, so a later checksummed read sees the mismatch.  Corrupting
-        a never-written block is a no-op (there is nothing to scramble) but
-        still consumes the event.
+        Replaces the stored block with a copy whose payload is scrambled
+        *without* resealing, so a later checksummed read sees the mismatch.
+        Copy-on-corrupt (rather than mutating the live object) means
+        references handed out by earlier reads keep the bytes that were
+        actually transferred — the semantics every physical backend has
+        naturally, which the executor-equivalence suite relies on.
+        Corrupting a never-written block is a no-op (there is nothing to
+        scramble) but still consumes the event.
         """
         if not self._corruptions:
             return
@@ -278,12 +283,17 @@ class FaultInjector:
         for c in due:
             if not 0 <= c.disk < len(machine.disks):
                 continue
-            blk = machine.disks[c.disk].peek(c.block)
+            disk = machine.disks[c.disk]
+            blk = disk.peek(c.block)
             if blk is None or blk.payload is None:
                 continue
-            blk.payload = corrupt_payload(
+            scrambled = Block(blk.capacity_bits)
+            scrambled.payload = corrupt_payload(
                 blk.payload, splitmix64(c.salt ^ (c.disk << 20) ^ c.block)
             )
+            scrambled.used_bits = blk.used_bits
+            scrambled.checksum = blk.checksum  # stale seal: verify() fails
+            disk._blocks[c.block] = scrambled
             if cache is not None:
                 # A cached copy predates the corruption (payloads are
                 # replaced, never mutated, so the pool still holds clean
@@ -291,6 +301,12 @@ class FaultInjector:
                 # medium and the checksum verdict matches the uncached
                 # machine exactly.
                 cache.invalidate((c.disk, c.block))
+            executor = getattr(machine, "executor", None)
+            if executor is not None and not executor.inline:
+                # The scrambled payload must reach the physical medium
+                # too, or a file-backed read would serve clean bytes and
+                # the checksum verdict would diverge from the simulator.
+                executor.sync_block((c.disk, c.block))
             self.count("corruption")
 
     @property
@@ -341,11 +357,17 @@ def attach_faults(
     machine.faults = injector
     if checksums:
         machine.checksums = True
+        executor = getattr(machine, "executor", None)
+        mirror = executor is not None and not executor.inline
         for disk in machine.disks:
             for index in sorted(disk._blocks):
                 block = disk._blocks[index]
                 if block.checksum is None:
                     block.seal()
+                    if mirror:
+                        # Re-mirror the freshly sealed frame so the
+                        # on-medium checksum matches the logical one.
+                        executor.sync_block((disk.disk_id, index))
     if retry_budget is not None:
         if retry_budget < 0:
             raise ValueError(f"retry budget must be >= 0, got {retry_budget}")

@@ -20,13 +20,14 @@ from __future__ import annotations
 import math
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bits.mix import derive
 from repro.pdm.block import Block
 from repro.pdm.cache import attach_cache
 from repro.pdm.disk import Disk
 from repro.pdm.errors import BlockCorruption, DiskFailure, IOFault, TransientIOError
+from repro.pdm.executors.base import RoundExecutor, SimulatedExecutor
 from repro.pdm.health import RetryPolicy
 from repro.pdm.iostats import IOStats
 from repro.pdm.memory import InternalMemory
@@ -154,6 +155,13 @@ class AbstractDiskMachine:
         reads cost zero I/Os; writes are absorbed and flushed on eviction.
         ``None`` (the default) keeps the machine uncached — the mode the
         theorem-bound monitors assume.
+    executor:
+        Optional physical backend (:mod:`repro.pdm.executors`).  ``None``
+        means the in-memory :class:`~repro.pdm.executors.base.SimulatedExecutor`
+        — exactly the pre-seam behavior.  The machine keeps every charge,
+        plan, fault, cache and health decision regardless of executor, so
+        ``IOStats``/``OpCost``/``RoundPlan`` accounting is bit-identical
+        across backends (see ``docs/executors.md``).
     """
 
     model_name = "abstract"
@@ -166,6 +174,7 @@ class AbstractDiskMachine:
         item_bits: int = 64,
         memory_words: int | None = None,
         cache_blocks: int | None = None,
+        executor: RoundExecutor | None = None,
     ):
         if num_disks <= 0:
             raise ValueError(f"need at least one disk, got {num_disks}")
@@ -177,7 +186,7 @@ class AbstractDiskMachine:
         self.block_items = block_items
         self.item_bits = item_bits
         self.block_bits = block_items * item_bits
-        self.disks: List[Disk] = [
+        self.disks: List[Disk] = [  # detlint: guarded(machine-op) -- slot swaps (attach/detach faults, replace_disk) happen only on the single machine-op lane; executor worker lanes never touch the list
             Disk(i, self.block_bits) for i in range(num_disks)
         ]
         self.stats = IOStats()
@@ -220,6 +229,13 @@ class AbstractDiskMachine:
         # inflate touched_blocks/footprint).  Callers treat read results as
         # immutable — all mutation goes through write_blocks.
         self._void_block = Block(self.block_bits)
+        #: the physical backend (:mod:`repro.pdm.executors`); the logical
+        #: store above stays authoritative, so every charge is computed
+        #: before the executor moves a byte
+        self.executor: RoundExecutor = (
+            executor if executor is not None else SimulatedExecutor()
+        )
+        self.executor.bind(self)
         if cache_blocks is not None:
             attach_cache(self, cache_blocks)
 
@@ -277,6 +293,33 @@ class AbstractDiskMachine:
         rebuild that populates the spare pays for every block through
         ``write_blocks(repair=True)``."""
         return Disk(disk_id, self.block_bits)
+
+    def replace_disk(self, disk_id: int, disk: Disk) -> Disk:
+        """Install ``disk`` in address slot ``disk_id``, returning the
+        displaced disk.
+
+        The structural half of a rebuild's final swap (the recovery
+        manager calls this with the respawned spare): the logical store
+        changes hands without any charged I/O — every block on the spare
+        was already paid for via ``write_blocks(repair=True)`` — and a
+        physical backend rewrites the slot's image from the new logical
+        contents so a real-file medium never serves the dead disk's data.
+        """
+        if not 0 <= disk_id < self.num_disks:
+            raise IndexError(f"disk {disk_id} out of range")
+        old = self.disks[disk_id]
+        self.disks[disk_id] = disk
+        executor = self.executor
+        if not executor.inline:
+            executor.resync_disk(disk_id)
+        return old
+
+    def close(self) -> None:
+        """Release executor-held physical resources (worker threads, file
+        descriptors).  A no-op for the in-memory simulator; file- and
+        process-backed machines must be closed before their directory
+        goes away.  Idempotent."""
+        self.executor.close()
 
     # -- allocation ---------------------------------------------------------
 
@@ -424,10 +467,12 @@ class AbstractDiskMachine:
             and self.faults is None
             and self.tracer is None
             and not self.checksums
+            and self.executor.inline
         ):
-            # Fast path: nothing attached, so skip the retry/fault/fill
-            # machinery entirely.  Same charges as the general path —
-            # rounds for the deduped set, one blocks_read per block.
+            # Fast path: nothing attached and the physical store is the
+            # logical store, so skip the retry/fault/fill machinery
+            # entirely.  Same charges as the general path — rounds for
+            # the deduped set, one blocks_read per block.
             unique = dict.fromkeys(map(tuple, addrs))
             if not unique:
                 return {}
@@ -561,38 +606,58 @@ class AbstractDiskMachine:
             health = self.health
             err_kinds: Dict[int, str] = {}
             retry: List[Addr] = []
-            fetched = 0
-            for addr in pending:
-                disk = self.disks[addr[0]]
-                if faults is not None:
-                    status = disk.status_at(clock)
-                    if status == "down":
-                        faults.count("disk_failure")
-                        if health is not None:
-                            err_kinds[addr[0]] = "down"
-                        failures[addr] = DiskFailure(
-                            f"disk {addr[0]} is down at round {clock}",
+            # Triage first (fault status is machine policy), then hand the
+            # surviving addresses to the executor in one physical batch —
+            # that single call is what a file-backed executor parallelises
+            # across its per-disk lanes.
+            statuses: Optional[List[str]] = None
+            to_fetch: List[Addr] = pending
+            if faults is not None:
+                statuses = [self.disks[a[0]].status_at(clock) for a in pending]
+                to_fetch = [
+                    a for a, s in zip(pending, statuses) if s == "ok"
+                ]
+            physical = self.executor.run_read(to_fetch) if to_fetch else {}
+            for i, addr in enumerate(pending):
+                status = "ok" if statuses is None else statuses[i]
+                if status == "down":
+                    faults.count("disk_failure")
+                    if health is not None:
+                        err_kinds[addr[0]] = "down"
+                    failures[addr] = DiskFailure(
+                        f"disk {addr[0]} is down at round {clock}",
+                        addrs=[addr], disk=addr[0], clock=clock,
+                    )
+                    continue
+                if status == "transient":
+                    faults.count("transient")
+                    if health is not None:
+                        err_kinds[addr[0]] = "transient"
+                    if attempt < self.retry_budget:
+                        retry.append(addr)
+                    else:
+                        failures[addr] = TransientIOError(
+                            f"read of block {addr} still failing after "
+                            f"{attempt} retries (budget "
+                            f"{self.retry_budget})",
                             addrs=[addr], disk=addr[0], clock=clock,
                         )
-                        continue
-                    if status == "transient":
-                        faults.count("transient")
-                        if health is not None:
-                            err_kinds[addr[0]] = "transient"
-                        if attempt < self.retry_budget:
-                            retry.append(addr)
-                        else:
-                            failures[addr] = TransientIOError(
-                                f"read of block {addr} still failing after "
-                                f"{attempt} retries (budget "
-                                f"{self.retry_budget})",
-                                addrs=[addr], disk=addr[0], clock=clock,
-                            )
-                        continue
-                fetched += 1
-                blk = disk.peek(addr[1])
+                    continue
+                blk = physical.get(addr)
                 if blk is None:
                     blocks[addr] = self._void_block
+                    continue
+                if isinstance(blk, IOFault):
+                    # The physical medium itself failed the address (torn
+                    # frame, lost file) — routed like an injected fault.
+                    if health is not None:
+                        if isinstance(blk, DiskFailure):
+                            err_kinds.setdefault(addr[0], "down")
+                        elif isinstance(blk, TransientIOError):
+                            err_kinds.setdefault(addr[0], "transient")
+                        else:
+                            err_kinds.setdefault(addr[0], "corruption")
+                    failures[addr] = blk
                     continue
                 if checksums and not blk.verify():
                     if health is not None:
@@ -604,7 +669,7 @@ class AbstractDiskMachine:
                     )
                     continue
                 blocks[addr] = blk
-            self.stats.blocks_read += fetched
+            self.stats.blocks_read += len(to_fetch)
             if health is not None:
                 # One observation per disk per round: errors by priority
                 # (down > transient > corruption), a clean round otherwise.
@@ -721,6 +786,10 @@ class AbstractDiskMachine:
             self.tracer.record("write", addrs, rounds)
         checksums = self.checksums
         mirror = self.rebuild_mirror
+        executor = self.executor
+        stored: Optional[List[Tuple[Addr, Block]]] = (
+            None if executor.inline else []
+        )
         for (addr, payload, used_bits) in writes:
             target = self.disks[addr[0]]
             if mirror is not None:
@@ -732,6 +801,13 @@ class AbstractDiskMachine:
             blk.store(payload, used_bits)
             if checksums:
                 blk.seal()
+            if stored is not None:
+                # addr is the physical slot even when the live copy was
+                # diverted to a rebuild spare — the medium's image always
+                # tracks the slot the block will be served from.
+                stored.append((addr, blk))
+        if stored:
+            executor.run_write(stored)
 
     # -- convenience single-block forms ------------------------------------
 

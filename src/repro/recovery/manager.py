@@ -383,7 +383,7 @@ class RecoveryManager:
         clock = machine.stats.total_ios
         if rb.mode == "spare":
             old = machine.disks[rb.disk]  # detlint: ignore[PDM102] -- structural swap, no payload access
-            machine.disks[rb.disk] = old.respawn(rb.spare, clock)  # detlint: ignore[PDM102,COST101] -- swap rebuilt spare in; every block on it was charged via write_blocks(repair=True)
+            machine.replace_disk(rb.disk, old.respawn(rb.spare, clock))  # detlint: ignore[COST101] -- swap rebuilt spare in; every block on it was charged via write_blocks(repair=True)
             del machine.rebuild_mirror[rb.disk]
         self.journal.commit(rb.disk, rb.generation)
         self.tracker.complete_rebuild(rb.disk, clock)

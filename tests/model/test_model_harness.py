@@ -15,13 +15,17 @@ operation, add a ``@rule`` that applies it to both the dictionary and
 
 from __future__ import annotations
 
+import shutil
+import tempfile
+
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.core.facade import ParallelDiskDictionary
-from repro.core.interface import LookupResult
+from repro.core.interface import DegradedModeError, LookupResult
 from repro.faults.plan import FaultPlan
+from repro.pdm.errors import IOFault
 from repro.pdm.faults import attach_faults
 from repro.pdm.health import RetryPolicy, attach_health
 from repro.recovery import RecoveryManager
@@ -31,7 +35,7 @@ SIGMA = 16
 KEYS = st.integers(0, U - 1)
 VALUES = st.integers(0, (1 << SIGMA) - 1)
 
-# CI runs every variant at these settings: 9 variants x 40 examples = 360
+# CI runs every variant at these settings: 12 variants x 40 examples = 480
 # stateful examples per run (the acceptance bar is >= 200).
 MODEL_SETTINGS = settings(
     max_examples=40, stateful_step_count=12, deadline=None
@@ -332,6 +336,255 @@ class RecoveringBasicModel(DictionaryOracleMachine):
         assert not self.manager.tracker.in_state("failed")
 
 
+# -- file-backed executor twins ------------------------------------------
+
+
+class TwinCheckedDictionary:
+    """A file-backed dictionary locked in step with a simulated twin.
+
+    Planning, charging, faults and retries all live above the executor
+    seam, so a dictionary running on the real-file backend must be
+    *indistinguishable* from one running in memory: after every single
+    operation this wrapper compares the answer (or the raised fault
+    type) and the cumulative charged I/O accounting of both.  The twin
+    is the executor-equivalence oracle; the plain-dict oracle of the
+    surrounding state machine checks functional correctness on top.
+    """
+
+    def __init__(self, primary: ParallelDiskDictionary,
+                 twin: ParallelDiskDictionary):
+        self._primary = primary
+        self._twin = twin
+
+    def close(self) -> None:
+        self._primary.close()
+        self._twin.close()
+
+    # Charges must agree to the block.  retry_ios is included because the
+    # fault clock *is* charged I/O: any drift would also desynchronise
+    # the two fault schedules and snowball.
+    @staticmethod
+    def _charges(d):
+        s = d.io_stats()
+        return (s.read_ios, s.write_ios, s.blocks_read,
+                s.blocks_written, s.retry_ios)
+
+    @staticmethod
+    def _norm_one(res):
+        if isinstance(res, LookupResult):
+            return (res.found, res.value, res.cost)
+        if isinstance(res, Exception):
+            return type(res).__name__
+        return res
+
+    @classmethod
+    def _norm(cls, value):
+        """Comparable view of an operation outcome."""
+        if (isinstance(value, tuple) and len(value) == 2
+                and isinstance(value[0], dict)):
+            outcomes, cost = value  # a batch_* result
+            return ({k: cls._norm_one(v) for k, v in outcomes.items()}, cost)
+        return cls._norm_one(value)
+
+    def apply(self, op):
+        """Run ``op`` against both dictionaries, assert they agree.
+
+        Returns ``(("ok", normalised) | ("fault", type name), raw)``
+        where ``raw`` is the primary's un-normalised result.
+        """
+        raw = None
+        try:
+            raw = op(self._primary)
+            first = ("ok", self._norm(raw))
+        except (IOFault, DegradedModeError) as exc:
+            first = ("fault", type(exc).__name__)
+        try:
+            second = ("ok", self._norm(op(self._twin)))
+        except (IOFault, DegradedModeError) as exc:
+            second = ("fault", type(exc).__name__)
+        assert first == second, (
+            f"executor divergence: file backend {first!r}, "
+            f"simulated twin {second!r}"
+        )
+        charges = self._charges(self._primary)
+        twin_charges = self._charges(self._twin)
+        assert charges == twin_charges, (
+            "charged-I/O divergence (read_ios, write_ios, blocks_read, "
+            f"blocks_written, retry_ios): file backend {charges}, "
+            f"simulated twin {twin_charges}"
+        )
+        return first, raw
+
+    # Dictionary protocol passthroughs.  The healthy oracle rules go
+    # through these; faults never fire there, so apply() is always "ok".
+
+    def _ok(self, op):
+        (tag, _), raw = self.apply(op)
+        assert tag == "ok", f"unexpected fault on a healthy twin: {raw!r}"
+        return raw
+
+    def lookup(self, key):
+        return self._ok(lambda d: d.lookup(key))
+
+    def insert(self, key, value=None):
+        return self._ok(lambda d: d.insert(key, value))
+
+    def delete(self, key):
+        return self._ok(lambda d: d.delete(key))
+
+    def batch_lookup(self, keys):
+        return self._ok(lambda d: d.batch_lookup(keys))
+
+    def batch_insert(self, items):
+        return self._ok(lambda d: d.batch_insert(items))
+
+    def batch_delete(self, keys):
+        return self._ok(lambda d: d.batch_delete(keys))
+
+    def __len__(self) -> int:
+        sizes = (len(self._primary), len(self._twin))
+        assert sizes[0] == sizes[1], (
+            f"size divergence: file backend {sizes[0]}, twin {sizes[1]}"
+        )
+        return sizes[0]
+
+
+class FileBackedOracleMachine(DictionaryOracleMachine):
+    """Oracle machine whose dictionary runs on the real-file backend,
+    twin-checked against an identically-parameterised simulated one."""
+
+    def _build_pair(self, **kwargs) -> TwinCheckedDictionary:
+        self._tmp = tempfile.mkdtemp(prefix="repro-model-exec-")
+        primary = ParallelDiskDictionary(
+            executor="file", executor_dir=self._tmp, **kwargs
+        )
+        twin = ParallelDiskDictionary(**kwargs)
+        return TwinCheckedDictionary(primary, twin)
+
+    def teardown(self) -> None:
+        try:
+            self.d.close()
+        finally:
+            shutil.rmtree(self._tmp, ignore_errors=True)
+        super().teardown()
+
+
+class FileBackedBasicModel(FileBackedOracleMachine):
+    capacity = 48
+
+    def build(self):
+        return self._build_pair(
+            universe_size=U, capacity=48, mode="basic", degree=8,
+            block_items=16, seed=10,
+        )
+
+
+class FileBackedDynamicModel(FileBackedOracleMachine):
+    """Rebuild boundaries on the file backend: every global rebuild
+    spawns a fresh machine — and a fresh per-machine log directory —
+    whose construction, migration and accounting must stay in lockstep
+    with the simulated twin."""
+
+    capacity = None
+
+    def build(self):
+        return self._build_pair(
+            universe_size=U, capacity=8, mode="full-bandwidth", degree=8,
+            sigma=SIGMA, block_items=16, unbounded=True, seed=11,
+        )
+
+
+class FileBackedKilledModel(RuleBasedStateMachine):
+    """``kill_disks`` on the file backend, twin-checked.
+
+    A hard outage window downs one disk mid-interleaving.  Operations
+    touching it fail loudly with typed faults — and the *same* typed
+    faults, on the same operations, with the same charged accounting,
+    must come out of the file backend and the simulated twin (the fault
+    clock is charged I/O, so the windows line up exactly).  Once the
+    window passes, the disk serves its intact contents again, and the
+    plain-dict oracle is consulted for every key whose mutations all
+    completed cleanly.
+    """
+
+    CAPACITY = 48
+
+    def __init__(self):
+        super().__init__()
+        self._tmp = tempfile.mkdtemp(prefix="repro-model-kill-")
+        kwargs = dict(
+            universe_size=U, capacity=self.CAPACITY, mode="basic",
+            degree=8, block_items=16, seed=12,
+        )
+        primary = ParallelDiskDictionary(
+            executor="file", executor_dir=self._tmp, **kwargs
+        )
+        twin = ParallelDiskDictionary(**kwargs)
+        for d in (primary, twin):
+            machine = d._machines[0]
+            plan = FaultPlan.kill_disks(
+                [1], num_disks=machine.num_disks, start=12, end=30
+            ).shifted(machine.stats.total_ios)
+            attach_faults(machine, plan.events)
+        self.d = TwinCheckedDictionary(primary, twin)
+        self.oracle: dict[int, int] = {}
+        #: keys whose mutation faulted mid-op: membership is unknown (the
+        #: twins still agree with each other — that is the invariant under
+        #: test — but the plain oracle can no longer vouch for them).
+        self._unknown: set[int] = set()
+
+    def teardown(self) -> None:
+        try:
+            self.d.close()
+        finally:
+            shutil.rmtree(self._tmp, ignore_errors=True)
+        super().teardown()
+
+    def _room_for_one(self, key: int) -> bool:
+        if key in self.oracle:
+            return True
+        # Conservative: unknown keys may well be present, so count them
+        # against capacity to keep CapacityExceeded out of the picture.
+        return len(self.oracle) + len(self._unknown) < self.CAPACITY
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key: int, value: int) -> None:
+        if not self._room_for_one(key):
+            return
+        (tag, _), _ = self.d.apply(lambda d: d.insert(key, value))
+        if tag == "ok":
+            self.oracle[key] = value
+            self._unknown.discard(key)
+        else:
+            self.oracle.pop(key, None)
+            self._unknown.add(key)
+
+    @rule(key=KEYS)
+    def delete(self, key: int) -> None:
+        (tag, _), _ = self.d.apply(lambda d: d.delete(key))
+        if tag == "ok":
+            self.oracle.pop(key, None)
+            self._unknown.discard(key)
+        else:
+            self.oracle.pop(key, None)
+            self._unknown.add(key)
+
+    @rule(key=KEYS)
+    def lookup(self, key: int) -> None:
+        (tag, detail), _ = self.d.apply(lambda d: d.lookup(key))
+        if tag == "ok" and key not in self._unknown:
+            found, value, _cost = detail
+            assert found == (key in self.oracle), (
+                f"membership divergence on {key} after the outage window"
+            )
+            if found:
+                assert value == self.oracle[key]
+
+    @invariant()
+    def twins_agree_on_size(self) -> None:
+        len(self.d)  # asserts file backend == simulated twin internally
+
+
 TestBasicModel = BasicModel.TestCase
 TestFullBandwidthModel = FullBandwidthModel.TestCase
 TestHeadModelModel = HeadModelModel.TestCase
@@ -341,6 +594,9 @@ TestRebuildingDynamicModel = RebuildingDynamicModel.TestCase
 TestCachedBasicModel = CachedBasicModel.TestCase
 TestCachedRebuildingDynamicModel = CachedRebuildingDynamicModel.TestCase
 TestRecoveringBasicModel = RecoveringBasicModel.TestCase
+TestFileBackedBasicModel = FileBackedBasicModel.TestCase
+TestFileBackedDynamicModel = FileBackedDynamicModel.TestCase
+TestFileBackedKilledModel = FileBackedKilledModel.TestCase
 
 for _case in (
     TestBasicModel,
@@ -352,6 +608,9 @@ for _case in (
     TestCachedBasicModel,
     TestCachedRebuildingDynamicModel,
     TestRecoveringBasicModel,
+    TestFileBackedBasicModel,
+    TestFileBackedDynamicModel,
+    TestFileBackedKilledModel,
 ):
     _case.settings = MODEL_SETTINGS
 del _case  # unittest TestCases are collected by reference, not just name
