@@ -9,7 +9,11 @@ workload with the wall channel enabled and reports:
 
 * p50/p95/p99/max wall latency per operation class (``lookup`` /
   ``upsert`` / ``delete``) and per serving layer (``cache-hit`` /
-  ``cache-miss`` / ``fault-retry`` / ``uncached``);
+  ``cache-miss`` / ``fault-retry`` / ``uncached`` / ``kernel``);
+* the per-stage split of the vectorized batch kernels
+  (``kernel.neighborhoods`` / ``kernel.plan`` / ``kernel.match``) from a
+  batched replay — where the wall time of a round-packed batched lookup
+  actually goes;
 * per-disk busy/idle utilization from the traced I/O schedule;
 * the self-measured overhead of the always-on
   :class:`~repro.obs.latency.LatencyTracker` — interleaved best-of-N
@@ -47,6 +51,10 @@ OPERATIONS = 1024
 CACHE_BLOCKS = 256
 #: lookups replayed under a transient-fault window (fault-retry layer)
 FAULT_LOOKUPS = 64
+#: operations replayed through the round-packed batch methods (kernel layer)
+BATCH_OPERATIONS = 256
+#: keys per batched call in the kernel phase
+BATCH_SIZE = 64
 #: sequential lookups per overhead pass
 OVERHEAD_OPS = 2048
 
@@ -134,9 +142,25 @@ def test_latency_report(benchmark, save_table, results_dir):
     for k in hot:
         fault_report.dictionary.lookup(k)
 
+    # Batched phase on a third, uncached run: ``batch=N`` routes runs of
+    # same-kind operations through the round-packed batch methods, whose
+    # vectorized fast path opens ``kernel.*`` child spans — the "kernel"
+    # latency layer and the per-stage ``latency.kernel_us`` family.
+    batch_report = run_instrumented(
+        "basic",
+        num_disks=D,
+        block_items=B,
+        universe_size=U,
+        operations=BATCH_OPERATIONS,
+        wall=True,
+        batch=BATCH_SIZE,
+    )
+    assert batch_report.ok
+
     wall_registry = MetricsRegistry()
     attributed = collect_latency(wall_registry, report.recorder)
     attributed += collect_latency(wall_registry, fault_report.recorder)
+    attributed += collect_latency(wall_registry, batch_report.recorder)
     assert attributed >= OPERATIONS + FAULT_LOOKUPS
 
     timeline = DiskTimeline.from_tracer(report.tracer, D)
@@ -152,8 +176,12 @@ def test_latency_report(benchmark, save_table, results_dir):
     op_classes = _family_summary(wall_registry, "latency.op_us", "op")
     layers = _family_summary(wall_registry, "latency.layer_us", "layer")
     lanes = _family_summary(wall_registry, "latency.lane_us", "lane")
+    kernel_stages = _family_summary(
+        wall_registry, "latency.kernel_us", "stage"
+    )
     assert "lookup" in op_classes
     assert "fault-retry" in layers and "cache-hit" in layers
+    assert "kernel" in layers and "plan" in kernel_stages
 
     payload = {
         "benchmark": "latency",
@@ -163,11 +191,14 @@ def test_latency_report(benchmark, save_table, results_dir):
             "operations": OPERATIONS,
             "cache_blocks": CACHE_BLOCKS,
             "fault_lookups": FAULT_LOOKUPS,
+            "batch_operations": BATCH_OPERATIONS,
+            "batch_size": BATCH_SIZE,
             "overhead_operations": OVERHEAD_OPS,
         },
         "op_classes": op_classes,
         "layers": layers,
         "lanes": lanes,
+        "kernel_stages": kernel_stages,
         "disks": timeline.to_dict(),
         "overhead": overhead.to_dict(),
     }
@@ -176,7 +207,11 @@ def test_latency_report(benchmark, save_table, results_dir):
 
     rows = [
         [label, e["count"], e["p50"], e["p95"], e["p99"], e["max"]]
-        for label, e in list(op_classes.items()) + list(layers.items())
+        for label, e in (
+            list(op_classes.items())
+            + list(layers.items())
+            + [(f"kernel.{s}", e) for s, e in kernel_stages.items()]
+        )
     ]
     table = render_table(
         ["class/layer", "count", "p50 us", "p95 us", "p99 us", "max us"],

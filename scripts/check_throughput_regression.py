@@ -22,6 +22,11 @@ Two classes of metric, two tolerances:
   ratios jitter by tens of percent on shared CI hardware, so these get a
   wide 50% band: the gate catches "the fast path fell off a cliff", not
   scheduler noise.  Absolute ops/sec values are reported, never gated.
+
+The ``batched`` kernel section additionally carries two **absolute**
+acceptance gates that hold regardless of the baseline: the vectorized
+path must stay >= 3x the in-run sequential baseline, and its charged
+rounds must equal the scalar batched path's exactly.
 """
 
 from __future__ import annotations
@@ -43,6 +48,17 @@ RATIO_GATES = (
     ("cached_vs_uncached_ops_zipf11", False, 0.50),
     ("cached_round_reduction_zipf11", False, 0.20),
 )
+
+#: the ``batched`` kernel section: baseline-relative gates plus two
+#: absolute ones checked in ``_check_batched`` (the >=3x speedup floor
+#: and exact charged-round equality are acceptance criteria, not
+#: regressions — they hold regardless of what the baseline recorded)
+BATCHED_GATES = (
+    (("rounds_per_op",), True, 0.20),
+    (("speedup_vs_sequential",), False, 0.50),
+    (("speedup_vs_scalar_batched",), False, 0.50),
+)
+BATCHED_SPEEDUP_FLOOR = 3.0
 
 
 def _dig(obj, path):
@@ -71,6 +87,41 @@ def _check(label, current, baseline, higher_is_worse, tolerance, failures):
     )
     if bad:
         failures.append(label)
+
+
+def _check_batched(current, baseline, failures):
+    batched = current.get("batched")
+    if batched is None:
+        print("  [warn] no 'batched' section in current report")
+        return
+    # Absolute acceptance gates — independent of the baseline.
+    speedup = batched.get("speedup_vs_sequential")
+    if speedup is not None:
+        ok = speedup >= BATCHED_SPEEDUP_FLOOR
+        print(
+            f"  [{'ok' if ok else 'FAIL'}] batched/speedup_vs_sequential "
+            f"floor: {speedup:g} (require >= {BATCHED_SPEEDUP_FLOOR:g}x)"
+        )
+        if not ok:
+            failures.append("batched/speedup_floor")
+    equal = batched.get("charged_rounds_equal")
+    ok = equal is True
+    print(
+        f"  [{'ok' if ok else 'FAIL'}] batched/charged_rounds_equal: {equal}"
+        " (vectorized must charge exactly the scalar rounds)"
+    )
+    if not ok:
+        failures.append("batched/charged_rounds_equal")
+    # Baseline-relative regression gates.
+    base = baseline.get("batched")
+    if base is None:
+        print("  [warn] no 'batched' baseline yet (gating floors only)")
+        return
+    for path, worse_up, tol in BATCHED_GATES:
+        _check(
+            f"batched/{'.'.join(path)}",
+            _dig(batched, path), _dig(base, path), worse_up, tol, failures,
+        )
 
 
 def main(argv):
@@ -105,6 +156,7 @@ def main(argv):
             baseline.get("ratios", {}).get(name),
             worse_up, tol, failures,
         )
+    _check_batched(current, baseline, failures)
     seq = current.get("sequential", {}).get("ops_per_sec")
     if seq is not None:
         print(f"  [info] sequential uncached ops/sec: {seq:g} (not gated)")

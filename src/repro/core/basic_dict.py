@@ -38,9 +38,11 @@ from repro.core.interface import (
 from repro.expanders.base import StripedExpander
 from repro.expanders.neighborhoods import NeighborhoodMemo
 from repro.expanders.random_graph import SeededRandomExpander
+from repro.kernels import resolve_kernel
 from repro.pdm.errors import DiskFailure
 from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
+from repro.pdm import InternalMemory, InternalMemoryExceeded
 from repro.pdm.spans import span
 from repro.pdm.striping import StripedItemBuckets
 
@@ -78,6 +80,122 @@ def _join_fragments(fragments: Sequence[Any]) -> Any:
     return type(first)(out) if not isinstance(first, list) else out
 
 
+class _KeyColumnCache:
+    """Per-bucket key columns in a kernel column store, M-charged.
+
+    The kernel's :meth:`~repro.kernels.base.Kernel.match_candidates`
+    reads bucket key columns out of a backend-shaped store
+    (:meth:`~repro.kernels.base.Kernel.new_column_store`); writing every
+    column per batch would eat the win, so row handles are cached keyed
+    on the block's globally-unique
+    :attr:`~repro.pdm.block.Block.version` stamp — refreshed by every
+    ``store``/``clear``, and collision-free even when a Block object is
+    replaced wholesale.  The kernel batch path only runs with no fault
+    injector and no buffer pool attached, the two layers that mutate
+    payloads *behind* the version stamp.
+
+    Honesty mirrors :class:`~repro.expanders.neighborhoods.
+    NeighborhoodMemo`: ``width + 1`` words charged to
+    :class:`~repro.pdm.memory.InternalMemory` per cached column (the
+    store rows are fixed-width), freeze (keep answering, stop caching)
+    when ``M`` is spoken for, wholesale deterministic reset at
+    ``max_entries`` cached columns *or* ``2 * max_entries`` store rows —
+    rows are write-once, so stale refreshes and frozen-mode writes leave
+    dead rows behind; the row bound caps that scratch.
+    """
+
+    __slots__ = (
+        "memory", "width", "max_entries",
+        "_store", "_backing", "_rows", "_charged", "_frozen",
+    )
+
+    def __init__(
+        self,
+        memory: Optional[InternalMemory],
+        width: int,
+        max_entries: int = 1 << 16,
+    ) -> None:
+        self.memory = memory
+        self.width = width
+        self.max_entries = max_entries
+        #: addr -> (block version, row handle)
+        self._store: Dict[Tuple[int, int], Tuple[int, int]] = {}  # detlint: guarded(owner-lane) -- memo + memory charge single-writer, like NeighborhoodMemo
+        self._backing: Any = None  # kernel column store, created lazily
+        self._rows = 0
+        self._charged = 0
+        self._frozen = False
+
+    @property
+    def backing(self) -> Any:
+        """The kernel column store the cached row handles index into."""
+        return self._backing
+
+    def column(self, kernel, addr: Tuple[int, int], blk) -> int:
+        version = blk.version
+        entry = self._store.get(addr)
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        if (
+            self._rows >= 2 * self.max_entries
+            or len(self._store) >= self.max_entries
+        ):
+            self.reset()
+            entry = None
+        if self._backing is None:
+            self._backing = kernel.new_column_store(self.width)
+        row = kernel.store_column(self._backing, blk.payload)
+        self._rows += 1
+        if entry is not None:
+            # Stale version: release before (maybe) re-caching; the old
+            # row stays dead in the store until the row-bound reset.
+            del self._store[addr]
+            words = self.width + 1
+            self._charged -= words
+            if self.memory is not None:
+                self.memory.release(words)
+        if self._frozen:
+            return row
+        words = self.width + 1
+        if self.memory is not None:
+            try:
+                self.memory.charge(words)
+            except InternalMemoryExceeded:
+                self._frozen = True
+                return row
+        self._charged += words
+        self._store[addr] = (version, row)
+        return row
+
+    def columns(self, kernel, addrs, blocks) -> List[int]:
+        """:meth:`column` over a whole planned read, hit path inlined —
+        one bound-method call per batch instead of one per bucket."""
+        get = self._store.get
+        column = self.column
+        out: List[int] = []
+        append = out.append
+        for addr, blk in zip(addrs, blocks):
+            entry = get(addr)
+            if entry is not None and entry[0] == blk.version:
+                append(entry[1])
+            else:
+                append(column(kernel, addr, blk))
+        return out
+
+    def reset(self) -> None:
+        """Deterministic wholesale reset; releases every charged word and
+        drops the backing store (recreated on next use)."""
+        self._store.clear()
+        self._backing = None
+        self._rows = 0
+        if self.memory is not None and self._charged:
+            self.memory.release(self._charged)
+        self._charged = 0
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
 class BasicDictionary(Dictionary):
     """Deterministic dynamic dictionary with O(1) worst-case I/Os (§4.1)."""
 
@@ -95,6 +213,7 @@ class BasicDictionary(Dictionary):
         disk_offset: int = 0,
         seed: int = 0,
         graph: Optional[StripedExpander] = None,
+        kernel: Any = None,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -137,12 +256,20 @@ class BasicDictionary(Dictionary):
         # Hot-path neighborhood evaluation, memoized into internal memory
         # (the model grants M words; repeated Γ(key) evaluations are free).
         self._neighborhoods = NeighborhoodMemo(graph, memory=machine.memory)
+        #: batch kernel for the vectorized fast path (``None`` after
+        #: ``kernel="off"`` or ``REPRO_KERNEL=off`` — scalar everywhere);
+        #: swapping backends never changes an answer or a charge (the
+        #: tests/kernels differential suite pins this).
+        self._kernel = resolve_kernel(kernel)
         self.buckets = StripedItemBuckets(
             machine,
             stripes=degree,
             stripe_size=stripe_size,
             capacity_items=bucket_cap,
             disk_offset=disk_offset,
+        )
+        self._columns = _KeyColumnCache(
+            machine.memory, self.buckets.capacity_items
         )
         self.size = 0
         self._max_load_seen = 0
@@ -260,6 +387,23 @@ class BasicDictionary(Dictionary):
         keys = list(keys)
         for key in keys:
             self._check_key(key)
+        kernel = self._kernel
+        if (
+            kernel is not None
+            and self.machine.faults is None
+            and self.machine.cache is None
+            and self.buckets.blocks_per_bucket == 1
+            and self.universe_size <= 0xFFFFFFFFFFFFFFFF
+        ):
+            # Vectorized fast path: flat neighborhoods, kernel probe plan,
+            # aligned planned read, batch key matching.  Bit-identical
+            # charges and answers (differential suite); excluded whenever a
+            # layer that can mutate payloads behind the version stamps —
+            # fault injector, buffer pool — is attached, buckets span
+            # several blocks (the plan covers single-block buckets), or
+            # keys might not fit the kernels' 64-bit lanes (the column
+            # stores pad rows with 2**64 - 1).
+            return self._batch_lookup_kernel(keys, kernel)
         with span(
             self.machine,
             "basic_dict.batch_lookup",
@@ -268,9 +412,12 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
             batch_size=len(keys),
         ) as m:
-            all_locs = {}
-            for key in dict.fromkeys(keys):
-                all_locs[key] = self._neighborhoods.striped(key)
+            # Under faults (or any other exclusion) the reads stay on the
+            # scalar path, but the neighborhoods still batch: same values,
+            # same memo effects, one kernel evaluation for the misses.
+            all_locs = self._neighborhoods.batch_striped(
+                list(dict.fromkeys(keys)), kernel=kernel
+            )
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
             )
@@ -314,6 +461,109 @@ class BasicDictionary(Dictionary):
                 out[key] = LookupResult(False, None, m.cost)
         return out, m.cost
 
+    def _batch_lookup_kernel(self, keys, kernel):
+        """The vectorized :meth:`batch_lookup` body (healthy, uncached,
+        one-probe).  Stage by stage, with its scalar equivalent:
+
+        1. flat neighborhoods (``NeighborhoodMemo.batch_local_indices`` ==
+           per-key ``striped()``, including memo charges and counters);
+        2. kernel probe plan (``plan_unique_probe`` == the per-loc
+           ``dict.fromkeys`` dedup + ``_batch_rounds`` per-disk tally);
+        3. one aligned planned read (``read_planned_blocks`` == the
+           ``read_blocks`` fast path: same rounds, same blocks_read);
+        4. batch key matching of each key against its own candidate rows
+           in the version-cached column store (``match_candidates`` ==
+           the per-key fragment scan).
+        """
+        machine = self.machine
+        buckets = self.buckets
+        d = self.graph.degree
+        with span(
+            machine,
+            "basic_dict.batch_lookup",
+            op="batch_lookup",
+            structure="basic_dict",
+            blocks_per_bucket=buckets.blocks_per_bucket,
+            batch_size=len(keys),
+        ) as m:
+            distinct = list(dict.fromkeys(keys))
+            instrumented = m.span is not None
+            if instrumented:
+                # The kernel stages surface as their own latency layer
+                # ("kernel" in repro.obs); uninstrumented runs skip even
+                # the span() no-op calls.
+                with span(machine, "kernel.neighborhoods", backend=kernel.name):
+                    flat = self._neighborhoods.batch_local_indices(
+                        distinct, kernel=kernel
+                    )
+                with span(machine, "kernel.plan", backend=kernel.name):
+                    unique, max_per_disk, inverse = buckets.probe_plan(
+                        flat, kernel
+                    )
+            else:
+                flat = self._neighborhoods.batch_local_indices(
+                    distinct, kernel=kernel
+                )
+                unique, max_per_disk, inverse = buckets.probe_plan(
+                    flat, kernel
+                )
+            rounds = machine.rounds_for_counts(len(unique), max_per_disk)
+            blocks = machine.read_planned_blocks(unique, rounds)
+            columns_cache = self._columns
+            if instrumented:
+                with span(machine, "kernel.match", backend=kernel.name):
+                    rows = columns_cache.columns(kernel, unique, blocks)
+                    matches = (
+                        kernel.match_candidates(
+                            columns_cache.backing, rows, inverse, distinct
+                        )
+                        if rows
+                        else []
+                    )
+            else:
+                rows = columns_cache.columns(kernel, unique, blocks)
+                matches = (
+                    kernel.match_candidates(
+                        columns_cache.backing, rows, inverse, distinct
+                    )
+                    if rows
+                    else []
+                )
+            per_key: List[Optional[List[Tuple[int, Any]]]] = (
+                [None] * len(distinct)
+            )
+            for qi, ci, slot in matches:
+                item = blocks[ci].payload[slot]
+                frags = per_key[qi]
+                if frags is None:
+                    per_key[qi] = frags = []
+                frags.append((item[1], item[2]))
+            if instrumented:
+                m.annotate(
+                    distinct_keys=len(distinct), buckets_read=len(unique)
+                )
+                annotate_round_packing(
+                    m,
+                    machine,
+                    buckets,
+                    [
+                        tuple(enumerate(flat[i * d : (i + 1) * d]))
+                        for i in range(len(distinct))
+                    ],
+                )
+        out: Dict[int, Any] = {}
+        cost = m.cost
+        for qi, key in enumerate(distinct):
+            frags = per_key[qi]
+            if frags:
+                frags.sort()
+                out[key] = LookupResult(
+                    True, _join_fragments([f for _, f in frags]), cost
+                )
+            else:
+                out[key] = LookupResult(False, None, cost)
+        return out, cost
+
     def batch_insert(self, items):
         """Upsert many keys with one batched read and one batched write.
 
@@ -339,9 +589,9 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
             batch_size=len(items),
         ) as m:
-            all_locs = {
-                key: self._neighborhoods.striped(key) for key in items
-            }
+            all_locs = self._neighborhoods.batch_striped(
+                list(items), kernel=self._kernel
+            )
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
             )
@@ -464,7 +714,9 @@ class BasicDictionary(Dictionary):
             blocks_per_bucket=self.buckets.blocks_per_bucket,
             batch_size=len(keys),
         ) as m:
-            all_locs = {key: self._neighborhoods.striped(key) for key in keys}
+            all_locs = self._neighborhoods.batch_striped(
+                keys, kernel=self._kernel
+            )
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
             )

@@ -42,6 +42,7 @@ from repro.core.interface import (
 from repro.core.static_dict import fields_needed
 from repro.pdm.errors import DiskFailure
 from repro.expanders.random_graph import SeededRandomExpander
+from repro.kernels import resolve_kernel
 from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
 from repro.pdm.spans import span
@@ -95,6 +96,7 @@ class DynamicDictionary(Dictionary):
         min_stripe: int = 8,
         disk_offset: int = 0,
         seed: int = 0,
+        kernel: Any = None,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -126,6 +128,7 @@ class DynamicDictionary(Dictionary):
             required_field_bits(sigma, self.m_need, degree),
         )
 
+        self._kernel = resolve_kernel(kernel)
         # Membership sub-dictionary: key -> (level, head pointer).
         self.membership = BasicDictionary(
             machine,
@@ -134,6 +137,7 @@ class DynamicDictionary(Dictionary):
             degree=degree,
             disk_offset=disk_offset,
             seed=seed + 1,
+            kernel=kernel,
         )
 
         # Geometrically shrinking retrieval arrays, one expander each.
@@ -581,10 +585,9 @@ class DynamicDictionary(Dictionary):
         Returns ``(locs_map, fields, failures)`` where ``fields`` /
         ``failures`` cover the union of all keys' locations.
         """
-        locs_map = {
-            key: self.level_graphs[level].striped_neighbors(key)
-            for key in keys
-        }
+        locs_map = self.level_graphs[level].batch_striped(
+            keys, kernel=self._kernel
+        )
         wanted = list(
             dict.fromkeys(loc for locs in locs_map.values() for loc in locs)
         )

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bits import (
     BitVector,
@@ -48,6 +48,7 @@ from repro.core.interface import (
 from repro.pdm.errors import BlockCorruption, DiskFailure
 from repro.expanders.base import StripedExpander
 from repro.expanders.random_graph import SeededRandomExpander
+from repro.kernels import resolve_kernel
 from repro.pdm.iostats import OpCost
 from repro.pdm.machine import AbstractDiskMachine
 from repro.pdm.spans import span
@@ -170,6 +171,7 @@ class StaticDictionary(Dictionary):
         strict: bool = True,
         construction: str = "fast",
         redundancy: str = "standard",
+        kernel: Any = None,
     ) -> "StaticDictionary":
         """Construct the dictionary for a fixed key -> value map.
 
@@ -218,6 +220,7 @@ class StaticDictionary(Dictionary):
         self.redundancy = redundancy
         self.machine = machine
         self.n = n
+        self._kernel = resolve_kernel(kernel)
 
         groups = 2 if case == "a" else 1
         if graph is not None:
@@ -316,6 +319,7 @@ class StaticDictionary(Dictionary):
                 degree=degree,
                 disk_offset=disk_offset,
                 seed=seed + 1,
+                kernel=kernel,
             )
             if sigma > 0:
                 self.field_bits = max(
@@ -645,7 +649,7 @@ class StaticDictionary(Dictionary):
             case="b",
             batch_size=len(keys),
         ) as m:
-            all_locs = {key: self.graph.striped_neighbors(key) for key in keys}
+            all_locs = self.graph.batch_striped(keys, kernel=self._kernel)
             wanted = list(
                 dict.fromkeys(loc for locs in all_locs.values() for loc in locs)
             )
@@ -690,9 +694,9 @@ class StaticDictionary(Dictionary):
             if self.array is None:
                 return mem_out, mem_cost
             with span(self.machine, "static_dict.batch_field_read") as m:
-                all_locs = {
-                    key: self.graph.striped_neighbors(key) for key in keys
-                }
+                all_locs = self.graph.batch_striped(
+                    keys, kernel=self._kernel
+                )
                 wanted = list(
                     dict.fromkeys(
                         loc for locs in all_locs.values() for loc in locs

@@ -94,6 +94,11 @@ class Expander:
         """``F(x, i)`` — the ``i``-th neighbor of ``x``."""
         return self.neighbors(x)[i]
 
+    def batch_neighbors(self, keys, kernel=None):
+        """``{key: neighbors(key)}`` for many keys (distinct, order
+        preserved).  Seeded graphs override with one kernel call."""
+        return {x: self.neighbors(x) for x in keys}
+
     def _check_left(self, x: int) -> None:
         if not 0 <= x < self.left_size:
             raise IndexError(
@@ -130,3 +135,27 @@ class StripedExpander(Expander):
 
     def striped_neighbor(self, x: int, i: int) -> Tuple[int, int]:
         return self.striped_neighbors(x)[i]
+
+    # -- batch evaluation --------------------------------------------------
+    #
+    # The generic forms loop over striped_neighbors, so every striped
+    # graph supports batching; seeded graphs with a closed-form neighbor
+    # map override them with one kernel call.  Both forms are value- and
+    # side-effect-identical to the per-key calls they replace (cache
+    # fills, counters) — the batch kernels must never change an answer.
+
+    def batch_local_indices(self, keys, kernel=None):
+        """The local (per-stripe) bucket indices of many keys as one flat
+        ``array('I')`` — ``degree`` entries per key, key-major (the
+        ``NeighborhoodMemo`` layout)."""
+        from array import array
+
+        out = array("I")
+        for x in keys:
+            out.extend(j for _, j in self.striped_neighbors(x))
+        return out
+
+    def batch_striped(self, keys, kernel=None):
+        """``{key: striped_neighbors(key)}`` for many keys (keys should be
+        distinct; insertion order is preserved)."""
+        return {x: self.striped_neighbors(x) for x in keys}

@@ -28,7 +28,7 @@ Honesty rules:
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.expanders.base import StripedExpander
 from repro.pdm import InternalMemory, InternalMemoryExceeded
@@ -122,6 +122,81 @@ class NeighborhoodMemo:
                     "I", (j for _, j in self.graph.striped_neighbors(key))
                 )
         return self._flat[off : off + self.degree]
+
+    # -- batch evaluation --------------------------------------------------
+    #
+    # The batch forms are *replays* of the scalar loop against live memo
+    # state: misses are pre-evaluated in one (kernel-accelerated) graph
+    # call, but hits, counters, memory charges, freezes and the wholesale
+    # reset all happen key by key exactly as a sequence of scalar calls
+    # would.  A reset mid-batch can turn a pre-classified hit into a miss;
+    # the replay honors that (the rare re-miss falls back to one scalar
+    # graph evaluation), so memo state after a batch is indistinguishable
+    # from the sequential path.
+
+    def batch_striped(
+        self, keys: Sequence[int], kernel=None
+    ) -> Dict[int, Tuple[Tuple[int, int], ...]]:
+        """:meth:`striped` for many keys — ``{key: striped(key)}`` with
+        one batched graph evaluation for the misses."""
+        tuples = self._tuples
+        missing = [x for x in keys if x not in tuples]
+        evaluated = (
+            self.graph.batch_striped(missing, kernel=kernel)
+            if missing
+            else {}
+        )
+        out: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        for key in keys:
+            t = tuples.get(key)
+            if t is not None:
+                self.hits += 1
+                out[key] = t
+                continue
+            self.misses += 1
+            t = evaluated.get(key)
+            if t is None:  # re-miss after a mid-batch reset
+                t = self.graph.striped_neighbors(key)
+            self._memoize(key, t)
+            out[key] = t
+        return out
+
+    def batch_local_indices(self, keys: Sequence[int], kernel=None) -> array:
+        """The local bucket indices of many keys as one flat ``array('I')``
+        (``degree`` entries per key, key-major — the :attr:`_flat` layout).
+
+        Counter/charge/freeze parity with sequential :meth:`striped` calls;
+        frozen memos compute transient chunks without memoizing."""
+        d = self.degree
+        offsets = self._offsets
+        missing = [x for x in keys if x not in offsets]
+        if missing:
+            flat_missing = self.graph.batch_local_indices(
+                missing, kernel=kernel
+            )
+            mpos = {x: i for i, x in enumerate(missing)}
+        else:
+            flat_missing = None
+            mpos = {}
+        out = array("I")
+        flat = self._flat
+        for key in keys:
+            off = offsets.get(key)
+            if off is not None:
+                self.hits += 1
+                out.extend(flat[off : off + d])
+                continue
+            self.misses += 1
+            i = mpos.get(key)
+            if i is None:  # re-miss after a mid-batch reset
+                chunk = array(
+                    "I", (j for _, j in self.graph.striped_neighbors(key))
+                )
+            else:
+                chunk = flat_missing[i * d : (i + 1) * d]
+            out.extend(chunk)
+            self._memoize(key, tuple(enumerate(chunk)))
+        return out
 
     def precompute(self, keys: Iterable[int]) -> int:
         """Memoize a key set up front (bulk build / bench warm-up);

@@ -80,6 +80,50 @@ class SeededRandomExpander(StripedExpander):
         self._cache[x] = out
         return out
 
+    def batch_local_indices(self, keys, kernel=None):
+        """One kernel evaluation of the neighbor map for many keys.
+
+        Bit-identical to the per-key form (same mix, same reduction); the
+        graph's tuple cache is bypassed — the callers that batch
+        (:class:`~repro.expanders.neighborhoods.NeighborhoodMemo`) hold
+        their own memo above this level.
+        """
+        if kernel is None:
+            return super().batch_local_indices(keys)
+        for x in keys:
+            self._check_left(x)
+        return kernel.stripe_local_indices(
+            self._base, self.degree, self.stripe_size, keys
+        )
+
+    def batch_striped(self, keys, kernel=None):
+        """Batched :meth:`striped_neighbors`: cache hits are served as
+        usual, misses are evaluated in one kernel call and cached with the
+        same wholesale-clear overflow policy as the scalar path."""
+        if kernel is None:
+            return super().batch_striped(keys)
+        out: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        missing = []
+        cache = self._cache
+        for x in keys:
+            cached = cache.get(x)
+            if cached is not None:
+                out[x] = cached
+            else:
+                out[x] = ()  # placeholder keeps insertion order
+                missing.append(x)
+        if missing:
+            flat = self.batch_local_indices(missing, kernel=kernel)
+            d = self.degree
+            limit = self._cache_size
+            for pos, x in enumerate(missing):
+                t = tuple(enumerate(flat[pos * d : (pos + 1) * d]))
+                if len(cache) >= limit:
+                    cache.clear()
+                cache[x] = t
+                out[x] = t
+        return out
+
     def evaluation_memory_words(self) -> int:
         """Words of internal memory the neighbor function needs: O(1)."""
         return 2  # the seed and the derived base constant
@@ -130,6 +174,37 @@ class SeededFlatExpander(Expander):
         if len(self._cache) >= self._cache_size:
             self._cache.clear()
         self._cache[x] = out
+        return out
+
+    def batch_neighbors(self, keys, kernel=None):
+        """Batched :meth:`neighbors` via one kernel evaluation; cache
+        semantics mirror the scalar path exactly."""
+        if kernel is None:
+            return super().batch_neighbors(keys)
+        out: Dict[int, Tuple[int, ...]] = {}
+        missing = []
+        cache = self._cache
+        for x in keys:
+            cached = cache.get(x)
+            if cached is not None:
+                out[x] = cached
+            else:
+                out[x] = ()
+                missing.append(x)
+        if missing:
+            for x in missing:
+                self._check_left(x)
+            flat = kernel.flat_neighbors(
+                self._base, self.degree, self.right_size, missing
+            )
+            d = self.degree
+            limit = self._cache_size
+            for pos, x in enumerate(missing):
+                t = tuple(flat[pos * d : (pos + 1) * d])
+                if len(cache) >= limit:
+                    cache.clear()
+                cache[x] = t
+                out[x] = t
         return out
 
     def evaluation_memory_words(self) -> int:

@@ -37,6 +37,8 @@ from repro.obs.export import (
 )
 from repro.obs.harness import ObsReport, report_events, run_instrumented
 from repro.obs.latency import (
+    KERNEL_PREFIX,
+    LAYERS,
     DiskTimeline,
     LatencyTracker,
     classify_layer,
@@ -90,7 +92,9 @@ __all__ = [
     "DiskTimeline",
     "Gauge",
     "Histogram",
+    "KERNEL_PREFIX",
     "LANES",
+    "LAYERS",
     "LatencyTracker",
     "MetricsRegistry",
     "MonitorSet",

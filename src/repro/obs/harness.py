@@ -165,6 +165,7 @@ class ObsReport:
             ("latency.op_us", "op"),
             ("latency.layer_us", "layer"),
             ("latency.lane_us", "lane"),
+            ("latency.kernel_us", "stage"),
         ):
             rows = percentile_rows(self.wall_registry, family)
             if not rows:

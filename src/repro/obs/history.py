@@ -51,6 +51,7 @@ EXACT_DEADBAND = 1e-9
 #: machine, but still scheduler-noisy — so they take the wide band too.
 _WALL_MARKERS = (
     "ops_per_sec", "_us", "overhead", "elapsed", "batched_vs", "cached_vs_",
+    "speedup_vs",
 )
 
 #: Metric-name fragments whose *increase* is an improvement.  Anything
@@ -112,6 +113,16 @@ def extract_throughput(payload: Dict[str, Any]) -> Dict[str, float]:
     for name, value in payload.get("ratios", {}).items():
         if value is not None:
             out[f"throughput.ratios.{name}"] = value
+    batched = payload.get("batched", {})
+    for key in (
+        "ops_per_sec",
+        "scalar_ops_per_sec",
+        "speedup_vs_sequential",
+        "speedup_vs_scalar_batched",
+        "rounds_per_op",
+    ):
+        if batched.get(key) is not None:
+            out[f"throughput.batched.{key}"] = batched[key]
     return out
 
 

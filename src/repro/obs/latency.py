@@ -36,18 +36,29 @@ from repro.obs.metrics import (
 from repro.obs.wallclock import DEFAULT_CLOCK
 from repro.pdm.spans import Span, SpanRecorder
 
-#: Layer labels, in attribution-priority order.
+#: Layer labels, in attribution-priority order.  ``kernel`` is special:
+#: it is never the verdict of :func:`classify_layer` (which classifies
+#: whole root spans) — its mass comes from the ``kernel.*`` *child* spans
+#: a vectorized batched operation opens, attributed by
+#: :func:`collect_latency` alongside the root's own layer.
 LAYERS: Tuple[str, ...] = (
     "repair",
     "fault-retry",
     "cache-hit",
     "cache-miss",
     "uncached",
+    "kernel",
 )
 
 #: Root-span name prefixes owned by the self-healing layer
 #: (``repro.recovery``): rebuild scheduling and scrub passes.
 _REPAIR_PREFIXES: Tuple[str, ...] = ("recovery.", "scrub.")
+
+#: Child-span name prefix owned by the batch-kernel layer
+#: (:mod:`repro.kernels`): the vectorized stages a batched operation runs
+#: inside its root span (``kernel.neighborhoods`` / ``kernel.plan`` /
+#: ``kernel.match``).
+KERNEL_PREFIX = "kernel."
 
 
 def op_class(span: Span) -> str:
@@ -92,11 +103,17 @@ def collect_latency(
 ) -> int:
     """Fold wall-stamped root spans into latency histograms.
 
-    Three label families, one histogram each per label value:
-    ``latency.op_us{op=...}``, ``latency.layer_us{layer=...}`` and
-    ``latency.lane_us{lane=...}``.  Spans without a wall stamp (recorded
-    before the clock was enabled) are skipped.  Returns the number of
-    spans attributed.
+    Four label families, one histogram each per label value:
+    ``latency.op_us{op=...}``, ``latency.layer_us{layer=...}``,
+    ``latency.lane_us{lane=...}`` and — when batched operations ran
+    through the vectorized kernels — ``latency.kernel_us{stage=...}``.
+    Kernel attribution walks each root's subtree for wall-stamped
+    ``kernel.*`` child spans (:data:`KERNEL_PREFIX`); their time lands
+    both per stage (``kernel.plan`` → ``stage=plan``) and, summed, under
+    ``layer=kernel`` in the layer family, so the layer table answers "how
+    much of the wall went to the flat-array kernels" directly.  Spans
+    without a wall stamp (recorded before the clock was enabled) are
+    skipped.  Returns the number of *root* spans attributed.
 
     The registry this feeds is the *wall* registry of a report — keep it
     separate from the deterministic one so charged-cost artifacts stay
@@ -115,6 +132,22 @@ def collect_latency(
             registry.histogram(
                 "latency.lane_us", buckets, lane=root.lane
             ).observe(us)
+        for node in root.walk():
+            if (
+                node is root
+                or node.wall_ns is None
+                or not node.name.startswith(KERNEL_PREFIX)
+            ):
+                continue
+            kus = node.wall_ns / 1000.0
+            registry.histogram(
+                "latency.layer_us", buckets, layer="kernel"
+            ).observe(kus)
+            registry.histogram(
+                "latency.kernel_us",
+                buckets,
+                stage=node.name[len(KERNEL_PREFIX):],
+            ).observe(kus)
         attributed += 1
     return attributed
 

@@ -19,9 +19,16 @@ typed :class:`~repro.pdm.errors.BlockCorruption`.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Optional
 
 from repro.bits.mix import splitmix64, stable_hash
+
+#: process-wide monotonic stamp source for :attr:`Block.version`.  Being
+#: global (not per-block) makes a version globally unique: even when a
+#: fault replaces a Block object wholesale, the replacement's stamp can
+#: never collide with the stamp a cache recorded for the old object.
+_next_version = itertools.count(1).__next__
 
 
 class BlockOverflowError(Exception):
@@ -61,7 +68,7 @@ def payload_fingerprint(payload: Any, used_bits: int) -> int:
 class Block:
     """One disk block: a payload plus bit-granular capacity accounting."""
 
-    __slots__ = ("capacity_bits", "payload", "used_bits", "checksum")
+    __slots__ = ("capacity_bits", "payload", "used_bits", "checksum", "version")
 
     def __init__(self, capacity_bits: int):
         if capacity_bits <= 0:
@@ -72,6 +79,13 @@ class Block:
         #: fingerprint of the payload at the last sealed write, or ``None``
         #: when the block has never been written with checksums enabled.
         self.checksum: Optional[int] = None
+        #: globally-unique content stamp, refreshed by every :meth:`store`
+        #: / :meth:`clear`.  Derived caches (the batch kernels' key
+        #: columns) key on it: an unchanged version proves the payload was
+        #: not replaced through the write API.  It deliberately does NOT
+        #: cover in-place mutation behind the API (fault corruption, the
+        #: buffer pool's refresh) — consumers must not cache across those.
+        self.version: int = _next_version()
 
     @property
     def is_empty(self) -> bool:
@@ -97,11 +111,13 @@ class Block:
         self.payload = payload
         self.used_bits = used_bits
         self.checksum = None
+        self.version = _next_version()
 
     def clear(self) -> None:
         self.payload = None
         self.used_bits = 0
         self.checksum = None
+        self.version = _next_version()
 
     # -- integrity ----------------------------------------------------------
 

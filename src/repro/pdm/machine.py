@@ -83,6 +83,8 @@ def pack_rounds(
     num_disks: int,
     distinct_disks: bool = True,
     salt: int = 0,
+    kernel=None,
+    priorities: Optional[Sequence[int]] = None,
 ) -> RoundPlan:
     """Pack block requests into parallel I/O rounds.
 
@@ -99,14 +101,35 @@ def pack_rounds(
     occupy a prefix of rounds, so ``num_rounds`` equals the max per-disk
     multiplicity — exactly what :meth:`ParallelDiskMachine._batch_rounds`
     charges.  For the head model it yields ``ceil(unique / D)``.
+
+    The priority stream can be supplied in bulk instead of derived per
+    address: ``kernel`` evaluates it in one :meth:`~repro.kernels.base.
+    Kernel.derive_pairs` call, or ``priorities`` passes it precomputed
+    (one value per *deduplicated* address, first-appearance order — i.e.
+    pass already-unique addresses when using it).  Both are bit-identical
+    to the per-address ``derive`` (the kernel suite pins this), so the
+    schedule never depends on which path produced it.
     """
     if num_disks <= 0:
         raise ValueError(f"need at least one disk, got {num_disks}")
     requests = [tuple(a) for a in addrs]
     unique = list(dict.fromkeys(requests))
-    ordered = sorted(
-        unique, key=lambda a: (derive(salt, a[0], a[1]), a)
-    )
+    if priorities is None and kernel is not None:
+        priorities = kernel.derive_pairs(salt, unique)
+    if priorities is not None:
+        if len(priorities) != len(unique):
+            raise ValueError(
+                f"got {len(priorities)} priorities for {len(unique)} "
+                f"unique addresses"
+            )
+        order = sorted(
+            range(len(unique)), key=lambda i: (priorities[i], unique[i])
+        )
+        ordered = [unique[i] for i in order]
+    else:
+        ordered = sorted(
+            unique, key=lambda a: (derive(salt, a[0], a[1]), a)
+        )
     rounds: List[List[Addr]] = []
     widths: List[int] = []
     next_free: Dict[int, int] = {}
@@ -388,6 +411,17 @@ class AbstractDiskMachine:
     def _batch_rounds(self, addrs: Sequence[Addr]) -> int:
         raise NotImplementedError
 
+    def rounds_for_counts(self, unique_count: int, max_per_disk: int) -> int:
+        """The model's round charge from batch *summary statistics* alone.
+
+        Equals ``_batch_rounds(unique)`` for any deduplicated batch with
+        ``unique_count`` blocks of which at most ``max_per_disk`` share a
+        disk — the two numbers the kernels' probe planner already computes,
+        so batch callers can price a fetch without rebuilding per-disk
+        tallies in Python.
+        """
+        raise NotImplementedError
+
     def batch_rounds(self, addrs: Iterable[Addr]) -> int:
         """Rounds one batched transfer of ``addrs`` would charge (after
         dedup) — the model-specific cost without performing any I/O.
@@ -397,16 +431,24 @@ class AbstractDiskMachine:
             return 0
         return self._batch_rounds(unique)
 
-    def plan_rounds(self, addrs: Iterable[Addr], *, salt: int = 0) -> RoundPlan:
+    def plan_rounds(
+        self, addrs: Iterable[Addr], *, salt: int = 0, kernel=None,
+        priorities: Optional[Sequence[int]] = None,
+    ) -> RoundPlan:
         """Explicit round schedule for a batch under this cost model.
 
         ``plan_rounds(addrs).num_rounds == batch_rounds(addrs)`` always —
-        the plan is the constructive witness of the charged cost."""
+        the plan is the constructive witness of the charged cost.  A batch
+        kernel (or a precomputed ``priorities`` stream, see
+        :func:`pack_rounds`) evaluates the packing priorities in bulk
+        without changing the schedule."""
         return pack_rounds(
             addrs,
             num_disks=self.num_disks,
             distinct_disks=self.rounds_need_distinct_disks,
             salt=salt,
+            kernel=kernel,
+            priorities=priorities,
         )
 
     #: PDM rounds may touch each disk once; the head model has no such rule.
@@ -504,6 +546,47 @@ class AbstractDiskMachine:
                 if fault is not None:
                     raise fault
         return blocks
+
+    def read_planned_blocks(
+        self, unique: Sequence[Addr], rounds: int
+    ) -> List[Block]:
+        """Charged batch read of an *already planned* fetch.
+
+        ``unique`` must be deduplicated and ``rounds`` must equal
+        ``_batch_rounds(unique)`` — callers get both from the kernels'
+        :meth:`~repro.kernels.base.Kernel.plan_unique_probe` plus
+        :meth:`rounds_for_counts` (the differential suite pins the
+        equality).  Returns blocks aligned with ``unique`` — no dict
+        build, no payload copies.  Charges are identical to
+        :meth:`read_blocks` on the same set; with anything attached
+        (cache, faults, tracer, checksums, non-inline executor) it simply
+        funnels through :meth:`read_blocks`, recomputing the charge there.
+        """
+        if not unique:
+            return []
+        if (
+            self.cache is None
+            and self.faults is None
+            and self.tracer is None
+            and not self.checksums
+            and self.executor.inline
+        ):
+            out: List[Block] = []
+            disks = self.disks
+            num_disks = self.num_disks
+            void = self._void_block
+            append = out.append
+            for addr in unique:
+                disk_id = addr[0]
+                if not 0 <= disk_id < num_disks or addr[1] < 0:
+                    self._check_addr(addr)
+                blk = disks[disk_id]._blocks.get(addr[1])
+                append(void if blk is None else blk)
+            self.stats.read_ios += rounds
+            self.stats.blocks_read += len(unique)
+            return out
+        fetched = self.read_blocks(unique)
+        return [fetched[addr] for addr in unique]
 
     def read_blocks_degraded(
         self, addrs: Iterable[Addr]
@@ -857,6 +940,9 @@ class ParallelDiskMachine(AbstractDiskMachine):
             per_disk[disk_id] = per_disk.get(disk_id, 0) + 1
         return max(per_disk.values())
 
+    def rounds_for_counts(self, unique_count: int, max_per_disk: int) -> int:
+        return max_per_disk
+
 
 class ParallelDiskHeadMachine(AbstractDiskMachine):
     """The parallel disk head model of Aggarwal and Vitter [1].
@@ -873,3 +959,6 @@ class ParallelDiskHeadMachine(AbstractDiskMachine):
 
     def _batch_rounds(self, addrs: Sequence[Addr]) -> int:
         return math.ceil(len(addrs) / self.num_disks)
+
+    def rounds_for_counts(self, unique_count: int, max_per_disk: int) -> int:
+        return math.ceil(unique_count / self.num_disks)

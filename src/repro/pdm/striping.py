@@ -334,6 +334,28 @@ class StripedItemBuckets:
             for s in range(self.stripes)
         ]
 
+    def probe_plan(self, locals_flat: Sequence[int], kernel):
+        """Kernel probe plan over flat per-stripe bucket indices.
+
+        ``locals_flat`` holds ``stripes`` local indices per key (the
+        ``NeighborhoodMemo`` flat layout); single-block buckets only
+        (``blocks_per_bucket == 1``, the one-probe layout — multi-block
+        buckets take the scalar path).  Returns ``(unique_addrs,
+        max_per_disk, inverse)`` from :meth:`repro.kernels.base.Kernel.
+        plan_unique_probe`; the dedup order equals the scalar
+        ``dict.fromkeys`` order over the same probe sequence, and
+        ``inverse`` (backend-shaped) maps each flat position back to its
+        unique index for the kernel's candidate matching.
+        """
+        if self.blocks_per_bucket != 1:
+            raise ValueError(
+                "probe_plan covers single-block buckets only "
+                f"(blocks_per_bucket={self.blocks_per_bucket})"
+            )
+        return kernel.plan_unique_probe(
+            locals_flat, self.stripes, self._base, self.disk_offset
+        )
+
     def read_buckets(self, locs: Iterable[FieldLoc]) -> Dict[FieldLoc, List[Any]]:
         """Fetch bucket contents as item lists (empty list if untouched).
 

@@ -11,6 +11,7 @@ them is a breaking change to every recorded workload.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Sequence
 
 from repro.bits.mix import stable_hash
@@ -40,13 +41,26 @@ def zipf_accesses(
     keys = list(keys)
     n = len(keys)
     rng = MixStream(seed, _ZIPF_TAG)
-    # Cumulative truncated zipf over ranks 1..n; bisection per draw.
+    # Cumulative truncated zipf over ranks 1..n.
     cumulative: List[float] = []
     acc = 0.0
     for rank in range(1, n + 1):
         acc += 1.0 / rank**s
         cumulative.append(acc)
-    return [keys[rng.weighted(cumulative)] for _ in range(count)]
+    # One batched counter-mode fill, then a bisect per draw.  This is the
+    # stream of ``rng.weighted(cumulative)`` calls, value for value:
+    # ``fill(count)[i]`` is the i-th ``next64()``, the target expression
+    # reproduces ``MixStream.random()``'s 53-bit float, and
+    # ``bisect_right`` takes exactly ``weighted()``'s branch
+    # (``cumulative[mid] <= target`` descends right) — clamped to ``n-1``
+    # because ``weighted()`` starts its upper bound there (reachable only
+    # when the target rounds up to ``cumulative[-1]``).
+    total = cumulative[-1]
+    last = n - 1
+    return [
+        keys[min(bisect_right(cumulative, (v >> 11) * 2.0**-53 * total), last)]
+        for v in rng.fill(count)
+    ]
 
 
 def hit_miss_mix(

@@ -1,0 +1,178 @@
+"""Differential suite: kernel backends change the clock, never the run.
+
+Three copies of the same dictionary — ``kernel="off"`` (the scalar
+batch path), the pure-Python kernel, and (when importable) the numpy
+kernel — replay identical workloads on identical machines.  Everything
+observable must agree: per-key batch outcomes, the charged
+:class:`~repro.pdm.iostats.IOStats`, the per-batch ``OpCost``, and the
+round-packing witnesses recorded on the batch spans.  The comparison
+runs healthy, under a ``kill_disks`` fault plan, with a memory budget
+tiny enough to freeze the neighborhood memo and the key-column cache,
+and across mutation (the column cache must never serve stale rows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.basic_dict import BasicDictionary
+from repro.core.interface import DegradedLookupError, LookupResult
+from repro.faults.plan import FaultPlan
+from repro.kernels import create_kernel
+from repro.pdm.faults import attach_faults
+from repro.pdm.machine import ParallelDiskMachine
+from repro.pdm.spans import attach_spans
+from repro.workloads.access import zipf_accesses
+
+U = 1 << 16
+D = 8
+B = 16
+CAPACITY = 256
+N_ITEMS = 96
+
+KERNELS = ["off", "python"]
+try:
+    create_kernel("numpy")
+    KERNELS.append("numpy")
+except ImportError:  # pragma: no cover - numpy is present in CI
+    pass
+
+
+def _build(kernel, *, memory_words=None, num_disks=D):
+    machine = ParallelDiskMachine(num_disks, B, memory_words=memory_words)
+    d = BasicDictionary(
+        machine,
+        universe_size=U,
+        capacity=CAPACITY,
+        degree=num_disks,
+        seed=11,
+        kernel=kernel,
+    )
+    items = {(13 + 101 * i) % U: f"v{i}" for i in range(N_ITEMS)}
+    for k, v in sorted(items.items()):
+        d.upsert(k, v)
+    return machine, d, items
+
+
+def _probes(items, extra_misses=20):
+    present = sorted(items)
+    stream = zipf_accesses(present, 48, s=1.2, seed=3)
+    misses = [(k + 1) % U for k in present[:extra_misses]]
+    return stream + misses + present[:8]
+
+
+def _outcome_fingerprint(outcomes):
+    """Per-key outcomes as comparable values (results and typed errors)."""
+    fp = {}
+    for key, res in outcomes.items():
+        if isinstance(res, LookupResult):
+            fp[key] = ("ok", res.found, res.value)
+        elif isinstance(res, DegradedLookupError):
+            fp[key] = ("degraded", res.membership)
+        else:
+            fp[key] = ("error", type(res).__name__)
+    return fp
+
+
+def _stats_fingerprint(machine):
+    s = machine.stats
+    return (s.read_ios, s.write_ios, s.blocks_read, s.blocks_written)
+
+
+def _run_replay(kernel, *, faults=None, memory_words=None, batches=3):
+    """One full replay under a backend; returns every observable."""
+    machine, d, items = _build(kernel, memory_words=memory_words)
+    recorder = attach_spans(machine)
+    if faults is not None:
+        attach_faults(
+            machine,
+            FaultPlan.kill_disks(faults, num_disks=machine.num_disks).events,
+        )
+    observed = []
+    probes = _probes(items)
+    for i in range(batches):
+        outcomes, cost = d.batch_lookup(probes)
+        observed.append(_outcome_fingerprint(outcomes))
+        observed.append((cost.read_ios, cost.write_ios))
+        if i == 0:  # mutate between batches: caches must not go stale
+            victims = sorted(items)[:10]
+            mutations = []
+            for k in victims:
+                try:  # deletes degrade (typed) when a bucket is unreadable
+                    d.delete(k)
+                    mutations.append(("del", k, "ok"))
+                except Exception as exc:
+                    mutations.append(("del", k, type(exc).__name__))
+            for k in victims[:5]:
+                try:
+                    d.upsert(k, f"new{k}")
+                    mutations.append(("up", k, "ok"))
+                except Exception as exc:
+                    mutations.append(("up", k, type(exc).__name__))
+            observed.append(mutations)
+    observed.append(_stats_fingerprint(machine))
+    # Round-packing witnesses from the batch spans: the constructive
+    # proof that vectorized planning charged the scalar schedule.
+    witnesses = [
+        {
+            key: root.attrs[key]
+            for key in (
+                "rounds_batched",
+                "rounds_sequential",
+                "rounds_saved",
+                "blocks_deduplicated",
+            )
+            if key in root.attrs
+        }
+        for root in recorder.roots
+        if root.name == "basic_dict.batch_lookup"
+    ]
+    observed.append(witnesses)
+    return observed
+
+
+@pytest.mark.parametrize("kernel", KERNELS[1:])
+class TestKernelMatchesScalar:
+    def test_healthy_replay(self, kernel):
+        assert _run_replay(kernel) == _run_replay("off")
+
+    def test_under_kill_disks(self, kernel):
+        faults = [0, 3]
+        assert _run_replay(kernel, faults=faults) == _run_replay(
+            "off", faults=faults
+        )
+
+    def test_memo_and_cache_frozen_under_tiny_memory(self, kernel):
+        # A budget too small for the neighborhood memo and the key-column
+        # cache: both freeze, and the frozen paths must stay identical.
+        words = 512
+        assert _run_replay(kernel, memory_words=words) == _run_replay(
+            "off", memory_words=words
+        )
+
+    def test_plan_matches_machine_charge(self, kernel):
+        """``plan_unique_probe`` + ``rounds_for_counts`` equals the
+        machine's own ``batch_rounds`` on the same address stream."""
+        machine, d, items = _build(kernel)
+        kern = create_kernel(kernel)
+        buckets = d.buckets
+        keys = sorted(items)[:40]
+        flat = d._neighborhoods.batch_local_indices(keys, kernel=kern)
+        unique, max_per_disk, inverse = buckets.probe_plan(flat, kern)
+        assert machine.rounds_for_counts(
+            len(unique), max_per_disk
+        ) == machine.batch_rounds(unique)
+        assert [unique[i] for i in inverse] == [
+            a
+            for key in keys
+            for a in buckets.block_addrs(d._neighborhoods.striped(key))
+        ]
+
+
+def test_backends_disagreeing_would_be_caught():
+    """The harness is sensitive: perturbing one observable fails."""
+    a = _run_replay("off")
+    b = _run_replay("off")
+    assert a == b
+    b[-1][0]["rounds_batched"] += 1
+    assert a != b

@@ -1,0 +1,59 @@
+"""Seeded-mutation check: the flow pass defends the kernel purity rule.
+
+``repro.kernels`` sits in arch-base and is documented as *pure* — a
+kernel maps value arrays to value arrays and never touches machines or
+storage.  These tests plant the violations a future backend could sneak
+in (writing through ``machine.disks``, aliasing the block map) and
+assert COST101 actually fires inside the kernel layer; the real modules
+staying clean is then a meaningful guarantee, not a vacuous one.
+"""
+
+
+class TestKernelLayerPurity:
+    def test_kernel_writing_disks_trips_cost101(self, flow_check):
+        hits = flow_check({
+            "repro.kernels.evil": (
+                "def sneak(machine, addr, payload):\n"
+                "    machine.disks[addr[0]]._blocks[addr[1]] = payload\n"
+            ),
+        }, select=["COST101"])
+        assert hits == ["COST101:src/repro/kernels/evil.py:2"]
+
+    def test_kernel_aliasing_disk_blocks_trips_cost101(self, flow_check):
+        hits = flow_check({
+            "repro.kernels.evil": (
+                "def sneak(machine, addr, payload):\n"
+                "    blocks = machine.disks[addr[0]]._blocks\n"
+                "    handle = blocks\n"
+                "    handle[addr[1]] = payload\n"
+            ),
+        }, select=["COST101"])
+        assert hits == ["COST101:src/repro/kernels/evil.py:4"]
+
+    def test_pure_kernel_op_is_clean(self, flow_check):
+        hits = flow_check({
+            "repro.kernels.pure": (
+                "def plan(locals_flat, stripes, bases, disk_offset):\n"
+                "    unique = []\n"
+                "    seen = {}\n"
+                "    for i, local in enumerate(locals_flat):\n"
+                "        s = i % stripes\n"
+                "        addr = (disk_offset + s, bases[s] + local)\n"
+                "        if addr not in seen:\n"
+                "            seen[addr] = len(unique)\n"
+                "            unique.append(addr)\n"
+                "    return unique\n"
+            ),
+        }, select=["COST101"])
+        assert hits == []
+
+    def test_shipped_kernel_modules_are_clean(self, flow_check):
+        """The real backends pass the same rule the seeded mutants trip."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        modules = {}
+        for path in sorted((root / "src/repro/kernels").glob("*.py")):
+            modules[f"repro.kernels.{path.stem}"] = path.read_text()
+        hits = flow_check(modules, select=["COST101"])
+        assert hits == []
